@@ -1,0 +1,274 @@
+package bruckv_test
+
+// One testing.B benchmark per figure of the paper's evaluation, plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// benchmark runs a scaled-down configuration of the corresponding
+// experiment (full scales are driven by cmd/bruckbench, cmd/tcbench,
+// and cmd/kcfabench) and reports the simulated collective time as the
+// custom metric "simms/op" alongside the host-side wall time.
+
+import (
+	"testing"
+
+	"bruckv/internal/bench"
+	"bruckv/internal/dist"
+	"bruckv/internal/graph"
+	"bruckv/internal/kcfa"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func reportSim(b *testing.B, simNs float64) {
+	b.ReportMetric(simNs/1e6, "simms/op")
+}
+
+func benchUniform(b *testing.B, alg string, P, N int) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunUniform(bench.UniformConfig{
+			P: P, Algorithm: alg, N: N, Model: machine.Theta(), Iters: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Summary.Median
+	}
+	reportSim(b, last)
+}
+
+func benchMicro(b *testing.B, alg string, P int, spec dist.Spec, model machine.Model) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunMicro(bench.MicroConfig{
+			P: P, Algorithm: alg, Spec: spec, Model: model, Iters: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Summary.Median
+	}
+	reportSim(b, last)
+}
+
+// Figure 2a: the six uniform Bruck variants at N=32 bytes.
+func BenchmarkFig2a(b *testing.B) {
+	for _, alg := range bench.UniformVariants {
+		b.Run(alg, func(b *testing.B) { benchUniform(b, alg, 128, 32) })
+	}
+}
+
+// Figure 2b: phase breakdown of the explicit-copy variants (the
+// rotation phases are the object of study; the benchmark validates that
+// collecting breakdowns adds no meaningful cost).
+func BenchmarkFig2b(b *testing.B) {
+	for _, alg := range []string{"basic", "modified", "zerorotation"} {
+		b.Run(alg, func(b *testing.B) { benchUniform(b, alg, 128, 32) })
+	}
+}
+
+// Figure 6: data scaling of the five Alltoallv implementations, uniform
+// workload (P=128, N=256 slice of the grid).
+func BenchmarkFig6(b *testing.B) {
+	for _, alg := range bench.VAlgorithms {
+		b.Run(alg, func(b *testing.B) {
+			benchMicro(b, alg, 128, dist.Spec{Kind: dist.Uniform, N: 256, Seed: 1}, machine.Theta())
+		})
+	}
+}
+
+// Figure 7: weak scaling at N=64 for two-phase vs vendor.
+func BenchmarkFig7(b *testing.B) {
+	for _, alg := range []string{"two-phase", "vendor"} {
+		for _, P := range []int{64, 128, 256} {
+			b.Run(alg+"/P"+itoa(P), func(b *testing.B) {
+				benchMicro(b, alg, P, dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}, machine.Theta())
+			})
+		}
+	}
+}
+
+// Figure 8: sensitivity to the workload window (100-r)-r.
+func BenchmarkFig8(b *testing.B) {
+	for _, r := range []int{0, 40, 80} {
+		b.Run("r"+itoa(r), func(b *testing.B) {
+			benchMicro(b, "two-phase", 128, dist.Spec{Kind: dist.Windowed, N: 256, R: r, Seed: 1}, machine.Theta())
+		})
+	}
+}
+
+// Figure 9: the empirical performance model (crossover extraction over
+// a small grid).
+func BenchmarkFig9(b *testing.B) {
+	o := bench.Options{Model: machine.Theta(), Iters: 1, MaxSimP: 64, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(o, []int{32, 64, 4096}, []int{16, 64, 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 10: the standard distributions.
+func BenchmarkFig10(b *testing.B) {
+	specs := map[string]dist.Spec{
+		"powerlaw-0.99":  {Kind: dist.PowerLaw, Base: 0.99, N: 256, Seed: 1},
+		"powerlaw-0.999": {Kind: dist.PowerLaw, Base: 0.999, N: 256, Seed: 1},
+		"normal":         {Kind: dist.Normal, N: 256, Seed: 1},
+	}
+	for name, spec := range specs {
+		b.Run(name, func(b *testing.B) {
+			benchMicro(b, "two-phase", 128, spec, machine.Theta())
+		})
+	}
+}
+
+// Figure 11: transitive closure with vendor vs two-phase exchanges on
+// both graph regimes.
+func BenchmarkFig11(b *testing.B) {
+	graphs := map[string][]graph.Edge{
+		"longchain":   graph.LongChain(60, 80, 1),
+		"denseblocks": graph.DenseBlocks(120, 3, 1),
+	}
+	for gname, edges := range graphs {
+		for _, alg := range []string{"vendor", "two-phase"} {
+			b.Run(gname+"/"+alg, func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					w, err := mpi.NewWorld(16, mpi.WithModel(machine.Theta()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					err = w.Run(func(p *mpi.Proc) error {
+						r, err := graph.TransitiveClosure(p, edges, alg)
+						if p.Rank() == 0 {
+							last = r.TotalNs
+						}
+						return err
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportSim(b, last)
+			})
+		}
+	}
+}
+
+// Figure 12: the kCFA fixpoint with vendor vs two-phase exchanges.
+func BenchmarkFig12(b *testing.B) {
+	prog := kcfa.Generate(40, 3, 2, 1)
+	for _, alg := range []string{"vendor", "two-phase"} {
+		b.Run(alg, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				w, err := mpi.NewWorld(16, mpi.WithModel(machine.Theta()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = w.Run(func(p *mpi.Proc) error {
+					r, err := kcfa.Run(p, prog, alg)
+					if p.Rank() == 0 {
+						last = r.TotalNs
+					}
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportSim(b, last)
+		})
+	}
+}
+
+// Figure 13: cross-platform weak scaling on the Cori and Stampede
+// models.
+func BenchmarkFig13(b *testing.B) {
+	for _, m := range []machine.Model{machine.Cori(), machine.Stampede()} {
+		b.Run(m.Name, func(b *testing.B) {
+			benchMicro(b, "two-phase", 128, dist.Spec{Kind: dist.Normal, N: 64, Seed: 1}, m)
+		})
+	}
+}
+
+// Ablation: the rotation phases — basic (two rotations) vs modified
+// (one) vs zero-rotation (none).
+func BenchmarkAblationRotation(b *testing.B) {
+	for _, alg := range []string{"basic", "modified", "zerorotation"} {
+		b.Run(alg, func(b *testing.B) { benchUniform(b, alg, 256, 64) })
+	}
+}
+
+// Ablation: explicit memcpy vs derived datatypes vs per-step struct
+// datatypes.
+func BenchmarkAblationDatatype(b *testing.B) {
+	for _, alg := range []string{"modified", "modified-dt", "zerocopy-dt"} {
+		b.Run(alg, func(b *testing.B) { benchUniform(b, alg, 128, 32) })
+	}
+}
+
+// Ablation: SLOAV's coupled metadata, pointer-array temporaries, and
+// final rotation+scan vs two-phase's decoupled metadata and monolithic
+// buffer.
+func BenchmarkAblationSLOAV(b *testing.B) {
+	for _, alg := range []string{"sloav", "two-phase"} {
+		b.Run(alg, func(b *testing.B) {
+			benchMicro(b, alg, 128, dist.Spec{Kind: dist.Uniform, N: 256, Seed: 1}, machine.Theta())
+		})
+	}
+}
+
+// Ablation: padding vs metadata as the strategy for non-uniformity.
+func BenchmarkAblationPadVsMeta(b *testing.B) {
+	for _, n := range []int{8, 512} {
+		for _, alg := range []string{"padded-bruck", "two-phase"} {
+			b.Run(alg+"/N"+itoa(n), func(b *testing.B) {
+				benchMicro(b, alg, 128, dist.Spec{Kind: dist.Uniform, N: n, Seed: 1}, machine.Theta())
+			})
+		}
+	}
+}
+
+// Ablation: the congestion term of the machine model.
+func BenchmarkAblationCongestion(b *testing.B) {
+	for _, m := range []machine.Model{machine.Theta(), machine.Uncongested(machine.Theta())} {
+		b.Run(m.Name, func(b *testing.B) {
+			benchMicro(b, "two-phase", 256, dist.Spec{Kind: dist.Uniform, N: 512, Seed: 1}, m)
+		})
+	}
+}
+
+// Ablation: the Bruck radix — larger radices move each block fewer
+// times (less data) at the cost of more messages per position.
+func BenchmarkAblationRadix(b *testing.B) {
+	for _, alg := range []string{"two-phase", "two-phase-r4", "two-phase-r8"} {
+		b.Run(alg, func(b *testing.B) {
+			benchMicro(b, alg, 256, dist.Spec{Kind: dist.Uniform, N: 512, Seed: 1}, machine.Theta())
+		})
+	}
+}
+
+// Ablation: vendor request throttling vs unthrottled spread-out.
+func BenchmarkAblationThrottle(b *testing.B) {
+	for _, alg := range []string{"spreadout", "vendor"} {
+		b.Run(alg, func(b *testing.B) {
+			benchMicro(b, alg, 256, dist.Spec{Kind: dist.Uniform, N: 128, Seed: 1}, machine.Theta())
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,396 @@
+// Package bruckv is an open reimplementation of the HPDC '22 paper
+// "Optimizing the Bruck Algorithm for Non-uniform All-to-all
+// Communication" (Fan et al.) as a Go library.
+//
+// It provides MPI_Alltoall / MPI_Alltoallv-style collectives — including
+// the paper's zero-rotation Bruck, padded Bruck, and two-phase Bruck —
+// over a deterministic simulated message-passing runtime in which every
+// rank is a goroutine and communication is priced by a configurable
+// machine model (Theta, Cori, Stampede presets). The same algorithms
+// move real bytes for correctness-sensitive work and size-only phantom
+// payloads for large-scale performance studies.
+//
+// # Quick start
+//
+//	w, _ := bruckv.NewWorld(64)
+//	err := w.Run(func(c *bruckv.Comm) error {
+//	    send, scounts, sdispls := ...   // per-destination blocks
+//	    rcounts := make([]int, c.Size())
+//	    if err := c.ExchangeCounts(scounts, rcounts); err != nil { return err }
+//	    rdispls, total := bruckv.Displacements(rcounts)
+//	    recv := make([]byte, total)
+//	    return c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls)
+//	})
+//
+// The evaluation harness that regenerates the paper's figures lives in
+// cmd/bruckbench, cmd/tcbench, and cmd/kcfabench.
+package bruckv
+
+import (
+	"fmt"
+	"strings"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/coll"
+	"bruckv/internal/mpi"
+)
+
+// Algorithm selects the MPI_Alltoallv implementation.
+type Algorithm int
+
+const (
+	// Auto picks among TwoPhaseBruck, PaddedBruck, and Vendor using the
+	// machine model and the workload's global maximum block size.
+	Auto Algorithm = iota
+	// SpreadOut posts all nonblocking sends/receives at once (linear in
+	// P).
+	SpreadOut
+	// Vendor models a vendor MPI_Alltoallv (throttled spread-out).
+	Vendor
+	// PaddedBruck pads blocks to the global maximum and runs log-time
+	// uniform Bruck; best for very small blocks.
+	PaddedBruck
+	// PaddedAlltoall pads and calls the vendor MPI_Alltoall.
+	PaddedAlltoall
+	// TwoPhaseBruck is the paper's coupled metadata+data log-time
+	// algorithm; best for small-to-moderate blocks.
+	TwoPhaseBruck
+	// SLOAVBaseline is the prior log-time algorithm the paper improves
+	// on, kept for ablation.
+	SLOAVBaseline
+	// TwoPhaseRadix4 and TwoPhaseRadix8 generalize two-phase Bruck to
+	// base-4 and base-8 digits: fewer hops per block, more messages.
+	TwoPhaseRadix4
+	TwoPhaseRadix8
+	// Hierarchical funnels each node's traffic through a leader rank so
+	// the network carries (P/R)^2 aggregated messages (requires
+	// WithRanksPerNode).
+	Hierarchical
+)
+
+var algNames = map[Algorithm]string{
+	Auto: "auto", SpreadOut: "spreadout", Vendor: "vendor",
+	PaddedBruck: "padded-bruck", PaddedAlltoall: "padded-alltoall",
+	TwoPhaseBruck: "two-phase", SLOAVBaseline: "sloav",
+	TwoPhaseRadix4: "two-phase-r4", TwoPhaseRadix8: "two-phase-r8",
+	Hierarchical: "hierarchical",
+}
+
+// String returns the algorithm's registry name.
+func (a Algorithm) String() string {
+	if s, ok := algNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a name (as printed by String) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, n := range algNames {
+		if n == strings.ToLower(s) {
+			return a, nil
+		}
+	}
+	return Auto, fmt.Errorf("bruckv: unknown algorithm %q", s)
+}
+
+func (a Algorithm) impl() coll.Alltoallv {
+	return coll.NonUniformAlgorithms()[a.String()]
+}
+
+// World is a simulated communicator of Size ranks.
+type World struct {
+	w   *mpi.World
+	alg Algorithm
+}
+
+// Option configures a World.
+type Option func(*config)
+
+type config struct {
+	params       MachineParams
+	phantom      bool
+	alg          Algorithm
+	ranksPerNode int
+}
+
+// WithMachine sets the communication cost model (default Theta()).
+func WithMachine(p MachineParams) Option { return func(c *config) { c.params = p } }
+
+// WithPhantom switches the world to size-only payloads: Alltoall buffers
+// may be nil and no payload memory is allocated, enabling large-scale
+// performance studies.
+func WithPhantom() Option { return func(c *config) { c.phantom = true } }
+
+// WithAlgorithm sets the default Alltoallv algorithm (default Auto).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
+
+// WithRanksPerNode places consecutive ranks on shared-memory nodes of
+// the given width: intra-node messages use the model's cheaper
+// intra-node parameters, and the Hierarchical algorithm funnels traffic
+// through node leaders.
+func WithRanksPerNode(n int) Option { return func(c *config) { c.ranksPerNode = n } }
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	cfg := config{params: Theta()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if _, ok := algNames[cfg.alg]; !ok {
+		return nil, fmt.Errorf("bruckv: invalid algorithm %d", int(cfg.alg))
+	}
+	mopts := []mpi.Option{mpi.WithModel(cfg.params.model())}
+	if cfg.phantom {
+		mopts = append(mopts, mpi.WithPhantom())
+	}
+	if cfg.ranksPerNode > 0 {
+		mopts = append(mopts, mpi.WithRanksPerNode(cfg.ranksPerNode))
+	}
+	w, err := mpi.NewWorld(size, mopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &World{w: w, alg: cfg.alg}, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.w.Size() }
+
+// Run executes fn on every rank concurrently and returns the joined
+// errors.
+func (w *World) Run(fn func(c *Comm) error) error {
+	return w.w.Run(func(p *mpi.Proc) error {
+		return fn(&Comm{p: p, alg: w.alg})
+	})
+}
+
+// MaxTimeNs returns the maximum virtual time over all ranks of the last
+// Run, in nanoseconds.
+func (w *World) MaxTimeNs() float64 { return w.w.MaxTime() }
+
+// TotalBytes returns the total payload bytes sent during the last Run.
+func (w *World) TotalBytes() int64 { return w.w.TotalBytes() }
+
+// TotalMessages returns the point-to-point message count of the last
+// Run.
+func (w *World) TotalMessages() int64 { return w.w.TotalMessages() }
+
+// Comm is one rank's communicator handle, valid only inside Run.
+type Comm struct {
+	p   *mpi.Proc
+	alg Algorithm
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.p.Rank() }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.p.Size() }
+
+// NowNs returns this rank's virtual clock in nanoseconds.
+func (c *Comm) NowNs() float64 { return c.p.Now() }
+
+// ChargeComputeNs advances this rank's virtual clock by ns nanoseconds
+// of application compute, so end-to-end application timings (like the
+// paper's Section 5 studies) include computation.
+func (c *Comm) ChargeComputeNs(ns float64) { c.p.Charge(ns) }
+
+// Barrier blocks until all ranks enter it.
+func (c *Comm) Barrier() { c.p.Barrier() }
+
+// AllreduceMaxInt returns the maximum of v across ranks.
+func (c *Comm) AllreduceMaxInt(v int) int { return c.p.AllreduceMaxInt(v) }
+
+// AllreduceSumInt64 returns the sum of v across ranks.
+func (c *Comm) AllreduceSumInt64(v int64) int64 { return c.p.AllreduceSumInt64(v) }
+
+// BcastInt64 broadcasts v from root and returns it on every rank.
+func (c *Comm) BcastInt64(v int64, root int) int64 { return c.p.BcastInt64(v, root) }
+
+// buf wraps a user slice, or fabricates a phantom buffer of the given
+// size when the world is phantom and the slice is nil.
+func (c *Comm) buf(b []byte, size int) (buffer.Buf, error) {
+	if b == nil && c.p.World().Phantom() {
+		return buffer.Phantom(size), nil
+	}
+	if b == nil {
+		return buffer.Buf{}, fmt.Errorf("bruckv: nil buffer outside a phantom world")
+	}
+	return buffer.FromBytes(b), nil
+}
+
+// UniformAlgorithm selects the MPI_Alltoall implementation for
+// AlltoallWith. The variants are the paper's Figure 2 set.
+type UniformAlgorithm int
+
+const (
+	// ZeroRotation is the paper's uniform contribution: no initial or
+	// final rotation (the default used by Alltoall).
+	ZeroRotation UniformAlgorithm = iota
+	// BasicBruckAlg is the classic three-phase Bruck algorithm.
+	BasicBruckAlg
+	// ModifiedBruckAlg eliminates the final rotation.
+	ModifiedBruckAlg
+	// BasicBruckDT / ModifiedBruckDT / ZeroCopyBruckDT use emulated MPI
+	// derived datatypes instead of explicit packing.
+	BasicBruckDT
+	ModifiedBruckDT
+	ZeroCopyBruckDT
+	// PairwiseExchange is the linear-time large-message baseline.
+	PairwiseExchange
+	// VendorUniform models a vendor MPI_Alltoall (Bruck for small
+	// blocks, pairwise for large).
+	VendorUniform
+)
+
+var uniformNames = map[UniformAlgorithm]string{
+	ZeroRotation: "zerorotation", BasicBruckAlg: "basic", ModifiedBruckAlg: "modified",
+	BasicBruckDT: "basic-dt", ModifiedBruckDT: "modified-dt", ZeroCopyBruckDT: "zerocopy-dt",
+	PairwiseExchange: "pairwise", VendorUniform: "vendor-alltoall",
+}
+
+// String returns the variant's registry name.
+func (a UniformAlgorithm) String() string {
+	if s, ok := uniformNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("UniformAlgorithm(%d)", int(a))
+}
+
+// Alltoall performs a uniform all-to-all: block i of send (n bytes at
+// offset i*n) is delivered to rank i, and recv block i receives from
+// rank i. It uses the paper's zero-rotation Bruck.
+func (c *Comm) Alltoall(send []byte, n int, recv []byte) error {
+	return c.AlltoallWith(ZeroRotation, send, n, recv)
+}
+
+// AlltoallWith performs a uniform all-to-all with an explicit variant
+// choice.
+func (c *Comm) AlltoallWith(alg UniformAlgorithm, send []byte, n int, recv []byte) error {
+	name, ok := uniformNames[alg]
+	if !ok {
+		return fmt.Errorf("bruckv: invalid uniform algorithm %d", int(alg))
+	}
+	sb, err := c.buf(send, c.Size()*n)
+	if err != nil {
+		return err
+	}
+	rb, err := c.buf(recv, c.Size()*n)
+	if err != nil {
+		return err
+	}
+	return coll.UniformAlgorithms()[name](c.p, sb, n, rb)
+}
+
+// ExchangeCounts fills rcounts so that rcounts[s] on this rank equals
+// scounts[thisRank] on rank s: the standard preparatory exchange before
+// an Alltoallv whose receive sizes are not yet known.
+func (c *Comm) ExchangeCounts(scounts, rcounts []int) error {
+	return coll.CountsExchange(c.p, scounts, rcounts)
+}
+
+// Alltoallv performs a non-uniform all-to-all with the world's
+// configured algorithm (see WithAlgorithm; default Auto).
+func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int,
+	recv []byte, rcounts, rdispls []int) error {
+	return c.AlltoallvWith(c.alg, send, scounts, sdispls, recv, rcounts, rdispls)
+}
+
+// AlltoallvWith performs a non-uniform all-to-all with an explicit
+// algorithm choice.
+func (c *Comm) AlltoallvWith(alg Algorithm, send []byte, scounts, sdispls []int,
+	recv []byte, rcounts, rdispls []int) error {
+	sTotal := 0
+	for i, cnt := range scounts {
+		if end := sdispls[i] + cnt; end > sTotal {
+			sTotal = end
+		}
+	}
+	rTotal := 0
+	for i, cnt := range rcounts {
+		if end := rdispls[i] + cnt; end > rTotal {
+			rTotal = end
+		}
+	}
+	sb, err := c.buf(send, sTotal)
+	if err != nil {
+		return err
+	}
+	rb, err := c.buf(recv, rTotal)
+	if err != nil {
+		return err
+	}
+	if alg == Auto {
+		localMax := 0
+		for _, cnt := range scounts {
+			if cnt > localMax {
+				localMax = cnt
+			}
+		}
+		n := c.p.AllreduceMaxInt(localMax)
+		alg = ChooseAlgorithm(c.Size(), n, modelParams(c.p.World().Model()))
+	}
+	impl := alg.impl()
+	if impl == nil {
+		return fmt.Errorf("bruckv: algorithm %v has no Alltoallv implementation", alg)
+	}
+	return impl(c.p, sb, scounts, sdispls, rb, rcounts, rdispls)
+}
+
+// Plan is a persistent non-uniform all-to-all whose counts are fixed
+// across repetitions: planning pays the validation, the global-maximum
+// Allreduce, the rotation index, and buffer allocation once, and each
+// Execute runs only the two-phase Bruck exchange steps.
+type Plan struct {
+	c  *Comm
+	pl *coll.TwoPhasePlan
+}
+
+// PlanAlltoallv builds a persistent plan for the given layout. It is a
+// collective: all ranks must plan together.
+func (c *Comm) PlanAlltoallv(scounts, sdispls, rcounts, rdispls []int) (*Plan, error) {
+	pl, err := coll.PlanTwoPhase(c.p, scounts, sdispls, rcounts, rdispls)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{c: c, pl: pl}, nil
+}
+
+// Execute performs one planned exchange. send and recv must match the
+// layout given at planning time (nil allowed in phantom worlds).
+func (p *Plan) Execute(send, recv []byte) error {
+	sb, err := p.c.buf(send, p.pl.SendSpan())
+	if err != nil {
+		return err
+	}
+	rb, err := p.c.buf(recv, p.pl.RecvSpan())
+	if err != nil {
+		return err
+	}
+	return p.pl.Execute(sb, rb)
+}
+
+// MaxBlock returns the plan's global maximum block size in bytes.
+func (p *Plan) MaxBlock() int { return p.pl.MaxBlock() }
+
+// Displacements returns the packed displacement array for counts plus
+// the total byte count — the common layout helper.
+func Displacements(counts []int) (displs []int, total int) {
+	displs = make([]int, len(counts))
+	for i, c := range counts {
+		displs[i] = total
+		total += c
+	}
+	return displs, total
+}
+
+// ensure the internal registry stays in sync with the enum.
+var _ = func() struct{} {
+	for a, name := range algNames {
+		if a != Auto && coll.NonUniformAlgorithms()[name] == nil {
+			panic("bruckv: algorithm " + name + " missing from registry")
+		}
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,165 @@
+// Command bruckbench regenerates the paper's microbenchmark figures
+// (2a, 2b, 6, 7, 8, 9, 10, 13) on the simulated runtime.
+//
+// Usage:
+//
+//	bruckbench -fig all                     # everything, default scales
+//	bruckbench -fig 6 -ps 128,1024 -maxsimp 1024
+//	bruckbench -fig 9 -iters 3 -progress
+//
+// Simulated process counts are bounded by -maxsimp; larger configured
+// counts are filled from the calibrated analytic model and marked '*' in
+// the output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"bruckv/internal/bench"
+	"bruckv/internal/machine"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,all")
+		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
+		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
+		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		maxSimP  = flag.Int("maxsimp", 1024, "largest fully simulated process count")
+		mach     = flag.String("machine", "theta", "machine model: theta,cori,stampede,zero")
+		progress = flag.Bool("progress", false, "print per-configuration progress to stderr")
+		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	model, ok := machine.Presets()[*mach]
+	if !ok {
+		fatalf("unknown machine %q", *mach)
+	}
+	var progW io.Writer
+	if *progress {
+		progW = os.Stderr
+	}
+	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW}
+	ps := parseInts(*psFlag)
+	ns := parseInts(*nsFlag)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	out := os.Stdout
+	emit := func(f bench.Figure) {
+		f.Fprint(out)
+		if *csvDir != "" {
+			fh, err := os.Create(*csvDir + "/" + f.ID + ".csv")
+			check(err)
+			f.CSV(fh)
+			check(fh.Close())
+		}
+	}
+
+	if all || want["2a"] {
+		f, err := bench.Fig2a(o, ps)
+		check(err)
+		emit(f)
+	}
+	if all || want["2b"] {
+		f, err := bench.Fig2b(o, ps)
+		check(err)
+		emit(f)
+	}
+	if all || want["6"] {
+		figs, err := bench.Fig6(o, ps, ns)
+		check(err)
+		for _, f := range figs {
+			emit(f)
+		}
+	}
+	if all || want["7"] {
+		for _, n := range []int{64, 512} {
+			f, err := bench.Fig7(o, n, ps)
+			check(err)
+			emit(f)
+		}
+	}
+	if all || want["8"] {
+		p := 4096
+		if len(ps) > 0 {
+			p = ps[0]
+		}
+		if p > o.MaxSimP {
+			p = o.MaxSimP
+			fmt.Fprintf(out, "note: fig8 process count clamped to -maxsimp=%d (paper uses 4096)\n", p)
+		}
+		figs, err := bench.Fig8(o, p, ns, nil)
+		check(err)
+		for _, f := range figs {
+			emit(f)
+		}
+	}
+	if all || want["9"] {
+		r, err := bench.Fig9(o, ps, ns)
+		check(err)
+		r.Fprint(out)
+	}
+	if all || want["10"] {
+		figs, err := bench.Fig10(o, ps, ns)
+		check(err)
+		for _, f := range figs {
+			emit(f)
+		}
+	}
+	if all || want["13"] {
+		figs, err := bench.Fig13(o, ps)
+		check(err)
+		for _, f := range figs {
+			emit(f)
+		}
+	}
+	if all || want["ext"] {
+		p := 256
+		if len(ps) > 0 {
+			p = ps[0]
+		}
+		f, err := bench.ExtRadix(o, p, ns)
+		check(err)
+		emit(f)
+		f, err = bench.ExtNodeAware(o, p, 16, nil)
+		check(err)
+		emit(f)
+	}
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatalf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bruckbench: "+format+"\n", args...)
+	os.Exit(1)
+}

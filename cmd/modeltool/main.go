@@ -1,0 +1,98 @@
+// Command modeltool explores the analytic cost models: the paper's own
+// Section 3.3 equations (Eqs. 1-3) and this repository's refined
+// estimates, including the crossover table behind Figure 9 and an
+// algorithm advisor ("with P=350 and N=800, what should I use?").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bruckv/internal/machine"
+)
+
+func main() {
+	var (
+		mach   = flag.String("machine", "theta", "machine model: theta,cori,stampede")
+		advise = flag.Bool("advise", false, "print advice for -p and -n instead of tables")
+		pFlag  = flag.Int("p", 350, "process count for -advise")
+		nFlag  = flag.Int("n", 800, "maximum block size for -advise")
+	)
+	flag.Parse()
+
+	m, ok := machine.Presets()[*mach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "modeltool: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+
+	if *advise {
+		adviseOne(m, *pFlag, *nFlag)
+		return
+	}
+
+	fmt.Printf("machine: %v\n\n", m)
+	fmt.Println("# Paper Eq. 3: padded Bruck beats two-phase iff (N-8)(P+1)β < 4α")
+	fmt.Printf("%-8s", "P\\N")
+	ns := []int{4, 8, 16, 64, 256, 1024}
+	for _, n := range ns {
+		fmt.Printf("  %6d", n)
+	}
+	fmt.Println()
+	for _, p := range []int{128, 512, 2048, 8192, 32768} {
+		fmt.Printf("%-8d", p)
+		for _, n := range ns {
+			mark := "2phase"
+			if m.PaddedBeatsTwoPhase(p, n) {
+				mark = "padded"
+			}
+			fmt.Printf("  %6s", mark)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n# Refined estimates (ms): two-phase vs spread-out/vendor, uniform workload")
+	fmt.Printf("%-8s  %-8s  %-12s  %-12s  %-12s  %s\n", "P", "N", "two-phase", "padded", "spread-out", "best")
+	for _, p := range []int{128, 1024, 4096, 8192, 32768} {
+		for _, n := range []int{16, 128, 1024, 4096} {
+			avg := float64(n) / 2
+			tp := m.EstimateTwoPhase(p, avg)
+			pd := m.EstimatePadded(p, n, avg)
+			so := m.EstimateSpreadOut(p, avg)
+			best := "two-phase"
+			if pd < tp && pd < so {
+				best = "padded"
+			} else if so < tp {
+				best = "spread-out"
+			}
+			fmt.Printf("%-8d  %-8d  %-12.3f  %-12.3f  %-12.3f  %s\n",
+				p, n, tp/1e6, pd/1e6, so/1e6, best)
+		}
+	}
+
+	fmt.Println("\n# Analytic crossover (largest N where two-phase beats vendor), cf. Figure 9")
+	fmt.Printf("%-8s  %s\n", "P", "crossover N (bytes)")
+	for _, p := range []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		fmt.Printf("%-8d  %d\n", p, m.CrossoverN(p, 1<<20))
+	}
+}
+
+func adviseOne(m machine.Model, p, n int) {
+	avg := float64(n) / 2
+	tp := m.EstimateTwoPhase(p, avg)
+	pd := m.EstimatePadded(p, n, avg)
+	so := m.EstimateSpreadOut(p, avg)
+	fmt.Printf("P=%d, max block N=%d bytes on %s:\n", p, n, m.Name)
+	fmt.Printf("  two-phase Bruck : %.3f ms\n", tp/1e6)
+	fmt.Printf("  padded Bruck    : %.3f ms\n", pd/1e6)
+	fmt.Printf("  vendor/spread   : %.3f ms\n", so/1e6)
+	best, t := "two-phase Bruck", tp
+	if pd < t {
+		best, t = "padded Bruck", pd
+	}
+	if so < t {
+		best = "vendor Alltoallv"
+	}
+	fmt.Printf("  -> use %s\n", best)
+}

@@ -1,0 +1,67 @@
+// Autotune: use the calibrated performance model to answer the paper's
+// Figure 9 question — "with this process count and block size, should I
+// use two-phase Bruck, padded Bruck, or the vendor's Alltoallv?" — and
+// then check the advice against actual simulated runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bruckv"
+)
+
+func main() {
+	m := bruckv.Theta()
+	fmt.Println("model advice across the (P, N) grid (cf. Figure 9):")
+	fmt.Printf("%-8s", "P\\N")
+	ns := []int{8, 64, 512, 4096}
+	for _, n := range ns {
+		fmt.Printf("  %-14d", n)
+	}
+	fmt.Println()
+	for _, p := range []int{64, 512, 4096, 32768} {
+		fmt.Printf("%-8d", p)
+		for _, n := range ns {
+			fmt.Printf("  %-14s", bruckv.ChooseAlgorithm(p, n, m))
+		}
+		fmt.Println()
+	}
+
+	// Validate the advice by simulation at a scale that runs quickly.
+	const P, N = 256, 64
+	choice := bruckv.ChooseAlgorithm(P, N, m)
+	fmt.Printf("\nat P=%d, N=%d the model picks %s; simulated times:\n", P, N, choice)
+	best := bruckv.Algorithm(-1)
+	bestT := 0.0
+	for _, alg := range []bruckv.Algorithm{bruckv.Vendor, bruckv.PaddedBruck, bruckv.TwoPhaseBruck} {
+		w, err := bruckv.NewWorld(P, bruckv.WithPhantom(), bruckv.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = w.Run(func(c *bruckv.Comm) error {
+			scounts := make([]int, P)
+			rcounts := make([]int, P)
+			for d := 0; d < P; d++ {
+				scounts[d] = (c.Rank()*31+d*17)%(N+1) | 1
+				rcounts[d] = (d*31+c.Rank()*17)%(N+1) | 1
+			}
+			sdispls, _ := bruckv.Displacements(scounts)
+			rdispls, _ := bruckv.Displacements(rcounts)
+			// Phantom world: nil buffers, size-only simulation.
+			return c.Alltoallv(nil, scounts, sdispls, nil, rcounts, rdispls)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := w.MaxTimeNs()
+		fmt.Printf("  %-16s %.3fms\n", alg, t/1e6)
+		if best < 0 || t < bestT {
+			best, bestT = alg, t
+		}
+	}
+	fmt.Printf("simulation agrees: fastest was %s\n", best)
+	if best != choice {
+		fmt.Println("(model and simulation disagree at this point — near a crossover boundary)")
+	}
+}

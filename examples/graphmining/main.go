@@ -1,0 +1,141 @@
+// Graph mining on the public API: distributed transitive closure in the
+// style of the paper's Section 5.1, written directly against
+// bruckv.Comm. Edges are hash-partitioned; each fixpoint iteration
+// joins the newest paths against local edges and routes discoveries to
+// their owners with Alltoallv.
+//
+// Run with the default two-phase Bruck, then against the vendor
+// baseline, and compare the all-to-all time.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"bruckv"
+)
+
+const (
+	ranks     = 32
+	chainLen  = 120
+	shortcuts = 150
+)
+
+type pair struct{ a, b int32 }
+
+func owner(v int32, P int) int {
+	x := uint64(uint32(v))*0x9e3779b97f4a7c15 + 1
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	return int((x ^ x>>32) % uint64(P))
+}
+
+// edges returns a long-diameter graph: a chain plus short forward
+// shortcuts (the paper's Graph-1 regime: thousands of light
+// iterations).
+func edges() []pair {
+	var es []pair
+	for v := int32(0); v < chainLen-1; v++ {
+		es = append(es, pair{v, v + 1})
+	}
+	s := uint64(7)
+	for i := 0; i < shortcuts; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		from := int32(s % uint64(chainLen-3))
+		es = append(es, pair{from, from + 2 + int32(s>>32)%3})
+	}
+	return es
+}
+
+func main() {
+	for _, alg := range []bruckv.Algorithm{bruckv.Vendor, bruckv.TwoPhaseBruck} {
+		paths, iters, timeMs, err := closure(alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s  paths=%-8d iterations=%-5d time=%.2fms\n", alg, paths, iters, timeMs)
+	}
+}
+
+func closure(alg bruckv.Algorithm) (paths int64, iters int, timeMs float64, err error) {
+	w, err := bruckv.NewWorld(ranks, bruckv.WithAlgorithm(alg))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var outPaths int64
+	var outIters int
+	err = w.Run(func(c *bruckv.Comm) error {
+		iterations := 0
+		P := c.Size()
+		// G keyed by source vertex; T (closure) and delta keyed by
+		// destination so new paths land where the joining edges live.
+		g := map[int32][]int32{}
+		t := map[pair]bool{}
+		var delta []pair
+		for _, e := range edges() {
+			if owner(e.a, P) == c.Rank() {
+				g[e.a] = append(g[e.a], e.b)
+			}
+			if owner(e.b, P) == c.Rank() && !t[e] {
+				t[e] = true
+				delta = append(delta, e)
+			}
+		}
+
+		for {
+			// Join delta(a,b) with g(b,c) -> (a,c), routed by owner(c).
+			buckets := make([][]pair, P)
+			for _, d := range delta {
+				for _, cdst := range g[d.b] {
+					np := pair{d.a, cdst}
+					buckets[owner(np.b, P)] = append(buckets[owner(np.b, P)], np)
+				}
+			}
+			// Serialize and exchange.
+			scounts := make([]int, P)
+			for i, b := range buckets {
+				scounts[i] = 8 * len(b)
+			}
+			rcounts := make([]int, P)
+			if err := c.ExchangeCounts(scounts, rcounts); err != nil {
+				return err
+			}
+			sdispls, sTotal := bruckv.Displacements(scounts)
+			rdispls, rTotal := bruckv.Displacements(rcounts)
+			send := make([]byte, sTotal)
+			for i, b := range buckets {
+				off := sdispls[i]
+				for _, p := range b {
+					binary.LittleEndian.PutUint32(send[off:], uint32(p.a))
+					binary.LittleEndian.PutUint32(send[off+4:], uint32(p.b))
+					off += 8
+				}
+			}
+			recv := make([]byte, rTotal)
+			if err := c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+				return err
+			}
+			delta = delta[:0]
+			for off := 0; off < rTotal; off += 8 {
+				np := pair{int32(binary.LittleEndian.Uint32(recv[off:])),
+					int32(binary.LittleEndian.Uint32(recv[off+4:]))}
+				if !t[np] {
+					t[np] = true
+					delta = append(delta, np)
+				}
+			}
+			iterations++
+			if c.AllreduceSumInt64(int64(len(delta))) == 0 {
+				break
+			}
+		}
+		total := c.AllreduceSumInt64(int64(len(t)))
+		if c.Rank() == 0 {
+			outIters = iterations
+			outPaths = total
+		}
+		return nil
+	})
+	return outPaths, outIters, w.MaxTimeNs() / 1e6, err
+}

@@ -1,0 +1,52 @@
+// Node-aware exchange: compares the related-work hierarchical
+// (leader-funneled) Alltoallv against spread-out and two-phase Bruck as
+// the node width grows — small messages on fat nodes is where leader
+// aggregation pays, exactly as the paper's related-work section
+// positions it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bruckv"
+)
+
+const (
+	P    = 128
+	maxN = 16 // tiny blocks: the aggregation-friendly regime
+)
+
+func main() {
+	fmt.Printf("Alltoallv at P=%d, blocks up to %dB, by ranks-per-node (times in ms):\n\n", P, maxN)
+	fmt.Printf("%-14s  %-12s  %-12s  %-12s\n", "ranks/node", "spreadout", "two-phase", "hierarchical")
+	for _, rpn := range []int{1, 4, 16, 32} {
+		fmt.Printf("%-14d", rpn)
+		for _, alg := range []bruckv.Algorithm{bruckv.SpreadOut, bruckv.TwoPhaseBruck, bruckv.Hierarchical} {
+			w, err := bruckv.NewWorld(P,
+				bruckv.WithPhantom(),
+				bruckv.WithAlgorithm(alg),
+				bruckv.WithRanksPerNode(rpn))
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = w.Run(func(c *bruckv.Comm) error {
+				scounts := make([]int, P)
+				rcounts := make([]int, P)
+				for d := 0; d < P; d++ {
+					scounts[d] = (c.Rank()*13+d*7)%maxN + 1
+					rcounts[d] = (d*13+c.Rank()*7)%maxN + 1
+				}
+				sdispls, _ := bruckv.Displacements(scounts)
+				rdispls, _ := bruckv.Displacements(rcounts)
+				return c.Alltoallv(nil, scounts, sdispls, nil, rcounts, rdispls)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-12.3f", w.MaxTimeNs()/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(leader aggregation wins once nodes are wide; on thin nodes the funnel is pure overhead)")
+}

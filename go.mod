@@ -1,0 +1,3 @@
+module bruckv
+
+go 1.22

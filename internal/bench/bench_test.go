@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/machine"
+)
+
+func fastOpts() Options {
+	return Options{Model: machine.Theta(), Iters: 2, MaxSimP: 64, Seed: 1}
+}
+
+func TestRunMicroBasics(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		P: 16, Algorithm: "two-phase",
+		Spec:  dist.Spec{Kind: dist.Uniform, N: 64, Seed: 3},
+		Iters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 3 {
+		t.Fatalf("times = %v", res.Times)
+	}
+	for i, x := range res.Times {
+		if x <= 0 {
+			t.Fatalf("iteration %d time %v", i, x)
+		}
+	}
+	if res.BytesPerRank <= 0 || res.MsgsPerRank <= 0 {
+		t.Fatalf("stats: %+v", res)
+	}
+}
+
+func TestRunMicroIterationsVary(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		P: 16, Algorithm: "vendor",
+		Spec:  dist.Spec{Kind: dist.Uniform, N: 512, Seed: 3},
+		Iters: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, x := range res.Times[1:] {
+		if x != res.Times[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("iterations resample workloads; times should differ")
+	}
+}
+
+func TestRunMicroDeterministic(t *testing.T) {
+	cfg := MicroConfig{P: 12, Algorithm: "two-phase",
+		Spec: dist.Spec{Kind: dist.Normal, N: 128, Seed: 9}, Iters: 2}
+	a, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Fatalf("iteration %d: %v vs %v", i, a.Times[i], b.Times[i])
+		}
+	}
+}
+
+func TestRunMicroRejectsUnknownAlgorithm(t *testing.T) {
+	_, err := RunMicro(MicroConfig{P: 4, Algorithm: "nope", Spec: dist.Spec{Kind: dist.Uniform, N: 8}})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunMicroRealMatchesPhantomTime(t *testing.T) {
+	cfg := MicroConfig{P: 8, Algorithm: "padded-bruck",
+		Spec: dist.Spec{Kind: dist.Uniform, N: 32, Seed: 2}, Iters: 2}
+	ph, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Real = true
+	re, err := RunMicro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ph.Times {
+		if ph.Times[i] != re.Times[i] {
+			t.Fatalf("iteration %d: phantom %v real %v", i, ph.Times[i], re.Times[i])
+		}
+	}
+}
+
+func TestRunUniformBasics(t *testing.T) {
+	res, err := RunUniform(UniformConfig{P: 16, Algorithm: "zerorotation", N: 32, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Median <= 0 {
+		t.Fatalf("summary %+v", res.Summary)
+	}
+	if _, err := RunUniform(UniformConfig{P: 4, Algorithm: "nope", N: 8}); err == nil {
+		t.Fatal("unknown uniform algorithm accepted")
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	f, err := Fig2a(fastOpts(), []int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != len(UniformVariants) {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	zr := f.SeriesByLabel("zerorotation")
+	zc := f.SeriesByLabel("zerocopy-dt")
+	for i := range zr.Points {
+		if zr.Points[i].Y >= zc.Points[i].Y {
+			t.Errorf("at P=%v zerorotation (%v) should beat zerocopy-dt (%v)",
+				zr.Points[i].X, zr.Points[i].Y, zc.Points[i].Y)
+		}
+	}
+}
+
+func TestFig2bPhases(t *testing.T) {
+	f, err := Fig2b(fastOpts(), []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) float64 {
+		s := f.SeriesByLabel(label)
+		if s == nil || len(s.Points) == 0 {
+			t.Fatalf("missing series %s", label)
+		}
+		return s.Points[0].Y
+	}
+	if get("basic/init-rotation") <= 0 || get("basic/final-rotation") <= 0 {
+		t.Error("basic should record both rotations")
+	}
+	if get("zerorotation/init-rotation") != 0 || get("zerorotation/final-rotation") != 0 {
+		t.Error("zerorotation should record no rotations")
+	}
+	if get("modified/final-rotation") != 0 {
+		t.Error("modified should have no final rotation")
+	}
+	if get("modified/init-rotation") <= 0 {
+		t.Error("modified should have an initial rotation")
+	}
+}
+
+func TestFig6ShapesAndModeledPoints(t *testing.T) {
+	o := fastOpts()
+	figs, err := Fig6(o, []int{32, 128}, []int{16, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	// P=128 > MaxSimP=64: all points must be model-flagged.
+	for _, s := range figs[1].Series {
+		for _, p := range s.Points {
+			if !p.Modeled {
+				t.Errorf("P=128 point not marked modeled: %+v", p)
+			}
+		}
+	}
+	// P=32 simulated points are not flagged.
+	for _, s := range figs[0].Series {
+		for _, p := range s.Points {
+			if p.Modeled {
+				t.Errorf("P=32 point wrongly modeled: %+v", p)
+			}
+		}
+	}
+}
+
+func TestFig7TwoPhaseWinsSmallN(t *testing.T) {
+	f, err := Fig7(fastOpts(), 64, []int{16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := f.SeriesByLabel("two-phase")
+	vd := f.SeriesByLabel("vendor")
+	for i := range tp.Points {
+		if tp.Points[i].X >= 32 && tp.Points[i].Y >= vd.Points[i].Y {
+			t.Errorf("at P=%v two-phase (%v) should beat vendor (%v) at N=64",
+				tp.Points[i].X, tp.Points[i].Y, vd.Points[i].Y)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	figs, err := Fig8(fastOpts(), 32, []int{64}, []int{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 3 {
+		t.Fatalf("unexpected shape: %d figs", len(figs))
+	}
+	// r=0 pins every block at N: strictly heavier workload than r=100,
+	// so each algorithm should be slower at r=0 than r=100.
+	for _, s := range figs[0].Series {
+		if s.Points[0].Y <= s.Points[1].Y {
+			t.Errorf("%s: r=0 (%v) should cost more than r=100 (%v)", s.Label, s.Points[0].Y, s.Points[1].Y)
+		}
+	}
+}
+
+func TestFig9Crossovers(t *testing.T) {
+	o := fastOpts()
+	o.MaxSimP = 128
+	res, err := Fig9(o, []int{32, 4096}, []int{16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	if !res.Rows[1].Modeled {
+		t.Error("P=4096 row should be model-derived at MaxSimP=128")
+	}
+	// Small scale: two-phase should win the entire small-N range.
+	if res.Rows[0].TwoPhaseVsVendor < 256 {
+		t.Errorf("P=32 crossover %d, expected the full tested range", res.Rows[0].TwoPhaseVsVendor)
+	}
+	var buf bytes.Buffer
+	res.Fprint(&buf)
+	if !strings.Contains(buf.String(), "fig9") {
+		t.Error("Fprint produced no table")
+	}
+}
+
+func TestFig10PowerLawLighter(t *testing.T) {
+	// The power-law workload only becomes light relative to the normal
+	// one at larger rank counts (the exponent spans u*P).
+	o := fastOpts()
+	o.MaxSimP = 256
+	figs, err := Fig10(o, []int{256}, []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	var pl99, normal float64
+	for _, f := range figs {
+		v := f.SeriesByLabel("vendor").Points[0].Y
+		if strings.Contains(f.ID, "powerlaw-0.99-") {
+			pl99 = v
+		}
+		if strings.Contains(f.ID, "normal") {
+			normal = v
+		}
+	}
+	if pl99 >= normal {
+		t.Errorf("power-law 0.99 (%v) should be cheaper than normal (%v): lighter load", pl99, normal)
+	}
+}
+
+func TestFig13Models(t *testing.T) {
+	figs, err := Fig13(fastOpts(), []int{16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	for _, f := range figs {
+		tp := f.SeriesByLabel("two-phase")
+		vd := f.SeriesByLabel("vendor")
+		last := len(tp.Points) - 1
+		if tp.Points[last].Y >= vd.Points[last].Y {
+			t.Errorf("%s: two-phase should win at N=64 on %s", f.ID, f.ID)
+		}
+	}
+}
+
+func TestFigurePrintAndCSV(t *testing.T) {
+	f := Figure{ID: "t", Title: "T", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 2e6, Err: 1e5}, {X: 2, Y: 3e6, Modeled: true}}},
+			{Label: "b", Points: []Point{{X: 1, Y: 4e6}}},
+		}}
+	var buf bytes.Buffer
+	f.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"# t", "a", "b", "2.000 ±0.100", "3.000*", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	f.CSV(&buf)
+	if !strings.Contains(buf.String(), "t,a,2,3000000.0,0.0,true") {
+		t.Errorf("csv:\n%s", buf.String())
+	}
+	if f.Best(1) != "a" {
+		t.Errorf("Best(1) = %q", f.Best(1))
+	}
+}

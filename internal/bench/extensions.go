@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+
+	"bruckv/internal/dist"
+)
+
+// Extension studies beyond the paper's figures: the tunable-radix
+// generalization its conclusion calls for, and the node-aware
+// hierarchical scheme from its related work.
+
+// ExtRadix sweeps the two-phase Bruck radix across block sizes at one
+// process count, with the vendor baseline for context.
+func ExtRadix(o Options, P int, ns []int) (Figure, error) {
+	o = o.withDefaults()
+	if ns == nil {
+		ns = DefaultNs
+	}
+	f := Figure{ID: fmt.Sprintf("extA-radix-P%d", P),
+		Title:  fmt.Sprintf("Two-phase Bruck radix sweep at P=%d (uniform block sizes)", P),
+		XLabel: "N (bytes)", YLabel: "median Alltoallv time"}
+	for _, alg := range []string{"two-phase", "two-phase-r4", "two-phase-r8", "vendor"} {
+		s := Series{Label: alg}
+		for _, N := range ns {
+			spec := dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed}
+			var pt Point
+			if P <= o.MaxSimP {
+				var err error
+				pt, err = o.measureV(alg, P, spec)
+				if err != nil {
+					return f, err
+				}
+			} else {
+				// Analytic radix model for the large-P points.
+				avg := spec.Mean(P)
+				switch alg {
+				case "vendor":
+					pt = Point{Y: o.Model.EstimateSpreadOut(P, avg), Modeled: true}
+				case "two-phase-r4":
+					pt = Point{Y: o.Model.EstimateTwoPhaseRadix(P, 4, avg), Modeled: true}
+				case "two-phase-r8":
+					pt = Point{Y: o.Model.EstimateTwoPhaseRadix(P, 8, avg), Modeled: true}
+				default:
+					pt = Point{Y: o.Model.EstimateTwoPhaseRadix(P, 2, avg), Modeled: true}
+				}
+			}
+			pt.X = float64(N)
+			s.Points = append(s.Points, pt)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// ExtNodeAware compares spread-out, two-phase Bruck, and the
+// hierarchical leader scheme as the node width grows, at a fixed small
+// block size (the aggregation-friendly regime).
+func ExtNodeAware(o Options, P, N int, rpns []int) (Figure, error) {
+	o = o.withDefaults()
+	if rpns == nil {
+		rpns = []int{1, 2, 4, 8, 16, 32}
+	}
+	if P > o.MaxSimP {
+		P = o.MaxSimP
+	}
+	f := Figure{ID: fmt.Sprintf("extB-nodeaware-P%d-N%d", P, N),
+		Title:  fmt.Sprintf("Node-aware Alltoallv at P=%d, N=%d, by ranks per node", P, N),
+		XLabel: "ranks/node", YLabel: "median Alltoallv time"}
+	for _, alg := range []string{"spreadout", "two-phase", "hierarchical"} {
+		s := Series{Label: alg}
+		for _, rpn := range rpns {
+			if rpn > P {
+				continue
+			}
+			res, err := RunMicro(MicroConfig{
+				P: P, Algorithm: alg,
+				Spec:  dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed},
+				Model: o.Model, Iters: o.Iters, RanksPerNode: rpn,
+			})
+			if err != nil {
+				return f, err
+			}
+			o.progress("sim  %-15s P=%-6d rpn=%-4d %v", alg, P, rpn, res.Summary)
+			s.Points = append(s.Points, Point{X: float64(rpn), Y: res.Summary.Median, Err: res.Summary.MAD})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestExtRadixShape(t *testing.T) {
+	o := fastOpts()
+	f, err := ExtRadix(o, 32, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Errorf("series %s has bad points: %+v", s.Label, s.Points)
+		}
+	}
+}
+
+func TestExtRadixModeledLargeP(t *testing.T) {
+	o := fastOpts()
+	f, err := ExtRadix(o, 8192, []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !p.Modeled {
+				t.Errorf("series %s: P above MaxSimP must be modeled", s.Label)
+			}
+		}
+	}
+}
+
+func TestExtNodeAwareShape(t *testing.T) {
+	o := fastOpts()
+	f, err := ExtNodeAware(o, 32, 8, []int{1, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.SeriesByLabel("hierarchical")
+	if h == nil {
+		t.Fatal("missing hierarchical series")
+	}
+	// rpn=64 > P=32 must be skipped.
+	if len(h.Points) != 2 {
+		t.Fatalf("points = %d, want 2 (rpn > P skipped)", len(h.Points))
+	}
+	// Hierarchical should improve as nodes widen at tiny N.
+	if h.Points[1].Y >= h.Points[0].Y {
+		t.Errorf("hierarchical should speed up with wider nodes: %v -> %v", h.Points[0].Y, h.Points[1].Y)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bruckv/internal/dist"
+)
+
+// CrossoverRow is one process count's entry in the empirical performance
+// model of Figure 9.
+type CrossoverRow struct {
+	P int
+	// TwoPhaseVsVendor is the largest tested maximum block size N for
+	// which two-phase Bruck beats the vendor Alltoallv (0 if it never
+	// does). The region N <= this value is the paper's orange area.
+	TwoPhaseVsVendor int
+	// PaddedVsTwoPhase is the largest tested N for which padded Bruck
+	// beats two-phase Bruck — the polyline separating the two
+	// approaches.
+	PaddedVsTwoPhase int
+	// Modeled marks rows computed from the analytic model.
+	Modeled bool
+}
+
+// Fig9Result is the empirical performance model: for each process
+// count, where the crossovers fall.
+type Fig9Result struct {
+	Rows []CrossoverRow
+	// AnalyticTwoPhaseVsVendor is the closed-form crossover from the
+	// machine model, for comparison with the measured rows.
+	AnalyticTwoPhaseVsVendor map[int]int
+}
+
+// Fig9 reproduces Figure 9 by sweeping the Figure 6 grid and extracting,
+// per process count, the block-size thresholds where algorithm
+// superiority flips.
+func Fig9(o Options, ps, ns []int) (Fig9Result, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = DefaultPs
+	}
+	if ns == nil {
+		ns = DefaultNs
+	}
+	res := Fig9Result{AnalyticTwoPhaseVsVendor: map[int]int{}}
+	for _, P := range ps {
+		row := CrossoverRow{P: P, Modeled: P > o.MaxSimP}
+		for _, N := range ns {
+			spec := dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed}
+			tp, err := o.measureV("two-phase", P, spec)
+			if err != nil {
+				return res, err
+			}
+			vd, err := o.measureV("vendor", P, spec)
+			if err != nil {
+				return res, err
+			}
+			pd, err := o.measureV("padded-bruck", P, spec)
+			if err != nil {
+				return res, err
+			}
+			if tp.Y < vd.Y {
+				row.TwoPhaseVsVendor = N
+			}
+			if pd.Y < tp.Y {
+				row.PaddedVsTwoPhase = N
+			}
+		}
+		res.AnalyticTwoPhaseVsVendor[P] = o.Model.CrossoverN(P, ns[len(ns)-1])
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fprint renders the crossover table.
+func (r Fig9Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "# fig9 — Empirical performance model: block-size thresholds per process count")
+	rows := [][]string{{"P", "two-phase beats vendor up to N=", "padded beats two-phase up to N=", "analytic crossover"}}
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Modeled {
+			mark = "*"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(row.P),
+			fmt.Sprintf("%d%s", row.TwoPhaseVsVendor, mark),
+			fmt.Sprintf("%d%s", row.PaddedVsTwoPhase, mark),
+			fmt.Sprint(r.AnalyticTwoPhaseVsVendor[row.P]),
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintln(w, "  (N in bytes; 0 = never within tested range; * = analytic-model row)")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement in a series.
+type Point struct {
+	X   float64
+	Y   float64 // ns
+	Err float64 // MAD, ns
+	// Modeled marks points produced by the analytic model rather than
+	// simulation (used for rank counts beyond what one host simulates).
+	Modeled bool
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduction of one paper figure as a set of series over a
+// shared X axis.
+type Figure struct {
+	ID     string // e.g. "fig6-P4096"
+	Title  string
+	XLabel string
+	YLabel string // always ms in rendering; Y stored in ns
+	Series []Series
+}
+
+// xs returns the sorted union of X values across series.
+func (f *Figure) xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				out = append(out, p.X)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func (f *Figure) lookup(s Series, x float64) (Point, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Fprint renders the figure as an aligned text table, one row per X
+// value and one column per series, times in milliseconds. Modeled points
+// are marked with '*'.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	rows := [][]string{cols}
+	for _, x := range f.xs() {
+		row := []string{formatX(x)}
+		for _, s := range f.Series {
+			p, ok := f.lookup(s, x)
+			switch {
+			case !ok:
+				row = append(row, "-")
+			case p.Modeled:
+				row = append(row, fmt.Sprintf("%.3f*", p.Y/1e6))
+			case p.Err > 0:
+				row = append(row, fmt.Sprintf("%.3f ±%.3f", p.Y/1e6, p.Err/1e6))
+			default:
+				row = append(row, fmt.Sprintf("%.3f", p.Y/1e6))
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  (%s in ms; * = analytic-model point)\n\n", f.YLabel)
+}
+
+// CSV renders the figure in long form: id,series,x,y_ns,err_ns,modeled.
+func (f *Figure) CSV(w io.Writer) {
+	fmt.Fprintln(w, "figure,series,x,y_ns,mad_ns,modeled")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%s,%s,%.1f,%.1f,%v\n", f.ID, s.Label, formatX(p.X), p.Y, p.Err, p.Modeled)
+		}
+	}
+}
+
+// Best returns the label of the fastest series at x (ignoring missing
+// points), or "" if none have a point there.
+func (f *Figure) Best(x float64) string {
+	best, bestY := "", math.Inf(1)
+	for _, s := range f.Series {
+		if p, ok := f.lookup(s, x); ok && p.Y < bestY {
+			best, bestY = s.Label, p.Y
+		}
+	}
+	return best
+}
+
+// SeriesByLabel returns the series with the given label, or nil.
+func (f *Figure) SeriesByLabel(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+func formatX(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func writeAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

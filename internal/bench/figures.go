@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/machine"
+)
+
+// Options configures the figure drivers.
+type Options struct {
+	// Model prices communication; default machine.Theta().
+	Model machine.Model
+	// Iters per configuration; default 5 (the paper uses 20; simulated
+	// time is deterministic given the workload, so variation comes only
+	// from workload resampling).
+	Iters int
+	// Seed for workload generation.
+	Seed uint64
+	// MaxSimP bounds full simulation; configurations with more ranks are
+	// filled in from the calibrated analytic model and flagged.
+	MaxSimP int
+	// Progress, if non-nil, receives one line per finished configuration.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model.Name == "" {
+		o.Model = machine.Theta()
+	}
+	if o.Iters <= 0 {
+		o.Iters = 5
+	}
+	if o.MaxSimP <= 0 {
+		o.MaxSimP = 2048
+	}
+	return o
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// VAlgorithms is the algorithm set the non-uniform figures compare,
+// matching Figure 6's legend.
+var VAlgorithms = []string{"two-phase", "padded-bruck", "spreadout", "padded-alltoall", "vendor"}
+
+// UniformVariants is Figure 2a's algorithm set.
+var UniformVariants = []string{"basic", "basic-dt", "modified", "modified-dt", "zerocopy-dt", "zerorotation"}
+
+// DefaultPs is the paper's process-count sweep (Figure 6/7).
+var DefaultPs = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// DefaultNs is the paper's maximum-block-size sweep in bytes.
+var DefaultNs = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// measureV returns one point for a non-uniform algorithm, simulated when
+// P fits under MaxSimP and analytic otherwise.
+func (o Options) measureV(alg string, P int, spec dist.Spec) (Point, error) {
+	if P <= o.MaxSimP {
+		res, err := RunMicro(MicroConfig{P: P, Algorithm: alg, Spec: spec, Model: o.Model, Iters: o.Iters})
+		if err != nil {
+			return Point{}, err
+		}
+		o.progress("sim  %-15s P=%-6d %-24s %v", alg, P, spec, res.Summary)
+		return Point{Y: res.Summary.Median, Err: res.Summary.MAD}, nil
+	}
+	avg := spec.Mean(P)
+	var y float64
+	switch alg {
+	case "two-phase", "sloav":
+		y = o.Model.EstimateTwoPhase(P, avg)
+	case "padded-bruck", "padded-alltoall":
+		y = o.Model.EstimatePadded(P, spec.N, avg)
+	case "spreadout", "vendor":
+		y = o.Model.EstimateSpreadOut(P, avg)
+	default:
+		return Point{}, fmt.Errorf("bench: no analytic model for %q", alg)
+	}
+	o.progress("model %-15s P=%-6d %-24s %.3fms", alg, P, spec, y/1e6)
+	return Point{Y: y, Modeled: true}, nil
+}
+
+// Fig2a reproduces Figure 2a: the six uniform Bruck variants at 32-byte
+// blocks across process counts.
+func Fig2a(o Options, ps []int) (Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = []int{256, 512, 1024, 2048, 4096}
+	}
+	f := Figure{ID: "fig2a", Title: "Uniform Bruck variants, N=32 bytes", XLabel: "P", YLabel: "median all-to-all time"}
+	for _, alg := range UniformVariants {
+		s := Series{Label: alg}
+		for _, P := range ps {
+			if P > o.MaxSimP {
+				continue
+			}
+			res, err := RunUniform(UniformConfig{P: P, Algorithm: alg, N: 32, Model: o.Model, Iters: o.Iters})
+			if err != nil {
+				return f, err
+			}
+			o.progress("sim  %-15s P=%-6d uniform-N32 %v", alg, P, res.Summary)
+			s.Points = append(s.Points, Point{X: float64(P), Y: res.Summary.Median, Err: res.Summary.MAD})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig2b reproduces Figure 2b: the phase breakdown (initial rotation,
+// communication, final rotation) of the three explicit-copy variants.
+func Fig2b(o Options, ps []int) (Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = []int{256, 512, 1024, 2048, 4096}
+	}
+	f := Figure{ID: "fig2b", Title: "Phase breakdown of explicit-copy Bruck variants, N=32 bytes",
+		XLabel: "P", YLabel: "per-phase time"}
+	phases := []string{"init-rotation", "comm", "final-rotation"}
+	for _, alg := range []string{"basic", "modified", "zerorotation"} {
+		for _, ph := range phases {
+			f.Series = append(f.Series, Series{Label: alg + "/" + ph})
+		}
+	}
+	for _, P := range ps {
+		if P > o.MaxSimP {
+			continue
+		}
+		for _, alg := range []string{"basic", "modified", "zerorotation"} {
+			res, err := RunUniform(UniformConfig{P: P, Algorithm: alg, N: 32, Model: o.Model, Iters: o.Iters})
+			if err != nil {
+				return f, err
+			}
+			for _, ph := range phases {
+				f.SeriesByLabel(alg + "/" + ph).Points = append(f.SeriesByLabel(alg+"/"+ph).Points,
+					Point{X: float64(P), Y: res.Phases[ph]})
+			}
+		}
+		o.progress("sim  fig2b P=%d done", P)
+	}
+	return f, nil
+}
+
+// Fig6 reproduces the data-scaling study: one figure per process count,
+// block sizes on the X axis, the five Alltoallv implementations as
+// series, workload drawn from the continuous uniform distribution.
+func Fig6(o Options, ps, ns []int) ([]Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = DefaultPs
+	}
+	if ns == nil {
+		ns = DefaultNs
+	}
+	var out []Figure
+	for _, P := range ps {
+		f := Figure{ID: fmt.Sprintf("fig6-P%d", P),
+			Title:  fmt.Sprintf("Data scaling at P=%d (uniform block sizes)", P),
+			XLabel: "N (bytes)", YLabel: "median Alltoallv time"}
+		for _, alg := range VAlgorithms {
+			s := Series{Label: alg}
+			for _, N := range ns {
+				spec := dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed}
+				pt, err := o.measureV(alg, P, spec)
+				if err != nil {
+					return out, err
+				}
+				pt.X = float64(N)
+				s.Points = append(s.Points, pt)
+			}
+			f.Series = append(f.Series, s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Fig7 reproduces the weak-scaling study at a fixed maximum block size.
+func Fig7(o Options, N int, ps []int) (Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = DefaultPs
+	}
+	f := Figure{ID: fmt.Sprintf("fig7-N%d", N),
+		Title:  fmt.Sprintf("Weak scaling at N=%d bytes (uniform block sizes)", N),
+		XLabel: "P", YLabel: "median Alltoallv time"}
+	for _, alg := range VAlgorithms {
+		s := Series{Label: alg}
+		for _, P := range ps {
+			spec := dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed}
+			pt, err := o.measureV(alg, P, spec)
+			if err != nil {
+				return f, err
+			}
+			pt.X = float64(P)
+			s.Points = append(s.Points, pt)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// Fig8 reproduces the sensitivity analysis: windowed uniform
+// distributions (100-r)-r at one process count; one figure per maximum
+// block size with the window parameter r on the X axis.
+func Fig8(o Options, P int, ns, rs []int) ([]Figure, error) {
+	o = o.withDefaults()
+	if ns == nil {
+		ns = []int{16, 64, 256, 512, 1024}
+	}
+	if rs == nil {
+		rs = []int{0, 20, 40, 60, 80, 100}
+	}
+	var out []Figure
+	for _, N := range ns {
+		f := Figure{ID: fmt.Sprintf("fig8-P%d-N%d", P, N),
+			Title:  fmt.Sprintf("Sensitivity at P=%d, N=%d: block sizes span [(100-r)%%·N, N]", P, N),
+			XLabel: "r", YLabel: "median Alltoallv time"}
+		for _, alg := range []string{"two-phase", "padded-bruck", "vendor"} {
+			s := Series{Label: alg}
+			for _, r := range rs {
+				spec := dist.Spec{Kind: dist.Windowed, N: N, R: r, Seed: o.Seed}
+				pt, err := o.measureV(alg, P, spec)
+				if err != nil {
+					return out, err
+				}
+				pt.X = float64(r)
+				s.Points = append(s.Points, pt)
+			}
+			f.Series = append(f.Series, s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Fig10 reproduces the standard-distribution study: two power-law bases
+// and a windowed normal at each process count.
+func Fig10(o Options, ps, ns []int) ([]Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = []int{4096, 8192}
+	}
+	if ns == nil {
+		ns = DefaultNs
+	}
+	specs := []dist.Spec{
+		{Kind: dist.PowerLaw, Base: 0.99, Seed: o.Seed},
+		{Kind: dist.PowerLaw, Base: 0.999, Seed: o.Seed},
+		{Kind: dist.Normal, Seed: o.Seed},
+	}
+	var out []Figure
+	for _, P := range ps {
+		for _, base := range specs {
+			name := base.Kind.String()
+			if base.Kind == dist.PowerLaw {
+				name = fmt.Sprintf("powerlaw-%g", base.Base)
+			}
+			f := Figure{ID: fmt.Sprintf("fig10-%s-P%d", name, P),
+				Title:  fmt.Sprintf("Distribution %s at P=%d", name, P),
+				XLabel: "N (bytes)", YLabel: "median Alltoallv time"}
+			for _, alg := range []string{"two-phase", "padded-bruck", "vendor"} {
+				s := Series{Label: alg}
+				for _, N := range ns {
+					spec := base
+					spec.N = N
+					pt, err := o.measureV(alg, P, spec)
+					if err != nil {
+						return out, err
+					}
+					pt.X = float64(N)
+					s.Points = append(s.Points, pt)
+				}
+				f.Series = append(f.Series, s)
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// Fig13 reproduces the cross-platform weak scaling: normal-distribution
+// workloads at N=64 bytes on the Cori and Stampede machine models.
+func Fig13(o Options, ps []int) ([]Figure, error) {
+	o = o.withDefaults()
+	if ps == nil {
+		ps = []int{128, 256, 512, 1024, 2048, 4096}
+	}
+	var out []Figure
+	for _, m := range []machine.Model{machine.Cori(), machine.Stampede()} {
+		oo := o
+		oo.Model = m
+		f := Figure{ID: "fig13-" + m.Name,
+			Title:  fmt.Sprintf("Weak scaling on %s model, normal distribution, N=64", m.Name),
+			XLabel: "P", YLabel: "median Alltoallv time"}
+		for _, alg := range []string{"two-phase", "padded-bruck", "vendor"} {
+			s := Series{Label: alg}
+			for _, P := range ps {
+				spec := dist.Spec{Kind: dist.Normal, N: 64, Seed: o.Seed}
+				pt, err := oo.measureV(alg, P, spec)
+				if err != nil {
+					return out, err
+				}
+				pt.X = float64(P)
+				s.Points = append(s.Points, pt)
+			}
+			f.Series = append(f.Series, s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

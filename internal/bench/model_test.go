@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/machine"
+)
+
+// The analytic estimates feed the large-P figure points and the
+// auto-tuner, so they must track the simulator. Tolerance is loose —
+// the model ignores pipelining details — but catches gross divergence
+// like miscounted per-message overheads.
+func TestModelTracksSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	m := machine.Theta()
+	cases := []struct {
+		alg  string
+		p, n int
+	}{
+		{"vendor", 256, 64},
+		{"vendor", 512, 512},
+		{"spreadout", 256, 1024},
+		{"two-phase", 256, 64},
+		{"two-phase", 512, 512},
+		{"two-phase", 512, 2048},
+		{"padded-bruck", 256, 64},
+		{"padded-bruck", 512, 512},
+	}
+	for _, c := range cases {
+		res, err := RunMicro(MicroConfig{
+			P: c.p, Algorithm: c.alg,
+			Spec:  dist.Spec{Kind: dist.Uniform, N: c.n, Seed: 7},
+			Model: m, Iters: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := res.Summary.Median
+		avg := float64(c.n) / 2
+		var est float64
+		switch c.alg {
+		case "vendor", "spreadout":
+			est = m.EstimateSpreadOut(c.p, avg)
+		case "two-phase":
+			est = m.EstimateTwoPhase(c.p, avg)
+		case "padded-bruck":
+			est = m.EstimatePadded(c.p, c.n, avg)
+		}
+		ratio := est / sim
+		if math.IsNaN(ratio) || ratio < 0.55 || ratio > 1.8 {
+			t.Errorf("%s P=%d N=%d: model %.3fms vs sim %.3fms (ratio %.2f)",
+				c.alg, c.p, c.n, est/1e6, sim/1e6, ratio)
+		}
+	}
+}
+
+// The simulated two-phase-vs-vendor crossover must sit in the same
+// octave as the analytic one at a simulable scale, so the figure
+// harness's switch from simulation to model points is seamless.
+func TestSimCrossoverMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	m := machine.Theta()
+	const P = 512
+	simCross := 0
+	for n := 64; n <= 1<<15; n *= 2 {
+		tp, err := RunMicro(MicroConfig{P: P, Algorithm: "two-phase",
+			Spec: dist.Spec{Kind: dist.Uniform, N: n, Seed: 3}, Model: m, Iters: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vd, err := RunMicro(MicroConfig{P: P, Algorithm: "vendor",
+			Spec: dist.Spec{Kind: dist.Uniform, N: n, Seed: 3}, Model: m, Iters: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp.Summary.Median < vd.Summary.Median {
+			simCross = n
+		}
+	}
+	ana := m.CrossoverN(P, 1<<15)
+	if simCross < ana/2 || simCross > ana*2 {
+		t.Errorf("P=%d: simulated crossover %d vs analytic %d (must agree within an octave)", P, simCross, ana)
+	}
+}

@@ -1,0 +1,229 @@
+// Package buffer provides the byte-buffer abstraction shared by every
+// collective algorithm in this module.
+//
+// A Buf is either real (backed by memory) or phantom (tracks only a
+// length). All all-to-all algorithms are written once against Buf, so the
+// same code can be validated with real payloads at small rank counts and
+// then scaled, size-only, to thousands of simulated ranks on a single
+// host. The control flow and message sizes of every algorithm in this
+// repository depend only on block sizes, never on payload contents, which
+// is what makes the phantom mode faithful for performance simulation.
+package buffer
+
+import "fmt"
+
+// Buf is a fixed-length byte buffer, real or phantom. The zero value is
+// an empty real buffer.
+type Buf struct {
+	data []byte // nil iff phantom and n > 0
+	n    int
+}
+
+// New returns a real, zeroed buffer of n bytes.
+func New(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: negative length %d", n))
+	}
+	return Buf{data: make([]byte, n), n: n}
+}
+
+// Phantom returns a phantom buffer of n bytes: it has a length but no
+// backing storage. Copies into or out of it are accounted but not
+// performed.
+func Phantom(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: negative length %d", n))
+	}
+	return Buf{n: n}
+}
+
+// Make returns a real or phantom buffer of n bytes depending on the flag.
+// It is the allocation entry point used by algorithms so that a single
+// code path serves both execution modes.
+func Make(n int, phantom bool) Buf {
+	if phantom {
+		return Phantom(n)
+	}
+	return New(n)
+}
+
+// FromBytes wraps an existing byte slice as a real buffer. The buffer
+// aliases b; writes through the Buf are visible in b.
+func FromBytes(b []byte) Buf { return Buf{data: b, n: len(b)} }
+
+// Len reports the buffer's length in bytes.
+func (b Buf) Len() int { return b.n }
+
+// Real reports whether the buffer has backing storage. Zero-length
+// buffers are considered real.
+func (b Buf) Real() bool { return b.data != nil || b.n == 0 }
+
+// Bytes returns the backing slice of a real buffer. It panics for a
+// non-empty phantom buffer.
+func (b Buf) Bytes() []byte {
+	if !b.Real() {
+		panic("buffer: Bytes on phantom buffer")
+	}
+	if b.data == nil {
+		return []byte{}
+	}
+	return b.data[:b.n]
+}
+
+// Slice returns the sub-buffer [off, off+n). Like a Go slice it aliases
+// the original storage. It panics if the range is out of bounds.
+func (b Buf) Slice(off, n int) Buf {
+	if off < 0 || n < 0 || off+n > b.n {
+		panic(fmt.Sprintf("buffer: slice [%d:%d) out of range of %d-byte buffer", off, off+n, b.n))
+	}
+	if b.data == nil {
+		return Buf{n: n}
+	}
+	return Buf{data: b.data[off : off+n], n: n}
+}
+
+// Byte returns the i-th byte. Phantom buffers read as zero.
+func (b Buf) Byte(i int) byte {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("buffer: index %d out of range of %d-byte buffer", i, b.n))
+	}
+	if b.data == nil {
+		return 0
+	}
+	return b.data[i]
+}
+
+// SetByte stores v at index i. Stores into phantom buffers are dropped.
+func (b Buf) SetByte(i int, v byte) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("buffer: index %d out of range of %d-byte buffer", i, b.n))
+	}
+	if b.data != nil {
+		b.data[i] = v
+	}
+}
+
+// Copy copies min(dst.Len(), src.Len()) bytes from src to dst and returns
+// the number of bytes copied. If either side is phantom, no bytes move
+// but the count is still returned, so callers can account the copy.
+func Copy(dst, src Buf) int {
+	n := dst.n
+	if src.n < n {
+		n = src.n
+	}
+	if dst.data != nil && src.data != nil {
+		copy(dst.data[:n], src.data[:n])
+	}
+	return n
+}
+
+// Zero clears a real buffer's contents; it is a no-op for phantoms.
+func (b Buf) Zero() {
+	if b.data == nil {
+		return
+	}
+	clear(b.data[:b.n])
+}
+
+// Clone returns an independent copy of the buffer (phantom stays
+// phantom).
+func (b Buf) Clone() Buf {
+	if b.data == nil {
+		return Buf{n: b.n}
+	}
+	c := make([]byte, b.n)
+	copy(c, b.data[:b.n])
+	return Buf{data: c, n: b.n}
+}
+
+// Equal reports whether two buffers have the same length and, when both
+// are real, the same contents. A phantom buffer equals any buffer of the
+// same length.
+func Equal(a, b Buf) bool {
+	if a.n != b.n {
+		return false
+	}
+	if a.data == nil || b.data == nil {
+		return true
+	}
+	for i := 0; i < a.n; i++ {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillPattern writes a deterministic byte pattern derived from seed into
+// a real buffer; used by tests to detect misplaced blocks. Phantoms are
+// untouched.
+func (b Buf) FillPattern(seed uint64) {
+	if b.data == nil {
+		return
+	}
+	x := seed*0x9e3779b97f4a7c15 + 0x7f4a7c15
+	for i := 0; i < b.n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b.data[i] = byte(x)
+	}
+}
+
+// PutUint32 stores a little-endian uint32 at byte offset off. Stores into
+// phantom buffers are dropped.
+func (b Buf) PutUint32(off int, v uint32) {
+	if off < 0 || off+4 > b.n {
+		panic(fmt.Sprintf("buffer: PutUint32 at %d out of range of %d-byte buffer", off, b.n))
+	}
+	if b.data == nil {
+		return
+	}
+	b.data[off] = byte(v)
+	b.data[off+1] = byte(v >> 8)
+	b.data[off+2] = byte(v >> 16)
+	b.data[off+3] = byte(v >> 24)
+}
+
+// Uint32 loads a little-endian uint32 from byte offset off. Phantom
+// buffers read as zero.
+func (b Buf) Uint32(off int) uint32 {
+	if off < 0 || off+4 > b.n {
+		panic(fmt.Sprintf("buffer: Uint32 at %d out of range of %d-byte buffer", off, b.n))
+	}
+	if b.data == nil {
+		return 0
+	}
+	return uint32(b.data[off]) | uint32(b.data[off+1])<<8 |
+		uint32(b.data[off+2])<<16 | uint32(b.data[off+3])<<24
+}
+
+// PutUint64 stores a little-endian uint64 at byte offset off. Stores into
+// phantom buffers are dropped.
+func (b Buf) PutUint64(off int, v uint64) {
+	if off < 0 || off+8 > b.n {
+		panic(fmt.Sprintf("buffer: PutUint64 at %d out of range of %d-byte buffer", off, b.n))
+	}
+	if b.data == nil {
+		return
+	}
+	for i := 0; i < 8; i++ {
+		b.data[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// Uint64 loads a little-endian uint64 from byte offset off. Phantom
+// buffers read as zero.
+func (b Buf) Uint64(off int) uint64 {
+	if off < 0 || off+8 > b.n {
+		panic(fmt.Sprintf("buffer: Uint64 at %d out of range of %d-byte buffer", off, b.n))
+	}
+	if b.data == nil {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b.data[off+i]) << (8 * i)
+	}
+	return v
+}

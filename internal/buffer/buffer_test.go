@@ -1,0 +1,243 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	b := New(16)
+	if b.Len() != 16 || !b.Real() {
+		t.Fatalf("New(16): len=%d real=%v", b.Len(), b.Real())
+	}
+	for i := 0; i < 16; i++ {
+		if b.Byte(i) != 0 {
+			t.Fatalf("byte %d not zero", i)
+		}
+	}
+}
+
+func TestPhantomBasics(t *testing.T) {
+	p := Phantom(32)
+	if p.Real() {
+		t.Fatal("Phantom(32) reported real")
+	}
+	if p.Len() != 32 {
+		t.Fatalf("len = %d, want 32", p.Len())
+	}
+	if p.Byte(5) != 0 {
+		t.Fatal("phantom byte should read zero")
+	}
+	p.SetByte(5, 7) // must not panic
+	s := p.Slice(8, 8)
+	if s.Real() || s.Len() != 8 {
+		t.Fatalf("phantom slice: real=%v len=%d", s.Real(), s.Len())
+	}
+}
+
+func TestPhantomZeroLengthIsReal(t *testing.T) {
+	if !Phantom(0).Real() {
+		t.Fatal("zero-length phantom should count as real (has no missing bytes)")
+	}
+}
+
+func TestMake(t *testing.T) {
+	if Make(4, true).Real() {
+		t.Fatal("Make(phantom=true) returned real buffer")
+	}
+	if !Make(4, false).Real() {
+		t.Fatal("Make(phantom=false) returned phantom buffer")
+	}
+}
+
+func TestCopyRealToReal(t *testing.T) {
+	src := New(8)
+	for i := 0; i < 8; i++ {
+		src.SetByte(i, byte(i+1))
+	}
+	dst := New(8)
+	if n := Copy(dst, src); n != 8 {
+		t.Fatalf("Copy returned %d, want 8", n)
+	}
+	if !Equal(dst, src) {
+		t.Fatal("copy did not transfer contents")
+	}
+}
+
+func TestCopyShortDst(t *testing.T) {
+	src := New(8)
+	dst := New(3)
+	if n := Copy(dst, src); n != 3 {
+		t.Fatalf("Copy returned %d, want 3", n)
+	}
+}
+
+func TestCopyPhantomCounts(t *testing.T) {
+	if n := Copy(Phantom(10), New(6)); n != 6 {
+		t.Fatalf("phantom copy count = %d, want 6", n)
+	}
+	if n := Copy(New(4), Phantom(10)); n != 4 {
+		t.Fatalf("phantom copy count = %d, want 4", n)
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	b := New(10)
+	s := b.Slice(2, 4)
+	s.SetByte(0, 0xAA)
+	if b.Byte(2) != 0xAA {
+		t.Fatal("slice does not alias parent")
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).Slice(2, 4)
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromBytesAliases(t *testing.T) {
+	raw := []byte{1, 2, 3}
+	b := FromBytes(raw)
+	b.SetByte(1, 9)
+	if raw[1] != 9 {
+		t.Fatal("FromBytes does not alias")
+	}
+	if len(b.Bytes()) != 3 {
+		t.Fatalf("Bytes len = %d", len(b.Bytes()))
+	}
+}
+
+func TestZeroAndClone(t *testing.T) {
+	b := New(5)
+	b.FillPattern(3)
+	c := b.Clone()
+	b.Zero()
+	for i := 0; i < 5; i++ {
+		if b.Byte(i) != 0 {
+			t.Fatal("Zero left data behind")
+		}
+	}
+	anyNonZero := false
+	for i := 0; i < 5; i++ {
+		if c.Byte(i) != 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		t.Fatal("clone shares storage with original or pattern empty")
+	}
+}
+
+func TestClonePhantom(t *testing.T) {
+	c := Phantom(7).Clone()
+	if c.Real() || c.Len() != 7 {
+		t.Fatalf("phantom clone: real=%v len=%d", c.Real(), c.Len())
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	a, b := New(4), New(4)
+	a.SetByte(0, 1)
+	if Equal(a, b) {
+		t.Fatal("different contents reported equal")
+	}
+	if !Equal(a, Phantom(4)) {
+		t.Fatal("phantom should equal same-length real")
+	}
+	if Equal(a, New(5)) {
+		t.Fatal("length mismatch reported equal")
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	b := New(12)
+	b.PutUint32(4, 0xDEADBEEF)
+	if got := b.Uint32(4); got != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %#x", got)
+	}
+	p := Phantom(12)
+	p.PutUint32(0, 1)
+	if p.Uint32(0) != 0 {
+		t.Fatal("phantom uint32 should read zero")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	b := New(16)
+	b.PutUint64(8, 0x0123456789ABCDEF)
+	if got := b.Uint64(8); got != 0x0123456789ABCDEF {
+		t.Fatalf("Uint64 = %#x", got)
+	}
+}
+
+func TestFillPatternDeterministic(t *testing.T) {
+	a, b := New(32), New(32)
+	a.FillPattern(42)
+	b.FillPattern(42)
+	if !Equal(a, b) {
+		t.Fatal("FillPattern not deterministic")
+	}
+	c := New(32)
+	c.FillPattern(43)
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical patterns")
+	}
+}
+
+// Property: for any sizes, Copy moves exactly min(len) bytes and the moved
+// prefix matches.
+func TestQuickCopyPrefix(t *testing.T) {
+	f := func(srcLen, dstLen uint8, seed uint64) bool {
+		src := New(int(srcLen))
+		src.FillPattern(seed)
+		dst := New(int(dstLen))
+		n := Copy(dst, src)
+		want := int(srcLen)
+		if int(dstLen) < want {
+			want = int(dstLen)
+		}
+		if n != want {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if dst.Byte(i) != src.Byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slicing then indexing equals direct indexing.
+func TestQuickSliceIndex(t *testing.T) {
+	f := func(seed uint64, off, ln, i uint8) bool {
+		b := New(64)
+		b.FillPattern(seed)
+		o, l := int(off)%32, int(ln)%32
+		s := b.Slice(o, l)
+		if l == 0 {
+			return true
+		}
+		j := int(i) % l
+		return s.Byte(j) == b.Byte(o+j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package coll implements every all-to-all algorithm studied in the
+// paper.
+//
+// Uniform all-to-all (MPI_Alltoall semantics): BasicBruck, ModifiedBruck,
+// and ZeroRotationBruck with explicit memory management; BasicBruckDT,
+// ModifiedBruckDT, and ZeroCopyBruckDT using emulated MPI derived
+// datatypes; plus PairwiseAlltoall, SpreadOutUniform, and VendorAlltoall
+// baselines.
+//
+// Non-uniform all-to-all (MPI_Alltoallv semantics): the paper's
+// PaddedBruck and TwoPhaseBruck, and the SpreadOut, VendorAlltoallv,
+// PaddedAlltoall, and SLOAV baselines.
+//
+// All algorithms share the same function signatures, mirroring the
+// paper's claim that its implementations are drop-in replacements for
+// MPI_Alltoall / MPI_Alltoallv.
+package coll
+
+import (
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// Alltoall is the uniform all-to-all signature: send and recv are P
+// blocks of exactly n bytes each, laid out contiguously in rank order.
+type Alltoall func(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
+
+// Alltoallv is the non-uniform all-to-all signature, mirroring
+// MPI_Alltoallv: block i of send starts at sdispls[i] and holds
+// scounts[i] bytes destined for rank i; block i of recv starts at
+// rdispls[i] with capacity rcounts[i] for the data arriving from rank i.
+// As in MPI, the caller must already know rcounts (see CountsExchange).
+type Alltoallv func(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error
+
+// Phase names recorded by the algorithms, for breakdowns like the
+// paper's Figure 2b.
+const (
+	PhaseInitRotation  = "init-rotation"
+	PhaseComm          = "comm"
+	PhaseFinalRotation = "final-rotation"
+	PhasePad           = "pad"
+	PhaseScan          = "scan"
+)
+
+// checkUniform validates uniform all-to-all arguments.
+func checkUniform(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	P := p.Size()
+	if n < 0 {
+		return fmt.Errorf("coll: negative block size %d", n)
+	}
+	if send.Len() < P*n {
+		return fmt.Errorf("coll: send buffer %d bytes < %d ranks x %d bytes", send.Len(), P, n)
+	}
+	if recv.Len() < P*n {
+		return fmt.Errorf("coll: recv buffer %d bytes < %d ranks x %d bytes", recv.Len(), P, n)
+	}
+	return nil
+}
+
+// checkV validates non-uniform all-to-all arguments.
+func checkV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error {
+	P := p.Size()
+	if len(scounts) != P || len(sdispls) != P || len(rcounts) != P || len(rdispls) != P {
+		return fmt.Errorf("coll: count/displacement arrays must have length %d (got %d/%d/%d/%d)",
+			P, len(scounts), len(sdispls), len(rcounts), len(rdispls))
+	}
+	for i := 0; i < P; i++ {
+		if scounts[i] < 0 || rcounts[i] < 0 {
+			return fmt.Errorf("coll: negative count for rank %d", i)
+		}
+		if sdispls[i] < 0 || sdispls[i]+scounts[i] > send.Len() {
+			return fmt.Errorf("coll: send block %d [%d,%d) outside %d-byte buffer",
+				i, sdispls[i], sdispls[i]+scounts[i], send.Len())
+		}
+		if rdispls[i] < 0 || rdispls[i]+rcounts[i] > recv.Len() {
+			return fmt.Errorf("coll: recv block %d [%d,%d) outside %d-byte buffer",
+				i, rdispls[i], rdispls[i]+rcounts[i], recv.Len())
+		}
+	}
+	return nil
+}
+
+// maxInts returns the maximum of xs (0 for empty).
+func maxInts(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ContigDispls returns the displacement array for counts packed
+// back-to-back, plus the total size.
+func ContigDispls(counts []int) ([]int, int) {
+	d := make([]int, len(counts))
+	off := 0
+	for i, c := range counts {
+		d[i] = off
+		off += c
+	}
+	return d, off
+}
+
+// CountsExchange fills rcounts with the per-source receive counts for a
+// planned Alltoallv: rcounts[s] on this rank becomes scounts[this] on
+// rank s. Applications use it before calling any Alltoallv, exactly as
+// MPI codes call MPI_Alltoall on the counts first. It is implemented with
+// the zero-rotation uniform Bruck, so the count exchange itself is
+// log-time.
+func CountsExchange(p *mpi.Proc, scounts []int, rcounts []int) error {
+	P := p.Size()
+	if len(scounts) != P || len(rcounts) != P {
+		return fmt.Errorf("coll: CountsExchange needs %d-length arrays", P)
+	}
+	sb := buffer.New(8 * P)
+	rb := buffer.New(8 * P)
+	for i, c := range scounts {
+		sb.PutUint64(8*i, uint64(c))
+	}
+	if err := ZeroRotationBruck(p, sb, 8, rb); err != nil {
+		return err
+	}
+	for i := range rcounts {
+		rcounts[i] = int(rb.Uint64(8 * i))
+	}
+	return nil
+}
+
+// Tag blocks per algorithm family (user tags >= 0; collectives reserve
+// tags below -1000).
+const (
+	tagBruck     = 100 // uniform Bruck comm steps
+	tagPairwise  = 140
+	tagSpreadOut = 160
+	tagMeta      = 200 // two-phase metadata
+	tagData      = 220 // two-phase payload
+	tagSloav     = 260
+	tagNaive     = 300
+)

@@ -1,0 +1,79 @@
+package coll
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// Fuzz targets: the two-phase Bruck and the hierarchical scheme against
+// the naive reference, over fuzzer-chosen world sizes, seeds, and size
+// ranges. Run with `go test -fuzz FuzzTwoPhase ./internal/coll`.
+
+func fuzzAgainstReference(t *testing.T, alg Alltoallv, P, rpn, maxN int, seed uint64) {
+	if P < 1 {
+		P = 1
+	}
+	P = P%24 + 1
+	if rpn < 1 {
+		rpn = 1
+	}
+	rpn = rpn%8 + 1
+	maxN = maxN % 40
+	if maxN < 0 {
+		maxN = -maxN
+	}
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()), mpi.WithRanksPerNode(rpn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+		got := buffer.New(rTotal)
+		want := buffer.New(rTotal)
+		if err := alg(p, send, sc, sd, got, rc, rd); err != nil {
+			return err
+		}
+		if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+			return err
+		}
+		if !buffer.Equal(got, want) {
+			t.Errorf("rank %d: result differs from reference (P=%d rpn=%d maxN=%d seed=%d)", p.Rank(), P, rpn, maxN, seed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("P=%d rpn=%d maxN=%d seed=%d: %v", P, rpn, maxN, seed, err)
+	}
+}
+
+func FuzzTwoPhase(f *testing.F) {
+	f.Add(4, 1, 16, uint64(1))
+	f.Add(13, 1, 9, uint64(7))
+	f.Add(1, 1, 0, uint64(0))
+	f.Fuzz(func(t *testing.T, P, rpn, maxN int, seed uint64) {
+		fuzzAgainstReference(t, TwoPhaseBruck, P, 1, maxN, seed)
+	})
+}
+
+func FuzzHierarchical(f *testing.F) {
+	f.Add(8, 4, 16, uint64(1))
+	f.Add(13, 3, 9, uint64(7))
+	f.Add(6, 8, 5, uint64(3))
+	f.Fuzz(func(t *testing.T, P, rpn, maxN int, seed uint64) {
+		fuzzAgainstReference(t, HierarchicalAlltoallv, P, rpn, maxN, seed)
+	})
+}
+
+func FuzzRadix(f *testing.F) {
+	f.Add(9, 3, 12, uint64(2))
+	f.Add(16, 5, 8, uint64(9))
+	f.Fuzz(func(t *testing.T, P, r, maxN int, seed uint64) {
+		if r < 0 {
+			r = -r
+		}
+		fuzzAgainstReference(t, TwoPhaseBruckRadix(r%9+2), P, 1, maxN, seed)
+	})
+}

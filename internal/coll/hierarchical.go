@@ -1,0 +1,242 @@
+package coll
+
+import (
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// HierarchicalAlltoallv is the node-aware scheme of the paper's related
+// work (Jackson & Booth's planned Alltoallv; Plummer & Refson's group
+// leaders): all ranks on a node funnel their data to the node's leader,
+// only leaders take part in the inter-node all-to-all, and leaders
+// scatter the arrivals back to their local ranks. With R ranks per node
+// the network carries (P/R)^2 aggregated messages instead of P^2 small
+// ones, at the price of intra-node funneling hops — effective exactly
+// where the paper places it: repeated exchanges of small messages on
+// fat nodes.
+//
+// Each inter-node message is self-describing: a table of the
+// (source-local-rank x destination-rank) block sizes precedes the
+// packed blocks, so the receiving leader can split and re-scatter.
+// Node placement comes from the world's WithRanksPerNode configuration;
+// with one rank per node the scheme degenerates to a spread-out
+// exchange among all ranks.
+func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error {
+	if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return err
+	}
+	P := p.Size()
+	R := p.World().RanksPerNode()
+	rank := p.Rank()
+	node := rank / R
+	leader := node * R
+	nodes := (P + R - 1) / R
+	nodeSize := func(nd int) int {
+		if (nd+1)*R <= P {
+			return R
+		}
+		return P - nd*R
+	}
+	myNodeSize := nodeSize(node)
+
+	const (
+		tagUpCounts = tagSpreadOut + 8
+		tagUpData   = tagSpreadOut + 9
+		tagInter    = tagSpreadOut + 10
+		tagDown     = tagSpreadOut + 11
+	)
+
+	done := p.Phase(PhaseComm)
+	defer done()
+
+	if rank != leader {
+		// Ship the counts table, then the packed payload, to the
+		// leader; receive the assembled inbound stream at the end.
+		cbuf := buffer.New(4 * P)
+		total := 0
+		for d := 0; d < P; d++ {
+			cbuf.PutUint32(4*d, uint32(scounts[d]))
+			total += scounts[d]
+		}
+		p.Send(leader, tagUpCounts, cbuf)
+		pay := p.AllocBuf(total)
+		off := 0
+		for d := 0; d < P; d++ {
+			p.Memcpy(pay.Slice(off, scounts[d]), send.Slice(sdispls[d], scounts[d]))
+			off += scounts[d]
+		}
+		p.Send(leader, tagUpData, pay.Slice(0, total))
+
+		rTotal := 0
+		for _, c := range rcounts {
+			rTotal += c
+		}
+		in := p.AllocBuf(rTotal)
+		p.Recv(leader, tagDown, in.Slice(0, rTotal))
+		off = 0
+		for s := 0; s < P; s++ {
+			p.Memcpy(recv.Slice(rdispls[s], rcounts[s]), in.Slice(off, rcounts[s]))
+			off += rcounts[s]
+		}
+		return nil
+	}
+
+	// --- Leader path ---
+
+	// Gather local counts and payloads. counts[lr][d] is the size of
+	// the block local rank lr sends to global rank d; payload[lr] holds
+	// lr's blocks packed in destination order.
+	counts := make([][]int, myNodeSize)
+	payload := make([]buffer.Buf, myNodeSize)
+	counts[0] = scounts
+	{
+		total := 0
+		for _, c := range scounts {
+			total += c
+		}
+		own := p.AllocBuf(total)
+		off := 0
+		for d := 0; d < P; d++ {
+			p.Memcpy(own.Slice(off, scounts[d]), send.Slice(sdispls[d], scounts[d]))
+			off += scounts[d]
+		}
+		payload[0] = own.Slice(0, total)
+	}
+	cbuf := buffer.New(4 * P)
+	for lr := 1; lr < myNodeSize; lr++ {
+		p.Recv(leader+lr, tagUpCounts, cbuf)
+		cs := make([]int, P)
+		total := 0
+		for d := 0; d < P; d++ {
+			cs[d] = int(cbuf.Uint32(4 * d))
+			total += cs[d]
+		}
+		counts[lr] = cs
+		buf := p.AllocBuf(total)
+		p.Recv(leader+lr, tagUpData, buf.Slice(0, total))
+		payload[lr] = buf.Slice(0, total)
+	}
+
+	// Build, per destination node, a block-size table (real bytes even
+	// in phantom worlds: it drives control flow) and the packed payload
+	// in (source local rank, destination rank) order.
+	outTables := make([]buffer.Buf, nodes)
+	outBufs := make([]buffer.Buf, nodes)
+	outLens := make([]int, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		dsz := nodeSize(nd)
+		total := 0
+		for lr := 0; lr < myNodeSize; lr++ {
+			for j := 0; j < dsz; j++ {
+				total += counts[lr][nd*R+j]
+			}
+		}
+		table := buffer.New(4 * myNodeSize * dsz)
+		buf := p.AllocBuf(total)
+		ti := 0
+		off := 0
+		for lr := 0; lr < myNodeSize; lr++ {
+			pOff := 0
+			for d := 0; d < P; d++ {
+				c := counts[lr][d]
+				if d/R == nd {
+					table.PutUint32(4*ti, uint32(c))
+					ti++
+					p.Memcpy(buf.Slice(off, c), payload[lr].Slice(pOff, c))
+					off += c
+				}
+				pOff += c
+			}
+		}
+		outTables[nd] = table
+		outBufs[nd] = buf
+		outLens[nd] = total
+	}
+
+	// Exchange size tables, then the aggregated payloads, among
+	// leaders. The inbound lengths fall out of the tables.
+	inTables := make([]buffer.Buf, nodes)
+	inLens := make([]int, nodes)
+	for i := 1; i < nodes; i++ {
+		dstN := (node + i) % nodes
+		srcN := (node - i + nodes) % nodes
+		ssz := nodeSize(srcN)
+		inTables[srcN] = buffer.New(4 * ssz * myNodeSize)
+		p.SendRecv(dstN*R, tagUpCounts, outTables[dstN], srcN*R, tagUpCounts, inTables[srcN])
+		for ti := 0; ti < ssz*myNodeSize; ti++ {
+			inLens[srcN] += int(inTables[srcN].Uint32(4 * ti))
+		}
+	}
+	inTables[node] = outTables[node]
+	inLens[node] = outLens[node]
+	inBufs := make([]buffer.Buf, nodes)
+	reqs := make([]*mpi.Request, 0, 2*nodes)
+	for i := 1; i < nodes; i++ {
+		srcN := (node - i + nodes) % nodes
+		inBufs[srcN] = p.AllocBuf(inLens[srcN])
+		reqs = append(reqs, p.Irecv(srcN*R, tagInter, inBufs[srcN]))
+	}
+	for i := 1; i < nodes; i++ {
+		dstN := (node + i) % nodes
+		reqs = append(reqs, p.Isend(dstN*R, tagInter, outBufs[dstN].Slice(0, outLens[dstN])))
+	}
+	p.Waitall(reqs)
+	inBufs[node] = outBufs[node]
+
+	// Parse inbound node buffers: block (srcLocal lr, dstLocal j) has
+	// size table[lr*myNodeSize+j], payload packed in the same order.
+	type blockRef struct {
+		buf  buffer.Buf
+		size int
+	}
+	blocks := make([][]blockRef, myNodeSize) // [dstLocal][globalSrc]
+	for j := range blocks {
+		blocks[j] = make([]blockRef, P)
+	}
+	for srcN := 0; srcN < nodes; srcN++ {
+		ssz := nodeSize(srcN)
+		buf := inBufs[srcN]
+		table := inTables[srcN]
+		off := 0
+		ti := 0
+		for lr := 0; lr < ssz; lr++ {
+			for j := 0; j < myNodeSize; j++ {
+				c := int(table.Uint32(4 * ti))
+				ti++
+				blocks[j][srcN*R+lr] = blockRef{buf: buf.Slice(off, c), size: c}
+				off += c
+			}
+		}
+	}
+
+	// Scatter: assemble each local rank's inbound stream in global
+	// source order; the leader places its own blocks directly.
+	for j := 0; j < myNodeSize; j++ {
+		if j == 0 {
+			for s := 0; s < P; s++ {
+				b := blocks[0][s]
+				if b.size != rcounts[s] {
+					return fmt.Errorf("coll: hierarchical: block from %d arrived with %d bytes, rcounts says %d", s, b.size, rcounts[s])
+				}
+				p.Memcpy(recv.Slice(rdispls[s], b.size), b.buf)
+			}
+			continue
+		}
+		total := 0
+		for s := 0; s < P; s++ {
+			total += blocks[j][s].size
+		}
+		down := p.AllocBuf(total)
+		off := 0
+		for s := 0; s < P; s++ {
+			b := blocks[j][s]
+			p.Memcpy(down.Slice(off, b.size), b.buf)
+			off += b.size
+		}
+		p.Send(leader+j, tagDown, down.Slice(0, total))
+	}
+	return nil
+}

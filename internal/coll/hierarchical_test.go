@@ -1,0 +1,145 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// runNonUniformNodes is runNonUniform with a node topology.
+func runNonUniformNodes(t *testing.T, alg Alltoallv, P, rpn, maxN int, seed uint64, label string) {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()), mpi.WithRanksPerNode(rpn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+		recv := buffer.New(rTotal)
+		if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+			return err
+		}
+		for s := 0; s < P; s++ {
+			for j := 0; j < rc[s]; j++ {
+				if got, want := recv.Byte(rd[s]+j), patByte(s, p.Rank(), j); got != want {
+					t.Errorf("%s: rank %d block from %d byte %d = %d, want %d", label, p.Rank(), s, j, got, want)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d rpn=%d: %v", label, P, rpn, err)
+	}
+}
+
+func TestHierarchicalCorrect(t *testing.T) {
+	cases := []struct {
+		P, rpn, maxN int
+		seed         uint64
+	}{
+		{8, 1, 10, 1},  // degenerate: every rank a leader
+		{8, 2, 10, 2},  // 4 nodes of 2
+		{8, 4, 16, 3},  // 2 nodes of 4
+		{8, 8, 16, 4},  // one node: pure intra
+		{12, 4, 9, 5},  // 3 nodes of 4
+		{13, 4, 9, 6},  // ragged last node (13 = 4+4+4+1)
+		{9, 4, 7, 7},   // ragged: 4+4+1
+		{16, 3, 12, 8}, // ragged: 3+3+3+3+3+1
+		{1, 4, 8, 9},   // single rank
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("P%d-rpn%d", c.P, c.rpn), func(t *testing.T) {
+			runNonUniformNodes(t, HierarchicalAlltoallv, c.P, c.rpn, c.maxN, c.seed, "hierarchical")
+		})
+	}
+}
+
+func TestHierarchicalZeroCounts(t *testing.T) {
+	runNonUniformNodes(t, HierarchicalAlltoallv, 8, 4, 0, 1, "hierarchical-zero")
+}
+
+// All other algorithms must stay correct when nodes exist (intra-node
+// pricing changes costs, never semantics).
+func TestNonUniformUnderNodeTopology(t *testing.T) {
+	for name, alg := range NonUniformAlgorithms() {
+		runNonUniformNodes(t, alg, 12, 4, 13, 11, name+"-nodes")
+	}
+}
+
+// Node-aware pricing: with fat nodes and tiny messages the hierarchical
+// scheme must beat raw spread-out on simulated time, and intra-node
+// messages must be cheaper than inter-node ones.
+func TestHierarchicalWinsSmallMessagesFatNodes(t *testing.T) {
+	const P, rpn, maxN = 64, 8, 16
+	timeOf := func(alg Alltoallv) float64 {
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()), mpi.WithRanksPerNode(rpn), mpi.WithPhantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			for d := 0; d < P; d++ {
+				sc[d] = blockSize(5, p.Rank(), d, maxN)
+				rc[d] = blockSize(5, d, p.Rank(), maxN)
+			}
+			sd, st := ContigDispls(sc)
+			rd, rt := ContigDispls(rc)
+			return alg(p, buffer.Phantom(st), sc, sd, buffer.Phantom(rt), rc, rd)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	h := timeOf(HierarchicalAlltoallv)
+	s := timeOf(SpreadOut)
+	if h >= s {
+		t.Errorf("hierarchical (%v) should beat spread-out (%v) for tiny blocks on fat nodes", h, s)
+	}
+}
+
+func TestIntraNodeCheaperThanInter(t *testing.T) {
+	send := func(rpn int) float64 {
+		w, err := mpi.NewWorld(2, mpi.WithModel(machine.Theta()), mpi.WithRanksPerNode(rpn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			b := buffer.New(1024)
+			if p.Rank() == 0 {
+				p.Send(1, 1, b)
+			} else {
+				p.Recv(0, 1, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	intra := send(2) // both ranks on one node
+	inter := send(1) // separate nodes
+	if intra >= inter {
+		t.Errorf("intra-node message (%v) should be cheaper than inter-node (%v)", intra, inter)
+	}
+}
+
+func TestSameNodeMapping(t *testing.T) {
+	w, err := mpi.NewWorld(10, mpi.WithModel(machine.Zero()), mpi.WithRanksPerNode(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SameNode(0, 3) || w.SameNode(3, 4) || !w.SameNode(8, 9) {
+		t.Error("node mapping wrong")
+	}
+	if w.RanksPerNode() != 4 {
+		t.Errorf("RanksPerNode = %d", w.RanksPerNode())
+	}
+}

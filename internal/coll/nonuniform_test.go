@@ -1,0 +1,340 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// blockSize is a deterministic pseudo-random size for the block src
+// sends to dst, consistent on both ends.
+func blockSize(seed uint64, src, dst, maxN int) int {
+	if maxN == 0 {
+		return 0
+	}
+	x := seed ^ uint64(src)*0x9e3779b97f4a7c15 ^ uint64(dst)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(maxN+1))
+}
+
+// vSetup builds the count/displacement arrays and a filled send buffer
+// for one rank under the deterministic size matrix.
+func vSetup(rank, P, maxN int, seed uint64) (send buffer.Buf, sc, sd, rc, rd []int, recvLen int) {
+	sc = make([]int, P)
+	rc = make([]int, P)
+	for d := 0; d < P; d++ {
+		sc[d] = blockSize(seed, rank, d, maxN)
+		rc[d] = blockSize(seed, d, rank, maxN)
+	}
+	sd, sTotal := ContigDispls(sc)
+	rd, rTotal := ContigDispls(rc)
+	send = buffer.New(sTotal)
+	for d := 0; d < P; d++ {
+		for j := 0; j < sc[d]; j++ {
+			send.SetByte(sd[d]+j, patByte(rank, d, j))
+		}
+	}
+	return send, sc, sd, rc, rd, rTotal
+}
+
+func runNonUniform(t *testing.T, alg Alltoallv, P, maxN int, seed uint64, label string) {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+		recv := buffer.New(rTotal)
+		orig := send.Clone()
+		if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+			return err
+		}
+		if !buffer.Equal(send, orig) {
+			t.Errorf("%s: rank %d: algorithm modified the send buffer", label, p.Rank())
+		}
+		for s := 0; s < P; s++ {
+			for j := 0; j < rc[s]; j++ {
+				if got, want := recv.Byte(rd[s]+j), patByte(s, p.Rank(), j); got != want {
+					t.Errorf("%s: rank %d block from %d byte %d = %d, want %d", label, p.Rank(), s, j, got, want)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d maxN=%d seed=%d: %v", label, P, maxN, seed, err)
+	}
+}
+
+func TestNonUniformAlgorithmsCorrect(t *testing.T) {
+	cases := []struct {
+		P, maxN int
+		seed    uint64
+	}{
+		{1, 8, 1}, {2, 5, 2}, {3, 9, 3}, {4, 16, 4}, {5, 7, 5},
+		{7, 12, 6}, {8, 32, 7}, {16, 6, 8}, {33, 10, 9},
+	}
+	algs := NonUniformAlgorithms()
+	algs["naive"] = NaiveAlltoallv
+	for name, alg := range algs {
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/P%d/N%d", name, c.P, c.maxN), func(t *testing.T) {
+				runNonUniform(t, alg, c.P, c.maxN, c.seed, name)
+			})
+		}
+	}
+}
+
+func TestNonUniformAllZeroCounts(t *testing.T) {
+	for name, alg := range NonUniformAlgorithms() {
+		runNonUniform(t, alg, 6, 0, 1, name+"-zero")
+	}
+}
+
+// Property test: two-phase Bruck matches the reference for arbitrary
+// seeds and sizes.
+func TestQuickTwoPhaseMatchesReference(t *testing.T) {
+	f := func(seed uint64, pRaw, nRaw uint8) bool {
+		P := int(pRaw)%12 + 1
+		maxN := int(nRaw) % 40
+		ok := true
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+		if err != nil {
+			return false
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			got := buffer.New(rTotal)
+			want := buffer.New(rTotal)
+			if err := TwoPhaseBruck(p, send, sc, sd, got, rc, rd); err != nil {
+				return err
+			}
+			if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+				return err
+			}
+			if !buffer.Equal(got, want) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: padded Bruck matches the reference too.
+func TestQuickPaddedMatchesReference(t *testing.T) {
+	f := func(seed uint64, pRaw, nRaw uint8) bool {
+		P := int(pRaw)%10 + 1
+		maxN := int(nRaw) % 24
+		ok := true
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+		if err != nil {
+			return false
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			got := buffer.New(rTotal)
+			want := buffer.New(rTotal)
+			if err := PaddedBruck(p, send, sc, sd, got, rc, rd); err != nil {
+				return err
+			}
+			if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+				return err
+			}
+			if !buffer.Equal(got, want) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonUniformValidation(t *testing.T) {
+	w, err := mpi.NewWorld(2, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := buffer.New(16)
+		good := []int{4, 4}
+		disp := []int{0, 4}
+		if err := TwoPhaseBruck(p, buf, []int{4}, disp, buf, good, disp); err == nil {
+			t.Error("short scounts not rejected")
+		}
+		if err := TwoPhaseBruck(p, buf, []int{-1, 4}, disp, buf, good, disp); err == nil {
+			t.Error("negative count not rejected")
+		}
+		if err := TwoPhaseBruck(p, buf, []int{17, 4}, disp, buf, good, disp); err == nil {
+			t.Error("out-of-range send block not rejected")
+		}
+		if err := TwoPhaseBruck(p, buf, good, []int{0, 20}, buf, good, disp); err == nil {
+			t.Error("out-of-range displacement not rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rcounts that disagree with what actually arrives must be reported, not
+// silently mis-copied.
+func TestTwoPhaseRcountsMismatch(t *testing.T) {
+	const P = 4
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		sc := make([]int, P)
+		rc := make([]int, P)
+		for d := 0; d < P; d++ {
+			sc[d] = 4
+			rc[d] = 4
+		}
+		if p.Rank() == 2 {
+			rc[1] = 2 // lie about what rank 1 sends us
+		}
+		sd, st := ContigDispls(sc)
+		rd, rt := ContigDispls(rc)
+		send, recv := buffer.New(st), buffer.New(rt)
+		err := TwoPhaseBruck(p, send, sc, sd, recv, rc, rd)
+		if p.Rank() == 2 && err == nil {
+			t.Error("rank 2 should report rcounts mismatch")
+		}
+		return nil
+	})
+	// Other ranks may legitimately succeed or fail depending on ordering;
+	// only absence of the rank-2 error is a bug.
+	_ = err
+}
+
+// In phantom worlds the algorithms must still run and move the right
+// byte counts, since sizes drive all control flow.
+func TestNonUniformPhantom(t *testing.T) {
+	const P, maxN = 16, 64
+	for name, alg := range NonUniformAlgorithms() {
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()), mpi.WithPhantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			for d := 0; d < P; d++ {
+				sc[d] = blockSize(11, p.Rank(), d, maxN)
+				rc[d] = blockSize(11, d, p.Rank(), maxN)
+			}
+			sd, st := ContigDispls(sc)
+			rd, rt := ContigDispls(rc)
+			send := buffer.Phantom(st)
+			recv := buffer.Phantom(rt)
+			return alg(p, send, sc, sd, recv, rc, rd)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.MaxTime() <= 0 {
+			t.Errorf("%s: no virtual time accumulated", name)
+		}
+	}
+}
+
+// Phantom and real execution must produce identical virtual times: the
+// cost accounting may not depend on payload presence.
+func TestPhantomRealTimeEquivalence(t *testing.T) {
+	const P, maxN = 8, 32
+	run := func(alg Alltoallv, phantom bool) float64 {
+		opts := []mpi.Option{mpi.WithModel(machine.Theta())}
+		if phantom {
+			opts = append(opts, mpi.WithPhantom())
+		}
+		w, err := mpi.NewWorld(P, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			for d := 0; d < P; d++ {
+				sc[d] = blockSize(5, p.Rank(), d, maxN)
+				rc[d] = blockSize(5, d, p.Rank(), maxN)
+			}
+			sd, st := ContigDispls(sc)
+			rd, rt := ContigDispls(rc)
+			send := buffer.Make(st, phantom)
+			recv := buffer.Make(rt, phantom)
+			return alg(p, send, sc, sd, recv, rc, rd)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	for name, alg := range NonUniformAlgorithms() {
+		if a, b := run(alg, false), run(alg, true); a != b {
+			t.Errorf("%s: real time %v != phantom time %v", name, a, b)
+		}
+	}
+}
+
+// The paper's headline comparisons as sanity checks on simulated time.
+func TestHeadlineShapes(t *testing.T) {
+	const P = 256
+	timeOf := func(alg Alltoallv, maxN int, seed uint64) float64 {
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()), mpi.WithPhantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			for d := 0; d < P; d++ {
+				sc[d] = blockSize(seed, p.Rank(), d, maxN)
+				rc[d] = blockSize(seed, d, p.Rank(), maxN)
+			}
+			sd, st := ContigDispls(sc)
+			rd, rt := ContigDispls(rc)
+			return alg(p, buffer.Phantom(st), sc, sd, buffer.Phantom(rt), rc, rd)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	algs := NonUniformAlgorithms()
+	// Small blocks: two-phase beats the vendor.
+	if tp, v := timeOf(algs["two-phase"], 64, 3), timeOf(algs["vendor"], 64, 3); tp >= v {
+		t.Errorf("two-phase (%v) should beat vendor (%v) at N=64, P=256", tp, v)
+	}
+	// Tiny blocks: padded beats two-phase (inequality 3 regime).
+	if pd, tp := timeOf(algs["padded-bruck"], 8, 3), timeOf(algs["two-phase"], 8, 3); pd >= tp {
+		t.Errorf("padded (%v) should beat two-phase (%v) at N=8, P=256", pd, tp)
+	}
+	// Large blocks: padded transmits ~2x the bytes and must lose to
+	// two-phase.
+	if pd, tp := timeOf(algs["padded-bruck"], 2048, 3), timeOf(algs["two-phase"], 2048, 3); pd <= tp {
+		t.Errorf("padded (%v) should lose to two-phase (%v) at N=2048, P=256", pd, tp)
+	}
+	// SLOAV pays extra phases: two-phase must win.
+	if sl, tp := timeOf(algs["sloav"], 256, 3), timeOf(algs["two-phase"], 256, 3); sl <= tp {
+		t.Errorf("sloav (%v) should be slower than two-phase (%v)", sl, tp)
+	}
+}

@@ -1,0 +1,165 @@
+package coll
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func TestPlanExecuteMatchesReference(t *testing.T) {
+	const P, maxN = 9, 13
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 21)
+		pl, err := PlanTwoPhase(p, sc, sd, rc, rd)
+		if err != nil {
+			return err
+		}
+		// Execute several times with evolving payload contents (same
+		// layout).
+		for round := 0; round < 3; round++ {
+			for d := 0; d < P; d++ {
+				for j := 0; j < sc[d]; j++ {
+					send.SetByte(sd[d]+j, patByte(p.Rank(), d, j)+byte(round))
+				}
+			}
+			got := buffer.New(rTotal)
+			want := buffer.New(rTotal)
+			if err := pl.Execute(send, got); err != nil {
+				return err
+			}
+			if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+				return err
+			}
+			if !buffer.Equal(got, want) {
+				t.Errorf("round %d: plan result differs from reference on rank %d", round, p.Rank())
+			}
+		}
+		if pl.Executions() != 3 {
+			t.Errorf("Executions = %d", pl.Executions())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanAmortizesSetup(t *testing.T) {
+	const P, maxN = 32, 64
+	run := func(planned bool, rounds int) float64 {
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()), mpi.WithPhantom())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			for d := 0; d < P; d++ {
+				sc[d] = blockSize(31, p.Rank(), d, maxN)
+				rc[d] = blockSize(31, d, p.Rank(), maxN)
+			}
+			sd, st := ContigDispls(sc)
+			rd, rt := ContigDispls(rc)
+			send := buffer.Phantom(st)
+			recv := buffer.Phantom(rt)
+			if planned {
+				pl, err := PlanTwoPhase(p, sc, sd, rc, rd)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < rounds; i++ {
+					if err := pl.Execute(send, recv); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < rounds; i++ {
+				if err := TwoPhaseBruck(p, send, sc, sd, recv, rc, rd); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	const rounds = 10
+	planned := run(true, rounds)
+	adhoc := run(false, rounds)
+	if planned >= adhoc {
+		t.Errorf("planned execution (%v) should beat ad-hoc (%v) over %d rounds: the Allreduce is amortized", planned, adhoc, rounds)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	const P = 4
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		good := []int{2, 2, 2, 2}
+		disp := []int{0, 2, 4, 6}
+		if _, err := PlanTwoPhase(p, []int{1}, disp, good, disp); err == nil {
+			t.Error("short scounts accepted")
+		}
+		if _, err := PlanTwoPhase(p, []int{-1, 2, 2, 2}, disp, good, disp); err == nil {
+			t.Error("negative count accepted")
+		}
+		// Self mismatch.
+		bad := []int{2, 2, 2, 2}
+		bad[p.Rank()] = 3
+		if _, err := PlanTwoPhase(p, bad, disp, good, disp); err == nil {
+			t.Error("self mismatch accepted")
+		}
+		// Execute with a too-small buffer must fail cleanly.
+		pl, err := PlanTwoPhase(p, good, disp, good, disp)
+		if err != nil {
+			return err
+		}
+		if err := pl.Execute(buffer.New(4), buffer.New(8)); err == nil {
+			t.Error("undersized send buffer accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSingleRank(t *testing.T) {
+	w, err := mpi.NewWorld(1, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		sc := []int{5}
+		sd := []int{0}
+		pl, err := PlanTwoPhase(p, sc, sd, sc, sd)
+		if err != nil {
+			return err
+		}
+		send := buffer.New(5)
+		send.FillPattern(3)
+		recv := buffer.New(5)
+		if err := pl.Execute(send, recv); err != nil {
+			return err
+		}
+		if !buffer.Equal(send, recv) {
+			t.Error("single-rank plan should copy the self block")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

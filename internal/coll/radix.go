@@ -1,0 +1,242 @@
+package coll
+
+import (
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// Tunable-radix Bruck variants.
+//
+// The original Bruck construction works in any base r, not just binary:
+// with radix r there are ceil(log_r P) digit positions and, at position
+// k, r-1 sub-steps — one per nonzero digit value d — each exchanging the
+// blocks whose k-th base-r digit equals d with the rank at distance
+// d·r^k. Larger radices transmit each block fewer times (one hop per
+// nonzero digit, and indices have fewer digits in a larger base) at the
+// price of more messages per position ((r-1)·log_r P total). The paper's
+// conclusion calls for exactly this exploration; these implementations
+// extend zero-rotation Bruck and two-phase Bruck to arbitrary radix, and
+// reduce to the binary versions at r=2 (a property the tests assert).
+
+// digitSlots appends the relative indices i in [1, P) whose k-th base-r
+// digit equals d (1 <= d < r), in increasing order.
+func digitSlots(dst []int, P, r, k, d int) []int {
+	dst = dst[:0]
+	step := 1
+	for j := 0; j < k; j++ {
+		step *= r
+	}
+	for base := d * step; base < P; base += r * step {
+		hi := base + step
+		if hi > P {
+			hi = P
+		}
+		for i := base; i < hi; i++ {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// radixSteps returns the digit positions' strides (r^0, r^1, ...) below
+// P.
+func radixSteps(P, r int) []int {
+	var out []int
+	for s := 1; s < P; s *= r {
+		out = append(out, s)
+	}
+	return out
+}
+
+// maxDigitBlocks returns the largest number of blocks any (position,
+// digit) sub-step transmits — the staging buffer bound. The top digit
+// position can carry up to P-step blocks, so ceil(P/r) is not enough.
+func maxDigitBlocks(P, r int) int {
+	m := 0
+	for _, step := range radixSteps(P, r) {
+		for d := 1; d < r && d*step < P; d++ {
+			n := 0
+			for base := d * step; base < P; base += r * step {
+				hi := base + step
+				if hi > P {
+					hi = P
+				}
+				n += hi - base
+			}
+			if n > m {
+				m = n
+			}
+		}
+	}
+	return m
+}
+
+// ZeroRotationBruckRadix returns a uniform all-to-all implementation
+// using radix-r zero-rotation Bruck. r must be at least 2;
+// ZeroRotationBruckRadix(2) behaves exactly like ZeroRotationBruck.
+func ZeroRotationBruckRadix(r int) Alltoall {
+	return func(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+		if r < 2 {
+			return fmt.Errorf("coll: radix %d < 2", r)
+		}
+		if err := checkUniform(p, send, n, recv); err != nil {
+			return err
+		}
+		P := p.Size()
+		rank := p.Rank()
+
+		idx := make([]int, P)
+		for s := 0; s < P; s++ {
+			idx[s] = ((2*rank-s)%P + P) % P
+		}
+		p.Charge(float64(P))
+		p.Memcpy(recv.Slice(rank*n, n), send.Slice(idx[rank]*n, n))
+		if P == 1 {
+			return nil
+		}
+
+		done := p.Phase(PhaseComm)
+		defer done()
+		status := make([]bool, P)
+		maxBlocks := maxDigitBlocks(P, r)
+		stage := p.AllocBuf(maxBlocks * n)
+		rstage := p.AllocBuf(maxBlocks * n)
+		var rel []int
+		for k, step := range radixSteps(P, r) {
+			for d := 1; d < r && d*step < P; d++ {
+				rel = digitSlots(rel, P, r, k, d)
+				if len(rel) == 0 {
+					continue
+				}
+				for j, i := range rel {
+					s := (i + rank) % P
+					var blk buffer.Buf
+					if status[s] {
+						blk = recv.Slice(s*n, n)
+					} else {
+						blk = send.Slice(idx[s]*n, n)
+					}
+					p.Memcpy(stage.Slice(j*n, n), blk)
+				}
+				dst := (rank - d*step%P + P) % P
+				src := (rank + d*step) % P
+				total := len(rel) * n
+				tag := tagBruck + k*16 + d
+				p.SendRecv(dst, tag, stage.Slice(0, total), src, tag, rstage.Slice(0, total))
+				for j, i := range rel {
+					s := (i + rank) % P
+					p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
+					status[s] = true
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TwoPhaseBruckRadix returns a non-uniform all-to-all implementation
+// using radix-r two-phase Bruck: the paper's Algorithm 1 generalized to
+// r-ary digits, with one metadata+data exchange per (position, digit)
+// sub-step. TwoPhaseBruckRadix(2) behaves exactly like TwoPhaseBruck.
+func TwoPhaseBruckRadix(r int) Alltoallv {
+	return func(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
+		recv buffer.Buf, rcounts, rdispls []int) error {
+		if r < 2 {
+			return fmt.Errorf("coll: radix %d < 2", r)
+		}
+		if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		P := p.Size()
+		rank := p.Rank()
+
+		N := p.AllreduceMaxInt(maxInts(scounts))
+		if err := selfCopy(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		if P == 1 || N == 0 {
+			return nil
+		}
+
+		w := p.AllocBuf(P * N)
+		idx := make([]int, P)
+		for s := 0; s < P; s++ {
+			idx[s] = ((2*rank-s)%P + P) % P
+		}
+		p.Charge(float64(P))
+
+		size := make([]int, P)
+		for s := 0; s < P; s++ {
+			size[s] = scounts[idx[s]]
+		}
+		status := make([]bool, P)
+
+		maxBlocks := maxDigitBlocks(P, r)
+		stage := p.AllocBuf(maxBlocks * N)
+		rstage := p.AllocBuf(maxBlocks * N)
+		meta := buffer.New(4 * maxBlocks)
+		rmeta := buffer.New(4 * maxBlocks)
+
+		done := p.Phase(PhaseComm)
+		defer done()
+		var rel []int
+		for k, step := range radixSteps(P, r) {
+			for d := 1; d < r && d*step < P; d++ {
+				rel = digitSlots(rel, P, r, k, d)
+				if len(rel) == 0 {
+					continue
+				}
+				dst := (rank - d*step%P + P) % P
+				src := (rank + d*step) % P
+				mtag := tagMeta + k*16 + d
+				dtag := tagData + k*16 + d
+
+				for j, i := range rel {
+					s := (i + rank) % P
+					meta.PutUint32(4*j, uint32(size[s]))
+				}
+				p.SendRecv(dst, mtag, meta.Slice(0, 4*len(rel)), src, mtag, rmeta.Slice(0, 4*len(rel)))
+
+				off := 0
+				for _, i := range rel {
+					s := (i + rank) % P
+					var blk buffer.Buf
+					if status[s] {
+						blk = w.Slice(s*N, size[s])
+					} else {
+						blk = send.Slice(sdispls[idx[s]], size[s])
+					}
+					p.Memcpy(stage.Slice(off, size[s]), blk)
+					off += size[s]
+				}
+				p.Send(dst, dtag, stage.Slice(0, off))
+
+				total := 0
+				for j := range rel {
+					total += int(rmeta.Uint32(4 * j))
+				}
+				p.Recv(src, dtag, rstage.Slice(0, total))
+
+				roff := 0
+				for j, i := range rel {
+					s := (i + rank) % P
+					sz := int(rmeta.Uint32(4 * j))
+					if i < step*r { // final hop: highest nonzero digit is position k
+						if sz != rcounts[s] {
+							return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d", r, s, sz, rcounts[s])
+						}
+						p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
+					} else {
+						p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
+					}
+					roff += sz
+					size[s] = sz
+					status[s] = true
+				}
+			}
+		}
+		return nil
+	}
+}

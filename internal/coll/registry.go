@@ -1,0 +1,51 @@
+package coll
+
+import "sort"
+
+// Registries mapping the names used by the benchmark harness and CLI
+// tools to algorithm implementations.
+
+// UniformAlgorithms returns the uniform all-to-all implementations by
+// name, matching the six variants of the paper's Figure 2 plus the
+// baselines.
+func UniformAlgorithms() map[string]Alltoall {
+	return map[string]Alltoall{
+		"basic":             BasicBruck,
+		"basic-dt":          BasicBruckDT,
+		"modified":          ModifiedBruck,
+		"modified-dt":       ModifiedBruckDT,
+		"zerocopy-dt":       ZeroCopyBruckDT,
+		"zerorotation":      ZeroRotationBruck,
+		"pairwise":          PairwiseAlltoall,
+		"spreadout-uniform": SpreadOutUniform,
+		"vendor-alltoall":   VendorAlltoall,
+		"zerorotation-r4":   ZeroRotationBruckRadix(4),
+		"zerorotation-r8":   ZeroRotationBruckRadix(8),
+	}
+}
+
+// NonUniformAlgorithms returns the MPI_Alltoallv-signature
+// implementations by name.
+func NonUniformAlgorithms() map[string]Alltoallv {
+	return map[string]Alltoallv{
+		"spreadout":       SpreadOut,
+		"vendor":          VendorAlltoallv,
+		"padded-bruck":    PaddedBruck,
+		"padded-alltoall": PaddedAlltoall,
+		"two-phase":       TwoPhaseBruck,
+		"two-phase-r4":    TwoPhaseBruckRadix(4),
+		"two-phase-r8":    TwoPhaseBruckRadix(8),
+		"sloav":           SLOAV,
+		"hierarchical":    HierarchicalAlltoallv,
+	}
+}
+
+// Names returns the sorted keys of a registry-shaped map.
+func Names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+package coll
+
+import (
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// TwoPhaseBruck is the paper's main contribution (Section 3.2,
+// Algorithm 1): a log-time non-uniform all-to-all built on the
+// zero-rotation Bruck skeleton. Each of the ceil(log2 P) steps performs
+// a coupled two-phase exchange — metadata (the sizes of the blocks about
+// to move) followed by the packed data — and a monolithic working buffer
+// W of P x N bytes (N = global maximum block size, found by Allreduce)
+// holds every intermediate block that will be forwarded at a later step.
+// Blocks making their final hop are placed directly at their destination
+// offset in the receive buffer, eliminating the rotation and scan phases
+// that SLOAV pays.
+func TwoPhaseBruck(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error {
+	if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return err
+	}
+	P := p.Size()
+	rank := p.Rank()
+
+	// Line 1 of Algorithm 1: global maximum block size.
+	N := p.AllreduceMaxInt(maxInts(scounts))
+	if err := selfCopy(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return err
+	}
+	if P == 1 || N == 0 {
+		return nil
+	}
+
+	// Line 2: monolithic working buffer, sized for the worst case so no
+	// intermediate block can overflow.
+	w := p.AllocBuf(P * N)
+
+	// Lines 3-5: rotation index array instead of a data rotation.
+	idx := make([]int, P)
+	for s := 0; s < P; s++ {
+		idx[s] = ((2*rank-s)%P + P) % P
+	}
+	p.Charge(float64(P))
+
+	// size[s] is the current byte count of the block occupying slot s;
+	// status[s] records whether the slot has been through an exchange
+	// (and therefore lives in W rather than the send buffer).
+	size := make([]int, P)
+	for s := 0; s < P; s++ {
+		size[s] = scounts[idx[s]]
+	}
+	status := make([]bool, P)
+
+	half := (P + 1) / 2
+	stage := p.AllocBuf(half * N)
+	rstage := p.AllocBuf(half * N)
+	// Metadata travels as real bytes even in phantom worlds: the sizes
+	// drive control flow.
+	meta := buffer.New(4 * half)
+	rmeta := buffer.New(4 * half)
+
+	done := p.Phase(PhaseComm)
+	defer done()
+	var rel []int
+	for k := 0; 1<<k < P; k++ {
+		rel = sendSlots(rel, P, k)
+		dst := (rank - 1<<k + P) % P
+		src := (rank + 1<<k) % P
+
+		// Phase one: metadata — the sizes of the blocks we are sending
+		// (lines 11-16).
+		for j, i := range rel {
+			s := (i + rank) % P
+			meta.PutUint32(4*j, uint32(size[s]))
+		}
+		p.SendRecv(dst, tagMeta+k, meta.Slice(0, 4*len(rel)), src, tagMeta+k, rmeta.Slice(0, 4*len(rel)))
+
+		// Phase two: pack and send the data (lines 17-24). Blocks come
+		// from W if they were received in an earlier step, else from the
+		// send buffer through the rotation index.
+		off := 0
+		for _, i := range rel {
+			s := (i + rank) % P
+			var blk buffer.Buf
+			if status[s] {
+				blk = w.Slice(s*N, size[s])
+			} else {
+				blk = send.Slice(sdispls[idx[s]], size[s])
+			}
+			p.Memcpy(stage.Slice(off, size[s]), blk)
+			off += size[s]
+		}
+		p.Send(dst, tagData+k, stage.Slice(0, off))
+
+		// Receive the incoming packed blocks; the metadata told us the
+		// total.
+		total := 0
+		for j := range rel {
+			total += int(rmeta.Uint32(4 * j))
+		}
+		p.Recv(src, tagData+k, rstage.Slice(0, total))
+
+		// Unpack (lines 25-33): blocks on their final hop go straight to
+		// their destination offset in recv; the rest go to W to be
+		// forwarded later.
+		roff := 0
+		for j, i := range rel {
+			s := (i + rank) % P
+			sz := int(rmeta.Uint32(4 * j))
+			if i < 2<<k { // no higher set bits: this was the block's last hop
+				if sz != rcounts[s] {
+					return fmt.Errorf("coll: two-phase: block for slot %d arrived with %d bytes, rcounts says %d", s, sz, rcounts[s])
+				}
+				p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
+			} else {
+				p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
+			}
+			roff += sz
+			size[s] = sz
+			status[s] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package coll
+
+import (
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// Uniform Bruck variants with explicit memory management (memcpy-based
+// packing). The derived-datatype variants live in uniform_dt.go.
+
+// sendSlots returns, for Bruck step k of a P-rank exchange, the relative
+// indices i in [1, P) whose k-th bit is set — the blocks transmitted at
+// that step — in increasing order. The slice is appended to dst to allow
+// reuse.
+func sendSlots(dst []int, P, k int) []int {
+	dst = dst[:0]
+	for i := 1 << k; i < P; i += 2 << k {
+		hi := i + 1<<k
+		if hi > P {
+			hi = P
+		}
+		for j := i; j < hi; j++ {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}
+
+// BasicBruck is the classic three-phase Bruck algorithm: an initial
+// rotation, ceil(log2 P) store-and-forward exchange steps, and a final
+// inverse rotation (Figure 1a of the paper).
+func BasicBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	if P == 1 {
+		p.Memcpy(recv.Slice(0, n), send.Slice(0, n))
+		return nil
+	}
+	rank := p.Rank()
+
+	// Phase 1: rotate so work[i] = send[(rank+i) mod P]. Two contiguous
+	// chunk copies.
+	done := p.Phase(PhaseInitRotation)
+	work := p.AllocBuf(P * n)
+	head := (P - rank) * n
+	p.Memcpy(work.Slice(0, head), send.Slice(rank*n, head))
+	if rank > 0 {
+		p.Memcpy(work.Slice(head, rank*n), send.Slice(0, rank*n))
+	}
+	done()
+
+	// Phase 2: log-time exchange. Blocks whose k-th bit is set travel
+	// distance 2^k; received blocks land in the same slots and may be
+	// forwarded at later steps.
+	done = p.Phase(PhaseComm)
+	stage := p.AllocBuf((P + 1) / 2 * n)
+	rstage := p.AllocBuf((P + 1) / 2 * n)
+	var slots []int
+	for k := 0; 1<<k < P; k++ {
+		slots = sendSlots(slots, P, k)
+		for j, s := range slots {
+			p.Memcpy(stage.Slice(j*n, n), work.Slice(s*n, n))
+		}
+		dst := (rank + 1<<k) % P
+		src := (rank - 1<<k + P) % P
+		total := len(slots) * n
+		p.SendRecv(dst, tagBruck+k, stage.Slice(0, total), src, tagBruck+k, rstage.Slice(0, total))
+		for j, s := range slots {
+			p.Memcpy(work.Slice(s*n, n), rstage.Slice(j*n, n))
+		}
+	}
+	done()
+
+	// Phase 3: inverse rotation recv[j] = work[(rank-j) mod P].
+	done = p.Phase(PhaseFinalRotation)
+	for j := 0; j < P; j++ {
+		s := (rank - j + P) % P
+		p.Memcpy(recv.Slice(j*n, n), work.Slice(s*n, n))
+	}
+	done()
+	return nil
+}
+
+// ModifiedBruck eliminates BasicBruck's final rotation by rotating
+// differently up front and reversing the communication direction
+// (Figure 1b of the paper, after Träff et al.).
+func ModifiedBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	if P == 1 {
+		p.Memcpy(recv.Slice(0, n), send.Slice(0, n))
+		return nil
+	}
+	rank := p.Rank()
+
+	// Phase 1: rotate so recv[i] = send[(2*rank - i) mod P]. Reverse
+	// order forces per-block copies.
+	done := p.Phase(PhaseInitRotation)
+	for i := 0; i < P; i++ {
+		src := ((2*rank-i)%P + P) % P
+		p.Memcpy(recv.Slice(i*n, n), send.Slice(src*n, n))
+	}
+	done()
+
+	// Phase 2: send to rank-2^k, receive from rank+2^k; slot for relative
+	// index i is (i+rank) mod P. No final rotation: recv ends correct.
+	done = p.Phase(PhaseComm)
+	stage := p.AllocBuf((P + 1) / 2 * n)
+	rstage := p.AllocBuf((P + 1) / 2 * n)
+	var rel []int
+	for k := 0; 1<<k < P; k++ {
+		rel = sendSlots(rel, P, k)
+		for j, i := range rel {
+			s := (i + rank) % P
+			p.Memcpy(stage.Slice(j*n, n), recv.Slice(s*n, n))
+		}
+		dst := (rank - 1<<k + P) % P
+		src := (rank + 1<<k) % P
+		total := len(rel) * n
+		p.SendRecv(dst, tagBruck+k, stage.Slice(0, total), src, tagBruck+k, rstage.Slice(0, total))
+		for j, i := range rel {
+			s := (i + rank) % P
+			p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
+		}
+	}
+	done()
+	return nil
+}
+
+// ZeroRotationBruck is the paper's uniform contribution: it synthesizes
+// the modified Bruck (no final rotation) with SLOAV's rotation index
+// array (no initial rotation). Blocks are fetched from the send buffer
+// through the index array on their first transmission and from the
+// receive buffer afterwards, tracked by a status array. It is the
+// skeleton both non-uniform algorithms are built on.
+func ZeroRotationBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	rank := p.Rank()
+
+	// Rotation index array: I[s] is where slot s's initial block lives
+	// in the send buffer. Cost O(P), not O(P*n).
+	idx := make([]int, P)
+	for s := 0; s < P; s++ {
+		idx[s] = ((2*rank-s)%P + P) % P
+	}
+	p.Charge(float64(P)) // ~1ns per index entry
+
+	// Self block goes straight to its final position.
+	p.Memcpy(recv.Slice(rank*n, n), send.Slice(idx[rank]*n, n))
+	if P == 1 {
+		return nil
+	}
+
+	done := p.Phase(PhaseComm)
+	status := make([]bool, P)
+	stage := p.AllocBuf((P + 1) / 2 * n)
+	rstage := p.AllocBuf((P + 1) / 2 * n)
+	var rel []int
+	for k := 0; 1<<k < P; k++ {
+		rel = sendSlots(rel, P, k)
+		for j, i := range rel {
+			s := (i + rank) % P
+			var blk buffer.Buf
+			if status[s] {
+				blk = recv.Slice(s*n, n)
+			} else {
+				blk = send.Slice(idx[s]*n, n)
+			}
+			p.Memcpy(stage.Slice(j*n, n), blk)
+		}
+		dst := (rank - 1<<k + P) % P
+		src := (rank + 1<<k) % P
+		total := len(rel) * n
+		p.SendRecv(dst, tagBruck+k, stage.Slice(0, total), src, tagBruck+k, rstage.Slice(0, total))
+		for j, i := range rel {
+			s := (i + rank) % P
+			p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
+			status[s] = true
+		}
+	}
+	done()
+	return nil
+}
+
+// PairwiseAlltoall exchanges directly with every peer in P-1 rounds
+// (partner by XOR for power-of-two P, by ring offset otherwise). It is
+// the linear-time baseline vendors use for large blocks.
+func PairwiseAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	rank := p.Rank()
+	p.Memcpy(recv.Slice(rank*n, n), send.Slice(rank*n, n))
+	pow2 := P&(P-1) == 0
+	done := p.Phase(PhaseComm)
+	for i := 1; i < P; i++ {
+		var dst, src int
+		if pow2 {
+			dst = rank ^ i
+			src = dst
+		} else {
+			dst = (rank + i) % P
+			src = (rank - i + P) % P
+		}
+		p.SendRecv(dst, tagPairwise, send.Slice(dst*n, n), src, tagPairwise, recv.Slice(src*n, n))
+	}
+	done()
+	return nil
+}
+
+// SpreadOutUniform posts all P-1 nonblocking sends and receives at once
+// and waits, the uniform counterpart of the non-uniform spread-out
+// baseline.
+func SpreadOutUniform(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	rank := p.Rank()
+	p.Memcpy(recv.Slice(rank*n, n), send.Slice(rank*n, n))
+	done := p.Phase(PhaseComm)
+	reqs := make([]*mpi.Request, 0, 2*(P-1))
+	for i := 1; i < P; i++ {
+		src := (rank - i + P) % P
+		reqs = append(reqs, p.Irecv(src, tagSpreadOut, recv.Slice(src*n, n)))
+	}
+	for i := 1; i < P; i++ {
+		dst := (rank + i) % P
+		reqs = append(reqs, p.Isend(dst, tagSpreadOut, send.Slice(dst*n, n)))
+	}
+	p.Waitall(reqs)
+	done()
+	return nil
+}
+
+// VendorAlltoall models a vendor MPI_Alltoall: Bruck for small blocks,
+// pairwise exchange for large, the strategy MPICH documents.
+func VendorAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if n <= 256 && p.Size() >= 8 {
+		return BasicBruck(p, send, n, recv)
+	}
+	return PairwiseAlltoall(p, send, n, recv)
+}
+
+// NaiveAlltoall is the P^2-message reference implementation used by
+// tests as ground truth.
+func NaiveAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	reqs := make([]*mpi.Request, 0, 2*P)
+	for i := 0; i < P; i++ {
+		reqs = append(reqs, p.Irecv(i, tagNaive, recv.Slice(i*n, n)))
+	}
+	for i := 0; i < P; i++ {
+		reqs = append(reqs, p.Isend(i, tagNaive, send.Slice(i*n, n)))
+	}
+	p.Waitall(reqs)
+	return nil
+}

@@ -1,0 +1,166 @@
+package coll
+
+import (
+	"math/bits"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/datatype"
+	"bruckv/internal/mpi"
+)
+
+// Derived-datatype variants of the uniform Bruck algorithms. Instead of
+// packing blocks into staging buffers with explicit copies, each step
+// describes its non-contiguous blocks as a datatype and lets the
+// transport pack them, paying the model's datatype handling cost — the
+// trade the paper evaluates in Figure 2.
+
+// BasicBruckDT is BasicBruck with datatype-described exchange steps.
+func BasicBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	if P == 1 {
+		p.Memcpy(recv.Slice(0, n), send.Slice(0, n))
+		return nil
+	}
+	rank := p.Rank()
+
+	done := p.Phase(PhaseInitRotation)
+	work := p.AllocBuf(P * n)
+	head := (P - rank) * n
+	p.Memcpy(work.Slice(0, head), send.Slice(rank*n, head))
+	if rank > 0 {
+		p.Memcpy(work.Slice(head, rank*n), send.Slice(0, rank*n))
+	}
+	done()
+
+	done = p.Phase(PhaseComm)
+	var slots []int
+	for k := 0; 1<<k < P; k++ {
+		slots = sendSlots(slots, P, k)
+		st := datatype.Type{}
+		for _, s := range slots {
+			st = st.Append(work.Slice(s*n, n))
+		}
+		dst := (rank + 1<<k) % P
+		src := (rank - 1<<k + P) % P
+		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, st)
+	}
+	done()
+
+	done = p.Phase(PhaseFinalRotation)
+	for j := 0; j < P; j++ {
+		s := (rank - j + P) % P
+		p.Memcpy(recv.Slice(j*n, n), work.Slice(s*n, n))
+	}
+	done()
+	return nil
+}
+
+// ModifiedBruckDT is ModifiedBruck with datatype-described exchange
+// steps.
+func ModifiedBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	if P == 1 {
+		p.Memcpy(recv.Slice(0, n), send.Slice(0, n))
+		return nil
+	}
+	rank := p.Rank()
+
+	done := p.Phase(PhaseInitRotation)
+	for i := 0; i < P; i++ {
+		src := ((2*rank-i)%P + P) % P
+		p.Memcpy(recv.Slice(i*n, n), send.Slice(src*n, n))
+	}
+	done()
+
+	done = p.Phase(PhaseComm)
+	var rel []int
+	for k := 0; 1<<k < P; k++ {
+		rel = sendSlots(rel, P, k)
+		st := datatype.Type{}
+		for _, i := range rel {
+			s := (i + rank) % P
+			st = st.Append(recv.Slice(s*n, n))
+		}
+		dst := (rank - 1<<k + P) % P
+		src := (rank + 1<<k) % P
+		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, st)
+	}
+	done()
+	return nil
+}
+
+// ZeroCopyBruckDT avoids the per-step local copies of ModifiedBruck by
+// alternating each slot between the receive buffer and a temporary
+// buffer T, so a received block is sent from where it landed (Träff et
+// al.'s zero-copy scheme, realized with struct datatypes spanning both
+// buffers).
+//
+// For a slot whose relative index i has c set bits, the j-th transfer
+// (at the j-th set bit of i, counting from the lowest) is received into
+// the receive buffer when c-j is even and into T when it is odd, so the
+// final transfer always lands in the receive buffer; the initial
+// rotation therefore seeds slots with even popcount in the receive
+// buffer and the rest in T. The paper states the equivalent parity rule
+// in terms of the remaining set bits b = c-j+1.
+//
+// Because the slot-to-buffer mapping changes every step, the struct
+// datatypes cannot be cached and their construction is charged each
+// step — the overhead that makes this variant the slowest in Figure 2a.
+func ZeroCopyBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
+	if err := checkUniform(p, send, n, recv); err != nil {
+		return err
+	}
+	P := p.Size()
+	if P == 1 {
+		p.Memcpy(recv.Slice(0, n), send.Slice(0, n))
+		return nil
+	}
+	rank := p.Rank()
+	tmp := p.AllocBuf(P * n)
+
+	// slotBuf returns the buffer holding slot s just before its j-th
+	// transfer (j=0 means the initial placement).
+	slotBuf := func(i, j int) buffer.Buf {
+		c := bits.OnesCount(uint(i))
+		if (c-j)%2 == 0 {
+			return recv
+		}
+		return tmp
+	}
+
+	done := p.Phase(PhaseInitRotation)
+	for i := 0; i < P; i++ {
+		s := (i + rank) % P
+		src := ((2*rank-s)%P + P) % P
+		p.Memcpy(slotBuf(i, 0).Slice(s*n, n), send.Slice(src*n, n))
+	}
+	done()
+
+	done = p.Phase(PhaseComm)
+	var rel []int
+	for k := 0; 1<<k < P; k++ {
+		rel = sendSlots(rel, P, k)
+		st := datatype.Type{}
+		rt := datatype.Type{}
+		for _, i := range rel {
+			s := (i + rank) % P
+			j := bits.OnesCount(uint(i) & (1<<(k+1) - 1)) // this is transfer number j for slot s
+			st = st.Append(slotBuf(i, j-1).Slice(s*n, n))
+			rt = rt.Append(slotBuf(i, j).Slice(s*n, n))
+		}
+		// Fresh struct datatypes every step: pay creation for both.
+		datatype.ChargeCreate(p, st)
+		datatype.ChargeCreate(p, rt)
+		dst := (rank - 1<<k + P) % P
+		src := (rank + 1<<k) % P
+		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, rt)
+	}
+	done()
+	return nil
+}

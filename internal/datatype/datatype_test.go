@@ -1,0 +1,139 @@
+package datatype
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	back := buffer.New(32)
+	back.FillPattern(9)
+	tp := New(back.Slice(4, 8), back.Slice(20, 4), back.Slice(0, 2))
+	if tp.Blocks() != 3 || tp.Size() != 14 {
+		t.Fatalf("blocks=%d size=%d", tp.Blocks(), tp.Size())
+	}
+	wire := buffer.New(tp.Size())
+	if n := tp.Pack(wire); n != 14 {
+		t.Fatalf("Pack wrote %d", n)
+	}
+	dst := buffer.New(32)
+	rt := New(dst.Slice(4, 8), dst.Slice(20, 4), dst.Slice(0, 2))
+	if n := rt.Unpack(wire); n != 14 {
+		t.Fatalf("Unpack consumed %d", n)
+	}
+	for _, rng := range [][2]int{{4, 8}, {20, 4}, {0, 2}} {
+		if !buffer.Equal(dst.Slice(rng[0], rng[1]), back.Slice(rng[0], rng[1])) {
+			t.Fatalf("range %v not round-tripped", rng)
+		}
+	}
+}
+
+// Property: pack then unpack into a fresh layout of the same shape
+// reproduces all covered bytes, for arbitrary block splits.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, cuts [4]uint8) bool {
+		src := buffer.New(64)
+		src.FillPattern(seed)
+		dst := buffer.New(64)
+		var st, rt Type
+		off := 0
+		for _, c := range cuts {
+			ln := int(c) % 12
+			if off+ln > 64 {
+				break
+			}
+			st = st.Append(src.Slice(off, ln))
+			rt = rt.Append(dst.Slice(off, ln))
+			off += ln + 1 // leave gaps
+		}
+		wire := buffer.New(st.Size())
+		st.Pack(wire)
+		rt.Unpack(wire)
+		for i := 0; i < rt.Blocks(); i++ {
+			// recheck each covered region
+		}
+		// verify via a second pack from dst
+		wire2 := buffer.New(rt.Size())
+		rt.Pack(wire2)
+		return buffer.Equal(wire, wire2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvDatatype(t *testing.T) {
+	m := machine.Zero()
+	m.DTypeBlock = 100
+	m.DTypeByte = 1
+	w, err := mpi.NewWorld(2, mpi.WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		if p.Rank() == 0 {
+			src := buffer.New(16)
+			src.FillPattern(3)
+			Send(p, 1, 5, New(src.Slice(0, 4), src.Slice(8, 4)))
+			// pack cost: 2 blocks * 100 + 8 bytes * 1 = 208
+			if p.Now() != 208 {
+				t.Errorf("sender clock %v, want 208", p.Now())
+			}
+		} else {
+			dst := buffer.New(16)
+			n := Recv(p, 0, 5, New(dst.Slice(2, 4), dst.Slice(10, 4)))
+			if n != 8 {
+				t.Errorf("received %d bytes", n)
+			}
+			src := buffer.New(16)
+			src.FillPattern(3)
+			if !buffer.Equal(dst.Slice(2, 4), src.Slice(0, 4)) || !buffer.Equal(dst.Slice(10, 4), src.Slice(8, 4)) {
+				t.Error("datatype receive scattered wrong bytes")
+			}
+			// The message could not arrive before the sender finished
+			// packing (208); unpack adds another 208 on the receiver.
+			if p.Now() != 416 {
+				t.Errorf("receiver clock %v, want 416", p.Now())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeCreate(t *testing.T) {
+	m := machine.Zero()
+	m.DTypeBlock = 7
+	w, err := mpi.NewWorld(1, mpi.WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		b := buffer.New(8)
+		ChargeCreate(p, New(b.Slice(0, 2), b.Slice(4, 2), b.Slice(6, 2)))
+		if p.Now() != 21 {
+			t.Errorf("clock %v, want 21", p.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyType(t *testing.T) {
+	var tp Type
+	if tp.Size() != 0 || tp.Blocks() != 0 {
+		t.Fatal("empty type should be empty")
+	}
+	wire := buffer.New(0)
+	if tp.Pack(wire) != 0 || tp.Unpack(wire) != 0 {
+		t.Fatal("empty pack/unpack should move nothing")
+	}
+}

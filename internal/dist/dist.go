@@ -1,0 +1,213 @@
+// Package dist generates the block-size distributions of the paper's
+// evaluation: continuous uniform (Section 4.1), windowed uniform for the
+// sensitivity study (Section 4.2), and the power-law and normal
+// distributions of Section 4.3.
+//
+// Sizes are produced by a pure function of (seed, src, dst), so the
+// sender and receiver of a block independently compute the same size —
+// no P x P matrix is ever materialized, which is what lets the harness
+// scale to thousands of simulated ranks.
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects a distribution family.
+type Kind int
+
+const (
+	// Uniform draws block sizes uniformly from [0, N] (the paper's
+	// continuous uniform distribution; average block N/2).
+	Uniform Kind = iota
+	// Windowed draws uniformly from [(100-R)% of N, N], the sensitivity
+	// study's (100-r)-r configurations.
+	Windowed
+	// Normal draws from a Gaussian with mean N/2 and sigma N/6, clamped
+	// to the +-3 sigma window [0, N].
+	Normal
+	// PowerLaw draws N * Base^(u*P) for u uniform in [0,1): most blocks
+	// tiny, a few near N, matching the paper's exponent-base
+	// distributions.
+	PowerLaw
+	// Fixed makes every block exactly N bytes (uniform all-to-all
+	// expressed through the non-uniform interface).
+	Fixed
+)
+
+// String returns the kind's harness name.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Windowed:
+		return "windowed"
+	case Normal:
+		return "normal"
+	case PowerLaw:
+		return "powerlaw"
+	case Fixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec fully describes a workload distribution.
+type Spec struct {
+	Kind Kind
+	// N is the maximum block size in bytes.
+	N int
+	// R is the Windowed spread percentage: sizes span [(100-R)%*N, N].
+	// R=100 equals Uniform; R=0 equals Fixed.
+	R int
+	// Base is the PowerLaw exponent base in (0, 1), e.g. 0.99.
+	Base float64
+	// Seed makes workloads reproducible.
+	Seed uint64
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.N < 0 {
+		return fmt.Errorf("dist: negative max block size %d", s.N)
+	}
+	switch s.Kind {
+	case Windowed:
+		if s.R < 0 || s.R > 100 {
+			return fmt.Errorf("dist: windowed R=%d outside [0,100]", s.R)
+		}
+	case PowerLaw:
+		if s.Base <= 0 || s.Base >= 1 {
+			return fmt.Errorf("dist: power-law base %v outside (0,1)", s.Base)
+		}
+	case Uniform, Normal, Fixed:
+	default:
+		return fmt.Errorf("dist: unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// String names the spec for harness output.
+func (s Spec) String() string {
+	switch s.Kind {
+	case Windowed:
+		return fmt.Sprintf("windowed(%d-%d,N=%d)", 100-s.R, s.R, s.N)
+	case PowerLaw:
+		return fmt.Sprintf("powerlaw(base=%g,N=%d)", s.Base, s.N)
+	default:
+		return fmt.Sprintf("%s(N=%d)", s.Kind, s.N)
+	}
+}
+
+// mix is splitmix64's finalizer over the (seed, src, dst) triple.
+func mix(seed uint64, src, dst int) uint64 {
+	x := seed + 0x9e3779b97f4a7c15
+	x += uint64(src) * 0xbf58476d1ce4e5b9
+	x += uint64(dst) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u01 maps the hash to [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+// BlockSize returns the byte size of the block rank src sends to rank
+// dst in a world of P ranks. It is deterministic in (Spec, src, dst):
+// both endpoints compute the same value.
+func (s Spec) BlockSize(src, dst, P int) int {
+	if s.N == 0 {
+		return 0
+	}
+	h := mix(s.Seed, src, dst)
+	switch s.Kind {
+	case Fixed:
+		return s.N
+	case Uniform:
+		return int(h % uint64(s.N+1))
+	case Windowed:
+		lo := float64(s.N) * float64(100-s.R) / 100
+		return clampInt(lo+u01(h)*(float64(s.N)-lo), 0, s.N)
+	case Normal:
+		// Box-Muller with a second hash draw.
+		u1 := u01(h)
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		u2 := u01(mix(s.Seed^0xabcdef, dst, src))
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		mean, sigma := float64(s.N)/2, float64(s.N)/6
+		return clampInt(mean+sigma*z, 0, s.N)
+	case PowerLaw:
+		e := u01(h) * float64(P)
+		return clampInt(float64(s.N)*math.Pow(s.Base, e), 0, s.N)
+	}
+	return 0
+}
+
+func clampInt(v float64, lo, hi int) int {
+	x := int(math.Round(v))
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Counts fills sc[d] with the sizes rank sends to each destination and
+// rc[s] with the sizes it receives from each source. The slices must
+// have length P.
+func (s Spec) Counts(rank, P int, sc, rc []int) {
+	for d := 0; d < P; d++ {
+		sc[d] = s.BlockSize(rank, d, P)
+	}
+	for src := 0; src < P; src++ {
+		rc[src] = s.BlockSize(src, rank, P)
+	}
+}
+
+// TotalPerRank returns the total bytes rank sends under the spec, used
+// to report workload weights like the paper's Section 4.3 comparison.
+func (s Spec) TotalPerRank(rank, P int) int64 {
+	var t int64
+	for d := 0; d < P; d++ {
+		t += int64(s.BlockSize(rank, d, P))
+	}
+	return t
+}
+
+// Mean returns the expected block size in bytes for a P-rank world,
+// used by the analytic model for large-P figure points.
+func (s Spec) Mean(P int) float64 {
+	n := float64(s.N)
+	switch s.Kind {
+	case Fixed:
+		return n
+	case Uniform:
+		return n / 2
+	case Windowed:
+		return n * (200 - float64(s.R)) / 200
+	case Normal:
+		return n / 2
+	case PowerLaw:
+		if P <= 0 || s.Base <= 0 || s.Base >= 1 {
+			return n / 2
+		}
+		l := math.Log(1 / s.Base)
+		return n * (1 - math.Pow(s.Base, float64(P))) / (float64(P) * l)
+	}
+	return n / 2
+}
+
+// WithIteration derives a new spec whose seed incorporates an iteration
+// number, so repeated exchanges see fresh but reproducible workloads.
+func (s Spec) WithIteration(it int) Spec {
+	s.Seed = mix(s.Seed, it, 0x5eed)
+	return s
+}

@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Spec{
+		{Kind: Uniform, N: 64},
+		{Kind: Windowed, N: 64, R: 50},
+		{Kind: Normal, N: 128},
+		{Kind: PowerLaw, N: 64, Base: 0.99},
+		{Kind: Fixed, N: 8},
+		{Kind: Uniform, N: 0},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{Kind: Uniform, N: -1},
+		{Kind: Windowed, N: 64, R: 101},
+		{Kind: Windowed, N: 64, R: -1},
+		{Kind: PowerLaw, N: 64, Base: 0},
+		{Kind: PowerLaw, N: 64, Base: 1},
+		{Kind: Kind(99), N: 64},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%+v: expected validation error", s)
+		}
+	}
+}
+
+func TestDeterministicAcrossEndpoints(t *testing.T) {
+	for _, k := range []Kind{Uniform, Windowed, Normal, PowerLaw, Fixed} {
+		s := Spec{Kind: k, N: 256, R: 40, Base: 0.99, Seed: 7}
+		for src := 0; src < 10; src++ {
+			for dst := 0; dst < 10; dst++ {
+				if a, b := s.BlockSize(src, dst, 10), s.BlockSize(src, dst, 10); a != b {
+					t.Fatalf("%v: size(%d,%d) not deterministic: %d vs %d", k, src, dst, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	f := func(seed uint64, kindRaw, srcRaw, dstRaw uint8) bool {
+		kinds := []Kind{Uniform, Windowed, Normal, PowerLaw, Fixed}
+		s := Spec{Kind: kinds[int(kindRaw)%len(kinds)], N: 100, R: 30, Base: 0.9, Seed: seed}
+		v := s.BlockSize(int(srcRaw), int(dstRaw), 300)
+		return v >= 0 && v <= s.N
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedLowerBound(t *testing.T) {
+	s := Spec{Kind: Windowed, N: 1000, R: 20, Seed: 3} // sizes in [800, 1000]
+	for src := 0; src < 20; src++ {
+		for dst := 0; dst < 20; dst++ {
+			v := s.BlockSize(src, dst, 20)
+			if v < 800 || v > 1000 {
+				t.Fatalf("windowed size %d outside [800,1000]", v)
+			}
+		}
+	}
+}
+
+func TestWindowedZeroIsFixed(t *testing.T) {
+	s := Spec{Kind: Windowed, N: 64, R: 0, Seed: 1}
+	for d := 0; d < 8; d++ {
+		if v := s.BlockSize(0, d, 8); v != 64 {
+			t.Fatalf("R=0 should pin sizes at N: got %d", v)
+		}
+	}
+}
+
+func TestUniformMeanNearHalfN(t *testing.T) {
+	s := Spec{Kind: Uniform, N: 1024, Seed: 11}
+	const P = 512
+	var sum float64
+	for d := 0; d < P; d++ {
+		sum += float64(s.BlockSize(3, d, P))
+	}
+	mean := sum / P
+	if math.Abs(mean-512) > 60 {
+		t.Fatalf("uniform mean %v too far from N/2=512", mean)
+	}
+}
+
+func TestNormalMeanAndSpread(t *testing.T) {
+	s := Spec{Kind: Normal, N: 1200, Seed: 13}
+	const P = 2048
+	var sum, sumsq float64
+	for d := 0; d < P; d++ {
+		v := float64(s.BlockSize(1, d, P))
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / P
+	sd := math.Sqrt(sumsq/P - mean*mean)
+	if math.Abs(mean-600) > 40 {
+		t.Fatalf("normal mean %v too far from 600", mean)
+	}
+	if sd < 120 || sd > 280 {
+		t.Fatalf("normal sd %v outside plausible range around N/6=200", sd)
+	}
+}
+
+// The paper observes the normal workload is much heavier than the
+// power-law one (Section 4.3: 1,593,933 vs 203,928 bytes per process at
+// P=4096). The generators must reproduce that gap.
+func TestPowerLawMuchLighterThanNormal(t *testing.T) {
+	const P = 4096
+	pl := Spec{Kind: PowerLaw, N: 1024, Base: 0.99, Seed: 5}
+	no := Spec{Kind: Normal, N: 1024, Seed: 5}
+	tp, tn := pl.TotalPerRank(0, P), no.TotalPerRank(0, P)
+	if tp*4 > tn {
+		t.Fatalf("power-law total %d should be well under normal total %d", tp, tn)
+	}
+	// Same order of magnitude as the paper's report.
+	if tp < 50_000 || tp > 500_000 {
+		t.Errorf("power-law per-rank total %d outside the paper's ballpark (~204k at N=1024-2048)", tp)
+	}
+	if tn < 1_000_000 || tn > 3_000_000 {
+		t.Errorf("normal per-rank total %d outside the paper's ballpark (~1.6M)", tn)
+	}
+}
+
+func TestPowerLawBaseOrdering(t *testing.T) {
+	const P = 1024
+	heavy := Spec{Kind: PowerLaw, N: 512, Base: 0.999, Seed: 9}
+	light := Spec{Kind: PowerLaw, N: 512, Base: 0.99, Seed: 9}
+	if heavy.TotalPerRank(0, P) <= light.TotalPerRank(0, P) {
+		t.Fatal("base closer to 1 should generate heavier workloads")
+	}
+}
+
+func TestCountsSymmetry(t *testing.T) {
+	s := Spec{Kind: Uniform, N: 77, Seed: 21}
+	const P = 9
+	sc := make([][]int, P)
+	rc := make([][]int, P)
+	for r := 0; r < P; r++ {
+		sc[r] = make([]int, P)
+		rc[r] = make([]int, P)
+		s.Counts(r, P, sc[r], rc[r])
+	}
+	for src := 0; src < P; src++ {
+		for dst := 0; dst < P; dst++ {
+			if sc[src][dst] != rc[dst][src] {
+				t.Fatalf("counts inconsistent: send[%d][%d]=%d recv[%d][%d]=%d",
+					src, dst, sc[src][dst], dst, src, rc[dst][src])
+			}
+		}
+	}
+}
+
+func TestWithIterationChangesSeed(t *testing.T) {
+	s := Spec{Kind: Uniform, N: 100, Seed: 4}
+	a := s.WithIteration(1)
+	b := s.WithIteration(2)
+	if a.Seed == b.Seed || a.Seed == s.Seed {
+		t.Fatal("WithIteration should derive distinct seeds")
+	}
+	if a.WithIteration(3) != a.WithIteration(3) {
+		t.Fatal("WithIteration must be deterministic")
+	}
+}
+
+func TestZeroN(t *testing.T) {
+	for _, k := range []Kind{Uniform, Windowed, Normal, PowerLaw, Fixed} {
+		s := Spec{Kind: k, N: 0, Base: 0.5}
+		if v := s.BlockSize(1, 2, 4); v != 0 {
+			t.Fatalf("%v: N=0 should force size 0, got %d", k, v)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if got := (Spec{Kind: Windowed, N: 64, R: 20}).String(); got != "windowed(80-20,N=64)" {
+		t.Errorf("windowed name = %q", got)
+	}
+	if got := (Spec{Kind: Uniform, N: 16}).String(); got != "uniform(N=16)" {
+		t.Errorf("uniform name = %q", got)
+	}
+	if got := (Spec{Kind: PowerLaw, N: 8, Base: 0.99}).String(); got != "powerlaw(base=0.99,N=8)" {
+		t.Errorf("powerlaw name = %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// Mean must track the empirical average of the generator within a few
+// percent for every distribution family.
+func TestMeanMatchesEmpirical(t *testing.T) {
+	const P = 4096
+	specs := []Spec{
+		{Kind: Uniform, N: 1024, Seed: 3},
+		{Kind: Windowed, N: 1024, R: 40, Seed: 3},
+		{Kind: Windowed, N: 1024, R: 0, Seed: 3},
+		{Kind: Normal, N: 1024, Seed: 3},
+		{Kind: PowerLaw, N: 1024, Base: 0.99, Seed: 3},
+		{Kind: PowerLaw, N: 1024, Base: 0.999, Seed: 3},
+		{Kind: Fixed, N: 1024, Seed: 3},
+	}
+	for _, s := range specs {
+		var sum float64
+		for d := 0; d < P; d++ {
+			sum += float64(s.BlockSize(1, d, P))
+		}
+		emp := sum / P
+		model := s.Mean(P)
+		if model <= 0 && s.N > 0 {
+			t.Errorf("%v: non-positive mean %v", s, model)
+			continue
+		}
+		if math.Abs(emp-model) > 0.08*float64(s.N)+2 {
+			t.Errorf("%v: empirical mean %.1f vs model %.1f", s, emp, model)
+		}
+	}
+}
+
+func TestMeanDegenerate(t *testing.T) {
+	// Invalid power-law parameters fall back rather than dividing by
+	// zero.
+	s := Spec{Kind: PowerLaw, N: 100, Base: 0}
+	if m := s.Mean(0); math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Fatalf("degenerate mean = %v", m)
+	}
+	if got := (Spec{Kind: Kind(42), N: 100}).Mean(8); got != 50 {
+		t.Fatalf("unknown kind mean = %v, want N/2 fallback", got)
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestTotalPerRankFixed(t *testing.T) {
+	s := Spec{Kind: Fixed, N: 10}
+	if got := s.TotalPerRank(0, 8); got != 80 {
+		t.Fatalf("TotalPerRank = %d", got)
+	}
+}

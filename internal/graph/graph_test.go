@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"testing"
+
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+	"bruckv/internal/ra"
+)
+
+func TestLongChainShape(t *testing.T) {
+	edges := LongChain(10, 5, 1)
+	if len(edges) != 14 {
+		t.Fatalf("edges = %d, want 14", len(edges))
+	}
+	for i := 0; i < 9; i++ {
+		if edges[i].From != int32(i) || edges[i].To != int32(i+1) {
+			t.Fatalf("backbone edge %d = %v", i, edges[i])
+		}
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.To < 0 || e.From >= 10 || e.To >= 10 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+}
+
+func TestDenseBlocksShape(t *testing.T) {
+	edges := DenseBlocks(50, 3, 2)
+	if len(edges) != 150 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.From == e.To {
+			t.Fatalf("self loop: %v", e)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := DenseBlocks(20, 2, 7)
+	b := DenseBlocks(20, 2, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	c := DenseBlocks(20, 2, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestSequentialTCChain(t *testing.T) {
+	// Chain 0->1->2->3: closure has n(n-1)/2 = 6 pairs.
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}}
+	c := SequentialTC(edges)
+	if len(c) != 6 {
+		t.Fatalf("closure size = %d, want 6", len(c))
+	}
+	if !c[[2]int32{0, 3}] {
+		t.Fatal("0 should reach 3")
+	}
+}
+
+func tcOn(t *testing.T, P int, edges []Edge, alg string) TCResult {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res TCResult
+	err = w.Run(func(p *mpi.Proc) error {
+		r, err := TransitiveClosure(p, edges, alg)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDistributedTCMatchesSequential(t *testing.T) {
+	cases := [][]Edge{
+		LongChain(12, 4, 3),
+		DenseBlocks(25, 2, 4),
+		{{0, 1}, {1, 0}}, // cycle
+		{{5, 5}},         // self loop only
+	}
+	for i, edges := range cases {
+		want := int64(len(SequentialTC(edges)))
+		for _, alg := range []string{"vendor", "two-phase"} {
+			for _, P := range []int{1, 3, 8} {
+				res := tcOn(t, P, edges, alg)
+				if res.TotalPaths != want {
+					t.Errorf("case %d alg %s P=%d: %d paths, want %d", i, alg, P, res.TotalPaths, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTCRegimes(t *testing.T) {
+	// LongChain: iterations scale with diameter.
+	chain := tcOn(t, 4, LongChain(30, 0, 1), "two-phase")
+	if chain.Iterations < 15 {
+		t.Errorf("long chain converged in %d iterations; expected a long fixpoint", chain.Iterations)
+	}
+	// DenseBlocks: logarithmic diameter, few iterations.
+	dense := tcOn(t, 4, DenseBlocks(60, 4, 1), "two-phase")
+	if dense.Iterations > 12 {
+		t.Errorf("dense graph took %d iterations; expected a short fixpoint", dense.Iterations)
+	}
+	if dense.TotalPaths <= chain.TotalPaths/2 {
+		// dense 60-node graph with degree 4 is almost fully connected:
+		// ~3600 pairs vs chain's ~465.
+		t.Errorf("dense graph should generate many more paths: %d vs %d", dense.TotalPaths, chain.TotalPaths)
+	}
+}
+
+func TestTCStatsPopulated(t *testing.T) {
+	res := tcOn(t, 4, LongChain(15, 3, 9), "two-phase")
+	if res.CommNs <= 0 || res.TotalNs <= res.CommNs {
+		t.Errorf("times: comm=%v total=%v", res.CommNs, res.TotalNs)
+	}
+	if len(res.PerIter) != res.Iterations {
+		t.Errorf("per-iter stats %d != iterations %d", len(res.PerIter), res.Iterations)
+	}
+	var sum float64
+	for _, it := range res.PerIter {
+		sum += it.CommNs
+	}
+	if sum <= 0 || sum > res.CommNs*1.001 {
+		t.Errorf("per-iteration comm %v inconsistent with total %v", sum, res.CommNs)
+	}
+}
+
+func TestTCDeterministicTiming(t *testing.T) {
+	a := tcOn(t, 4, DenseBlocks(30, 2, 5), "two-phase")
+	b := tcOn(t, 4, DenseBlocks(30, 2, 5), "two-phase")
+	if a.TotalNs != b.TotalNs || a.CommNs != b.CommNs {
+		t.Errorf("timing not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTCCheckpointing(t *testing.T) {
+	const P = 3
+	dir := t.TempDir()
+	edges := LongChain(12, 2, 4)
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths int64
+	err = w.Run(func(p *mpi.Proc) error {
+		res, err := TransitiveClosureOpts(p, edges, TCOptions{
+			Algorithm: "two-phase", CheckpointDir: dir, CheckpointEvery: 3,
+		})
+		if p.Rank() == 0 {
+			paths = res.TotalPaths
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank must have written its partition, and the union must
+	// equal the closure.
+	var restored int64
+	for r := 0; r < P; r++ {
+		rel, err := ra.Restore(dir, "T", r)
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		restored += int64(rel.Len())
+	}
+	if restored != paths {
+		t.Fatalf("checkpointed %d tuples, closure has %d", restored, paths)
+	}
+}

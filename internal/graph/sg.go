@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"bruckv/internal/mpi"
+	"bruckv/internal/ra"
+)
+
+// Same-generation (SG) is the second classic Datalog workload family
+// the BPRA literature behind the paper's Section 5 evaluates. Two
+// vertices are in the same generation when they have a common ancestor
+// at equal depth:
+//
+//	sg(x, y) <- edge(p, x), edge(p, y), x != y
+//	sg(x, y) <- edge(a, x), sg(a, b), edge(b, y)
+//
+// Unlike transitive closure, each fixpoint iteration needs two chained
+// joins and therefore two all-to-all exchanges, doubling the pressure
+// on the collective and exercising the exchanger with intermediate
+// (not just result) tuples.
+
+// SGResult summarizes a distributed same-generation run.
+type SGResult struct {
+	Iterations int
+	TotalPairs int64
+	CommNs     float64
+	TotalNs    float64
+}
+
+// SameGeneration computes the SG relation of the edge list, distributed
+// across p's world, using the named all-to-all algorithm. Every rank
+// must pass the same edge list; the result is identical on all ranks.
+func SameGeneration(p *mpi.Proc, edges []Edge, algorithm string) (SGResult, error) {
+	P := p.Size()
+	ex, err := ra.NewExchanger(p, algorithm)
+	if err != nil {
+		return SGResult{}, err
+	}
+	start := p.Now()
+
+	// edge(p, c) keyed by parent; sg(x, y) and its delta keyed by x.
+	e := ra.NewRelation("edge", 0)
+	sg := ra.NewRelation("sg", 0)
+
+	out := make([][]ra.Tuple, P)
+	for _, ed := range edges {
+		t := ra.Tuple{ed.From, ed.To}
+		if t.Owner(0, P) == p.Rank() {
+			e.Insert(t)
+		}
+	}
+
+	// Base case: sibling pairs, generated at the parent's owner and
+	// routed to owner(x).
+	ra.ClearRouted(out)
+	e.Each(func(t ra.Tuple) {
+		for _, u := range e.Probe(t[0]) {
+			if t[1] != u[1] {
+				ra.Route(out, ra.Tuple{t[1], u[1]}, 0, P)
+			}
+		}
+	})
+	p.Charge(float64(e.Len()) * probeCostNs)
+	in, err := ex.Exchange(out)
+	if err != nil {
+		return SGResult{}, err
+	}
+	var delta []ra.Tuple
+	for _, t := range in {
+		if sg.Insert(t) {
+			delta = append(delta, t)
+		}
+	}
+	p.Charge(float64(len(in)) * insertCostNs)
+
+	res := SGResult{}
+	for {
+		res.Iterations++
+		if p.AllreduceSumInt64(int64(len(delta))) == 0 {
+			break
+		}
+
+		// Join 1: sg(a, b) [keyed a, local] x edge(a, x) -> mid(b, x),
+		// routed by b.
+		ra.ClearRouted(out)
+		probes, outs := 0, 0
+		for _, d := range delta {
+			for _, et := range e.Probe(d[0]) {
+				ra.Route(out, ra.Tuple{d[1], et[1]}, 0, P)
+				outs++
+			}
+			probes++
+		}
+		p.Charge(float64(probes)*probeCostNs + float64(outs)*insertCostNs)
+		mid, err := ex.Exchange(out)
+		if err != nil {
+			return res, err
+		}
+
+		// Join 2: mid(b, x) x edge(b, y) -> sg(x, y), routed by x.
+		ra.ClearRouted(out)
+		probes, outs = 0, 0
+		for _, m := range mid {
+			for _, et := range e.Probe(m[0]) {
+				if m[1] != et[1] {
+					ra.Route(out, ra.Tuple{m[1], et[1]}, 0, P)
+					outs++
+				}
+			}
+			probes++
+		}
+		p.Charge(float64(probes)*probeCostNs + float64(outs)*insertCostNs)
+		in, err := ex.Exchange(out)
+		if err != nil {
+			return res, err
+		}
+
+		delta = delta[:0]
+		for _, cand := range in {
+			if sg.Insert(cand) {
+				delta = append(delta, cand)
+			}
+		}
+		p.Charge(float64(len(in)) * insertCostNs)
+	}
+
+	res.TotalPairs = p.AllreduceSumInt64(int64(sg.Len()))
+	res.CommNs = ex.CommNs
+	res.TotalNs = p.Now() - start
+	return res, nil
+}
+
+// SequentialSG computes the same-generation relation on one thread;
+// tests use it as ground truth.
+func SequentialSG(edges []Edge) map[[2]int32]bool {
+	children := map[int32][]int32{}
+	for _, e := range edges {
+		children[e.From] = append(children[e.From], e.To)
+	}
+	sgSet := map[[2]int32]bool{}
+	var frontier [][2]int32
+	add := func(x, y int32) {
+		k := [2]int32{x, y}
+		if x != y && !sgSet[k] {
+			sgSet[k] = true
+			frontier = append(frontier, k)
+		}
+	}
+	for _, kids := range children {
+		for _, x := range kids {
+			for _, y := range kids {
+				add(x, y)
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		batch := frontier
+		frontier = nil
+		for _, ab := range batch {
+			for _, x := range children[ab[0]] {
+				for _, y := range children[ab[1]] {
+					add(x, y)
+				}
+			}
+		}
+	}
+	return sgSet
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"testing"
+
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func TestBalancedTree(t *testing.T) {
+	edges := BalancedTree(2, 3) // 1 root, 3 children, 9 grandchildren
+	if len(edges) != 12 {
+		t.Fatalf("edges = %d, want 12", len(edges))
+	}
+	if got := len(BalancedTree(0, 5)); got != 0 {
+		t.Fatalf("depth-0 tree has %d edges", got)
+	}
+}
+
+func TestSequentialSGTree(t *testing.T) {
+	// Depth-2 binary tree: level 1 has 2 vertices (2 ordered pairs),
+	// level 2 has 4 (12 ordered pairs); total 14.
+	sg := SequentialSG(BalancedTree(2, 2))
+	if len(sg) != 14 {
+		t.Fatalf("sg pairs = %d, want 14", len(sg))
+	}
+	for k := range sg {
+		if k[0] == k[1] {
+			t.Fatalf("reflexive pair %v", k)
+		}
+	}
+}
+
+func sgOn(t *testing.T, P int, edges []Edge, alg string) SGResult {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SGResult
+	err = w.Run(func(p *mpi.Proc) error {
+		r, err := SameGeneration(p, edges, alg)
+		if p.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDistributedSGMatchesSequential(t *testing.T) {
+	cases := [][]Edge{
+		BalancedTree(3, 2),
+		BalancedTree(2, 3),
+		LongChain(10, 6, 5),
+		{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {1, 5}}, // small irregular tree
+	}
+	for i, edges := range cases {
+		want := int64(len(SequentialSG(edges)))
+		for _, alg := range []string{"vendor", "two-phase", "two-phase-r4"} {
+			for _, P := range []int{1, 4, 6} {
+				res := sgOn(t, P, edges, alg)
+				if res.TotalPairs != want {
+					t.Errorf("case %d alg %s P=%d: %d pairs, want %d", i, alg, P, res.TotalPairs, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSGStats(t *testing.T) {
+	res := sgOn(t, 4, BalancedTree(3, 2), "two-phase")
+	if res.CommNs <= 0 || res.TotalNs < res.CommNs {
+		t.Errorf("times: comm=%v total=%v", res.CommNs, res.TotalNs)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestSGEmptyGraph(t *testing.T) {
+	res := sgOn(t, 3, []Edge{{0, 1}}, "vendor") // single child: no pairs
+	if res.TotalPairs != 0 {
+		t.Errorf("pairs = %d, want 0", res.TotalPairs)
+	}
+}

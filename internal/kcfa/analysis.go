@@ -1,0 +1,356 @@
+package kcfa
+
+import (
+	"bruckv/internal/mpi"
+	"bruckv/internal/ra"
+)
+
+// Distributed k-CFA. Times are 64-bit call strings (up to k=8 frames),
+// carried as two int32 columns plus a 32-bit routing fold in column 2 —
+// every fact about time t lives on hash(fold(t))'s rank, so a state's
+// own frame is always local:
+//
+//	state:     {kindState, call, route(t), tLo, tHi}
+//	store:     {kindStore, var, route(t), tLo, tHi, lam, cLo, cHi}
+//	subscribe: {kindSub, var, route(tcap), cLo, cHi, dLo, dHi}
+//
+// A subscription asks tcap's owner to forward every present and future
+// value of (var, tcap) to (var, dstTime) — the distributed realization
+// of the frame copy. One all-to-all exchange per iteration moves all
+// three kinds; the fixpoint ends when an iteration inserts nothing new
+// anywhere.
+const (
+	kindState int32 = iota
+	kindStore
+	kindSub
+)
+
+// route folds a 64-bit time into the 32-bit routing column.
+func route(t Time) int32 {
+	x := t
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int32(uint32(x))
+}
+
+func timeLo(t Time) int32 { return int32(uint32(t)) }
+func timeHi(t Time) int32 { return int32(uint32(t >> 32)) }
+
+func timeOf(lo, hi int32) Time {
+	return Time(uint32(lo)) | Time(uint32(hi))<<32
+}
+
+// Per-fact compute charges (ns), so application-level timings include
+// the analysis work itself.
+const (
+	stepCostNs   = 40
+	emitCostNs   = 15
+	insertCostNs = 25
+)
+
+// IterStat records one fixpoint iteration for Figure-12-style plots.
+type IterStat struct {
+	NewFacts      int64
+	CommNs        float64
+	MaxBlockBytes int
+}
+
+// Result summarizes a distributed analysis run; identical on all ranks
+// except PerIter, which is populated everywhere.
+type Result struct {
+	Iterations   int
+	States       int64
+	StoreEntries int64
+	CommNs       float64
+	TotalNs      float64
+	PerIter      []IterStat
+}
+
+// Facts returns states plus store bindings.
+func (r *Result) Facts() int64 { return r.States + r.StoreEntries }
+
+type analyzer struct {
+	p    *mpi.Proc
+	prog *Program
+	ex   *ra.Exchanger
+
+	states       map[State]bool
+	statesByTime map[Time][]int32 // call sites per time
+	store        map[Addr]map[Clo]bool
+	subs         map[Addr]map[Time]bool
+
+	out      [][]ra.Tuple
+	inserted int64
+	emitted  int64
+}
+
+func (a *analyzer) emit(t ra.Tuple) {
+	ra.Route(a.out, t, 2, a.p.Size())
+	a.emitted++
+}
+
+func (a *analyzer) emitState(call int32, t Time) {
+	a.emit(ra.Tuple{kindState, call, route(t), timeLo(t), timeHi(t)})
+}
+
+func (a *analyzer) emitStore(v int32, t Time, c Clo) {
+	a.emit(ra.Tuple{kindStore, v, route(t), timeLo(t), timeHi(t), c.Lam, timeLo(c.T), timeHi(c.T)})
+}
+
+func (a *analyzer) emitSub(v int32, tcap, dst Time) {
+	a.emit(ra.Tuple{kindSub, v, route(tcap), timeLo(tcap), timeHi(tcap), timeLo(dst), timeHi(dst)})
+}
+
+// absorb processes one incoming fact, returning the time to mark dirty
+// (or ^Time(0) for none).
+func (a *analyzer) absorb(f ra.Tuple) (Time, bool) {
+	switch f[0] {
+	case kindState:
+		s := State{f[1], timeOf(f[3], f[4])}
+		if a.states[s] {
+			return 0, false
+		}
+		a.states[s] = true
+		a.statesByTime[s.T] = append(a.statesByTime[s.T], s.Call)
+		a.inserted++
+		return s.T, true
+	case kindStore:
+		ad := Addr{f[1], timeOf(f[3], f[4])}
+		c := Clo{f[5], timeOf(f[6], f[7])}
+		vs := a.store[ad]
+		if vs == nil {
+			vs = map[Clo]bool{}
+			a.store[ad] = vs
+		}
+		if vs[c] {
+			return 0, false
+		}
+		vs[c] = true
+		a.inserted++
+		// Forward to subscribers of this address.
+		for dst := range a.subs[ad] {
+			a.emitStore(ad.Var, dst, c)
+		}
+		return ad.T, true
+	case kindSub:
+		ad := Addr{f[1], timeOf(f[3], f[4])}
+		dst := timeOf(f[5], f[6])
+		ds := a.subs[ad]
+		if ds == nil {
+			ds = map[Time]bool{}
+			a.subs[ad] = ds
+		}
+		if ds[dst] {
+			return 0, false
+		}
+		ds[dst] = true
+		a.inserted++
+		// Forward current contents immediately.
+		for c := range a.store[ad] {
+			a.emitStore(ad.Var, dst, c)
+		}
+		return 0, false // subs don't dirty local states
+	}
+	return 0, false
+}
+
+// step re-executes every state at time t against the current local
+// frame.
+func (a *analyzer) step(t Time) {
+	for _, call := range a.statesByTime[t] {
+		c := a.prog.Calls[call]
+		a.p.Charge(stepCostNs)
+		for _, f := range a.evalLocal(c.F, t) {
+			lam := a.prog.Lams[f.Lam]
+			tnew := Tick(t, c.Lab, a.prog.K)
+			for _, arg := range a.evalLocal(c.A, t) {
+				a.emitStore(lam.Param, tnew, arg)
+			}
+			for _, x := range lam.Free {
+				a.emitSub(x, f.T, tnew)
+			}
+			a.emitState(lam.Body, tnew)
+		}
+	}
+}
+
+// evalLocal resolves an atom at time t; variable frames at t are local
+// by the partitioning invariant.
+func (a *analyzer) evalLocal(at Atom, t Time) []Clo {
+	if at.IsVar {
+		vs := a.store[Addr{at.Var, t}]
+		out := make([]Clo, 0, len(vs))
+		for c := range vs {
+			out = append(out, c)
+		}
+		return out
+	}
+	return []Clo{{at.Lam, t}}
+}
+
+// timeOwner returns the rank owning facts at time t.
+func timeOwner(t Time, P int) int {
+	return ra.Tuple{0, 0, route(t)}.Owner(2, P)
+}
+
+// Run executes the distributed analysis for prog on rank p's world
+// using the named Alltoallv algorithm. All ranks must pass the same
+// program.
+func Run(p *mpi.Proc, prog *Program, algorithm string) (Result, error) {
+	if err := prog.Validate(); err != nil {
+		return Result{}, err
+	}
+	P := p.Size()
+	ex, err := ra.NewExchanger(p, algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	start := p.Now()
+	a := &analyzer{
+		p: p, prog: prog, ex: ex,
+		states:       map[State]bool{},
+		statesByTime: map[Time][]int32{},
+		store:        map[Addr]map[Clo]bool{},
+		subs:         map[Addr]map[Time]bool{},
+		out:          make([][]ra.Tuple, P),
+	}
+
+	// Seed: the root state at time 0, on its owner.
+	var pending []ra.Tuple
+	if timeOwner(0, P) == p.Rank() {
+		pending = append(pending, ra.Tuple{kindState, prog.Root, route(0), 0, 0})
+	}
+
+	res := Result{}
+	for {
+		ra.ClearRouted(a.out)
+		a.inserted = 0
+		a.emitted = 0
+		dirty := map[Time]bool{}
+		for _, f := range pending {
+			if t, ok := a.absorb(f); ok {
+				dirty[t] = true
+			}
+		}
+		for t := range dirty {
+			a.step(t)
+		}
+		p.Charge(float64(a.inserted)*insertCostNs + float64(a.emitted)*emitCostNs)
+
+		commBefore := ex.CommNs
+		in, err := ex.Exchange(a.out)
+		if err != nil {
+			return res, err
+		}
+		pending = in
+
+		newGlobal := p.AllreduceSumInt64(a.inserted)
+		res.PerIter = append(res.PerIter, IterStat{
+			NewFacts:      newGlobal,
+			CommNs:        ex.CommNs - commBefore,
+			MaxBlockBytes: ex.LastMaxBlock,
+		})
+		res.Iterations++
+		if newGlobal == 0 {
+			break
+		}
+	}
+
+	res.States = p.AllreduceSumInt64(int64(len(a.states)))
+	var entries int64
+	for _, vs := range a.store {
+		entries += int64(len(vs))
+	}
+	res.StoreEntries = p.AllreduceSumInt64(entries)
+	res.CommNs = ex.CommNs
+	res.TotalNs = p.Now() - start
+	return res, nil
+}
+
+// RunCollect is Run plus a gather of the full state and store sets to
+// rank 0, used by tests to compare against the sequential reference. On
+// rank 0 it returns the merged sets; elsewhere nil maps.
+func RunCollect(p *mpi.Proc, prog *Program, algorithm string) (Result, *SeqResult, error) {
+	P := p.Size()
+	ex, err := ra.NewExchanger(p, algorithm)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	// Re-run the analysis, keeping the analyzer to extract local sets.
+	a := &analyzer{
+		p: p, prog: prog, ex: ex,
+		states:       map[State]bool{},
+		statesByTime: map[Time][]int32{},
+		store:        map[Addr]map[Clo]bool{},
+		subs:         map[Addr]map[Time]bool{},
+		out:          make([][]ra.Tuple, P),
+	}
+	var pending []ra.Tuple
+	if timeOwner(0, P) == p.Rank() {
+		pending = append(pending, ra.Tuple{kindState, prog.Root, route(0), 0, 0})
+	}
+	res := Result{}
+	for {
+		ra.ClearRouted(a.out)
+		a.inserted = 0
+		a.emitted = 0
+		dirty := map[Time]bool{}
+		for _, f := range pending {
+			if t, ok := a.absorb(f); ok {
+				dirty[t] = true
+			}
+		}
+		for t := range dirty {
+			a.step(t)
+		}
+		in, err := ex.Exchange(a.out)
+		if err != nil {
+			return res, nil, err
+		}
+		pending = in
+		res.Iterations++
+		if p.AllreduceSumInt64(a.inserted) == 0 {
+			break
+		}
+	}
+
+	// Funnel all facts to rank 0 through one more exchange round: every
+	// rank routes its facts to destination 0.
+	out := make([][]ra.Tuple, P)
+	for s := range a.states {
+		out[0] = append(out[0], ra.Tuple{kindState, s.Call, route(s.T), timeLo(s.T), timeHi(s.T)})
+	}
+	for ad, vs := range a.store {
+		for c := range vs {
+			out[0] = append(out[0], ra.Tuple{kindStore, ad.Var, route(ad.T), timeLo(ad.T), timeHi(ad.T), c.Lam, timeLo(c.T), timeHi(c.T)})
+		}
+	}
+	all, err := ex.Exchange(out)
+	if err != nil {
+		return res, nil, err
+	}
+	if p.Rank() != 0 {
+		return res, nil, nil
+	}
+	merged := &SeqResult{States: map[State]bool{}, Store: map[Addr]map[Clo]bool{}}
+	for _, f := range all {
+		switch f[0] {
+		case kindState:
+			merged.States[State{f[1], timeOf(f[3], f[4])}] = true
+		case kindStore:
+			ad := Addr{f[1], timeOf(f[3], f[4])}
+			if merged.Store[ad] == nil {
+				merged.Store[ad] = map[Clo]bool{}
+			}
+			merged.Store[ad][Clo{f[5], timeOf(f[6], f[7])}] = true
+		}
+	}
+	res.States = int64(len(merged.States))
+	var entries int64
+	for _, vs := range merged.Store {
+		entries += int64(len(vs))
+	}
+	res.StoreEntries = entries
+	return res, merged, nil
+}

@@ -1,0 +1,285 @@
+package kcfa
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func TestTick(t *testing.T) {
+	if Tick(0, 5, 0) != 0 {
+		t.Error("k=0 should stay at time 0")
+	}
+	if got := Tick(0, 5, 1); got != 5 {
+		t.Errorf("Tick k=1 = %d", got)
+	}
+	if got := Tick(5, 7, 1); got != 7 {
+		t.Errorf("k=1 keeps only newest: %d", got)
+	}
+	if got := Tick(5, 7, 2); got != 5<<8|7 {
+		t.Errorf("k=2: %#x", got)
+	}
+	// k=4 keeps exactly four frames.
+	tt := Time(0)
+	for _, l := range []int32{1, 2, 3, 4, 5} {
+		tt = Tick(tt, l, 4)
+	}
+	if tt != 0x02030405 {
+		t.Errorf("k=4 rolling window: %#x", tt)
+	}
+	// k=8 keeps eight frames (the paper's kCFA-8 depth).
+	tt = 0
+	for l := int32(1); l <= 9; l++ {
+		tt = Tick(tt, l, 8)
+	}
+	if tt != 0x0203040506070809 {
+		t.Errorf("k=8 rolling window: %#x", tt)
+	}
+}
+
+func TestTimeEncodingRoundTrip(t *testing.T) {
+	for _, v := range []Time{0, 1, 0xDEADBEEF, 0x0102030405060708, ^Time(0)} {
+		if got := timeOf(timeLo(v), timeHi(v)); got != v {
+			t.Errorf("time %#x round-tripped to %#x", v, got)
+		}
+	}
+}
+
+func TestDistributedK8(t *testing.T) {
+	prog := Generate(8, 2, 8, 13)
+	seq := Analyze(prog)
+	_, merged := collect(t, 5, prog, "two-phase")
+	sameResults(t, "k8", seq, merged)
+}
+
+func TestValidate(t *testing.T) {
+	p := Generate(5, 2, 1, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Program{K: 9}
+	if bad.Validate() == nil {
+		t.Error("K=9 accepted")
+	}
+	bad2 := &Program{K: 1, Calls: []Call{{Lab: 0}}, Root: 0}
+	if bad2.Validate() == nil {
+		t.Error("label 0 accepted")
+	}
+	bad3 := &Program{K: 1, Calls: []Call{{Lab: 1}, {Lab: 1}}, Root: 0}
+	if bad3.Validate() == nil {
+		t.Error("duplicate labels accepted")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// (λp. (λq. (p q)) ...): inner lambda's free vars = {p}.
+	p := &Program{K: 1}
+	p.Calls = []Call{
+		{Lab: 1, F: V(10), A: V(11)}, // (p q) — body of inner
+		{Lab: 2, F: L(0), A: V(10)},  // body of outer: (inner p)
+		{Lab: 3, F: L(1), A: L(1)},   // root: (outer outer)
+	}
+	p.Lams = []Lam{
+		{Param: 11, Body: 0}, // inner λq
+		{Param: 10, Body: 1}, // outer λp
+	}
+	p.Root = 2
+	p.Finalize()
+	if len(p.Lams[0].Free) != 1 || p.Lams[0].Free[0] != 10 {
+		t.Errorf("inner free vars = %v, want [10]", p.Lams[0].Free)
+	}
+	if len(p.Lams[1].Free) != 0 {
+		t.Errorf("outer free vars = %v, want []", p.Lams[1].Free)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(8, 3, 2, 42)
+	b := Generate(8, 3, 2, 42)
+	if len(a.Calls) != len(b.Calls) || len(a.Lams) != len(b.Lams) {
+		t.Fatal("generator shape not deterministic")
+	}
+	for i := range a.Calls {
+		if a.Calls[i] != b.Calls[i] {
+			t.Fatal("generator calls not deterministic")
+		}
+	}
+}
+
+func TestSequentialAnalysisTerminatesAndFindsFlows(t *testing.T) {
+	p := Generate(10, 2, 1, 7)
+	r := Analyze(p)
+	if len(r.States) == 0 || len(r.Store) == 0 {
+		t.Fatalf("degenerate analysis: %d states, %d addrs", len(r.States), len(r.Store))
+	}
+	// The root state must be reachable, and at least one state per stage
+	// (the chain must be walked to its end).
+	if !r.States[State{p.Root, 0}] {
+		t.Error("root state missing")
+	}
+	if len(r.States) < 10 {
+		t.Errorf("only %d states; the 10-stage chain was not walked", len(r.States))
+	}
+}
+
+func collect(t *testing.T, P int, prog *Program, alg string) (Result, *SeqResult) {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	var merged *SeqResult
+	err = w.Run(func(p *mpi.Proc) error {
+		r, m, err := RunCollect(p, prog, alg)
+		if p.Rank() == 0 {
+			res, merged = r, m
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, merged
+}
+
+func sameResults(t *testing.T, label string, seq *SeqResult, dist *SeqResult) {
+	t.Helper()
+	if len(seq.States) != len(dist.States) {
+		t.Errorf("%s: states %d != %d", label, len(dist.States), len(seq.States))
+		return
+	}
+	for s := range seq.States {
+		if !dist.States[s] {
+			t.Errorf("%s: missing state %+v", label, s)
+			return
+		}
+	}
+	for ad, vs := range seq.Store {
+		for c := range vs {
+			if dist.Store[ad] == nil || !dist.Store[ad][c] {
+				t.Errorf("%s: missing store binding %+v -> %+v", label, ad, c)
+				return
+			}
+		}
+	}
+	// And no extras.
+	var seqN, distN int
+	for _, vs := range seq.Store {
+		seqN += len(vs)
+	}
+	for _, vs := range dist.Store {
+		distN += len(vs)
+	}
+	if seqN != distN {
+		t.Errorf("%s: store entries %d != %d", label, distN, seqN)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, cfg := range []struct {
+		stages, fanout, k int
+		seed              uint64
+	}{
+		{5, 1, 0, 1},
+		{8, 2, 1, 2},
+		{10, 3, 2, 3},
+		{6, 2, 3, 4},
+	} {
+		prog := Generate(cfg.stages, cfg.fanout, cfg.k, cfg.seed)
+		seq := Analyze(prog)
+		for _, P := range []int{1, 4, 7} {
+			for _, alg := range []string{"vendor", "two-phase"} {
+				_, merged := collect(t, P, prog, alg)
+				label := alg
+				sameResults(t, label, seq, merged)
+			}
+		}
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	prog := Generate(12, 2, 1, 5)
+	w, err := mpi.NewWorld(4, mpi.WithModel(machine.Theta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	err = w.Run(func(p *mpi.Proc) error {
+		r, err := Run(p, prog, "two-phase")
+		if p.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 12 {
+		t.Errorf("12-stage chain converged in %d iterations; expected a long fixpoint", res.Iterations)
+	}
+	if res.Facts() <= 0 {
+		t.Error("no facts derived")
+	}
+	if res.CommNs <= 0 || res.TotalNs <= res.CommNs {
+		t.Errorf("times: comm=%v total=%v", res.CommNs, res.TotalNs)
+	}
+	if len(res.PerIter) != res.Iterations {
+		t.Errorf("PerIter %d != Iterations %d", len(res.PerIter), res.Iterations)
+	}
+	seq := Analyze(prog)
+	if res.Facts() != seq.Facts() {
+		t.Errorf("distributed facts %d != sequential %d", res.Facts(), seq.Facts())
+	}
+}
+
+func TestRunDeterministicTiming(t *testing.T) {
+	prog := Generate(8, 2, 1, 11)
+	run := func() Result {
+		w, err := mpi.NewWorld(3, mpi.WithModel(machine.Theta()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		err = w.Run(func(p *mpi.Proc) error {
+			r, err := Run(p, prog, "two-phase")
+			if p.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalNs != b.TotalNs || a.Iterations != b.Iterations {
+		t.Errorf("not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestKSensitivityGrowsStateSpace(t *testing.T) {
+	p0 := Generate(10, 3, 0, 9)
+	p2 := Generate(10, 3, 2, 9)
+	f0 := Analyze(p0).Facts()
+	f2 := Analyze(p2).Facts()
+	if f2 < f0 {
+		t.Errorf("higher k should not shrink fact count: k=0 %d, k=2 %d", f0, f2)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := Generate(3, 1, 1, 1)
+	s := p.String()
+	if !strings.Contains(s, "root =") || !strings.Contains(s, "λ") {
+		t.Fatalf("render missing structure: %s", s)
+	}
+	// Deep programs must not blow up or recurse forever.
+	big := Generate(200, 4, 2, 2)
+	if len(big.String()) == 0 {
+		t.Fatal("empty render")
+	}
+}

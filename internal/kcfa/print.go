@@ -1,0 +1,44 @@
+package kcfa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as nested lambda terms, for debugging and
+// example output. Shared lambdas are expanded at each use; recursion
+// through the call graph is cut off with a reference marker.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program{%d lams, %d calls, k=%d} root = ", len(p.Lams), len(p.Calls), p.K)
+	p.renderCall(&b, p.Root, map[int32]bool{}, 0)
+	return b.String()
+}
+
+const maxRenderDepth = 12
+
+func (p *Program) renderCall(b *strings.Builder, c int32, busy map[int32]bool, depth int) {
+	if busy[c] || depth > maxRenderDepth {
+		fmt.Fprintf(b, "<call@%d>", p.Calls[c].Lab)
+		return
+	}
+	busy[c] = true
+	defer delete(busy, c)
+	call := p.Calls[c]
+	b.WriteByte('(')
+	p.renderAtom(b, call.F, busy, depth)
+	b.WriteByte(' ')
+	p.renderAtom(b, call.A, busy, depth)
+	fmt.Fprintf(b, ")@%d", call.Lab)
+}
+
+func (p *Program) renderAtom(b *strings.Builder, a Atom, busy map[int32]bool, depth int) {
+	if a.IsVar {
+		fmt.Fprintf(b, "v%d", a.Var)
+		return
+	}
+	lam := p.Lams[a.Lam]
+	fmt.Fprintf(b, "(λv%d.", lam.Param)
+	p.renderCall(b, lam.Body, busy, depth+1)
+	b.WriteByte(')')
+}

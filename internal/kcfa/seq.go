@@ -1,0 +1,105 @@
+package kcfa
+
+// Sequential reference analysis. The distributed version in analysis.go
+// must compute exactly the same state and store sets; tests compare the
+// two. This implementation uses a straightforward worklist with
+// dependency re-enqueueing and no distribution concerns.
+
+// Addr is a store address: a variable at a binding time.
+type Addr struct {
+	Var int32
+	T   Time
+}
+
+// Clo is an abstract closure: a lambda plus its capture time.
+type Clo struct {
+	Lam int32
+	T   Time
+}
+
+// State is a reachable configuration: a call site executing at a time.
+type State struct {
+	Call int32
+	T    Time
+}
+
+// SeqResult is the sequential analysis outcome.
+type SeqResult struct {
+	States map[State]bool
+	Store  map[Addr]map[Clo]bool
+}
+
+// Facts returns the total number of derived facts (states plus store
+// bindings).
+func (r *SeqResult) Facts() int64 {
+	n := int64(len(r.States))
+	for _, vs := range r.Store {
+		n += int64(len(vs))
+	}
+	return n
+}
+
+// Analyze runs the k-CFA fixpoint sequentially.
+func Analyze(p *Program) *SeqResult {
+	r := &SeqResult{States: map[State]bool{}, Store: map[Addr]map[Clo]bool{}}
+	var work []State
+	deps := map[Addr]map[State]bool{} // addr read -> states to re-step
+
+	addState := func(s State) {
+		if !r.States[s] {
+			r.States[s] = true
+			work = append(work, s)
+		}
+	}
+	addVal := func(a Addr, c Clo) {
+		vs := r.Store[a]
+		if vs == nil {
+			vs = map[Clo]bool{}
+			r.Store[a] = vs
+		}
+		if !vs[c] {
+			vs[c] = true
+			for s := range deps[a] {
+				work = append(work, s)
+			}
+		}
+	}
+	read := func(a Addr, s State) []Clo {
+		if deps[a] == nil {
+			deps[a] = map[State]bool{}
+		}
+		deps[a][s] = true
+		out := make([]Clo, 0, len(r.Store[a]))
+		for c := range r.Store[a] {
+			out = append(out, c)
+		}
+		return out
+	}
+	eval := func(at Atom, t Time, s State) []Clo {
+		if at.IsVar {
+			return read(Addr{at.Var, t}, s)
+		}
+		return []Clo{{at.Lam, t}}
+	}
+
+	addState(State{p.Root, 0})
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		call := p.Calls[s.Call]
+		for _, f := range eval(call.F, s.T, s) {
+			lam := p.Lams[f.Lam]
+			tnew := Tick(s.T, call.Lab, p.K)
+			for _, a := range eval(call.A, s.T, s) {
+				addVal(Addr{lam.Param, tnew}, a)
+			}
+			for _, x := range lam.Free {
+				for _, v := range read(Addr{x, f.T}, s) {
+					addVal(Addr{x, tnew}, v)
+				}
+			}
+			addState(State{lam.Body, tnew})
+		}
+	}
+	return r
+}

@@ -1,0 +1,241 @@
+// Package kcfa implements the paper's program-analysis application
+// (Section 5.2): a k-call-sensitive control-flow analysis executed as a
+// distributed fixpoint over the BPRA substrate, with one non-uniform
+// all-to-all exchange per iteration.
+//
+// The analysis is a store-widened abstract abstract machine in the m-CFA
+// style: states are (call site, time) pairs where a time is the last k
+// call labels; closures are (lambda, creation time); a lambda's free
+// variables are copied into each new frame ("frame copy"), which — in
+// the distributed setting — generates the store-forwarding traffic that
+// drives the all-to-all exchanges. Facts (states, store entries,
+// subscriptions) are hash-partitioned by their time component, so a
+// state's own store frame is always local and everything else moves
+// through Alltoallv, exactly the shape of the paper's kCFA workload.
+//
+// The paper's kCFA-8 inputs come from the Van Horn–Mairson worst-case
+// generator, which is not redistributable; Generate below builds deep
+// CPS-style chains of nested lambdas with shared free variables that
+// reproduce the same workload profile: thousands of fixpoint iterations
+// whose per-iteration load varies and whose maximum block size N mostly
+// stays in the sub-kilobyte range (Figure 12).
+package kcfa
+
+import "fmt"
+
+// Atom is an argument or operator position: either a variable or a
+// lambda literal.
+type Atom struct {
+	IsVar bool
+	Var   int32 // variable id when IsVar
+	Lam   int32 // lambda index otherwise
+}
+
+// V returns a variable atom.
+func V(x int32) Atom { return Atom{IsVar: true, Var: x} }
+
+// L returns a lambda-literal atom.
+func L(l int32) Atom { return Atom{Lam: l} }
+
+// Call is an application (f a) with a unique label. Labels must be in
+// [1, 255] so times pack into 8 bits per frame.
+type Call struct {
+	Lab  int32
+	F, A Atom
+}
+
+// Lam is a one-argument lambda whose body is a single call (ANF/CPS
+// style). Free lists the lambda's free variables, precomputed by
+// Program.Finalize.
+type Lam struct {
+	Param int32
+	Body  int32 // index into Program.Calls
+	Free  []int32
+}
+
+// Program is a closed ANF program: a pool of lambdas and calls plus a
+// root call.
+type Program struct {
+	Lams  []Lam
+	Calls []Call
+	Root  int32 // index into Calls
+	K     int   // context-sensitivity depth, 0..4
+}
+
+// Time is the analysis context: the last K call labels, packed one byte
+// per frame (newest in the low byte). Eight frames fit, covering the
+// paper's kCFA-8.
+type Time = uint64
+
+// Tick pushes label lab onto time t, keeping the newest k frames.
+func Tick(t Time, lab int32, k int) Time {
+	if k <= 0 {
+		return 0
+	}
+	var mask uint64
+	if k >= 8 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<(8*uint(k)) - 1
+	}
+	return ((t << 8) | uint64(lab)&0xFF) & mask
+}
+
+// Validate checks structural invariants: label range, atom indices, and
+// K bounds.
+func (p *Program) Validate() error {
+	if p.K < 0 || p.K > 8 {
+		return fmt.Errorf("kcfa: K=%d outside [0,8]", p.K)
+	}
+	if int(p.Root) >= len(p.Calls) || p.Root < 0 {
+		return fmt.Errorf("kcfa: root call %d out of range", p.Root)
+	}
+	seen := map[int32]bool{}
+	for i, c := range p.Calls {
+		if c.Lab < 1 || c.Lab > 255 {
+			return fmt.Errorf("kcfa: call %d label %d outside [1,255]", i, c.Lab)
+		}
+		if seen[c.Lab] {
+			return fmt.Errorf("kcfa: duplicate call label %d", c.Lab)
+		}
+		seen[c.Lab] = true
+		for _, a := range []Atom{c.F, c.A} {
+			if !a.IsVar && (a.Lam < 0 || int(a.Lam) >= len(p.Lams)) {
+				return fmt.Errorf("kcfa: call %d references lambda %d out of range", i, a.Lam)
+			}
+		}
+	}
+	for i, l := range p.Lams {
+		if l.Body < 0 || int(l.Body) >= len(p.Calls) {
+			return fmt.Errorf("kcfa: lambda %d body %d out of range", i, l.Body)
+		}
+	}
+	return nil
+}
+
+// Finalize computes every lambda's free-variable list. It must be called
+// after construction and before analysis.
+func (p *Program) Finalize() {
+	for i := range p.Lams {
+		free := map[int32]bool{}
+		p.freeVars(p.Lams[i].Body, map[int32]bool{p.Lams[i].Param: true}, free, map[int32]bool{})
+		p.Lams[i].Free = p.Lams[i].Free[:0]
+		for v := range free {
+			p.Lams[i].Free = append(p.Lams[i].Free, v)
+		}
+		sortInt32(p.Lams[i].Free)
+	}
+}
+
+// freeVars accumulates the free variables of call c under bound.
+func (p *Program) freeVars(c int32, bound, free, visiting map[int32]bool) {
+	if visiting[c] {
+		return
+	}
+	visiting[c] = true
+	call := p.Calls[c]
+	for _, a := range []Atom{call.F, call.A} {
+		if a.IsVar {
+			if !bound[a.Var] {
+				free[a.Var] = true
+			}
+			continue
+		}
+		lam := p.Lams[a.Lam]
+		inner := map[int32]bool{lam.Param: true}
+		for v := range bound {
+			inner[v] = true
+		}
+		innerFree := map[int32]bool{}
+		p.freeVars(lam.Body, inner, innerFree, visiting)
+		for v := range innerFree {
+			if !bound[v] {
+				free[v] = true
+			}
+		}
+	}
+	delete(visiting, c)
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Generate builds a deep CPS-style chain program: `stages` nested
+// lambdas, each calling the next with either an earlier parameter (a
+// variable reference that forces frame copies) or a fresh value lambda,
+// terminating in self-application of the final parameter. `fanout`
+// controls how many distinct value lambdas circulate. The result is
+// finalized and validated.
+func Generate(stages, fanout, k int, seed uint64) *Program {
+	if stages < 1 || fanout < 1 {
+		panic(fmt.Sprintf("kcfa: Generate(stages=%d, fanout=%d)", stages, fanout))
+	}
+	if stages > 200 {
+		stages = 200 // label space: calls must stay under 255 labels
+	}
+	p := &Program{K: k}
+	rng := seed
+	next := func(n int) int {
+		rng += 0x9e3779b97f4a7c15
+		x := rng
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		return int(x % uint64(n))
+	}
+	lab := int32(0)
+	newLab := func() int32 { lab++; return lab }
+
+	// Value lambdas: w_j = λz_j. (z_j z_j) — terminal self-applications.
+	values := make([]int32, fanout)
+	for j := 0; j < fanout; j++ {
+		z := int32(1000 + j)
+		body := int32(len(p.Calls))
+		p.Calls = append(p.Calls, Call{Lab: newLab(), F: V(z), A: V(z)})
+		values[j] = int32(len(p.Lams))
+		p.Lams = append(p.Lams, Lam{Param: z, Body: body})
+	}
+
+	// Stage lambdas, built innermost-first: the last stage applies its
+	// parameter to itself; stage i calls stage i+1's literal with either
+	// an earlier parameter or a value lambda.
+	params := make([]int32, stages)
+	for i := range params {
+		params[i] = int32(1 + i)
+	}
+	var nextStage int32 = -1
+	for i := stages - 1; i >= 0; i-- {
+		var f, a Atom
+		if nextStage < 0 {
+			f = V(params[i]) // terminal: apply own parameter
+			a = V(params[i])
+		} else {
+			f = L(nextStage)
+			// Argument: an earlier (outer) parameter half the time —
+			// the frame-copy pressure — otherwise a value lambda.
+			if i > 0 && next(2) == 0 {
+				a = V(params[next(i)])
+			} else {
+				a = L(values[next(fanout)])
+			}
+		}
+		body := int32(len(p.Calls))
+		p.Calls = append(p.Calls, Call{Lab: newLab(), F: f, A: a})
+		nextStage = int32(len(p.Lams))
+		p.Lams = append(p.Lams, Lam{Param: params[i], Body: body})
+	}
+
+	// Root: apply the outermost stage to a value lambda.
+	p.Root = int32(len(p.Calls))
+	p.Calls = append(p.Calls, Call{Lab: newLab(), F: L(nextStage), A: L(values[0])})
+	p.Finalize()
+	if err := p.Validate(); err != nil {
+		panic("kcfa: generator produced invalid program: " + err.Error())
+	}
+	return p
+}

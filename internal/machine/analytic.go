@@ -1,0 +1,193 @@
+package machine
+
+import "math/bits"
+
+// Analytic cost estimates.
+//
+// Two layers are provided. The paper's own model (Section 3.3, Eqs. 1-3)
+// is implemented verbatim in PaperPaddedTime, PaperTwoPhaseTime, and
+// PaddedBeatsTwoPhase; it only distinguishes padded from two-phase Bruck.
+// The Estimate* functions refine it with the exact per-step block counts,
+// metadata bytes, memcpy phases, and a spread-out estimate, and are what
+// the auto-tuner and the large-P "model" points of the figure harness
+// use. All estimates return nanoseconds of virtual time for one
+// non-uniform all-to-all with maximum block size nmax (so an average
+// block of nmax/2 under the paper's continuous uniform distribution).
+
+// Steps returns ceil(log2(p)), the number of Bruck communication steps.
+func Steps(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return bits.Len(uint(p - 1))
+}
+
+// BlocksAtStep returns how many data blocks each rank transmits during
+// Bruck step k of a p-rank exchange: the number of i in [1, p) whose k-th
+// bit is set. For power-of-two p this is p/2 at every step; the final
+// step of a non-power-of-two p sends fewer.
+func BlocksAtStep(p, k int) int {
+	n := 0
+	for i := 1 << k; i < p; i += 2 << k {
+		hi := i + 1<<k
+		if hi > p {
+			hi = p
+		}
+		n += hi - i
+	}
+	return n
+}
+
+// TotalBruckBlocks returns the total number of blocks one rank transmits
+// across all Bruck steps (sum of popcounts of 1..p-1).
+func TotalBruckBlocks(p int) int {
+	t := 0
+	for k := 0; k < Steps(p); k++ {
+		t += BlocksAtStep(p, k)
+	}
+	return t
+}
+
+// PaperPaddedTime is Eq. 1 of the paper:
+//
+//	α·logP + β·logP·((P+1)/2)·N
+func (m Model) PaperPaddedTime(p, nmax int) float64 {
+	lg := float64(Steps(p))
+	return m.Alpha()*lg + m.Beta(p)*lg*float64(p+1)/2*float64(nmax)
+}
+
+// PaperTwoPhaseTime is Eq. 2 of the paper:
+//
+//	2α·logP + 4β·logP·(P+1)/2 + (N/2)·β·logP·(P+1)/2
+func (m Model) PaperTwoPhaseTime(p, nmax int) float64 {
+	lg := float64(Steps(p))
+	half := float64(p+1) / 2
+	return 2*m.Alpha()*lg + 4*m.Beta(p)*lg*half + float64(nmax)/2*m.Beta(p)*lg*half
+}
+
+// PaddedBeatsTwoPhase is inequality (3) of the paper:
+//
+//	(N−8)(P+1)β < 4α
+//
+// Padded Bruck is predicted to beat two-phase Bruck exactly when it
+// holds.
+func (m Model) PaddedBeatsTwoPhase(p, nmax int) bool {
+	return (float64(nmax)-8)*float64(p+1)*m.Beta(p) < 4*m.Alpha()
+}
+
+// EstimateTwoPhase predicts the runtime of two-phase Bruck: per step, one
+// metadata exchange (4 bytes per transmitted block) plus one data
+// exchange of avg·blocks bytes, with pack and unpack copies on each side.
+// avg is the mean block size in bytes.
+func (m Model) EstimateTwoPhase(p int, avg float64) float64 {
+	beta := m.Beta(p)
+	// One small Allreduce for the global maximum block size.
+	t := float64(Steps(p)) * (m.Alpha()*m.CollFactor() + 8*beta)
+	for k := 0; k < Steps(p); k++ {
+		blocks := float64(BlocksAtStep(p, k))
+		data := avg * blocks
+		meta := 4 * blocks
+		t += m.Alpha() + duplexFactor*meta*beta             // metadata exchange
+		t += m.Alpha() + duplexFactor*data*beta             // data exchange
+		t += 2 * (blocks*m.MemcpyFixed + data*m.MemcpyByte) // pack + unpack
+	}
+	return t
+}
+
+// EstimatePadded predicts the runtime of padded Bruck: an Allreduce for
+// the global maximum, a padding copy, uniform Bruck steps at full block
+// size nmax, and the final extraction scan. avg is the mean block size.
+func (m Model) EstimatePadded(p, nmax int, avg float64) float64 {
+	beta := m.Beta(p)
+	t := float64(Steps(p)) * (m.Alpha()*m.CollFactor() + 8*beta) // dissemination allreduce
+	t += float64(p)*m.MemcpyFixed + float64(p)*avg*m.MemcpyByte  // pad copy-in
+	for k := 0; k < Steps(p); k++ {
+		blocks := float64(BlocksAtStep(p, k))
+		data := float64(nmax) * blocks
+		t += m.Alpha() + duplexFactor*data*beta
+		t += 2 * (blocks*m.MemcpyFixed + data*m.MemcpyByte) // pack + unpack
+	}
+	t += float64(p)*m.MemcpyFixed + float64(p)*avg*m.MemcpyByte // extraction scan
+	return t
+}
+
+// RadixBlocksAt returns how many blocks one rank transmits in the
+// sub-step for base-r digit position with stride `step` and digit value
+// d of a p-rank exchange.
+func RadixBlocksAt(p, r, step, d int) int {
+	n := 0
+	for base := d * step; base < p; base += r * step {
+		hi := base + step
+		if hi > p {
+			hi = p
+		}
+		n += hi - base
+	}
+	return n
+}
+
+// EstimateTwoPhaseRadix predicts the runtime of radix-r two-phase Bruck
+// (EstimateTwoPhase generalized: one metadata+data exchange per
+// (position, digit) sub-step). It reduces to EstimateTwoPhase at r=2.
+func (m Model) EstimateTwoPhaseRadix(p, r int, avg float64) float64 {
+	beta := m.Beta(p)
+	t := float64(Steps(p)) * (m.Alpha()*m.CollFactor() + 8*beta) // allreduce
+	for step := 1; step < p; step *= r {
+		for d := 1; d < r && d*step < p; d++ {
+			blocks := float64(RadixBlocksAt(p, r, step, d))
+			if blocks == 0 {
+				continue
+			}
+			data := avg * blocks
+			t += m.Alpha() + duplexFactor*4*blocks*beta
+			t += m.Alpha() + duplexFactor*data*beta
+			t += 2 * (blocks*m.MemcpyFixed + data*m.MemcpyByte)
+		}
+	}
+	return t
+}
+
+// BestRadix returns the radix in [2, maxR] minimizing the two-phase
+// estimate at the given scale and average block size.
+func (m Model) BestRadix(p, maxR int, avg float64) int {
+	best, bestT := 2, m.EstimateTwoPhaseRadix(p, 2, avg)
+	for r := 3; r <= maxR; r++ {
+		if t := m.EstimateTwoPhaseRadix(p, r, avg); t < bestT {
+			best, bestT = r, t
+		}
+	}
+	return best
+}
+
+// duplexFactor scales per-byte wire time in the Bruck estimates: each
+// rank both injects and drains every exchanged byte, but the two
+// directions partially overlap in the simulator; 1.5 matches the
+// simulated step cost within a few percent across the calibration
+// range.
+const duplexFactor = 1.5
+
+// EstimateSpreadOut predicts the runtime of the spread-out algorithm
+// (and the vendor Alltoallv built on it): P−1 pipelined nonblocking
+// sends and receives of avg bytes each. Each message costs the rank
+// both its send and its receive overhead (the CPU is the bottleneck),
+// plus injection and drain byte time.
+func (m Model) EstimateSpreadOut(p int, avg float64) float64 {
+	beta := m.Beta(p)
+	per := m.SendOverhead + m.RecvOverhead + 2*avg*beta
+	return float64(p-1)*per + m.Latency
+}
+
+// CrossoverN returns the largest maximum-block-size N (in bytes, probing
+// powers of two up to limit) for which two-phase Bruck is predicted to
+// beat spread-out at p ranks, or 0 if it never does. This mirrors how
+// Figure 9 of the paper carves the (N, P) parameter space.
+func (m Model) CrossoverN(p, limit int) int {
+	best := 0
+	for n := 2; n <= limit; n *= 2 {
+		avg := float64(n) / 2
+		if m.EstimateTwoPhase(p, avg) < m.EstimateSpreadOut(p, avg) {
+			best = n
+		}
+	}
+	return best
+}

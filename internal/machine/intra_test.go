@@ -1,0 +1,81 @@
+package machine
+
+import "testing"
+
+func TestIntraParamsDefaults(t *testing.T) {
+	m := Theta()
+	os, or, l, g := m.IntraParams()
+	if os != m.SendOverhead/4 || or != m.RecvOverhead/4 {
+		t.Errorf("default intra overheads: %v/%v", os, or)
+	}
+	if l != m.Latency/4 {
+		t.Errorf("default intra latency: %v", l)
+	}
+	if g != m.MemcpyByte*2 {
+		t.Errorf("default intra byte time: %v", g)
+	}
+}
+
+func TestIntraParamsExplicit(t *testing.T) {
+	m := Theta()
+	m.IntraSendOverhead = 11
+	m.IntraRecvOverhead = 22
+	m.IntraLatency = 33
+	m.IntraByteTime = 0.44
+	os, or, l, g := m.IntraParams()
+	if os != 11 || or != 22 || l != 33 || g != 0.44 {
+		t.Errorf("explicit intra params not honored: %v %v %v %v", os, or, l, g)
+	}
+}
+
+func TestIntraParamsNoMemcpyFallsBackToWire(t *testing.T) {
+	m := Model{SendOverhead: 100, RecvOverhead: 100, ByteTime: 0.5}
+	_, _, _, g := m.IntraParams()
+	if g != 0.5 {
+		t.Errorf("fallback byte time = %v, want wire rate", g)
+	}
+}
+
+func TestCollFactorDefault(t *testing.T) {
+	if (Model{}).CollFactor() != 1 {
+		t.Error("unset collective factor should be 1")
+	}
+	if (Model{CollectiveFactor: 0.3}).CollFactor() != 0.3 {
+		t.Error("explicit collective factor ignored")
+	}
+}
+
+func TestBestRadix(t *testing.T) {
+	m := Theta()
+	r := m.BestRadix(1024, 8, 32)
+	if r < 2 || r > 8 {
+		t.Fatalf("BestRadix = %d", r)
+	}
+	// Radix 2 must equal the plain estimate.
+	if m.EstimateTwoPhaseRadix(512, 2, 64) != m.EstimateTwoPhase(512, 64) {
+		t.Error("radix-2 estimate should match the binary estimate")
+	}
+}
+
+func TestRadixBlocksMatchesColl(t *testing.T) {
+	// RadixBlocksAt at r=2 equals BlocksAtStep.
+	for _, p := range []int{8, 13, 64} {
+		step := 1
+		for k := 0; step < p; k++ {
+			if got, want := RadixBlocksAt(p, 2, step, 1), BlocksAtStep(p, k); got != want {
+				t.Errorf("p=%d k=%d: %d vs %d", p, k, got, want)
+			}
+			step <<= 1
+		}
+	}
+}
+
+func TestUncongestedKeepsOtherFields(t *testing.T) {
+	m := Uncongested(Theta())
+	if m.SendOverhead != Theta().SendOverhead {
+		t.Error("Uncongested must only disable congestion")
+	}
+	if m.CongestionP0 != 0 {
+		t.Error("congestion not disabled")
+	}
+}

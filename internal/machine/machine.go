@@ -1,0 +1,169 @@
+// Package machine defines the communication cost model used by the
+// simulated runtime.
+//
+// The paper evaluates on Theta (Cray XC40/Aries), Cori, and Stampede2,
+// machines we cannot access. Instead, the runtime charges every message
+// against a LogGP-style model: per-message send/receive overheads, a wire
+// latency, and a per-byte time that grows mildly with the number of ranks
+// to stand in for network contention during dense all-to-all traffic.
+// Local memory copies and MPI derived-datatype handling have their own
+// costs, which is what lets the harness reproduce the paper's Figure 2
+// finding (explicit memcpy beats derived datatypes for small blocks) and
+// the rotation-phase breakdowns of Figure 2b.
+//
+// All times are in nanoseconds of virtual time.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a LogGP-lite cost model plus local-copy and datatype costs.
+// The classic α (per-message latency) of the paper's Section 3.3 maps to
+// SendOverhead + Latency + RecvOverhead, and β (per-byte transfer time)
+// maps to ByteTime scaled by the congestion term.
+type Model struct {
+	// Name identifies the preset (e.g. "theta") in harness output.
+	Name string
+
+	// SendOverhead is the CPU time, in ns, a rank spends initiating a
+	// message (o_s in LogGP terms).
+	SendOverhead float64
+	// RecvOverhead is the CPU time, in ns, a rank spends completing a
+	// receive (o_r).
+	RecvOverhead float64
+	// Latency is the wire latency in ns between any two ranks (L).
+	Latency float64
+	// ByteTime is the uncongested per-byte transfer time in ns (G);
+	// 0.1 ns/B corresponds to 10 GB/s.
+	ByteTime float64
+
+	// CongestionP0 and CongestionExp model how the effective per-byte
+	// time degrades during dense traffic as the job grows: for a run
+	// with P ranks, the effective per-byte time is
+	//
+	//	ByteTime * (1 + (P/CongestionP0)^CongestionExp)
+	//
+	// A CongestionP0 of 0 disables the term. This stands in for the
+	// bisection-bandwidth and routing contention that, on the paper's
+	// machines, pushes the Bruck-vs-spread-out crossover toward smaller
+	// block sizes at large rank counts (Figures 6 and 9).
+	CongestionP0  float64
+	CongestionExp float64
+
+	// MemcpyByte is the per-byte cost in ns of a local copy; MemcpyFixed
+	// is the fixed per-call cost.
+	MemcpyByte  float64
+	MemcpyFixed float64
+
+	// DTypeBlock is the per-block handling cost of packing or unpacking
+	// an MPI derived datatype; DTypeByte is its per-byte cost. Derived
+	// datatypes avoid explicit copies but pay these instead.
+	DTypeBlock float64
+	DTypeByte  float64
+
+	// CollectiveFactor scales the per-message overheads of the
+	// runtime's built-in small collectives (barrier, allreduce, bcast),
+	// standing in for the hardware collective offload vendor MPIs use on
+	// machines like Theta's Aries. 0 means 1.0 (no discount). Without
+	// it, padded Bruck's single Allreduce would cost as much as the
+	// per-step latency it saves and the paper's padded-wins region
+	// (inequality 3) would not reproduce.
+	CollectiveFactor float64
+
+	// Intra-node communication parameters, used for messages between
+	// ranks placed on the same node (see mpi.WithRanksPerNode). Zero
+	// values fall back to shared-memory defaults derived from the
+	// memcpy cost: intra-node messages are essentially copies through
+	// shared memory and do not pay network congestion.
+	IntraSendOverhead float64
+	IntraRecvOverhead float64
+	IntraLatency      float64
+	IntraByteTime     float64
+}
+
+// IntraParams returns the effective intra-node (overheadSend,
+// overheadRecv, latency, byteTime) with shared-memory defaults.
+func (m Model) IntraParams() (os, or, l, g float64) {
+	os, or, l, g = m.IntraSendOverhead, m.IntraRecvOverhead, m.IntraLatency, m.IntraByteTime
+	if os == 0 {
+		os = m.SendOverhead / 4
+	}
+	if or == 0 {
+		or = m.RecvOverhead / 4
+	}
+	if l == 0 {
+		l = m.Latency / 4
+	}
+	if g == 0 {
+		g = m.MemcpyByte * 2 // one copy in, one copy out of shared memory
+		if g == 0 {
+			g = m.ByteTime
+		}
+	}
+	return os, or, l, g
+}
+
+// CollFactor returns the effective collective overhead scale (1 when
+// unset).
+func (m Model) CollFactor() float64 {
+	if m.CollectiveFactor <= 0 {
+		return 1
+	}
+	return m.CollectiveFactor
+}
+
+// EffectiveByteTime returns the per-byte transfer time in ns for a job
+// with p ranks, including the congestion term.
+func (m Model) EffectiveByteTime(p int) float64 {
+	g := m.ByteTime
+	if m.CongestionP0 > 0 && p > 0 {
+		g *= 1 + math.Pow(float64(p)/m.CongestionP0, m.CongestionExp)
+	}
+	return g
+}
+
+// Alpha returns the per-message latency α in ns: the fixed cost of one
+// point-to-point exchange regardless of its size.
+func (m Model) Alpha() float64 { return m.SendOverhead + m.Latency + m.RecvOverhead }
+
+// Beta returns the per-byte cost β in ns for a job with p ranks.
+func (m Model) Beta(p int) float64 { return m.EffectiveByteTime(p) }
+
+// MemcpyCost returns the ns cost of copying n bytes locally.
+func (m Model) MemcpyCost(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.MemcpyFixed + float64(n)*m.MemcpyByte
+}
+
+// DTypeCost returns the ns cost of packing or unpacking a derived
+// datatype of the given block count and total bytes.
+func (m Model) DTypeCost(blocks, bytes int) float64 {
+	return float64(blocks)*m.DTypeBlock + float64(bytes)*m.DTypeByte
+}
+
+// Validate reports whether the model's parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.SendOverhead < 0 || m.RecvOverhead < 0 || m.Latency < 0:
+		return fmt.Errorf("machine: model %q has negative overhead or latency", m.Name)
+	case m.ByteTime < 0 || m.MemcpyByte < 0 || m.MemcpyFixed < 0:
+		return fmt.Errorf("machine: model %q has negative per-byte or memcpy cost", m.Name)
+	case m.DTypeBlock < 0 || m.DTypeByte < 0:
+		return fmt.Errorf("machine: model %q has negative datatype cost", m.Name)
+	case m.CongestionP0 < 0 || m.CongestionExp < 0:
+		return fmt.Errorf("machine: model %q has negative congestion parameters", m.Name)
+	case m.CollectiveFactor < 0:
+		return fmt.Errorf("machine: model %q has negative collective factor", m.Name)
+	}
+	return nil
+}
+
+// String returns a one-line description of the model.
+func (m Model) String() string {
+	return fmt.Sprintf("%s{o_s=%.0fns o_r=%.0fns L=%.0fns G=%.4fns/B cong=(P/%.0f)^%.2f memcpy=%.3fns/B}",
+		m.Name, m.SendOverhead, m.RecvOverhead, m.Latency, m.ByteTime, m.CongestionP0, m.CongestionExp, m.MemcpyByte)
+}

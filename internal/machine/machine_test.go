@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("preset %s has Name %q", name, m.Name)
+		}
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	cases := []Model{
+		{SendOverhead: -1},
+		{Latency: -5},
+		{ByteTime: -0.1},
+		{MemcpyFixed: -1},
+		{DTypeBlock: -1},
+		{CongestionExp: -1},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	m := Model{SendOverhead: 100, RecvOverhead: 200, Latency: 300}
+	if m.Alpha() != 600 {
+		t.Fatalf("Alpha = %v, want 600", m.Alpha())
+	}
+}
+
+func TestCongestionGrowsWithP(t *testing.T) {
+	m := Theta()
+	small := m.EffectiveByteTime(128)
+	big := m.EffectiveByteTime(32768)
+	if big <= small {
+		t.Fatalf("effective byte time should grow with P: %v vs %v", small, big)
+	}
+	flat := Uncongested(m)
+	if flat.EffectiveByteTime(128) != flat.EffectiveByteTime(32768) {
+		t.Fatal("uncongested model should have flat byte time")
+	}
+}
+
+func TestMemcpyCost(t *testing.T) {
+	m := Model{MemcpyByte: 2, MemcpyFixed: 10}
+	if m.MemcpyCost(5) != 20 {
+		t.Fatalf("MemcpyCost(5) = %v", m.MemcpyCost(5))
+	}
+	if m.MemcpyCost(0) != 0 {
+		t.Fatal("zero-length memcpy should be free")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1000: 10}
+	for p, want := range cases {
+		if got := Steps(p); got != want {
+			t.Errorf("Steps(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestBlocksAtStepPowerOfTwo(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 64, 1024} {
+		for k := 0; k < Steps(p); k++ {
+			if got := BlocksAtStep(p, k); got != p/2 {
+				t.Errorf("BlocksAtStep(%d,%d) = %d, want %d", p, k, got, p/2)
+			}
+		}
+	}
+}
+
+// Property: BlocksAtStep matches a direct popcount-bit scan, and the sum
+// over steps equals the sum of popcounts — for arbitrary P.
+func TestQuickBlocksAtStep(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := int(pRaw)%2000 + 2
+		total := 0
+		for k := 0; k < Steps(p); k++ {
+			want := 0
+			for i := 1; i < p; i++ {
+				if i&(1<<k) != 0 {
+					want++
+				}
+			}
+			if BlocksAtStep(p, k) != want {
+				return false
+			}
+			total += want
+		}
+		sum := 0
+		for i := 1; i < p; i++ {
+			sum += bits.OnesCount(uint(i))
+		}
+		return TotalBruckBlocks(p) == sum && total == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperEq3SmallN(t *testing.T) {
+	m := Theta()
+	// The paper: inequality (3) "certainly happens when N is less than 8
+	// bytes".
+	for _, p := range []int{128, 1024, 32768} {
+		if !m.PaddedBeatsTwoPhase(p, 4) {
+			t.Errorf("padded should beat two-phase at N=4, P=%d", p)
+		}
+	}
+	// And padded loses for large N at scale.
+	if m.PaddedBeatsTwoPhase(4096, 2048) {
+		t.Error("padded should lose at N=2048, P=4096")
+	}
+}
+
+func TestPaperTimesOrdering(t *testing.T) {
+	m := Theta()
+	// Eq 1 vs Eq 2 at a clearly bandwidth-bound point: two-phase moves
+	// half the data, so it must be predicted faster.
+	if m.PaperTwoPhaseTime(4096, 2048) >= m.PaperPaddedTime(4096, 2048) {
+		t.Error("two-phase should beat padded at N=2048, P=4096 per Eqs 1-2")
+	}
+}
+
+// The calibration target: the Theta preset must place the simulated
+// two-phase-vs-vendor crossover near the paper's reported thresholds
+// (Figures 6 and 9): about 1024 B at P=4096, 512 B at P=8192, 128 B at
+// P=32768, within one power of two.
+func TestThetaCrossoverCalibration(t *testing.T) {
+	m := Theta()
+	targets := map[int]int{4096: 1024, 8192: 512, 32768: 128}
+	for p, want := range targets {
+		got := m.CrossoverN(p, 1<<20)
+		if got < want/2 || got > want*2 {
+			t.Errorf("crossover at P=%d: model %d B, paper ~%d B (allowed ±1 octave)", p, got, want)
+		}
+	}
+	// And at small scale two-phase should win across the paper's whole
+	// tested range (N up to 2048 at P=256).
+	if got := m.CrossoverN(256, 1<<20); got < 2048 {
+		t.Errorf("crossover at P=256 = %d, want >= 2048", got)
+	}
+}
+
+func TestCrossoverShrinksWithP(t *testing.T) {
+	m := Theta()
+	prev := 1 << 30
+	for _, p := range []int{512, 2048, 8192, 32768} {
+		c := m.CrossoverN(p, 1<<20)
+		if c > prev {
+			t.Errorf("crossover grew with P at %d: %d > %d", p, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestEstimateSpreadOutLinearInP(t *testing.T) {
+	m := Uncongested(Theta())
+	a := m.EstimateSpreadOut(1024, 64)
+	b := m.EstimateSpreadOut(2048, 64)
+	if b < 1.8*a || b > 2.2*a {
+		t.Errorf("spread-out should be ~linear in P: %v -> %v", a, b)
+	}
+}
+
+func TestEstimateTwoPhaseLogFactor(t *testing.T) {
+	m := Uncongested(Theta())
+	// At tiny average block sizes the latency term dominates, so doubling
+	// P should add roughly one step (2α), not double the time.
+	a := m.EstimateTwoPhase(1024, 0.25)
+	b := m.EstimateTwoPhase(2048, 0.25)
+	if b > 1.5*a {
+		t.Errorf("latency-bound two-phase should grow ~logarithmically: %v -> %v", a, b)
+	}
+}

@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"math"
+
+	"bruckv/internal/buffer"
+)
+
+// Base collectives, built on the point-to-point layer so their cost is
+// priced by the same machine model as everything else. Idempotent
+// reductions (max, min) use the dissemination pattern — ceil(log2 P)
+// rounds for any P — and non-idempotent ones (sum) use a binomial
+// reduce-plus-broadcast tree. All ranks of the world must call a
+// collective together, with no interleaved point-to-point traffic on the
+// reserved tags.
+
+// Reserved tag space for collectives (user tags should be >= 0).
+const (
+	tagBarrier = -1001 - iota*16
+	tagAllreduceMax
+	tagReduceSum
+	tagBcast
+	tagGather
+)
+
+// Barrier blocks until all ranks have entered it (dissemination barrier,
+// ceil(log2 P) zero-byte rounds).
+func (p *Proc) Barrier() {
+	empty := buffer.Buf{}
+	P := p.Size()
+	for k := 1; k < P; k <<= 1 {
+		dst := (p.rank + k) % P
+		src := (p.rank - k + P) % P
+		p.sendRecvColl(dst, tagBarrier, empty, src, tagBarrier, empty)
+	}
+}
+
+// dissemMax runs a dissemination all-reduction of one 8-byte word with a
+// max-combine, valid because max is idempotent.
+func (p *Proc) dissemMax(v uint64, ge func(a, b uint64) bool) uint64 {
+	sb := buffer.New(8)
+	rb := buffer.New(8)
+	P := p.Size()
+	for k := 1; k < P; k <<= 1 {
+		dst := (p.rank + k) % P
+		src := (p.rank - k + P) % P
+		sb.PutUint64(0, v)
+		p.sendRecvColl(dst, tagAllreduceMax, sb, src, tagAllreduceMax, rb)
+		if got := rb.Uint64(0); !ge(v, got) {
+			v = got
+		}
+	}
+	return v
+}
+
+// AllreduceMaxInt returns the maximum of v over all ranks.
+func (p *Proc) AllreduceMaxInt(v int) int {
+	r := p.dissemMax(uint64(int64(v))+1<<63, func(a, b uint64) bool { return a >= b })
+	return int(int64(r - 1<<63))
+}
+
+// AllreduceMinInt returns the minimum of v over all ranks.
+func (p *Proc) AllreduceMinInt(v int) int { return -p.AllreduceMaxInt(-v) }
+
+// AllreduceMaxFloat64 returns the maximum of v over all ranks. v must not
+// be NaN.
+func (p *Proc) AllreduceMaxFloat64(v float64) float64 {
+	r := p.dissemMax(orderedFloatBits(v), func(a, b uint64) bool { return a >= b })
+	return floatFromOrderedBits(r)
+}
+
+// orderedFloatBits maps float64 to uint64 preserving order.
+func orderedFloatBits(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+func floatFromOrderedBits(b uint64) float64 {
+	if b&(1<<63) != 0 {
+		return math.Float64frombits(b &^ (1 << 63))
+	}
+	return math.Float64frombits(^b)
+}
+
+// AllreduceSumInt64 returns the sum of v over all ranks (binomial reduce
+// to rank 0, then broadcast).
+func (p *Proc) AllreduceSumInt64(v int64) int64 {
+	sb := buffer.New(8)
+	rb := buffer.New(8)
+	P := p.Size()
+	// Reduce: at round k, ranks with the k-th bit set send their partial
+	// sum to rank - 2^k and exit the tree.
+	for k := 1; k < P; k <<= 1 {
+		if p.rank&k != 0 {
+			sb.PutUint64(0, uint64(v))
+			p.sendColl(p.rank-k, tagReduceSum, sb)
+			break
+		}
+		if p.rank+k < P {
+			p.recvColl(p.rank+k, tagReduceSum, rb)
+			v += int64(rb.Uint64(0))
+		}
+	}
+	return p.BcastInt64(v, 0)
+}
+
+// BcastInt64 broadcasts v from root to all ranks along a binomial tree
+// and returns the broadcast value.
+func (p *Proc) BcastInt64(v int64, root int) int64 {
+	b := buffer.New(8)
+	P := p.Size()
+	rel := (p.rank - root + P) % P
+	// Binomial tree on relative ranks: node rel receives from
+	// rel - highestSetBit(rel), then fans out to rel + 2^k for every
+	// 2^k above its own highest set bit.
+	hb := 0
+	if rel != 0 {
+		hb = 1
+		for hb<<1 <= rel {
+			hb <<= 1
+		}
+		parent := (rel - hb + root) % P
+		p.recvColl(parent, tagBcast, b)
+		v = int64(b.Uint64(0))
+	}
+	k := 1
+	if hb != 0 {
+		k = hb << 1
+	}
+	for ; rel+k < P; k <<= 1 {
+		b.PutUint64(0, uint64(v))
+		p.sendColl((rel+k+root)%P, tagBcast, b)
+	}
+	return v
+}
+
+// GatherInt64 gathers one int64 from every rank at root. At root it
+// returns a slice indexed by rank; elsewhere it returns nil. Linear
+// gather; intended for harness bookkeeping, not hot paths.
+func (p *Proc) GatherInt64(v int64, root int) []int64 {
+	b := buffer.New(8)
+	if p.rank != root {
+		b.PutUint64(0, uint64(v))
+		p.Send(root, tagGather, b)
+		return nil
+	}
+	out := make([]int64, p.Size())
+	out[root] = v
+	for r := 0; r < p.Size(); r++ {
+		if r == root {
+			continue
+		}
+		p.Recv(r, tagGather, b)
+		out[r] = int64(b.Uint64(0))
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+)
+
+// Property: AllreduceMaxInt equals the true maximum for arbitrary values
+// and world sizes.
+func TestQuickAllreduceMax(t *testing.T) {
+	f := func(vals []int16, pRaw uint8) bool {
+		P := int(pRaw)%9 + 1
+		if len(vals) < P {
+			return true
+		}
+		want := int(vals[0])
+		for r := 1; r < P; r++ {
+			if int(vals[r]) > want {
+				want = int(vals[r])
+			}
+		}
+		w, err := NewWorld(P, WithModel(machine.Zero()))
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(p *Proc) error {
+			if got := p.AllreduceMaxInt(int(vals[p.Rank()])); got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllreduceSumInt64 equals the true sum.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(vals []int32, pRaw uint8) bool {
+		P := int(pRaw)%11 + 1
+		if len(vals) < P {
+			return true
+		}
+		var want int64
+		for r := 0; r < P; r++ {
+			want += int64(vals[r])
+		}
+		w, err := NewWorld(P, WithModel(machine.Zero()))
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(p *Proc) error {
+			if got := p.AllreduceSumInt64(int64(vals[p.Rank()])); got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderedFloatBitsMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ba, bb := orderedFloatBits(a), orderedFloatBits(b)
+		switch {
+		case a < b:
+			return ba < bb
+		case a > b:
+			return ba > bb
+		default:
+			return ba == bb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Round trips.
+	for _, v := range []float64{0, -0.0, 1.5, -1.5, math.MaxFloat64, -math.MaxFloat64, math.Inf(1), math.Inf(-1)} {
+		got := floatFromOrderedBits(orderedFloatBits(v))
+		if got != v && !(v == 0 && got == 0) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestAllreduceMinIntNegatives(t *testing.T) {
+	const P = 7
+	w := zeroWorld(t, P)
+	err := w.Run(func(p *Proc) error {
+		v := -p.Rank() * 100
+		if got := p.AllreduceMinInt(v); got != -(P-1)*100 {
+			t.Errorf("min = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Collective messages must be cheaper than point-to-point when the
+// model has a collective factor.
+func TestCollectiveFactorDiscount(t *testing.T) {
+	m := machine.Model{SendOverhead: 1000, RecvOverhead: 1000, Latency: 100, CollectiveFactor: 0.25}
+	run := func(coll bool) float64 {
+		w, err := NewWorld(2, WithModel(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *Proc) error {
+			if coll {
+				p.AllreduceMaxInt(p.Rank())
+			} else {
+				b := buffer.New(8)
+				dst := 1 - p.Rank()
+				p.SendRecv(dst, 5, b, dst, 5, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	if c, pt := run(true), run(false); c >= pt {
+		t.Errorf("one allreduce round (%v) should be cheaper than a full-price sendrecv (%v)", c, pt)
+	}
+}

@@ -1,0 +1,573 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+)
+
+func zeroWorld(t *testing.T, size int) *World {
+	t.Helper()
+	w, err := NewWorld(size, WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldRejectsBadSize(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+	if _, err := NewWorld(-3); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestNewWorldRejectsBadModel(t *testing.T) {
+	if _, err := NewWorld(2, WithModel(machine.Model{SendOverhead: -1})); err == nil {
+		t.Fatal("expected model validation error")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			b := buffer.New(4)
+			b.PutUint32(0, 0xCAFE)
+			p.Send(1, 7, b)
+			r := buffer.New(4)
+			p.Recv(1, 8, r)
+			if r.Uint32(0) != 0xCAFE+1 {
+				t.Errorf("rank 0 got %#x", r.Uint32(0))
+			}
+		} else {
+			r := buffer.New(4)
+			p.Recv(0, 7, r)
+			b := buffer.New(4)
+			b.PutUint32(0, r.Uint32(0)+1)
+			p.Send(0, 8, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenderBufferReusableAfterSend(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			b := buffer.New(4)
+			b.PutUint32(0, 111)
+			p.Send(1, 1, b)
+			b.PutUint32(0, 999) // must not affect the in-flight message
+			p.Send(1, 2, b)
+		} else {
+			r := buffer.New(4)
+			p.Recv(0, 1, r)
+			if r.Uint32(0) != 111 {
+				t.Errorf("first message corrupted: %d", r.Uint32(0))
+			}
+			p.Recv(0, 2, r)
+			if r.Uint32(0) != 999 {
+				t.Errorf("second message wrong: %d", r.Uint32(0))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSourceTag(t *testing.T) {
+	w := zeroWorld(t, 2)
+	const n = 50
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				b.PutUint32(0, uint32(i))
+				p.Send(1, 3, b)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				p.Recv(0, 3, b)
+				if int(b.Uint32(0)) != i {
+					t.Errorf("message %d arrived out of order as %d", i, b.Uint32(0))
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		if p.Rank() == 0 {
+			b.PutUint32(0, 1)
+			p.Send(1, 10, b)
+			b.PutUint32(0, 2)
+			p.Send(1, 20, b)
+		} else {
+			// Receive tag 20 first even though tag 10 was sent first.
+			p.Recv(0, 20, b)
+			if b.Uint32(0) != 2 {
+				t.Errorf("tag 20 carried %d", b.Uint32(0))
+			}
+			p.Recv(0, 10, b)
+			if b.Uint32(0) != 1 {
+				t.Errorf("tag 10 carried %d", b.Uint32(0))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationIsError(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 1, buffer.New(16))
+		} else {
+			p.Recv(0, 1, buffer.New(8))
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("expected truncation error, got %v", err)
+	}
+}
+
+func TestIsendIrecvWaitallExchange(t *testing.T) {
+	const P = 7
+	w := zeroWorld(t, P)
+	err := w.Run(func(p *Proc) error {
+		// Spread-out style: everyone sends its rank to everyone.
+		reqs := make([]*Request, 0, 2*(P-1))
+		recvs := make([]buffer.Buf, P)
+		for i := 1; i < P; i++ {
+			src := (p.Rank() - i + P) % P
+			recvs[src] = buffer.New(4)
+			reqs = append(reqs, p.Irecv(src, 5, recvs[src]))
+		}
+		sb := buffer.New(4)
+		sb.PutUint32(0, uint32(p.Rank()))
+		for i := 1; i < P; i++ {
+			dst := (p.Rank() + i) % P
+			reqs = append(reqs, p.Isend(dst, 5, sb))
+		}
+		p.Waitall(reqs)
+		for src := 0; src < P; src++ {
+			if src == p.Rank() {
+				continue
+			}
+			if int(recvs[src].Uint32(0)) != src {
+				t.Errorf("rank %d: from %d got %d", p.Rank(), src, recvs[src].Uint32(0))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdersClocks(t *testing.T) {
+	const P = 9
+	w, err := NewWorld(P, WithModel(machine.Theta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		p.Charge(float64(p.Rank()) * 1e6)
+		p.Barrier()
+		if p.Now() < 8e6 {
+			t.Errorf("rank %d exited barrier at %.0f, before slowest entered", p.Rank(), p.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMinInt(t *testing.T) {
+	for _, P := range []int{1, 2, 3, 5, 8, 16, 33} {
+		w := zeroWorld(t, P)
+		err := w.Run(func(p *Proc) error {
+			v := (p.Rank()-2)*3 - 1 // includes negatives
+			if got := p.AllreduceMaxInt(v); got != (P-3)*3-1 {
+				t.Errorf("P=%d rank %d: max = %d, want %d", P, p.Rank(), got, (P-3)*3-1)
+			}
+			if got := p.AllreduceMinInt(v); got != -7 {
+				t.Errorf("P=%d rank %d: min = %d, want -7", P, p.Rank(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceSumInt64(t *testing.T) {
+	for _, P := range []int{1, 2, 3, 6, 8, 17} {
+		w := zeroWorld(t, P)
+		want := int64(0)
+		for r := 0; r < P; r++ {
+			want += int64(r*r) - 5
+		}
+		err := w.Run(func(p *Proc) error {
+			got := p.AllreduceSumInt64(int64(p.Rank()*p.Rank()) - 5)
+			if got != want {
+				t.Errorf("P=%d rank %d: sum = %d, want %d", P, p.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceMaxFloat64(t *testing.T) {
+	w := zeroWorld(t, 6)
+	err := w.Run(func(p *Proc) error {
+		v := -float64(p.Rank()) // max is 0.0 at rank 0
+		if got := p.AllreduceMaxFloat64(v); got != 0 {
+			t.Errorf("max = %v, want 0", got)
+		}
+		if got := p.AllreduceMaxFloat64(float64(p.Rank()) + 0.5); got != 5.5 {
+			t.Errorf("max = %v, want 5.5", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastInt64AllRoots(t *testing.T) {
+	for _, P := range []int{1, 2, 5, 8, 13} {
+		w := zeroWorld(t, P)
+		for root := 0; root < P; root++ {
+			err := w.Run(func(p *Proc) error {
+				v := int64(-1)
+				if p.Rank() == root {
+					v = 4242 + int64(root)
+				}
+				if got := p.BcastInt64(v, root); got != 4242+int64(root) {
+					t.Errorf("P=%d root=%d rank=%d: got %d", P, root, p.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestGatherInt64(t *testing.T) {
+	const P = 5
+	w := zeroWorld(t, P)
+	err := w.Run(func(p *Proc) error {
+		got := p.GatherInt64(int64(p.Rank()*10), 2)
+		if p.Rank() != 2 {
+			if got != nil {
+				t.Errorf("non-root rank %d got non-nil slice", p.Rank())
+			}
+			return nil
+		}
+		for r := 0; r < P; r++ {
+			if got[r] != int64(r*10) {
+				t.Errorf("root: got[%d] = %d", r, got[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeSingleMessage(t *testing.T) {
+	m := machine.Model{SendOverhead: 100, RecvOverhead: 50, Latency: 30, ByteTime: 2}
+	w, err := NewWorld(2, WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(10)
+		if p.Rank() == 0 {
+			p.Send(1, 1, b)
+			// Sender clock: only the send overhead.
+			if p.Now() != 100 {
+				t.Errorf("sender clock = %v, want 100", p.Now())
+			}
+		} else {
+			p.Recv(0, 1, b)
+			// arrival = 100 + 10*2 + 30 = 150; recv completes at
+			// 150 + 50 + 20 = 220.
+			if p.Now() != 220 {
+				t.Errorf("receiver clock = %v, want 220", p.Now())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxTime() != 220 {
+		t.Errorf("MaxTime = %v, want 220", w.MaxTime())
+	}
+}
+
+func TestInjectionSerialization(t *testing.T) {
+	m := machine.Model{SendOverhead: 10, RecvOverhead: 10, Latency: 0, ByteTime: 1}
+	w, err := NewWorld(3, WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(100)
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 1, b)
+			p.Send(2, 1, b)
+		case 1:
+			p.Recv(0, 1, b)
+			// First injection finishes at 10+100=110, arrival 110,
+			// recv adds 10+100.
+			if p.Now() != 220 {
+				t.Errorf("rank 1 clock = %v, want 220", p.Now())
+			}
+		case 2:
+			p.Recv(0, 1, b)
+			// Second injection starts at 110 (link busy), finishes 220.
+			if p.Now() != 330 {
+				t.Errorf("rank 2 clock = %v, want 330", p.Now())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	run := func() float64 {
+		w, err := NewWorld(16, WithModel(machine.Theta()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *Proc) error {
+			b := buffer.New(64)
+			for k := 1; k < p.Size(); k <<= 1 {
+				dst := (p.Rank() + k) % p.Size()
+				src := (p.Rank() - k + p.Size()) % p.Size()
+				p.SendRecv(dst, 9, b, src, 9, b)
+			}
+			p.AllreduceMaxInt(p.Rank())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual time not deterministic: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("expected positive virtual time")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		// Both ranks wait for a message nobody sends.
+		p.Recv(1-p.Rank(), 99, buffer.New(1))
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestPhantomWorldTransfersSizes(t *testing.T) {
+	w, err := NewWorld(2, WithModel(machine.Zero()), WithPhantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := p.AllocBuf(128)
+		if b.Real() {
+			t.Error("AllocBuf should be phantom in phantom world")
+		}
+		if p.Rank() == 0 {
+			p.Send(1, 1, b.Slice(0, 77))
+		} else {
+			n := p.Recv(0, 1, b)
+			if n != 77 {
+				t.Errorf("received size %d, want 77", n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcpyChargesClock(t *testing.T) {
+	m := machine.Model{MemcpyByte: 3, MemcpyFixed: 7}
+	w, err := NewWorld(1, WithModel(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		dst, src := buffer.New(10), buffer.New(10)
+		if n := p.Memcpy(dst, src); n != 10 {
+			t.Errorf("Memcpy moved %d", n)
+		}
+		if p.Now() != 37 {
+			t.Errorf("clock = %v, want 37", p.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		done := p.Phase("compute")
+		p.Charge(500)
+		done()
+		done = p.Phase("compute")
+		p.Charge(250)
+		done()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MaxPhase()["compute"]; got != 750 {
+		t.Fatalf("phase time = %v, want 750", got)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 1, buffer.New(10))
+			p.Send(1, 1, buffer.New(20))
+		} else {
+			b := buffer.New(32)
+			p.Recv(0, 1, b)
+			p.Recv(0, 1, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalBytes() != 30 {
+		t.Errorf("TotalBytes = %d, want 30", w.TotalBytes())
+	}
+	if w.TotalMessages() != 2 {
+		t.Errorf("TotalMessages = %d, want 2", w.TotalMessages())
+	}
+}
+
+func TestRankPanicBecomesError(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestSyncClocksAligns(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P, WithModel(machine.Theta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]float64, P)
+	err = w.Run(func(p *Proc) error {
+		p.Charge(float64(p.Rank()) * 1e5)
+		p.SyncClocks()
+		clocks[p.Rank()] = p.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < P; r++ {
+		if clocks[r] != clocks[0] {
+			t.Fatalf("clocks not aligned: %v", clocks)
+		}
+	}
+	if clocks[0] < 3e5 {
+		t.Fatalf("aligned clock %v below slowest rank's entry", clocks[0])
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	w := zeroWorld(t, 1)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		b.PutUint32(0, 77)
+		p.Send(0, 1, b)
+		r := buffer.New(4)
+		p.Recv(0, 1, r)
+		if r.Uint32(0) != 77 {
+			t.Errorf("self message carried %d", r.Uint32(0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTwiceFreshState(t *testing.T) {
+	w := zeroWorld(t, 3)
+	for i := 0; i < 2; i++ {
+		err := w.Run(func(p *Proc) error {
+			p.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

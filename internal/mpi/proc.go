@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"bruckv/internal/buffer"
+)
+
+// Proc is one rank's handle onto the world. All methods must be called
+// only from the goroutine Run started for this rank.
+type Proc struct {
+	w    *World
+	rank int
+
+	// Virtual clocks, in nanoseconds. now is the CPU clock; txFree and
+	// rxFree are the times at which the injection and drain paths of this
+	// rank's network link become free.
+	now    float64
+	txFree float64
+	rxFree float64
+
+	box inbox
+
+	bytesSent int64
+	msgsSent  int64
+
+	phases     map[string]float64
+	phaseStack []phaseMark
+}
+
+type phaseMark struct {
+	name  string
+	start float64
+}
+
+type message struct {
+	src, tag int
+	payload  buffer.Buf
+	size     int
+	arrival  float64
+	seq      int64
+}
+
+// inbox holds pending messages bucketed by (source, tag), so matching
+// is O(1) even when thousands of messages are queued (spread-out posts
+// P-1 receives at once).
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[uint64][]message
+	seq  int64
+	// arr logs arrival keys so Waitall can process only what landed
+	// since its last wake instead of rescanning; arrPos is the consumed
+	// prefix. Entries may be stale (consumed by direct Recv) — harmless,
+	// they just miss their bucket.
+	arr    []uint64
+	arrPos int
+}
+
+// boxKey packs (src, tag) into the bucket key.
+func boxKey(src, tag int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+}
+
+func newProc(w *World, rank int) *Proc {
+	p := &Proc{w: w, rank: rank, phases: map[string]float64{}}
+	p.box.cond = sync.NewCond(&p.box.mu)
+	p.box.q = make(map[uint64][]message)
+	return p
+}
+
+// Rank returns this rank's id in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.size }
+
+// World returns the world this rank belongs to.
+func (p *Proc) World() *World { return p.w }
+
+// Now returns this rank's virtual clock in nanoseconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// Charge advances this rank's clock by ns nanoseconds of local compute.
+func (p *Proc) Charge(ns float64) {
+	if ns > 0 {
+		p.now += ns
+	}
+}
+
+// AllocBuf returns a scratch buffer of n bytes, phantom if the world was
+// created with WithPhantom.
+func (p *Proc) AllocBuf(n int) buffer.Buf { return buffer.Make(n, p.w.phantom) }
+
+// Memcpy copies src into dst (phantom-aware) and charges the model's
+// local-copy cost for the bytes moved. It returns the byte count.
+func (p *Proc) Memcpy(dst, src buffer.Buf) int {
+	n := buffer.Copy(dst, src)
+	p.now += p.w.model.MemcpyCost(n)
+	return n
+}
+
+// ChargeMemcpy charges the cost of copying n bytes without moving any
+// data; used where the copy itself is implied (e.g. zero-fill padding).
+func (p *Proc) ChargeMemcpy(n int) {
+	p.now += p.w.model.MemcpyCost(n)
+}
+
+// BytesSent returns the total payload bytes this rank has sent.
+func (p *Proc) BytesSent() int64 { return p.bytesSent }
+
+// MsgsSent returns the number of point-to-point messages this rank has
+// sent.
+func (p *Proc) MsgsSent() int64 { return p.msgsSent }
+
+// Phase starts a named phase timer and returns the function that stops
+// it. Accumulated per-phase virtual time is available from World.MaxPhase
+// after the run. Typical use:
+//
+//	done := p.Phase("rotation")
+//	...
+//	done()
+func (p *Proc) Phase(name string) func() {
+	start := p.now
+	return func() {
+		p.phases[name] += p.now - start
+	}
+}
+
+// Phases returns this rank's accumulated per-phase virtual times.
+func (p *Proc) Phases() map[string]float64 { return p.phases }
+
+// SyncClocks aligns every rank's virtual clock to the global maximum and
+// resets link occupancy, giving benchmark iterations a clean common
+// start. It is a collective: all ranks must call it.
+func (p *Proc) SyncClocks() {
+	m := p.AllreduceMaxFloat64(p.now)
+	p.now = m
+	p.txFree = m
+	p.rxFree = m
+}
+
+func (p *Proc) checkPeer(r int, what string) {
+	if r < 0 || r >= p.w.size {
+		panic(fmt.Sprintf("mpi: rank %d: %s rank %d out of range [0,%d)", p.rank, what, r, p.w.size))
+	}
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c float64) float64 { return max2(max2(a, b), c) }

@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"bruckv/internal/buffer"
+)
+
+// Point-to-point layer.
+//
+// Sends in this runtime are buffered (eager): the payload is captured at
+// send time, the sender's clock is charged the send overhead, its
+// injection path is charged overhead plus per-byte time, and the call
+// returns — the sender may immediately reuse its buffer, matching MPI's
+// small-message semantics. Receives block until a matching message (by
+// source and tag, with per-pair FIFO ordering) is available, then charge
+// the receive overhead and per-byte drain time, starting no earlier than
+// the message's arrival (sender injection completion plus wire latency).
+
+// Send transmits b to rank dst with the given tag. It does not block on
+// the receiver.
+func (p *Proc) Send(dst, tag int, b buffer.Buf) { p.sendf(dst, tag, b, 1) }
+
+// sendf is Send with a scale factor on the per-message overhead; the
+// built-in collectives pass the model's collective factor to stand in
+// for hardware-offloaded small collectives.
+func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
+	p.checkPeer(dst, "send to")
+	n := b.Len()
+	os, g, l := p.w.model.SendOverhead, p.w.geff, p.w.model.Latency
+	if p.w.SameNode(p.rank, dst) {
+		os, g, l = p.w.intraOS, p.w.intraG, p.w.intraL
+	}
+	start := max2(p.now, p.txFree)
+	txDone := start + os*f + float64(n)*g
+	p.txFree = txDone
+	p.now = start + os*f
+
+	var payload buffer.Buf
+	if b.Real() {
+		payload = b.Clone()
+	} else {
+		payload = buffer.Phantom(n)
+	}
+	p.bytesSent += int64(n)
+	p.msgsSent++
+
+	dp := p.w.procs[dst]
+	key := boxKey(p.rank, tag)
+	dp.box.mu.Lock()
+	dp.box.seq++
+	dp.box.q[key] = append(dp.box.q[key], message{
+		src: p.rank, tag: tag, payload: payload, size: n,
+		arrival: txDone + l, seq: dp.box.seq,
+	})
+	dp.box.arr = append(dp.box.arr, key)
+	p.w.activity.Add(1)
+	dp.box.cond.Broadcast()
+	dp.box.mu.Unlock()
+}
+
+// Recv blocks until a message with the given source and tag arrives,
+// copies it into b, advances the clock, and returns the message size. It
+// panics if the message is larger than b (truncation, an MPI error).
+func (p *Proc) Recv(src, tag int, b buffer.Buf) int {
+	p.checkPeer(src, "receive from")
+	msg := p.matchBlocking(src, tag)
+	return p.completeRecv(msg, b)
+}
+
+func (p *Proc) completeRecv(msg message, b buffer.Buf) int { return p.completeRecvf(msg, b, 1) }
+
+func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
+	if msg.size > b.Len() {
+		panic(fmt.Sprintf("mpi: rank %d: message from %d tag %d truncated: %d bytes into %d-byte buffer",
+			p.rank, msg.src, msg.tag, msg.size, b.Len()))
+	}
+	or, g := p.w.model.RecvOverhead, p.w.geff
+	if p.w.SameNode(p.rank, msg.src) {
+		or, g = p.w.intraOR, p.w.intraG
+	}
+	start := max3(p.now, p.rxFree, msg.arrival)
+	done := start + or*f + float64(msg.size)*g
+	p.rxFree = done
+	p.now = done
+	buffer.Copy(b, msg.payload)
+	return msg.size
+}
+
+// matchBlocking removes and returns the first queued message matching
+// (src, tag), blocking until one exists.
+func (p *Proc) matchBlocking(src, tag int) message {
+	key := boxKey(src, tag)
+	p.box.mu.Lock()
+	defer p.box.mu.Unlock()
+	for {
+		if bucket := p.box.q[key]; len(bucket) > 0 {
+			m := bucket[0]
+			if len(bucket) == 1 {
+				delete(p.box.q, key)
+			} else {
+				p.box.q[key] = bucket[1:]
+			}
+			p.w.activity.Add(1)
+			return m
+		}
+		if p.w.dead.Load() {
+			panic(fmt.Sprintf("mpi: rank %d: deadlock detected while waiting for message from %d tag %d", p.rank, src, tag))
+		}
+		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
+			p.box.mu.Unlock()
+			p.w.suspectDeadlock()
+			p.box.mu.Lock()
+			if p.w.dead.Load() {
+				p.w.blocked.Add(-1)
+				panic(fmt.Sprintf("mpi: rank %d: deadlock detected while waiting for message from %d tag %d", p.rank, src, tag))
+			}
+			p.w.blocked.Add(-1)
+			continue
+		}
+		p.box.cond.Wait()
+		p.w.blocked.Add(-1)
+	}
+}
+
+// Request is a handle for a nonblocking operation. Complete it with
+// Proc.Wait or Proc.Waitall.
+type Request struct {
+	isRecv bool
+	src    int
+	tag    int
+	buf    buffer.Buf
+	done   bool
+	size   int
+}
+
+// Isend starts a nonblocking send. In this runtime sends are always
+// buffered, so the returned request is already complete; it exists so
+// algorithm code reads like its MPI counterpart.
+func (p *Proc) Isend(dst, tag int, b buffer.Buf) *Request {
+	p.Send(dst, tag, b)
+	return &Request{done: true, size: b.Len()}
+}
+
+// Irecv posts a nonblocking receive for (src, tag) into b. Matching and
+// clock accounting happen at Wait or Waitall.
+func (p *Proc) Irecv(src, tag int, b buffer.Buf) *Request {
+	p.checkPeer(src, "receive from")
+	return &Request{isRecv: true, src: src, tag: tag, buf: b}
+}
+
+// Wait completes a single request and returns the transferred size.
+func (p *Proc) Wait(r *Request) int {
+	if r.done {
+		return r.size
+	}
+	msg := p.matchBlocking(r.src, r.tag)
+	r.size = p.completeRecv(msg, r.buf)
+	r.done = true
+	return r.size
+}
+
+// Waitall completes all requests. Pending receives are matched first and
+// then retired in message-arrival order, which models a rank draining its
+// link as data shows up and keeps virtual time independent of the posting
+// order.
+//
+// Matching is opportunistic: each time the rank wakes it drains every
+// outstanding request whose message has arrived, so a flood of arrivals
+// (spread-out posts P-1 receives) costs a handful of wake-ups rather
+// than one per message.
+func (p *Proc) Waitall(rs []*Request) {
+	type pending struct {
+		req *Request
+		msg message
+	}
+	ps := make([]pending, 0, len(rs))
+	// Index outstanding receives by (src, tag); same-key requests
+	// complete in posting order against the bucket's FIFO.
+	wanted := make(map[uint64][]*Request)
+	outstanding := 0
+	for _, r := range rs {
+		if r.done || !r.isRecv {
+			r.done = true
+			continue
+		}
+		key := boxKey(r.src, r.tag)
+		wanted[key] = append(wanted[key], r)
+		outstanding++
+	}
+	p.box.mu.Lock()
+	// takeKey matches as many queued messages as possible against the
+	// outstanding requests for one key; it must run under box.mu.
+	takeKey := func(key uint64) bool {
+		reqs := wanted[key]
+		if len(reqs) == 0 {
+			return false
+		}
+		bucket := p.box.q[key]
+		n := len(reqs)
+		if len(bucket) < n {
+			n = len(bucket)
+		}
+		if n == 0 {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			ps = append(ps, pending{req: reqs[i], msg: bucket[i]})
+		}
+		outstanding -= n
+		p.w.activity.Add(int64(n))
+		if n == len(bucket) {
+			delete(p.box.q, key)
+		} else {
+			p.box.q[key] = bucket[n:]
+		}
+		if n == len(reqs) {
+			delete(wanted, key)
+		} else {
+			wanted[key] = reqs[n:]
+		}
+		return true
+	}
+	// First pass: whatever already arrived before this Waitall.
+	for key := range wanted {
+		takeKey(key)
+	}
+	for outstanding > 0 {
+		// Process only arrivals logged since the last consumed
+		// position, so total matching work is linear in messages.
+		progress := false
+		for p.box.arrPos < len(p.box.arr) {
+			key := p.box.arr[p.box.arrPos]
+			p.box.arrPos++
+			if takeKey(key) {
+				progress = true
+			}
+		}
+		if p.box.arrPos == len(p.box.arr) && p.box.arrPos > 0 {
+			p.box.arr = p.box.arr[:0]
+			p.box.arrPos = 0
+		}
+		if outstanding == 0 || progress {
+			continue
+		}
+		if p.w.dead.Load() {
+			p.box.mu.Unlock()
+			panic(fmt.Sprintf("mpi: rank %d: deadlock detected in Waitall (%d receives outstanding)", p.rank, outstanding))
+		}
+		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
+			p.box.mu.Unlock()
+			p.w.suspectDeadlock()
+			p.box.mu.Lock()
+			p.w.blocked.Add(-1)
+			continue
+		}
+		p.box.cond.Wait()
+		p.w.blocked.Add(-1)
+	}
+	p.box.mu.Unlock()
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i].msg, ps[j].msg
+		if a.arrival != b.arrival {
+			return a.arrival < b.arrival
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, pd := range ps {
+		pd.req.size = p.completeRecv(pd.msg, pd.req.buf)
+		pd.req.done = true
+	}
+}
+
+// SendRecv sends sbuf to dst and receives into rbuf from src, allowing
+// the two transfers to overlap (full duplex). It returns the received
+// size.
+func (p *Proc) SendRecv(dst, stag int, sbuf buffer.Buf, src, rtag int, rbuf buffer.Buf) int {
+	p.Send(dst, stag, sbuf)
+	return p.Recv(src, rtag, rbuf)
+}
+
+// sendRecvColl is the collective-internal SendRecv: both sides are
+// charged overheads scaled by the model's collective factor.
+func (p *Proc) sendRecvColl(dst, stag int, sbuf buffer.Buf, src, rtag int, rbuf buffer.Buf) int {
+	f := p.w.model.CollFactor()
+	p.sendf(dst, stag, sbuf, f)
+	msg := p.matchBlocking(src, rtag)
+	return p.completeRecvf(msg, rbuf, f)
+}
+
+// sendColl / recvColl are the collective-internal one-way transfers.
+func (p *Proc) sendColl(dst, tag int, b buffer.Buf) {
+	p.sendf(dst, tag, b, p.w.model.CollFactor())
+}
+
+func (p *Proc) recvColl(src, tag int, b buffer.Buf) int {
+	p.checkPeer(src, "receive from")
+	msg := p.matchBlocking(src, tag)
+	return p.completeRecvf(msg, b, p.w.model.CollFactor())
+}

@@ -1,0 +1,236 @@
+// Package mpi is an MPI-like message-passing runtime for a single
+// process.
+//
+// A World runs P ranks, each as its own goroutine, exchanging messages
+// through mailboxes with (source, tag) matching — the same point-to-point
+// contract the paper's algorithms are written against in C/MPI. On top of
+// the point-to-point layer the package provides the base collectives the
+// algorithms and applications need (barrier, allreduce, small gathers).
+//
+// # Virtual time
+//
+// Every rank carries a virtual clock, advanced according to the
+// machine.Model the world was created with: message sends charge a
+// per-message overhead plus per-byte injection time on the sender,
+// receives charge drain time on the receiver, and message availability is
+// constrained by the sender's injection completion plus wire latency.
+// Local copies performed through Proc.Memcpy charge the model's memcpy
+// cost. The resulting virtual times are fully deterministic — they depend
+// only on the algorithm's communication structure and the model, never on
+// goroutine scheduling — which is what allows this package to reproduce
+// the paper's scaling studies on a laptop.
+//
+// Tags below -1000 are reserved for the built-in collectives.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bruckv/internal/machine"
+)
+
+// World is a communicator: a fixed set of ranks plus the machine model
+// that prices their communication.
+type World struct {
+	size         int
+	model        machine.Model
+	phantom      bool
+	geff         float64 // effective inter-node per-byte time for this world size
+	ranksPerNode int
+
+	// intra-node cost parameters (see machine.Model.IntraParams)
+	intraOS, intraOR, intraL, intraG float64
+
+	procs []*Proc
+
+	blocked  atomic.Int32 // ranks currently blocked waiting for a message
+	finished atomic.Int32 // ranks whose functions have returned
+	activity atomic.Int64 // bumps on every enqueue and every match
+	dead     atomic.Bool  // deadlock declared
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithModel sets the machine cost model (default machine.Theta()).
+func WithModel(m machine.Model) Option { return func(w *World) { w.model = m } }
+
+// WithPhantom makes Proc.AllocBuf return phantom (size-only) buffers, so
+// large-scale simulations carry no payload memory. Correctness-sensitive
+// callers should leave it off.
+func WithPhantom() Option { return func(w *World) { w.phantom = true } }
+
+// WithRanksPerNode places consecutive ranks on shared-memory nodes of
+// the given size: messages between ranks on the same node use the
+// model's (much cheaper) intra-node parameters and skip network
+// congestion. The default of 1 makes every message inter-node.
+func WithRanksPerNode(n int) Option { return func(w *World) { w.ranksPerNode = n } }
+
+// NewWorld creates a communicator with size ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	w := &World{size: size, model: machine.Theta()}
+	for _, o := range opts {
+		o(w)
+	}
+	if err := w.model.Validate(); err != nil {
+		return nil, err
+	}
+	if w.ranksPerNode < 1 {
+		w.ranksPerNode = 1
+	}
+	w.geff = w.model.EffectiveByteTime(size)
+	w.intraOS, w.intraOR, w.intraL, w.intraG = w.model.IntraParams()
+	return w, nil
+}
+
+// RanksPerNode returns the node width configured with WithRanksPerNode.
+func (w *World) RanksPerNode() int { return w.ranksPerNode }
+
+// SameNode reports whether two ranks share a node.
+func (w *World) SameNode(a, b int) bool {
+	return a/w.ranksPerNode == b/w.ranksPerNode
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Model returns the world's machine model.
+func (w *World) Model() machine.Model { return w.model }
+
+// Phantom reports whether AllocBuf returns phantom buffers.
+func (w *World) Phantom() bool { return w.phantom }
+
+// Run executes fn once per rank, each in its own goroutine, and blocks
+// until all ranks return. It returns the joined errors of all ranks; a
+// panic in a rank is converted into an error. Run may be called multiple
+// times; each call starts from fresh clocks and mailboxes.
+func (w *World) Run(fn func(p *Proc) error) error {
+	w.blocked.Store(0)
+	w.finished.Store(0)
+	w.activity.Store(0)
+	w.dead.Store(false)
+	w.procs = make([]*Proc, w.size)
+	for r := 0; r < w.size; r++ {
+		w.procs[r] = newProc(w, r)
+	}
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[p.rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, v, debug.Stack())
+				}
+				// A rank exiting early (error or panic) can strand the
+				// others mid-collective; its exit may complete the
+				// deadlock condition.
+				if w.finished.Add(1)+w.blocked.Load() == int32(w.size) {
+					w.suspectDeadlock()
+				}
+			}()
+			errs[p.rank] = fn(p)
+		}(w.procs[r])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// MaxTime returns the maximum virtual clock over all ranks of the last
+// Run, in nanoseconds.
+func (w *World) MaxTime() float64 {
+	var t float64
+	for _, p := range w.procs {
+		if p != nil && p.now > t {
+			t = p.now
+		}
+	}
+	return t
+}
+
+// TotalBytes returns the total bytes sent across all ranks of the last
+// Run.
+func (w *World) TotalBytes() int64 {
+	var b int64
+	for _, p := range w.procs {
+		if p != nil {
+			b += p.bytesSent
+		}
+	}
+	return b
+}
+
+// TotalMessages returns the total point-to-point messages sent across all
+// ranks of the last Run.
+func (w *World) TotalMessages() int64 {
+	var n int64
+	for _, p := range w.procs {
+		if p != nil {
+			n += p.msgsSent
+		}
+	}
+	return n
+}
+
+// MaxPhase returns, for each phase name recorded by any rank during the
+// last Run, the maximum accumulated virtual time across ranks.
+func (w *World) MaxPhase() map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range w.procs {
+		if p == nil {
+			continue
+		}
+		for name, t := range p.phases {
+			if t > out[name] {
+				out[name] = t
+			}
+		}
+	}
+	return out
+}
+
+// suspectDeadlock is called when every rank is either blocked waiting
+// for a message or has already returned. It re-verifies after letting
+// other goroutines run: if no mailbox activity happens and the condition
+// persists, the world is deadlocked — sends in this runtime never block,
+// so "every live rank is waiting for a message" cannot resolve itself.
+// The check is best-effort and errs toward not firing.
+func (w *World) suspectDeadlock() {
+	act := w.activity.Load()
+	// Cheap pass first: with many ranks on few cores, "everyone is
+	// blocked" is routinely true for an instant while wake-ups are
+	// still scheduled; yielding lets them run without burning wall
+	// time.
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+		if w.blocked.Load()+w.finished.Load() != int32(w.size) || w.activity.Load() != act {
+			return
+		}
+	}
+	for i := 0; i < 20; i++ {
+		time.Sleep(time.Millisecond)
+		if w.blocked.Load()+w.finished.Load() != int32(w.size) || w.activity.Load() != act {
+			return
+		}
+		if w.blocked.Load() == 0 {
+			return // everyone finished: normal termination
+		}
+	}
+	if w.dead.CompareAndSwap(false, true) {
+		for _, p := range w.procs {
+			p.box.mu.Lock()
+			p.box.cond.Broadcast()
+			p.box.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package ra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+func TestRelationInsertProbe(t *testing.T) {
+	r := NewRelation("R", 1)
+	a := Tuple{1, 2}
+	if !r.Insert(a) {
+		t.Fatal("first insert should be new")
+	}
+	if r.Insert(a) {
+		t.Fatal("duplicate insert should report false")
+	}
+	r.Insert(Tuple{3, 2})
+	r.Insert(Tuple{3, 4})
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if got := len(r.Probe(2)); got != 2 {
+		t.Fatalf("probe(2) = %d tuples", got)
+	}
+	if !r.Has(a) || r.Has(Tuple{9, 9}) {
+		t.Fatal("Has is wrong")
+	}
+	count := 0
+	r.Each(func(Tuple) { count++ })
+	if count != 3 {
+		t.Fatalf("Each visited %d", count)
+	}
+}
+
+func TestOwnerStable(t *testing.T) {
+	f := func(a, b int32, c uint8) bool {
+		tu := Tuple{a, b}
+		col := int(c) % 2
+		o := tu.Owner(col, 7)
+		return o >= 0 && o < 7 && o == tu.Owner(col, 7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeRoutesToOwners(t *testing.T) {
+	const P = 6
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"vendor", "two-phase", "padded-bruck"} {
+		err = w.Run(func(p *mpi.Proc) error {
+			ex, err := NewExchanger(p, alg)
+			if err != nil {
+				return err
+			}
+			// Every rank generates tuples (rank, i) for i in 0..9 and
+			// routes by column 1.
+			out := make([][]Tuple, P)
+			for i := 0; i < 10; i++ {
+				Route(out, Tuple{int32(p.Rank()), int32(i)}, 1, P)
+			}
+			in, err := ex.Exchange(out)
+			if err != nil {
+				return err
+			}
+			// Every received tuple must belong here.
+			for _, tu := range in {
+				if tu.Owner(1, P) != p.Rank() {
+					t.Errorf("alg %s: rank %d received foreign tuple %v", alg, p.Rank(), tu)
+				}
+			}
+			// Global conservation: P*10 tuples total.
+			total := p.AllreduceSumInt64(int64(len(in)))
+			if total != P*10 {
+				t.Errorf("alg %s: %d tuples arrived, want %d", alg, total, P*10)
+			}
+			if ex.Calls != 1 || ex.CommNs < 0 {
+				t.Errorf("alg %s: stats %+v", alg, ex)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestExchangePreservesColumns(t *testing.T) {
+	const P = 4
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		ex, err := NewExchanger(p, "two-phase")
+		if err != nil {
+			return err
+		}
+		out := make([][]Tuple, P)
+		tu := Tuple{int32(p.Rank()), 7, -3, 1 << 30, -(1 << 30), 42}
+		Route(out, tu, 1, P)
+		in, err := ex.Exchange(out)
+		if err != nil {
+			return err
+		}
+		for _, got := range in {
+			if got[1] != 7 || got[2] != -3 || got[3] != 1<<30 || got[4] != -(1<<30) || got[5] != 42 {
+				t.Errorf("tuple columns corrupted: %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeEmpty(t *testing.T) {
+	const P = 3
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		ex, err := NewExchanger(p, "vendor")
+		if err != nil {
+			return err
+		}
+		in, err := ex.Exchange(make([][]Tuple, P))
+		if err != nil {
+			return err
+		}
+		if len(in) != 0 {
+			t.Errorf("expected no tuples, got %d", len(in))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangerErrors(t *testing.T) {
+	w, err := mpi.NewWorld(2, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		if _, err := NewExchanger(p, "nope"); err == nil {
+			t.Error("unknown algorithm accepted")
+		}
+		ex, _ := NewExchanger(p, "vendor")
+		if _, err := ex.Exchange(make([][]Tuple, 1)); err == nil {
+			t.Error("wrong destination-list length accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

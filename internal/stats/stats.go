@@ -1,0 +1,85 @@
+// Package stats provides the summary statistics the paper reports:
+// median over iterations with the median absolute deviation (MAD) as the
+// error bar.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (NaN for an empty slice). The input is
+// not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	lo, hi := c[n/2-1], c[n/2]
+	// Pick the midpoint form that cannot overflow: same-sign operands
+	// overflow (lo+hi), opposite-sign operands overflow (hi-lo).
+	if (lo < 0) == (hi < 0) {
+		return lo + (hi-lo)/2
+	}
+	return (lo + hi) / 2
+}
+
+// MAD returns the median absolute deviation of xs around its median.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	d := make([]float64, len(xs))
+	for i, x := range xs {
+		d[i] = math.Abs(x - m)
+	}
+	return Median(d)
+}
+
+// Summary is a median +- MAD over a set of iteration measurements.
+type Summary struct {
+	Median float64
+	MAD    float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{Median: math.NaN(), MAD: math.NaN(), Min: math.NaN(), Max: math.NaN()}
+	}
+	s := Summary{Median: Median(xs), MAD: MAD(xs), Min: xs[0], Max: xs[0], N: len(xs)}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+// String renders the summary in milliseconds (inputs are nanoseconds, the
+// harness convention).
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3fms ±%.3f", s.Median/1e6, s.MAD/1e6)
+}
+
+// Speedup returns how much faster b is than a as the paper states it:
+// (a-b)/a as a percentage. Positive means b is faster.
+func Speedup(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (a - b) / a * 100
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianOdd(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("median = %v, want 3", m)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func TestMedianEmpty(t *testing.T) {
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("median of empty should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// median 3, deviations {2,1,0,1,2} -> MAD 1
+	if m := MAD([]float64{1, 2, 3, 4, 5}); m != 1 {
+		t.Fatalf("MAD = %v, want 1", m)
+	}
+	if m := MAD([]float64{7, 7, 7}); m != 0 {
+		t.Fatalf("MAD of constants = %v, want 0", m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 30, 20})
+	if s.Median != 20 || s.Min != 10 || s.Max != 30 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if !math.IsNaN(s.Median) || s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if v := Speedup(100, 50); v != 50 {
+		t.Fatalf("Speedup(100,50) = %v, want 50", v)
+	}
+	if v := Speedup(100, 150); v != -50 {
+		t.Fatalf("Speedup(100,150) = %v, want -50", v)
+	}
+	if v := Speedup(0, 5); v != 0 {
+		t.Fatal("Speedup with zero baseline should be 0")
+	}
+}
+
+// Property: the median lies within [min, max] and at least half the
+// points are on each side (weakly).
+func TestQuickMedianProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if m < sorted[0] || m > sorted[len(sorted)-1] {
+			return false
+		}
+		le, ge := 0, 0
+		for _, x := range xs {
+			if x <= m {
+				le++
+			}
+			if x >= m {
+				ge++
+			}
+		}
+		return 2*le >= len(xs) && 2*ge >= len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package bruckv
+
+import "bruckv/internal/machine"
+
+// MachineParams is the public mirror of the communication cost model:
+// a LogGP-style description of one machine, in nanoseconds and
+// nanoseconds-per-byte. See DESIGN.md for how the presets were
+// calibrated against the paper's crossover points.
+type MachineParams struct {
+	Name string
+	// SendOverheadNs / RecvOverheadNs are per-message CPU overheads.
+	SendOverheadNs float64
+	RecvOverheadNs float64
+	// LatencyNs is the wire latency between any two ranks.
+	LatencyNs float64
+	// BytePerNs is the uncongested per-byte transfer time (ns/byte).
+	BytePerNs float64
+	// CongestionP0/CongestionExp grow the effective per-byte time as
+	// (1 + (P/P0)^Exp) to stand in for network contention at scale.
+	CongestionP0  float64
+	CongestionExp float64
+	// MemcpyBytePerNs / MemcpyFixedNs price local copies.
+	MemcpyBytePerNs float64
+	MemcpyFixedNs   float64
+	// DTypeBlockNs / DTypeBytePerNs price derived-datatype handling.
+	DTypeBlockNs   float64
+	DTypeBytePerNs float64
+	// CollectiveFactor discounts the per-message overheads of built-in
+	// small collectives (hardware collective offload); 0 means 1.
+	CollectiveFactor float64
+}
+
+func (p MachineParams) model() machine.Model {
+	return machine.Model{
+		Name:         p.Name,
+		SendOverhead: p.SendOverheadNs, RecvOverhead: p.RecvOverheadNs,
+		Latency: p.LatencyNs, ByteTime: p.BytePerNs,
+		CongestionP0: p.CongestionP0, CongestionExp: p.CongestionExp,
+		MemcpyByte: p.MemcpyBytePerNs, MemcpyFixed: p.MemcpyFixedNs,
+		DTypeBlock: p.DTypeBlockNs, DTypeByte: p.DTypeBytePerNs,
+		CollectiveFactor: p.CollectiveFactor,
+	}
+}
+
+func modelParams(m machine.Model) MachineParams {
+	return MachineParams{
+		Name:           m.Name,
+		SendOverheadNs: m.SendOverhead, RecvOverheadNs: m.RecvOverhead,
+		LatencyNs: m.Latency, BytePerNs: m.ByteTime,
+		CongestionP0: m.CongestionP0, CongestionExp: m.CongestionExp,
+		MemcpyBytePerNs: m.MemcpyByte, MemcpyFixedNs: m.MemcpyFixed,
+		DTypeBlockNs: m.DTypeBlock, DTypeBytePerNs: m.DTypeByte,
+		CollectiveFactor: m.CollectiveFactor,
+	}
+}
+
+// Theta returns the calibrated model of ALCF's Theta (Cray XC40/Aries),
+// the paper's primary platform.
+func Theta() MachineParams { return modelParams(machine.Theta()) }
+
+// Cori returns the calibrated model of NERSC's Cori.
+func Cori() MachineParams { return modelParams(machine.Cori()) }
+
+// Stampede returns the calibrated model of TACC's Stampede2.
+func Stampede() MachineParams { return modelParams(machine.Stampede()) }
+
+// ZeroCost returns a model in which communication is free; useful for
+// pure correctness testing.
+func ZeroCost() MachineParams { return modelParams(machine.Zero()) }
+
+// PredictNs estimates the runtime in nanoseconds of one Alltoallv under
+// the given machine, rank count, and maximum block size (average block
+// assumed maxBlock/2, the paper's continuous uniform workload). It
+// returns 0 for algorithms without an analytic model.
+func PredictNs(alg Algorithm, p, maxBlock int, mp MachineParams) float64 {
+	m := mp.model()
+	avg := float64(maxBlock) / 2
+	switch alg {
+	case TwoPhaseBruck, SLOAVBaseline:
+		return m.EstimateTwoPhase(p, avg)
+	case PaddedBruck, PaddedAlltoall:
+		return m.EstimatePadded(p, maxBlock, avg)
+	case SpreadOut, Vendor:
+		return m.EstimateSpreadOut(p, avg)
+	}
+	return 0
+}
+
+// ChooseAlgorithm is the paper's empirical performance model turned into
+// a tuner: given the rank count, the global maximum block size, and the
+// machine, it picks the predicted-fastest of TwoPhaseBruck, PaddedBruck,
+// and Vendor — the decision Figure 9 carves out ("with P=350 and N=800,
+// should one use two-phase, padded, or the vendor's Alltoallv?").
+func ChooseAlgorithm(p, maxBlock int, mp MachineParams) Algorithm {
+	best := Vendor
+	bestT := PredictNs(Vendor, p, maxBlock, mp)
+	for _, a := range []Algorithm{TwoPhaseBruck, PaddedBruck} {
+		if t := PredictNs(a, p, maxBlock, mp); t < bestT {
+			best, bestT = a, t
+		}
+	}
+	return best
+}
