@@ -112,6 +112,7 @@ type config struct {
 	phantom      bool
 	alg          Algorithm
 	ranksPerNode int
+	trace        bool
 }
 
 // WithMachine sets the communication cost model (default Theta()).
@@ -131,6 +132,13 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
 // through node leaders.
 func WithRanksPerNode(n int) Option { return func(c *config) { c.ranksPerNode = n } }
 
+// WithTrace records a structured event log over the virtual timeline
+// during each Run — per-rank sends, receives, local copies, phases, and
+// Bruck step annotations — available afterwards from World.Trace.
+// Tracing never alters virtual time; it is off by default and costs
+// nothing when off.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
 // NewWorld creates a communicator with the given number of ranks.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	cfg := config{params: Theta()}
@@ -146,6 +154,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	}
 	if cfg.ranksPerNode > 0 {
 		mopts = append(mopts, mpi.WithRanksPerNode(cfg.ranksPerNode))
+	}
+	if cfg.trace {
+		mopts = append(mopts, mpi.WithTrace())
 	}
 	w, err := mpi.NewWorld(size, mopts...)
 	if err != nil {
@@ -272,6 +283,9 @@ func (c *Comm) AlltoallWith(alg UniformAlgorithm, send []byte, n int, recv []byt
 	if !ok {
 		return fmt.Errorf("bruckv: invalid uniform algorithm %d", int(alg))
 	}
+	if n < 0 {
+		return fmt.Errorf("bruckv: negative block size %d", n)
+	}
 	sb, err := c.buf(send, c.Size()*n)
 	if err != nil {
 		return err
@@ -297,21 +311,41 @@ func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int,
 	return c.AlltoallvWith(c.alg, send, scounts, sdispls, recv, rcounts, rdispls)
 }
 
+// validateLayout rejects malformed count/displacement arrays before
+// they reach the rank goroutines, where they would otherwise surface as
+// index-out-of-range panics. It returns the layout's span (the furthest
+// extent of any block).
+func validateLayout(P int, counts, displs []int, side string) (int, error) {
+	if len(counts) != P || len(displs) != P {
+		return 0, fmt.Errorf("bruckv: %s counts/displs must have length %d (got %d/%d)",
+			side, P, len(counts), len(displs))
+	}
+	span := 0
+	for i, cnt := range counts {
+		if cnt < 0 {
+			return 0, fmt.Errorf("bruckv: negative %s count %d for rank %d", side, cnt, i)
+		}
+		if displs[i] < 0 {
+			return 0, fmt.Errorf("bruckv: negative %s displacement %d for rank %d", side, displs[i], i)
+		}
+		if end := displs[i] + cnt; end > span {
+			span = end
+		}
+	}
+	return span, nil
+}
+
 // AlltoallvWith performs a non-uniform all-to-all with an explicit
 // algorithm choice.
 func (c *Comm) AlltoallvWith(alg Algorithm, send []byte, scounts, sdispls []int,
 	recv []byte, rcounts, rdispls []int) error {
-	sTotal := 0
-	for i, cnt := range scounts {
-		if end := sdispls[i] + cnt; end > sTotal {
-			sTotal = end
-		}
+	sTotal, err := validateLayout(c.Size(), scounts, sdispls, "send")
+	if err != nil {
+		return err
 	}
-	rTotal := 0
-	for i, cnt := range rcounts {
-		if end := rdispls[i] + cnt; end > rTotal {
-			rTotal = end
-		}
+	rTotal, err := validateLayout(c.Size(), rcounts, rdispls, "recv")
+	if err != nil {
+		return err
 	}
 	sb, err := c.buf(send, sTotal)
 	if err != nil {

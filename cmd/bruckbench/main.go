@@ -6,10 +6,17 @@
 //	bruckbench -fig all                     # everything, default scales
 //	bruckbench -fig 6 -ps 128,1024 -maxsimp 1024
 //	bruckbench -fig 9 -iters 3 -progress
+//	bruckbench -fig steps -alg two-phase -ps 256 -ns 512
+//	bruckbench -trace out.json -alg two-phase -ps 256
 //
 // Simulated process counts are bounded by -maxsimp; larger configured
 // counts are filled from the calibrated analytic model and marked '*' in
 // the output.
+//
+// -trace runs one traced exchange (algorithm -alg, P from -ps, max
+// block size from -ns), writes its virtual timeline as Chrome
+// trace_event JSON — open in chrome://tracing or Perfetto — and prints
+// the per-step roll-up.
 package main
 
 import (
@@ -21,12 +28,13 @@ import (
 	"strings"
 
 	"bruckv/internal/bench"
+	"bruckv/internal/dist"
 	"bruckv/internal/machine"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -35,6 +43,9 @@ func main() {
 		mach     = flag.String("machine", "theta", "machine model: theta,cori,stampede,zero")
 		progress = flag.Bool("progress", false, "print per-configuration progress to stderr")
 		csvDir   = flag.String("csv", "", "also write each figure as CSV into this directory")
+		traceOut = flag.String("trace", "", "run one traced exchange and write Chrome trace_event JSON to this file")
+		alg      = flag.String("alg", "two-phase", "algorithm for -trace / -fig steps")
+		rpn      = flag.Int("rpn", 1, "ranks per node for -trace / -fig steps (hierarchical needs >1)")
 	)
 	flag.Parse()
 
@@ -49,6 +60,30 @@ func main() {
 	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW}
 	ps := parseInts(*psFlag)
 	ns := parseInts(*nsFlag)
+
+	runSteps := func() bench.StepsReport {
+		p, n := 256, 64
+		if len(ps) > 0 {
+			p = ps[0]
+		}
+		if len(ns) > 0 {
+			n = ns[0]
+		}
+		spec := dist.Spec{Kind: dist.Uniform, N: n, Seed: *seed}
+		r, err := bench.Steps(o, *alg, p, spec, *rpn)
+		check(err)
+		return r
+	}
+	if *traceOut != "" {
+		r := runSteps()
+		fh, err := os.Create(*traceOut)
+		check(err)
+		check(r.Trace.WriteChrome(fh))
+		check(fh.Close())
+		r.Fprint(os.Stdout)
+		fmt.Printf("wrote %s (%d events) — open in chrome://tracing or Perfetto\n", *traceOut, r.Trace.NumEvents())
+		return
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -123,6 +158,9 @@ func main() {
 		for _, f := range figs {
 			emit(f)
 		}
+	}
+	if want["steps"] {
+		runSteps().Fprint(out)
 	}
 	if all || want["ext"] {
 		p := 256

@@ -13,6 +13,7 @@ import (
 	"bruckv/internal/machine"
 	"bruckv/internal/mpi"
 	"bruckv/internal/stats"
+	"bruckv/internal/trace"
 )
 
 // MicroConfig describes one non-uniform all-to-all measurement.
@@ -34,6 +35,11 @@ type MicroConfig struct {
 	// RanksPerNode places consecutive ranks on shared-memory nodes
 	// (default 1: all traffic inter-node).
 	RanksPerNode int
+	// Trace records a virtual-timeline event log; the Result then
+	// carries the trace and its per-step roll-ups. Step byte/message
+	// counts accumulate over all iterations; step times are only
+	// meaningful with Iters=1.
+	Trace bool
 }
 
 // Result is the outcome of a measurement.
@@ -43,6 +49,10 @@ type Result struct {
 	Phases       map[string]float64 // per-iteration average, ns
 	BytesPerRank float64            // average wire bytes per rank per iteration
 	MsgsPerRank  float64
+	// Trace is the event log of the run, nil unless MicroConfig.Trace
+	// was set. Steps is its per-step roll-up (see trace.StepStats).
+	Trace *trace.Trace
+	Steps []trace.StepStat
 }
 
 func (c *MicroConfig) defaults() error {
@@ -74,6 +84,9 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	}
 	if cfg.RanksPerNode > 1 {
 		opts = append(opts, mpi.WithRanksPerNode(cfg.RanksPerNode))
+	}
+	if cfg.Trace {
+		opts = append(opts, mpi.WithTrace())
 	}
 	w, err := mpi.NewWorld(cfg.P, opts...)
 	if err != nil {
@@ -108,13 +121,18 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Times:        times,
 		Summary:      stats.Summarize(times),
 		Phases:       scalePhases(w.MaxPhase(), cfg.Iters),
 		BytesPerRank: float64(w.TotalBytes()) / float64(P) / float64(cfg.Iters),
 		MsgsPerRank:  float64(w.TotalMessages()) / float64(P) / float64(cfg.Iters),
-	}, nil
+	}
+	if tr := w.Trace(); tr != nil {
+		res.Trace = tr
+		res.Steps = tr.StepStats()
+	}
+	return res, nil
 }
 
 // UniformConfig describes one uniform all-to-all measurement (Figure 2).

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/trace"
+)
+
+// StepsReport is the per-step communication breakdown of one traced
+// exchange: how many bytes and messages each annotated collective step
+// moved and how long it took on the virtual timeline. This is the data
+// behind the paper's per-step discussions (the log P rounds of Bruck,
+// the request windows of the throttled baselines).
+type StepsReport struct {
+	Algorithm string
+	P         int
+	Spec      dist.Spec
+	// Steps are the per-step roll-ups from the event log.
+	Steps []trace.StepStat
+	// TraceBytes/TraceMsgs are send totals derived from the event log;
+	// RuntimeBytes/RuntimeMsgs are the world's own counters. The
+	// tracing layer guarantees they match exactly.
+	TraceBytes, TraceMsgs     int64
+	RuntimeBytes, RuntimeMsgs int64
+	// TimeNs is the whole exchange's virtual duration.
+	TimeNs float64
+	// Trace is the full event log, for Chrome trace_event export.
+	Trace *trace.Trace
+}
+
+// Steps runs one traced single-iteration exchange of the named
+// non-uniform algorithm and rolls its event log up per collective step.
+// A single iteration is deliberate: step time spans are only meaningful
+// within one exchange. rpn > 1 places consecutive ranks on shared
+// nodes (required by the hierarchical algorithm).
+func Steps(o Options, alg string, P int, spec dist.Spec, rpn int) (StepsReport, error) {
+	o = o.withDefaults()
+	res, err := RunMicro(MicroConfig{
+		P:            P,
+		Algorithm:    alg,
+		Spec:         spec,
+		Model:        o.Model,
+		Iters:        1,
+		RanksPerNode: rpn,
+		Trace:        true,
+	})
+	if err != nil {
+		return StepsReport{}, err
+	}
+	return StepsReport{
+		Algorithm:    alg,
+		P:            P,
+		Spec:         spec,
+		Steps:        res.Steps,
+		Trace:        res.Trace,
+		TraceBytes:   res.Trace.TotalBytes(),
+		TraceMsgs:    res.Trace.TotalMessages(),
+		RuntimeBytes: int64(res.BytesPerRank*float64(P) + 0.5),
+		RuntimeMsgs:  int64(res.MsgsPerRank*float64(P) + 0.5),
+		TimeNs:       res.Times[0],
+	}, nil
+}
+
+// Fprint renders the per-step table plus a totals reconciliation line.
+func (r StepsReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# steps — per-step roll-up: %s, P=%d, %s\n", r.Algorithm, r.P, r.Spec)
+	rows := [][]string{{"step", "bytes", "msgs", "time (ms)", "% of exchange"}}
+	var stepBytes, stepMsgs int64
+	for _, s := range r.Steps {
+		stepBytes += s.Bytes
+		stepMsgs += s.Msgs
+		pct := 0.0
+		if r.TimeNs > 0 {
+			pct = 100 * s.TimeNs / r.TimeNs
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(s.Step),
+			fmt.Sprint(s.Bytes),
+			fmt.Sprint(s.Msgs),
+			fmt.Sprintf("%.3f", s.TimeNs/1e6),
+			fmt.Sprintf("%.1f", pct),
+		})
+	}
+	rows = append(rows, []string{
+		"total",
+		fmt.Sprint(r.TraceBytes),
+		fmt.Sprint(r.TraceMsgs),
+		fmt.Sprintf("%.3f", r.TimeNs/1e6),
+		"100.0",
+	})
+	writeAligned(w, rows)
+	if stepBytes < r.TraceBytes || stepMsgs < r.TraceMsgs {
+		fmt.Fprintf(w, "  (outside annotated steps: %d bytes, %d msgs)\n",
+			r.TraceBytes-stepBytes, r.TraceMsgs-stepMsgs)
+	}
+	if r.TraceBytes == r.RuntimeBytes && r.TraceMsgs == r.RuntimeMsgs {
+		fmt.Fprintf(w, "  trace totals reconcile with runtime counters (%d bytes, %d msgs)\n\n",
+			r.RuntimeBytes, r.RuntimeMsgs)
+	} else {
+		fmt.Fprintf(w, "  WARNING: trace totals (%d bytes, %d msgs) != runtime counters (%d, %d)\n\n",
+			r.TraceBytes, r.TraceMsgs, r.RuntimeBytes, r.RuntimeMsgs)
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bruckv/internal/dist"
+)
+
+func TestStepsReport(t *testing.T) {
+	r, err := Steps(fastOpts(), "two-phase", 16,
+		dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) != 4 { // log2(16)
+		t.Fatalf("got %d steps, want 4: %+v", len(r.Steps), r.Steps)
+	}
+	if r.TraceBytes != r.RuntimeBytes || r.TraceMsgs != r.RuntimeMsgs {
+		t.Errorf("trace totals (%d, %d) != runtime (%d, %d)",
+			r.TraceBytes, r.TraceMsgs, r.RuntimeBytes, r.RuntimeMsgs)
+	}
+	if r.Trace == nil || r.Trace.NumEvents() == 0 {
+		t.Fatal("report carries no trace")
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "reconcile") || !strings.Contains(out, "two-phase") {
+		t.Errorf("unexpected report output:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("report flags a reconciliation failure:\n%s", out)
+	}
+}
+
+func TestStepsUnknownAlgorithm(t *testing.T) {
+	if _, err := Steps(fastOpts(), "no-such-alg", 8,
+		dist.Spec{Kind: dist.Uniform, N: 8, Seed: 1}, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunMicroTraceDisabledByDefault(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		P: 8, Algorithm: "spreadout",
+		Spec:  dist.Spec{Kind: dist.Uniform, N: 16, Seed: 1},
+		Iters: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil || res.Steps != nil {
+		t.Error("untraced RunMicro populated trace fields")
+	}
+}

@@ -158,9 +158,12 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 
 	// Exchange size tables, then the aggregated payloads, among
 	// leaders. The inbound lengths fall out of the tables.
+	// Each inter-node ring round is one annotated step, so traces show
+	// per-round bytes for the leader exchange.
 	inTables := make([]buffer.Buf, nodes)
 	inLens := make([]int, nodes)
 	for i := 1; i < nodes; i++ {
+		p.SetStep(i - 1)
 		dstN := (node + i) % nodes
 		srcN := (node - i + nodes) % nodes
 		ssz := nodeSize(srcN)
@@ -170,6 +173,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			inLens[srcN] += int(inTables[srcN].Uint32(4 * ti))
 		}
 	}
+	p.ClearStep()
 	inTables[node] = outTables[node]
 	inLens[node] = outLens[node]
 	inBufs := make([]buffer.Buf, nodes)
@@ -180,9 +184,11 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		reqs = append(reqs, p.Irecv(srcN*R, tagInter, inBufs[srcN]))
 	}
 	for i := 1; i < nodes; i++ {
+		p.SetStep(i - 1)
 		dstN := (node + i) % nodes
 		reqs = append(reqs, p.Isend(dstN*R, tagInter, outBufs[dstN].Slice(0, outLens[dstN])))
 	}
+	p.ClearStep()
 	p.Waitall(reqs)
 	inBufs[node] = outBufs[node]
 

@@ -55,8 +55,12 @@ func spreadOutWindowed(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	}
 	done := p.Phase(PhaseComm)
 	defer done()
+	defer p.ClearStep()
 	reqs := make([]*mpi.Request, 0, 2*window)
 	for lo := 1; lo < P; lo += window {
+		// Each request window is one annotated step (spread-out has a
+		// single window, the vendor throttle several).
+		p.SetStep((lo - 1) / window)
 		hi := lo + window
 		if hi > P {
 			hi = P

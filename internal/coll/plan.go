@@ -128,8 +128,10 @@ func (pl *TwoPhasePlan) Execute(send, recv buffer.Buf) error {
 		pl.status[s] = false
 	}
 
+	defer p.ClearStep()
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		dst := (rank - 1<<k + P) % P
 		src := (rank + 1<<k) % P

@@ -99,17 +99,21 @@ func ZeroRotationBruckRadix(r int) Alltoall {
 
 		done := p.Phase(PhaseComm)
 		defer done()
+		defer p.ClearStep()
 		status := make([]bool, P)
 		maxBlocks := maxDigitBlocks(P, r)
 		stage := p.AllocBuf(maxBlocks * n)
 		rstage := p.AllocBuf(maxBlocks * n)
 		var rel []int
+		substep := 0 // running (position, digit) sub-step index
 		for k, step := range radixSteps(P, r) {
 			for d := 1; d < r && d*step < P; d++ {
 				rel = digitSlots(rel, P, r, k, d)
 				if len(rel) == 0 {
 					continue
 				}
+				p.SetStep(substep)
+				substep++
 				for j, i := range rel {
 					s := (i + rank) % P
 					var blk buffer.Buf
@@ -181,13 +185,17 @@ func TwoPhaseBruckRadix(r int) Alltoallv {
 
 		done := p.Phase(PhaseComm)
 		defer done()
+		defer p.ClearStep()
 		var rel []int
+		substep := 0 // running (position, digit) sub-step index
 		for k, step := range radixSteps(P, r) {
 			for d := 1; d < r && d*step < P; d++ {
 				rel = digitSlots(rel, P, r, k, d)
 				if len(rel) == 0 {
 					continue
 				}
+				p.SetStep(substep)
+				substep++
 				dst := (rank - d*step%P + P) % P
 				src := (rank + d*step) % P
 				mtag := tagMeta + k*16 + d

@@ -75,6 +75,7 @@ func SLOAV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	done := p.Phase(PhaseComm)
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		dst := (rank - 1<<k + P) % P
 		src := (rank + 1<<k) % P
@@ -133,6 +134,7 @@ func SLOAV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			}
 		}
 	}
+	p.ClearStep()
 	done()
 
 	// Inefficiency 3: the final rotation pass over all received data.

@@ -64,8 +64,10 @@ func TwoPhaseBruck(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 
 	done := p.Phase(PhaseComm)
 	defer done()
+	defer p.ClearStep()
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		dst := (rank - 1<<k + P) % P
 		src := (rank + 1<<k) % P

@@ -59,6 +59,7 @@ func BasicBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	rstage := p.AllocBuf((P + 1) / 2 * n)
 	var slots []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		slots = sendSlots(slots, P, k)
 		for j, s := range slots {
 			p.Memcpy(stage.Slice(j*n, n), work.Slice(s*n, n))
@@ -71,6 +72,7 @@ func BasicBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 			p.Memcpy(work.Slice(s*n, n), rstage.Slice(j*n, n))
 		}
 	}
+	p.ClearStep()
 	done()
 
 	// Phase 3: inverse rotation recv[j] = work[(rank-j) mod P].
@@ -113,6 +115,7 @@ func ModifiedBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	rstage := p.AllocBuf((P + 1) / 2 * n)
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		for j, i := range rel {
 			s := (i + rank) % P
@@ -127,6 +130,7 @@ func ModifiedBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 			p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
 		}
 	}
+	p.ClearStep()
 	done()
 	return nil
 }
@@ -164,6 +168,7 @@ func ZeroRotationBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) err
 	rstage := p.AllocBuf((P + 1) / 2 * n)
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		for j, i := range rel {
 			s := (i + rank) % P
@@ -185,6 +190,7 @@ func ZeroRotationBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) err
 			status[s] = true
 		}
 	}
+	p.ClearStep()
 	done()
 	return nil
 }
@@ -202,6 +208,7 @@ func PairwiseAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) erro
 	pow2 := P&(P-1) == 0
 	done := p.Phase(PhaseComm)
 	for i := 1; i < P; i++ {
+		p.SetStep(i - 1)
 		var dst, src int
 		if pow2 {
 			dst = rank ^ i
@@ -212,6 +219,7 @@ func PairwiseAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) erro
 		}
 		p.SendRecv(dst, tagPairwise, send.Slice(dst*n, n), src, tagPairwise, recv.Slice(src*n, n))
 	}
+	p.ClearStep()
 	done()
 	return nil
 }

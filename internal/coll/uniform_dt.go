@@ -38,6 +38,7 @@ func BasicBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	done = p.Phase(PhaseComm)
 	var slots []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		slots = sendSlots(slots, P, k)
 		st := datatype.Type{}
 		for _, s := range slots {
@@ -47,6 +48,7 @@ func BasicBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 		src := (rank - 1<<k + P) % P
 		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, st)
 	}
+	p.ClearStep()
 	done()
 
 	done = p.Phase(PhaseFinalRotation)
@@ -81,6 +83,7 @@ func ModifiedBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 	done = p.Phase(PhaseComm)
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		st := datatype.Type{}
 		for _, i := range rel {
@@ -91,6 +94,7 @@ func ModifiedBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 		src := (rank + 1<<k) % P
 		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, st)
 	}
+	p.ClearStep()
 	done()
 	return nil
 }
@@ -145,6 +149,7 @@ func ZeroCopyBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 	done = p.Phase(PhaseComm)
 	var rel []int
 	for k := 0; 1<<k < P; k++ {
+		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
 		st := datatype.Type{}
 		rt := datatype.Type{}
@@ -161,6 +166,7 @@ func ZeroCopyBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 		src := (rank + 1<<k) % P
 		datatype.SendRecv(p, dst, tagBruck+k, st, src, tagBruck+k, rt)
 	}
+	p.ClearStep()
 	done()
 	return nil
 }

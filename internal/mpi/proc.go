@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bruckv/internal/buffer"
+	"bruckv/internal/trace"
 )
 
 // Proc is one rank's handle onto the world. All methods must be called
@@ -26,12 +27,21 @@ type Proc struct {
 	msgsSent  int64
 
 	phases     map[string]float64
-	phaseStack []phaseMark
+	phaseStack []*phaseMark
+
+	// tr is this rank's trace event buffer, nil unless the world was
+	// created with WithTrace; every hot-path recording site nil-checks
+	// it so tracing off costs nothing. step is the collective step tag
+	// applied to recorded events (trace.NoStep outside any step).
+	tr   *trace.Buffer
+	step int
 }
 
 type phaseMark struct {
-	name  string
-	start float64
+	name   string
+	start  float64
+	child  float64 // virtual time spent in nested phases
+	closed bool
 }
 
 type message struct {
@@ -53,9 +63,25 @@ type inbox struct {
 	// arr logs arrival keys so Waitall can process only what landed
 	// since its last wake instead of rescanning; arrPos is the consumed
 	// prefix. Entries may be stale (consumed by direct Recv) — harmless,
-	// they just miss their bucket.
+	// they just miss their bucket. qn counts messages currently queued
+	// across all buckets; whenever it drains to zero every arr entry is
+	// stale, so the log is reset — this is what keeps arr bounded on
+	// ranks that only ever use blocking Recv and never reach Waitall's
+	// own compaction.
 	arr    []uint64
 	arrPos int
+	qn     int
+}
+
+// noteConsumed records that n queued messages were taken out of the
+// buckets; it must run under mu. When the queue fully drains, the
+// arrival log holds only stale keys and is reset.
+func (b *inbox) noteConsumed(n int) {
+	b.qn -= n
+	if b.qn == 0 {
+		b.arr = b.arr[:0]
+		b.arrPos = 0
+	}
 }
 
 // boxKey packs (src, tag) into the bucket key.
@@ -64,7 +90,7 @@ func boxKey(src, tag int) uint64 {
 }
 
 func newProc(w *World, rank int) *Proc {
-	p := &Proc{w: w, rank: rank, phases: map[string]float64{}}
+	p := &Proc{w: w, rank: rank, phases: map[string]float64{}, step: trace.NoStep}
 	p.box.cond = sync.NewCond(&p.box.mu)
 	p.box.q = make(map[uint64][]message)
 	return p
@@ -97,14 +123,24 @@ func (p *Proc) AllocBuf(n int) buffer.Buf { return buffer.Make(n, p.w.phantom) }
 // local-copy cost for the bytes moved. It returns the byte count.
 func (p *Proc) Memcpy(dst, src buffer.Buf) int {
 	n := buffer.Copy(dst, src)
+	start := p.now
 	p.now += p.w.model.MemcpyCost(n)
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindMemcpy, Start: start, Dur: p.now - start,
+			Bytes: n, Peer: -1, Step: p.step})
+	}
 	return n
 }
 
 // ChargeMemcpy charges the cost of copying n bytes without moving any
 // data; used where the copy itself is implied (e.g. zero-fill padding).
 func (p *Proc) ChargeMemcpy(n int) {
+	start := p.now
 	p.now += p.w.model.MemcpyCost(n)
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindMemcpy, Start: start, Dur: p.now - start,
+			Bytes: n, Peer: -1, Step: p.step})
+	}
 }
 
 // BytesSent returns the total payload bytes this rank has sent.
@@ -121,15 +157,56 @@ func (p *Proc) MsgsSent() int64 { return p.msgsSent }
 //	done := p.Phase("rotation")
 //	...
 //	done()
+//
+// Phases nest: virtual time spent inside a nested phase is attributed
+// to the innermost open phase only, so overlapping intervals are never
+// double-counted and the per-phase times of a run always sum to at most
+// the run's total virtual time. Phases must be closed in LIFO order
+// (innermost first); calling done more than once is a no-op. With
+// tracing enabled, each phase additionally records a trace event whose
+// interval is inclusive of nested phases.
 func (p *Proc) Phase(name string) func() {
-	start := p.now
+	m := &phaseMark{name: name, start: p.now}
+	p.phaseStack = append(p.phaseStack, m)
 	return func() {
-		p.phases[name] += p.now - start
+		if m.closed {
+			return
+		}
+		m.closed = true
+		dur := p.now - m.start
+		for i := len(p.phaseStack) - 1; i >= 0; i-- {
+			if p.phaseStack[i] == m {
+				p.phaseStack = append(p.phaseStack[:i], p.phaseStack[i+1:]...)
+				if i > 0 {
+					p.phaseStack[i-1].child += dur
+				}
+				break
+			}
+		}
+		p.phases[name] += dur - m.child
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindPhase, Name: name,
+				Start: m.start, Dur: dur, Peer: -1, Step: trace.NoStep})
+		}
 	}
 }
 
 // Phases returns this rank's accumulated per-phase virtual times.
 func (p *Proc) Phases() map[string]float64 { return p.phases }
+
+// SetStep tags subsequently recorded trace events with collective step
+// k, so per-step roll-ups (trace.Trace.StepStats) can attribute bytes,
+// messages, and virtual time to individual Bruck exchange steps. It is
+// a no-op when tracing is off. Collectives clear the tag with ClearStep
+// when the stepped loop ends.
+func (p *Proc) SetStep(k int) {
+	if p.tr != nil {
+		p.step = k
+	}
+}
+
+// ClearStep removes the collective-step tag set by SetStep.
+func (p *Proc) ClearStep() { p.step = trace.NoStep }
 
 // SyncClocks aligns every rank's virtual clock to the global maximum and
 // resets link occupancy, giving benchmark iterations a clean common

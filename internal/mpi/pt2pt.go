@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bruckv/internal/buffer"
+	"bruckv/internal/trace"
 )
 
 // Point-to-point layer.
@@ -36,6 +37,10 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	txDone := start + os*f + float64(n)*g
 	p.txFree = txDone
 	p.now = start + os*f
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindSend, Start: start, Dur: txDone - start,
+			Bytes: n, Peer: dst, Tag: tag, Step: p.step})
+	}
 
 	var payload buffer.Buf
 	if b.Real() {
@@ -55,6 +60,7 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		arrival: txDone + l, seq: dp.box.seq,
 	})
 	dp.box.arr = append(dp.box.arr, key)
+	dp.box.qn++
 	p.w.activity.Add(1)
 	dp.box.cond.Broadcast()
 	dp.box.mu.Unlock()
@@ -84,6 +90,10 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 	done := start + or*f + float64(msg.size)*g
 	p.rxFree = done
 	p.now = done
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: start, Dur: done - start,
+			Bytes: msg.size, Peer: msg.src, Tag: msg.tag, Step: p.step})
+	}
 	buffer.Copy(b, msg.payload)
 	return msg.size
 }
@@ -102,6 +112,7 @@ func (p *Proc) matchBlocking(src, tag int) message {
 			} else {
 				p.box.q[key] = bucket[1:]
 			}
+			p.box.noteConsumed(1)
 			p.w.activity.Add(1)
 			return m
 		}
@@ -209,6 +220,7 @@ func (p *Proc) Waitall(rs []*Request) {
 			ps = append(ps, pending{req: reqs[i], msg: bucket[i]})
 		}
 		outstanding -= n
+		p.box.noteConsumed(n)
 		p.w.activity.Add(int64(n))
 		if n == len(bucket) {
 			delete(p.box.q, key)

@@ -1,0 +1,270 @@
+package mpi
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/trace"
+)
+
+// TestTraceRecordsSendRecvMemcpy checks that a traced run produces
+// events whose totals reconcile with the runtime's own counters.
+func TestTraceRecordsSendRecvMemcpy(t *testing.T) {
+	w, err := NewWorld(4, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(64)
+		dst := (p.Rank() + 1) % p.Size()
+		src := (p.Rank() - 1 + p.Size()) % p.Size()
+		p.SetStep(0)
+		p.Send(dst, 1, b)
+		p.Recv(src, 1, b)
+		p.ClearStep()
+		p.Memcpy(buffer.New(32), buffer.New(32))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if tr == nil {
+		t.Fatal("Trace() returned nil on a traced world")
+	}
+	if got, want := tr.TotalBytes(), w.TotalBytes(); got != want {
+		t.Errorf("trace bytes %d != world bytes %d", got, want)
+	}
+	if got, want := tr.TotalMessages(), w.TotalMessages(); got != want {
+		t.Errorf("trace msgs %d != world msgs %d", got, want)
+	}
+	for r := 0; r < 4; r++ {
+		var kinds [4]int
+		for _, ev := range tr.Events(r) {
+			kinds[ev.Kind]++
+			if ev.Dur < 0 {
+				t.Errorf("rank %d: negative duration event %+v", r, ev)
+			}
+		}
+		if kinds[trace.KindSend] != 1 || kinds[trace.KindRecv] != 1 || kinds[trace.KindMemcpy] != 1 {
+			t.Errorf("rank %d: kind counts %v, want 1 send / 1 recv / 1 memcpy", r, kinds)
+		}
+	}
+	ss := tr.StepStats()
+	if len(ss) != 1 || ss[0].Step != 0 {
+		t.Fatalf("step stats = %+v, want exactly step 0", ss)
+	}
+	if ss[0].Bytes != 4*64 || ss[0].Msgs != 4 {
+		t.Errorf("step 0 = %+v, want 256 bytes / 4 msgs", ss[0])
+	}
+}
+
+// TestTraceDoesNotPerturbTime checks the central tracing invariant:
+// identical virtual timings with tracing on and off.
+func TestTraceDoesNotPerturbTime(t *testing.T) {
+	run := func(opts ...Option) (float64, error) {
+		w, err := NewWorld(8, opts...)
+		if err != nil {
+			return 0, err
+		}
+		err = w.Run(func(p *Proc) error {
+			b := buffer.New(100)
+			done := p.Phase("outer")
+			for i := 1; i < p.Size(); i++ {
+				dst := (p.Rank() + i) % p.Size()
+				src := (p.Rank() - i + p.Size()) % p.Size()
+				p.SendRecv(dst, i, b, src, i, b)
+				p.Memcpy(buffer.New(10), buffer.New(10))
+			}
+			done()
+			return nil
+		})
+		return w.MaxTime(), err
+	}
+	off, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := run(WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != on {
+		t.Errorf("MaxTime with trace %g != without %g", on, off)
+	}
+}
+
+// TestUntracedWorldHasNilTrace checks tracing is off by default.
+func TestUntracedWorldHasNilTrace(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(p *Proc) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if w.Trace() != nil {
+		t.Error("untraced world returned a non-nil Trace")
+	}
+}
+
+// TestInboxArrBounded is the regression test for the unbounded
+// inbox.arr growth: ranks that only use blocking Recv never reach
+// Waitall's compaction, so before the fix the arrival log grew by one
+// entry per message for the whole Run. A ping-pong drains the queue
+// every round trip, so the log must stay tiny no matter how many
+// messages flow.
+func TestInboxArrBounded(t *testing.T) {
+	const rounds = 5000
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(8)
+		for i := 0; i < rounds; i++ {
+			if p.Rank() == 0 {
+				p.Send(1, 0, b)
+				p.Recv(1, 0, b)
+			} else {
+				p.Recv(0, 0, b)
+				p.Send(0, 0, b)
+			}
+		}
+		p.box.mu.Lock()
+		n := len(p.box.arr)
+		p.box.mu.Unlock()
+		if n > 8 {
+			t.Errorf("rank %d: inbox.arr holds %d entries after %d blocking round trips, want <= 8",
+				p.Rank(), n, rounds)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInboxArrBoundedMixed checks the arrival log also stays bounded
+// when blocking Recv and Waitall alternate across iterations.
+func TestInboxArrBoundedMixed(t *testing.T) {
+	const iters = 500
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		P := p.Size()
+		b := buffer.New(16)
+		rbufs := make([]buffer.Buf, P)
+		for i := range rbufs {
+			rbufs[i] = buffer.New(16)
+		}
+		for it := 0; it < iters; it++ {
+			// Blocking exchange with the ring neighbor.
+			dst, src := (p.Rank()+1)%P, (p.Rank()-1+P)%P
+			p.Send(dst, 1, b)
+			p.Recv(src, 1, b)
+			// Nonblocking all-to-all through Waitall.
+			reqs := make([]*Request, 0, 2*P)
+			for i := 0; i < P; i++ {
+				reqs = append(reqs, p.Irecv(i, 2, rbufs[i]))
+			}
+			for i := 0; i < P; i++ {
+				reqs = append(reqs, p.Isend(i, 2, b))
+			}
+			p.Waitall(reqs)
+		}
+		p.box.mu.Lock()
+		n := len(p.box.arr)
+		p.box.mu.Unlock()
+		if n > 4*4 {
+			t.Errorf("rank %d: inbox.arr holds %d entries after %d mixed iterations", p.Rank(), n, iters)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseNesting checks the documented nested-phase accounting:
+// time inside a nested phase is attributed to the innermost phase
+// only, so phase times never double-count.
+func TestPhaseNesting(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		outer := p.Phase("outer")
+		p.Charge(10)
+		inner := p.Phase("inner")
+		p.Charge(5)
+		inner()
+		p.Charge(3)
+		outer()
+		// Closing twice must be a no-op.
+		inner()
+		outer()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := w.MaxPhase()
+	if ph["outer"] != 13 {
+		t.Errorf("outer = %g, want 13 (exclusive of nested phase)", ph["outer"])
+	}
+	if ph["inner"] != 5 {
+		t.Errorf("inner = %g, want 5", ph["inner"])
+	}
+}
+
+// TestPhaseNestingDeep checks three levels plus a sibling, and that
+// the trace-side phase events keep the inclusive intervals.
+func TestPhaseNestingDeep(t *testing.T) {
+	w, err := NewWorld(1, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		a := p.Phase("a")
+		p.Charge(1)
+		b := p.Phase("b")
+		p.Charge(2)
+		c := p.Phase("c")
+		p.Charge(4)
+		c()
+		b()
+		p.Charge(8)
+		d := p.Phase("d")
+		p.Charge(16)
+		d()
+		a()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := w.MaxPhase()
+	want := map[string]float64{"a": 9, "b": 2, "c": 4, "d": 16}
+	for name, v := range want {
+		if ph[name] != v {
+			t.Errorf("phase %s = %g, want %g", name, ph[name], v)
+		}
+	}
+	// Trace events carry inclusive durations.
+	incl := map[string]float64{}
+	for _, ev := range w.Trace().Events(0) {
+		if ev.Kind == trace.KindPhase {
+			incl[ev.Name] = ev.Dur
+		}
+	}
+	wantIncl := map[string]float64{"a": 31, "b": 6, "c": 4, "d": 16}
+	for name, v := range wantIncl {
+		if incl[name] != v {
+			t.Errorf("trace phase %s inclusive = %g, want %g", name, incl[name], v)
+		}
+	}
+}

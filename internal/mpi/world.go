@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bruckv/internal/machine"
+	"bruckv/internal/trace"
 )
 
 // World is a communicator: a fixed set of ranks plus the machine model
@@ -48,6 +49,9 @@ type World struct {
 	intraOS, intraOR, intraL, intraG float64
 
 	procs []*Proc
+
+	tracing bool
+	tr      *trace.Trace // event log of the last Run, nil unless tracing
 
 	blocked  atomic.Int32 // ranks currently blocked waiting for a message
 	finished atomic.Int32 // ranks whose functions have returned
@@ -71,6 +75,14 @@ func WithPhantom() Option { return func(w *World) { w.phantom = true } }
 // model's (much cheaper) intra-node parameters and skip network
 // congestion. The default of 1 makes every message inter-node.
 func WithRanksPerNode(n int) Option { return func(w *World) { w.ranksPerNode = n } }
+
+// WithTrace records a structured event log (sends, receives, local
+// copies, phases) on the virtual timeline during each Run, available
+// afterwards from World.Trace. Tracing is observational: it never
+// alters virtual time, so traced and untraced runs produce identical
+// timings. Off by default; recording sites are nil-checked so the
+// default costs nothing.
+func WithTrace() Option { return func(w *World) { w.tracing = true } }
 
 // NewWorld creates a communicator with size ranks.
 func NewWorld(size int, opts ...Option) (*World, error) {
@@ -119,8 +131,14 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	w.activity.Store(0)
 	w.dead.Store(false)
 	w.procs = make([]*Proc, w.size)
+	if w.tracing {
+		w.tr = trace.New(w.size)
+	}
 	for r := 0; r < w.size; r++ {
 		w.procs[r] = newProc(w, r)
+		if w.tracing {
+			w.procs[r].tr = w.tr.Buffer(r)
+		}
 	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
@@ -145,6 +163,10 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	wg.Wait()
 	return errors.Join(errs...)
 }
+
+// Trace returns the event log of the last Run, or nil if the world was
+// not created with WithTrace (or has not run yet).
+func (w *World) Trace() *trace.Trace { return w.tr }
 
 // MaxTime returns the maximum virtual clock over all ranks of the last
 // Run, in nanoseconds.

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export. The format is the JSON Object Format of
+// the Trace Event specification: a top-level object with a
+// "traceEvents" array of complete ("ph":"X") slices, timestamps and
+// durations in microseconds. Files written here open directly in
+// chrome://tracing and in Perfetto's legacy-trace importer.
+//
+// Each rank maps to two tracks: an execution track ("rank N") holding
+// phases, receives, and local copies — which nest properly on the
+// rank's virtual CPU timeline — and an injection track ("rank N tx")
+// holding sends, whose intervals span the network injection path and
+// may extend past the moment the CPU moved on.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON format.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := make([]chromeEvent, 0, t.NumEvents()+2*len(t.bufs)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "bruckv virtual timeline"},
+	})
+	for r := range t.bufs {
+		events = append(events,
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: 2 * r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: 2*r + 1,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d tx", r)}},
+		)
+	}
+	for r, b := range t.bufs {
+		for _, ev := range b.Events {
+			ce := chromeEvent{
+				Name: chromeName(ev),
+				Cat:  ev.Kind.String(),
+				Ph:   "X",
+				Ts:   ev.Start / 1e3, // virtual ns -> us
+				Pid:  0,
+				Tid:  2 * r,
+			}
+			dur := ev.Dur / 1e3
+			ce.Dur = &dur
+			if ev.Kind == KindSend {
+				ce.Tid = 2*r + 1
+			}
+			args := map[string]any{}
+			if ev.Bytes > 0 || ev.Kind != KindPhase {
+				args["bytes"] = ev.Bytes
+			}
+			if ev.Kind == KindSend || ev.Kind == KindRecv {
+				args["peer"] = ev.Peer
+				args["tag"] = ev.Tag
+			}
+			if ev.Step != NoStep {
+				args["step"] = ev.Step
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			events = append(events, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ns",
+	})
+}
+
+func chromeName(ev Event) string {
+	switch ev.Kind {
+	case KindSend:
+		return fmt.Sprintf("send→%d", ev.Peer)
+	case KindRecv:
+		return fmt.Sprintf("recv←%d", ev.Peer)
+	case KindMemcpy:
+		return "memcpy"
+	case KindPhase:
+		return ev.Name
+	}
+	return "event"
+}

@@ -1,0 +1,253 @@
+// Package trace is the event-tracing and metrics layer over the
+// simulated runtime's virtual timeline.
+//
+// When a World is created with mpi.WithTrace, every rank records
+// structured events — sends, receives, local copies, and phase
+// intervals — each carrying a virtual-time interval and, where the
+// collective annotated it, the Bruck step index that produced it. The
+// result of a run is a Trace: a per-rank event log plus roll-ups (per
+// step and per rank) and a Chrome trace_event-format JSON export that
+// opens directly in chrome://tracing or Perfetto.
+//
+// Recording is strictly observational: events capture the virtual
+// times the runtime computed anyway, and never feed back into them, so
+// a traced run's virtual timings are bit-identical to an untraced one.
+package trace
+
+import "sort"
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindSend is a message injection: the interval spans the sender's
+	// injection path occupancy (start to injection completion).
+	KindSend Kind = iota
+	// KindRecv is a message drain on the receiver: the interval spans
+	// the wait-plus-drain from when the receive could begin to when the
+	// payload is fully landed.
+	KindRecv
+	// KindMemcpy is a local copy (or charged copy) priced by the
+	// machine model.
+	KindMemcpy
+	// KindPhase is a named algorithm phase interval (see Proc.Phase);
+	// the interval is inclusive of nested phases.
+	KindPhase
+)
+
+// String returns the kind's short name (also the Chrome trace
+// category).
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindMemcpy:
+		return "memcpy"
+	case KindPhase:
+		return "phase"
+	}
+	return "unknown"
+}
+
+// NoStep is the Step value of events recorded outside any annotated
+// collective step.
+const NoStep = -1
+
+// Event is one recorded occurrence on a rank's virtual timeline.
+type Event struct {
+	Kind Kind
+	// Name is the phase name for KindPhase events, "" otherwise.
+	Name string
+	// Start is the event's virtual start time in nanoseconds.
+	Start float64
+	// Dur is the event's virtual duration in nanoseconds.
+	Dur float64
+	// Bytes is the payload size for sends, receives, and copies.
+	Bytes int
+	// Peer is the other rank for sends and receives, -1 otherwise.
+	Peer int
+	// Tag is the message tag for sends and receives.
+	Tag int
+	// Step is the collective step index the event belongs to, or
+	// NoStep. Collectives annotate steps via Proc.SetStep.
+	Step int
+}
+
+// End returns the event's virtual end time.
+func (e Event) End() float64 { return e.Start + e.Dur }
+
+// Buffer is one rank's event log. It is written only by that rank's
+// goroutine during a run and read only after the run completes, so it
+// needs no locking.
+type Buffer struct {
+	Rank   int
+	Events []Event
+}
+
+// Add appends an event.
+func (b *Buffer) Add(ev Event) { b.Events = append(b.Events, ev) }
+
+// Trace is the full event log of one run.
+type Trace struct {
+	bufs []*Buffer
+}
+
+// New creates a Trace with one empty per-rank buffer for each of the
+// given ranks.
+func New(ranks int) *Trace {
+	t := &Trace{bufs: make([]*Buffer, ranks)}
+	for r := range t.bufs {
+		t.bufs[r] = &Buffer{Rank: r}
+	}
+	return t
+}
+
+// Ranks returns the number of ranks the trace covers.
+func (t *Trace) Ranks() int { return len(t.bufs) }
+
+// Buffer returns rank's event buffer (for the runtime to record into).
+func (t *Trace) Buffer(rank int) *Buffer { return t.bufs[rank] }
+
+// Events returns rank's recorded events in recording order.
+func (t *Trace) Events(rank int) []Event { return t.bufs[rank].Events }
+
+// NumEvents returns the total event count across ranks.
+func (t *Trace) NumEvents() int {
+	n := 0
+	for _, b := range t.bufs {
+		n += len(b.Events)
+	}
+	return n
+}
+
+// RankTotal is one rank's communication totals, derived purely from
+// its send events; it reconciles with the runtime's BytesSent and
+// MsgsSent counters.
+type RankTotal struct {
+	Rank      int
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// RankTotals returns per-rank send totals derived from the event log.
+func (t *Trace) RankTotals() []RankTotal {
+	out := make([]RankTotal, len(t.bufs))
+	for r, b := range t.bufs {
+		out[r].Rank = r
+		for _, ev := range b.Events {
+			if ev.Kind == KindSend {
+				out[r].BytesSent += int64(ev.Bytes)
+				out[r].MsgsSent++
+			}
+		}
+	}
+	return out
+}
+
+// TotalBytes returns the total bytes sent across all ranks according
+// to the event log.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for _, rt := range t.RankTotals() {
+		n += rt.BytesSent
+	}
+	return n
+}
+
+// TotalMessages returns the total messages sent across all ranks
+// according to the event log.
+func (t *Trace) TotalMessages() int64 {
+	var n int64
+	for _, rt := range t.RankTotals() {
+		n += rt.MsgsSent
+	}
+	return n
+}
+
+// StepStat is the roll-up of one annotated collective step — the data
+// behind the paper's per-step breakdowns (Figures 4 and 7).
+type StepStat struct {
+	// Step is the collective step index.
+	Step int
+	// Bytes is the total payload bytes sent in this step across ranks.
+	Bytes int64
+	// Msgs is the number of messages sent in this step across ranks.
+	Msgs int64
+	// TimeNs is the step's virtual duration: the maximum over ranks of
+	// the span from the rank's first event in the step to its last.
+	TimeNs float64
+}
+
+// StepStats rolls up all events carrying a step annotation, sorted by
+// step index. Events outside any step (Step == NoStep) are excluded.
+func (t *Trace) StepStats() []StepStat {
+	type span struct {
+		start, end float64
+		set        bool
+	}
+	agg := map[int]*StepStat{}
+	spans := map[int]map[int]*span{} // step -> rank -> span
+	for r, b := range t.bufs {
+		for _, ev := range b.Events {
+			if ev.Step == NoStep {
+				continue
+			}
+			st := agg[ev.Step]
+			if st == nil {
+				st = &StepStat{Step: ev.Step}
+				agg[ev.Step] = st
+				spans[ev.Step] = map[int]*span{}
+			}
+			if ev.Kind == KindSend {
+				st.Bytes += int64(ev.Bytes)
+				st.Msgs++
+			}
+			sp := spans[ev.Step][r]
+			if sp == nil {
+				sp = &span{}
+				spans[ev.Step][r] = sp
+			}
+			if !sp.set || ev.Start < sp.start {
+				sp.start = ev.Start
+			}
+			if !sp.set || ev.End() > sp.end {
+				sp.end = ev.End()
+			}
+			sp.set = true
+		}
+	}
+	out := make([]StepStat, 0, len(agg))
+	for step, st := range agg {
+		for _, sp := range spans[step] {
+			if d := sp.end - sp.start; d > st.TimeNs {
+				st.TimeNs = d
+			}
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// PhaseTotals returns, per phase name, the maximum over ranks of the
+// summed inclusive phase-event durations — the trace-derived
+// counterpart of World.MaxPhase for non-nested phases.
+func (t *Trace) PhaseTotals() map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range t.bufs {
+		per := map[string]float64{}
+		for _, ev := range b.Events {
+			if ev.Kind == KindPhase {
+				per[ev.Name] += ev.Dur
+			}
+		}
+		for name, d := range per {
+			if d > out[name] {
+				out[name] = d
+			}
+		}
+	}
+	return out
+}

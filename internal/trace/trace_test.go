@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	t := New(2)
+	// Rank 0: a phase containing one send and one memcpy in step 0,
+	// then a recv in step 1.
+	t.Buffer(0).Add(Event{Kind: KindMemcpy, Start: 0, Dur: 5, Bytes: 64, Peer: -1, Step: 0})
+	t.Buffer(0).Add(Event{Kind: KindSend, Start: 5, Dur: 10, Bytes: 100, Peer: 1, Tag: 7, Step: 0})
+	t.Buffer(0).Add(Event{Kind: KindRecv, Start: 20, Dur: 8, Bytes: 50, Peer: 1, Tag: 8, Step: 1})
+	t.Buffer(0).Add(Event{Kind: KindPhase, Name: "comm", Start: 0, Dur: 28, Peer: -1, Step: NoStep})
+	// Rank 1: one send in step 0, one outside any step.
+	t.Buffer(1).Add(Event{Kind: KindSend, Start: 2, Dur: 4, Bytes: 50, Peer: 0, Tag: 8, Step: 0})
+	t.Buffer(1).Add(Event{Kind: KindSend, Start: 30, Dur: 4, Bytes: 9, Peer: 0, Tag: 9, Step: NoStep})
+	return t
+}
+
+func TestRankTotals(t *testing.T) {
+	tr := sampleTrace()
+	tot := tr.RankTotals()
+	if tot[0].BytesSent != 100 || tot[0].MsgsSent != 1 {
+		t.Errorf("rank 0 totals = %+v, want 100 bytes / 1 msg", tot[0])
+	}
+	if tot[1].BytesSent != 59 || tot[1].MsgsSent != 2 {
+		t.Errorf("rank 1 totals = %+v, want 59 bytes / 2 msgs", tot[1])
+	}
+	if tr.TotalBytes() != 159 || tr.TotalMessages() != 3 {
+		t.Errorf("totals = %d bytes / %d msgs, want 159/3", tr.TotalBytes(), tr.TotalMessages())
+	}
+}
+
+func TestStepStats(t *testing.T) {
+	tr := sampleTrace()
+	ss := tr.StepStats()
+	if len(ss) != 2 {
+		t.Fatalf("got %d steps, want 2: %+v", len(ss), ss)
+	}
+	s0 := ss[0]
+	if s0.Step != 0 || s0.Bytes != 150 || s0.Msgs != 2 {
+		t.Errorf("step 0 = %+v, want 150 bytes / 2 msgs", s0)
+	}
+	// Rank 0's step-0 span is [0,15], rank 1's is [2,6]; the step time
+	// is the max span.
+	if s0.TimeNs != 15 {
+		t.Errorf("step 0 time = %g, want 15", s0.TimeNs)
+	}
+	s1 := ss[1]
+	if s1.Step != 1 || s1.Bytes != 0 || s1.Msgs != 0 || s1.TimeNs != 8 {
+		t.Errorf("step 1 = %+v, want 0 bytes / 0 msgs / 8 ns", s1)
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	tr := sampleTrace()
+	ph := tr.PhaseTotals()
+	if ph["comm"] != 28 {
+		t.Errorf("phase comm = %g, want 28", ph["comm"])
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 6 events + 1 process_name + 4 thread_name metadata records.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("got %d trace events, want 11", len(doc.TraceEvents))
+	}
+	var sends, slices int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+		if ev.Name == "send→1" {
+			sends++
+			if ev.Tid != 1 { // rank 0's injection track
+				t.Errorf("send event on tid %d, want 1", ev.Tid)
+			}
+		}
+	}
+	if slices != 6 {
+		t.Errorf("got %d complete slices, want 6", slices)
+	}
+	if sends != 1 {
+		t.Errorf("got %d send→1 events, want 1", sends)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New(3)
+	if tr.Ranks() != 3 || tr.NumEvents() != 0 {
+		t.Fatalf("empty trace: ranks=%d events=%d", tr.Ranks(), tr.NumEvents())
+	}
+	if got := tr.StepStats(); len(got) != 0 {
+		t.Errorf("empty trace has step stats: %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("empty chrome export is not valid JSON")
+	}
+}

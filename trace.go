@@ -1,0 +1,76 @@
+package bruckv
+
+import (
+	"io"
+
+	"bruckv/internal/trace"
+)
+
+// Trace is the event log of a traced Run (see WithTrace): per-rank
+// virtual-timeline events plus roll-ups and a Chrome trace_event
+// export. It is valid until the world's next Run.
+type Trace struct {
+	tr *trace.Trace
+}
+
+// Trace returns the event log of the last Run, or nil if the world was
+// not created with WithTrace (or has not run yet).
+func (w *World) Trace() *Trace {
+	if t := w.w.Trace(); t != nil {
+		return &Trace{tr: t}
+	}
+	return nil
+}
+
+// StepStat is the roll-up of one annotated Bruck exchange step — the
+// data behind the paper's per-step breakdowns (Figures 4 and 7).
+type StepStat struct {
+	// Step is the collective step index (radix variants count each
+	// (position, digit) sub-step).
+	Step int
+	// Bytes and Msgs are the payload bytes and message count sent in
+	// this step across all ranks.
+	Bytes int64
+	Msgs  int64
+	// TimeNs is the step's virtual duration: the maximum over ranks of
+	// the span from the rank's first event in the step to its last.
+	TimeNs float64
+}
+
+// StepStats returns per-step roll-ups of the last traced Run, sorted
+// by step index.
+func (t *Trace) StepStats() []StepStat {
+	in := t.tr.StepStats()
+	out := make([]StepStat, len(in))
+	for i, s := range in {
+		out[i] = StepStat{Step: s.Step, Bytes: s.Bytes, Msgs: s.Msgs, TimeNs: s.TimeNs}
+	}
+	return out
+}
+
+// RankTotal is one rank's communication totals derived from the event
+// log; they reconcile exactly with TotalBytes and TotalMessages.
+type RankTotal struct {
+	Rank      int
+	BytesSent int64
+	MsgsSent  int64
+}
+
+// RankTotals returns per-rank send totals derived from the event log.
+func (t *Trace) RankTotals() []RankTotal {
+	in := t.tr.RankTotals()
+	out := make([]RankTotal, len(in))
+	for i, r := range in {
+		out[i] = RankTotal{Rank: r.Rank, BytesSent: r.BytesSent, MsgsSent: r.MsgsSent}
+	}
+	return out
+}
+
+// NumEvents returns the total number of recorded events across ranks.
+func (t *Trace) NumEvents() int { return t.tr.NumEvents() }
+
+// WriteChrome writes the trace in Chrome trace_event JSON format; the
+// file opens directly in chrome://tracing and Perfetto. Each rank maps
+// to an execution track (phases, receives, copies) and an injection
+// track (sends).
+func (t *Trace) WriteChrome(w io.Writer) error { return t.tr.WriteChrome(w) }

@@ -1,0 +1,140 @@
+package bruckv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runTracedExchange runs one TwoPhaseBruck exchange on a traced world
+// and returns the world.
+func runTracedExchange(t *testing.T, P int, opts ...Option) *World {
+	t.Helper()
+	w, err := NewWorld(P, append([]Option{WithAlgorithm(TwoPhaseBruck)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		scounts := make([]int, P)
+		rcounts := make([]int, P)
+		for d := 0; d < P; d++ {
+			scounts[d] = 1 + (c.Rank()+d)%7
+		}
+		sdispls, sTotal := Displacements(scounts)
+		if err := c.ExchangeCounts(scounts, rcounts); err != nil {
+			return err
+		}
+		rdispls, rTotal := Displacements(rcounts)
+		send := make([]byte, sTotal)
+		recv := make([]byte, rTotal)
+		return c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicTraceReconcilesAndExports(t *testing.T) {
+	const P = 16
+	w := runTracedExchange(t, P, WithTrace())
+	tr := w.Trace()
+	if tr == nil {
+		t.Fatal("Trace() nil on traced world")
+	}
+	var bytesSum, msgsSum int64
+	for _, rt := range tr.RankTotals() {
+		bytesSum += rt.BytesSent
+		msgsSum += rt.MsgsSent
+	}
+	if bytesSum != w.TotalBytes() || msgsSum != w.TotalMessages() {
+		t.Errorf("trace totals %d bytes / %d msgs, world says %d / %d",
+			bytesSum, msgsSum, w.TotalBytes(), w.TotalMessages())
+	}
+	// Two-phase Bruck on 16 ranks runs log2(16)=4 steps.
+	ss := tr.StepStats()
+	if len(ss) != 4 {
+		t.Fatalf("got %d step stats, want 4: %+v", len(ss), ss)
+	}
+	for i, s := range ss {
+		if s.Step != i || s.Msgs == 0 || s.Bytes == 0 || s.TimeNs <= 0 {
+			t.Errorf("step stat %d malformed: %+v", i, s)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatal("chrome export missing traceEvents array")
+	}
+}
+
+func TestTraceOffByDefaultAndTimeUnperturbed(t *testing.T) {
+	const P = 16
+	plain := runTracedExchange(t, P)
+	if plain.Trace() != nil {
+		t.Error("Trace() non-nil without WithTrace")
+	}
+	traced := runTracedExchange(t, P, WithTrace())
+	if plain.MaxTimeNs() != traced.MaxTimeNs() {
+		t.Errorf("MaxTimeNs changed by tracing: %g vs %g", plain.MaxTimeNs(), traced.MaxTimeNs())
+	}
+}
+
+func TestAlltoallvValidatesArguments(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name             string
+		scounts, sdispls []int
+		rcounts, rdispls []int
+		wantSub          string
+	}{
+		{"short sdispls", []int{1, 1, 1, 1}, []int{0, 1, 2}, []int{1, 1, 1, 1}, []int{0, 1, 2, 3}, "send counts/displs"},
+		{"short scounts", []int{1, 1, 1}, []int{0, 1, 2, 3}, []int{1, 1, 1, 1}, []int{0, 1, 2, 3}, "send counts/displs"},
+		{"long rcounts", []int{1, 1, 1, 1}, []int{0, 1, 2, 3}, []int{1, 1, 1, 1, 1}, []int{0, 1, 2, 3}, "recv counts/displs"},
+		{"negative scount", []int{1, -2, 1, 1}, []int{0, 1, 2, 3}, []int{1, 1, 1, 1}, []int{0, 1, 2, 3}, "negative send count"},
+		{"negative rdispl", []int{1, 1, 1, 1}, []int{0, 1, 2, 3}, []int{1, 1, 1, 1}, []int{0, -1, 2, 3}, "negative recv displacement"},
+	}
+	for _, tc := range cases {
+		for _, alg := range []Algorithm{TwoPhaseBruck, SpreadOut, PaddedBruck, Auto} {
+			err := w.Run(func(c *Comm) error {
+				send := make([]byte, 64)
+				recv := make([]byte, 64)
+				return c.AlltoallvWith(alg, send, tc.scounts, tc.sdispls, recv, tc.rcounts, tc.rdispls)
+			})
+			if err == nil {
+				t.Errorf("%s with %v: accepted malformed arguments", tc.name, alg)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("%s with %v: error %q does not mention %q", tc.name, alg, err, tc.wantSub)
+			}
+			if strings.Contains(err.Error(), "panicked") {
+				t.Errorf("%s with %v: surfaced as a rank panic: %v", tc.name, alg, err)
+			}
+		}
+	}
+}
+
+func TestAlltoallWithRejectsNegativeBlockSize(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		return c.Alltoall(nil, -8, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative block size") {
+		t.Errorf("negative block size not rejected: %v", err)
+	}
+}
