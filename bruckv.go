@@ -29,9 +29,11 @@ package bruckv
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/coll"
+	"bruckv/internal/fault"
 	"bruckv/internal/mpi"
 )
 
@@ -112,7 +114,11 @@ type config struct {
 	phantom      bool
 	alg          Algorithm
 	ranksPerNode int
+	rpnSet       bool
 	trace        bool
+	faults       FaultPlan
+	faultsSet    bool
+	deadline     time.Duration
 }
 
 // WithMachine sets the communication cost model (default Theta()).
@@ -129,8 +135,62 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
 // WithRanksPerNode places consecutive ranks on shared-memory nodes of
 // the given width: intra-node messages use the model's cheaper
 // intra-node parameters, and the Hierarchical algorithm funnels traffic
-// through node leaders.
-func WithRanksPerNode(n int) Option { return func(c *config) { c.ranksPerNode = n } }
+// through node leaders. NewWorld rejects n <= 0 and normalizes n larger
+// than the world size down to the world size; a width that does not
+// divide the world size leaves the last node smaller.
+func WithRanksPerNode(n int) Option {
+	return func(c *config) { c.ranksPerNode, c.rpnSet = n, true }
+}
+
+// FaultPlan describes a deterministic, seeded perturbation of the
+// simulated network — the public mirror of the internal fault model
+// (see WithFaults).
+type FaultPlan struct {
+	// Seed drives every random draw; identical (seed, plan, algorithm,
+	// workload) runs produce bit-identical virtual timings.
+	Seed uint64
+	// StragglerRanks is an explicit set of straggler rank ids. When
+	// empty, Stragglers ranks are picked deterministically from Seed.
+	StragglerRanks []int
+	// Stragglers is the number of seed-picked straggler ranks (ignored
+	// when StragglerRanks is non-empty).
+	Stragglers int
+	// Slowdown is the multiplier (>= 1) on straggler ranks' send,
+	// receive, and compute costs.
+	Slowdown float64
+	// Jitter is the maximum fractional per-message wire-cost inflation:
+	// each message's per-byte time and latency are scaled by
+	// 1 + U(0, Jitter).
+	Jitter float64
+}
+
+func (fp FaultPlan) plan() fault.Plan {
+	return fault.Plan{
+		Seed:          fp.Seed,
+		Stragglers:    fp.StragglerRanks,
+		NumStragglers: fp.Stragglers,
+		Slowdown:      fp.Slowdown,
+		Jitter:        fp.Jitter,
+	}
+}
+
+// WithFaults installs a deterministic fault plan: straggler ranks whose
+// communication and compute are slowed by a factor, and per-message
+// wire jitter. Perturbations are priced into the virtual clocks like
+// any model cost, so faulted runs remain bit-reproducible for a given
+// plan, and a zero plan leaves timings identical to a world without a
+// fault layer. With WithTrace, injected delay appears in the event log
+// as its own "fault" event kind.
+func WithFaults(fp FaultPlan) Option {
+	return func(c *config) { c.faults, c.faultsSet = fp, true }
+}
+
+// WithDeadline arms a wall-clock watchdog on each Run: a run exceeding
+// d is aborted with an error reporting every blocked rank and the
+// (src, tag) pairs it was waiting for — the same diagnostic a detected
+// deadlock produces — so a hung algorithm fails fast with an actionable
+// message instead of wedging the caller.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
 
 // WithTrace records a structured event log over the virtual timeline
 // during each Run — per-rank sends, receives, local copies, phases, and
@@ -152,11 +212,17 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	if cfg.phantom {
 		mopts = append(mopts, mpi.WithPhantom())
 	}
-	if cfg.ranksPerNode > 0 {
+	if cfg.rpnSet {
 		mopts = append(mopts, mpi.WithRanksPerNode(cfg.ranksPerNode))
 	}
 	if cfg.trace {
 		mopts = append(mopts, mpi.WithTrace())
+	}
+	if cfg.faultsSet {
+		mopts = append(mopts, mpi.WithFaults(cfg.faults.plan()))
+	}
+	if cfg.deadline != 0 {
+		mopts = append(mopts, mpi.WithDeadline(cfg.deadline))
 	}
 	w, err := mpi.NewWorld(size, mopts...)
 	if err != nil {

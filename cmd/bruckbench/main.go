@@ -8,6 +8,8 @@
 //	bruckbench -fig 9 -iters 3 -progress
 //	bruckbench -fig steps -alg two-phase -ps 256 -ns 512
 //	bruckbench -trace out.json -alg two-phase -ps 256
+//	bruckbench -fig chaos -ps 128
+//	bruckbench -trace out.json -alg two-phase -ps 128 -faults stragglers=2,slowdown=4,jitter=0.25
 //
 // Simulated process counts are bounded by -maxsimp; larger configured
 // counts are filled from the calibrated analytic model and marked '*' in
@@ -17,6 +19,12 @@
 // block size from -ns), writes its virtual timeline as Chrome
 // trace_event JSON — open in chrome://tracing or Perfetto — and prints
 // the per-step roll-up.
+//
+// -faults installs a deterministic perturbation plan (seeded straggler
+// ranks and per-message jitter, see internal/fault) on the traced
+// exchange; -fault-seed overrides the plan's seed. -fig chaos sweeps
+// every registered Alltoallv algorithm across a fault grid and prints a
+// straggler-sensitivity table of faulted/clean completion-time ratios.
 package main
 
 import (
@@ -29,12 +37,13 @@ import (
 
 	"bruckv/internal/bench"
 	"bruckv/internal/dist"
+	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -46,6 +55,8 @@ func main() {
 		traceOut = flag.String("trace", "", "run one traced exchange and write Chrome trace_event JSON to this file")
 		alg      = flag.String("alg", "two-phase", "algorithm for -trace / -fig steps")
 		rpn      = flag.Int("rpn", 1, "ranks per node for -trace / -fig steps (hierarchical needs >1)")
+		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25")
+		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0: keep the plan's own)")
 	)
 	flag.Parse()
 
@@ -58,6 +69,16 @@ func main() {
 		progW = os.Stderr
 	}
 	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW}
+	plan, err := fault.Parse(*faults)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *fseed != 0 {
+		plan.Seed = *fseed
+	}
+	if *faults != "" {
+		o.Faults = &plan
+	}
 	ps := parseInts(*psFlag)
 	ns := parseInts(*nsFlag)
 
@@ -161,6 +182,18 @@ func main() {
 	}
 	if want["steps"] {
 		runSteps().Fprint(out)
+	}
+	if want["chaos"] {
+		cfg := bench.ChaosConfig{Slowdown: plan.Slowdown}
+		if len(ps) > 0 {
+			cfg.P = ps[0]
+		}
+		if len(ns) > 0 {
+			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
+		}
+		r, err := bench.Chaos(o, cfg)
+		check(err)
+		r.Fprint(out)
 	}
 	if all || want["ext"] {
 		p := 256

@@ -1,0 +1,106 @@
+package bruckv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// exchange runs one two-phase Alltoallv on w with a fixed workload and
+// returns the completion time.
+func exchange(t *testing.T, w *World) float64 {
+	t.Helper()
+	const n = 32
+	err := w.Run(func(c *Comm) error {
+		P := c.Size()
+		scounts := make([]int, P)
+		for i := range scounts {
+			scounts[i] = (c.Rank()+i)%n + 1
+		}
+		sdispls, sTotal := Displacements(scounts)
+		rcounts := make([]int, P)
+		if err := c.ExchangeCounts(scounts, rcounts); err != nil {
+			return err
+		}
+		rdispls, rTotal := Displacements(rcounts)
+		send := make([]byte, sTotal)
+		for i := range send {
+			send[i] = byte(c.Rank() + i)
+		}
+		recv := make([]byte, rTotal)
+		return c.AlltoallvWith(TwoPhaseBruck, send, scounts, sdispls, recv, rcounts, rdispls)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.MaxTimeNs()
+}
+
+func TestWithFaultsDeterministicAndSlower(t *testing.T) {
+	mk := func(opts ...Option) *World {
+		w, err := NewWorld(16, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	clean := exchange(t, mk())
+	pl := FaultPlan{Seed: 3, Stragglers: 2, Slowdown: 4, Jitter: 0.3}
+	a := exchange(t, mk(WithFaults(pl)))
+	b := exchange(t, mk(WithFaults(pl)))
+	if a != b {
+		t.Fatalf("faulted timings not reproducible: %v vs %v", a, b)
+	}
+	if a <= clean {
+		t.Errorf("faulted run (%v ns) not slower than clean (%v ns)", a, clean)
+	}
+	if zero := exchange(t, mk(WithFaults(FaultPlan{Seed: 3}))); zero != clean {
+		t.Errorf("zero fault plan changed timings: %v != %v", zero, clean)
+	}
+}
+
+func TestWithFaultsInvalidPlanRejected(t *testing.T) {
+	if _, err := NewWorld(4, WithFaults(FaultPlan{Slowdown: 0.25})); err == nil {
+		t.Error("NewWorld accepted a slowdown < 1")
+	}
+	if _, err := NewWorld(4, WithFaults(FaultPlan{Jitter: -1})); err == nil {
+		t.Error("NewWorld accepted negative jitter")
+	}
+}
+
+func TestPublicRanksPerNodeValidation(t *testing.T) {
+	for _, n := range []int{0, -2} {
+		if _, err := NewWorld(8, WithRanksPerNode(n)); err == nil {
+			t.Errorf("WithRanksPerNode(%d) accepted, want error", n)
+		}
+	}
+	if _, err := NewWorld(8, WithRanksPerNode(4)); err != nil {
+		t.Errorf("valid ranks-per-node rejected: %v", err)
+	}
+	// Wider than the world normalizes rather than failing.
+	if _, err := NewWorld(4, WithRanksPerNode(16)); err != nil {
+		t.Errorf("over-wide ranks-per-node rejected: %v", err)
+	}
+}
+
+func TestWithDeadlineReportsBlockedRanks(t *testing.T) {
+	w, err := NewWorld(3, WithDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			c.Barrier() // rank 0 never joins: everyone else wedges
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an abort error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"aborted", "rank 1", "rank 2", "src=", "tag="} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("abort error missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -6,10 +6,12 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/coll"
 	"bruckv/internal/dist"
+	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 	"bruckv/internal/mpi"
 	"bruckv/internal/stats"
@@ -40,6 +42,13 @@ type MicroConfig struct {
 	// counts accumulate over all iterations; step times are only
 	// meaningful with Iters=1.
 	Trace bool
+	// Faults, if non-nil, installs a deterministic perturbation plan
+	// (stragglers + message jitter) on the world; see internal/fault.
+	Faults *fault.Plan
+	// Deadline, if positive, arms the runtime's wall-clock watchdog so
+	// a hung configuration aborts with a blocked-rank report instead of
+	// wedging the harness.
+	Deadline time.Duration
 }
 
 // Result is the outcome of a measurement.
@@ -87,6 +96,12 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	}
 	if cfg.Trace {
 		opts = append(opts, mpi.WithTrace())
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, mpi.WithFaults(*cfg.Faults))
+	}
+	if cfg.Deadline > 0 {
+		opts = append(opts, mpi.WithDeadline(cfg.Deadline))
 	}
 	w, err := mpi.NewWorld(cfg.P, opts...)
 	if err != nil {

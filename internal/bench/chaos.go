@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bruckv/internal/coll"
+	"bruckv/internal/dist"
+	"bruckv/internal/fault"
+)
+
+// ChaosConfig describes one straggler-sensitivity sweep: every algorithm
+// is measured clean and then under a grid of fault plans
+// (seeds × straggler counts × jitter levels) at a fixed slowdown.
+type ChaosConfig struct {
+	// P is the number of simulated ranks (default 128).
+	P int
+	// Spec generates the workload (default uniform, N=64, seed 1).
+	Spec dist.Spec
+	// Algorithms are keys of coll.NonUniformAlgorithms (default: all
+	// registered, sorted).
+	Algorithms []string
+	// Seeds drives the fault plans; each grid cell averages over all of
+	// them (default 1, 2, 3).
+	Seeds []uint64
+	// Stragglers are the straggler counts of the grid (default 1, 4).
+	Stragglers []int
+	// Jitters are the maximum fractional jitter levels of the grid
+	// (default 0.1, 0.5).
+	Jitters []float64
+	// Slowdown is the straggler multiplier, shared by every cell that
+	// has stragglers (default 4).
+	Slowdown float64
+	// Deadline bounds each measurement's wall-clock time so a wedged
+	// configuration aborts with a blocked-rank report instead of hanging
+	// the sweep (default 2 minutes).
+	Deadline time.Duration
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.P <= 0 {
+		c.P = 128
+	}
+	if c.Spec.Kind == 0 && c.Spec.N == 0 {
+		c.Spec = dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = coll.Names(coll.NonUniformAlgorithms())
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1, 2, 3}
+	}
+	if len(c.Stragglers) == 0 {
+		c.Stragglers = []int{1, 4}
+	}
+	if len(c.Jitters) == 0 {
+		c.Jitters = []float64{0.1, 0.5}
+	}
+	if c.Slowdown <= 1 {
+		c.Slowdown = 4
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Minute
+	}
+}
+
+// ChaosCell is one grid point of the sweep for one algorithm: the mean
+// slowdown of the faulted completion time relative to the clean run,
+// averaged over the sweep's fault seeds.
+type ChaosCell struct {
+	Stragglers int
+	Jitter     float64
+	// Slowdown is mean(faulted time / clean time) over the seeds.
+	Slowdown float64
+	// WorstSeed is the fault seed that produced the largest slowdown.
+	WorstSeed uint64
+	// Worst is that largest per-seed slowdown.
+	Worst float64
+}
+
+// ChaosRow is one algorithm's sensitivity profile.
+type ChaosRow struct {
+	Algorithm string
+	CleanNs   float64
+	Cells     []ChaosCell
+}
+
+// ChaosReport is the full sensitivity table.
+type ChaosReport struct {
+	Config ChaosConfig
+	Rows   []ChaosRow
+}
+
+// Chaos runs the straggler-sensitivity sweep: each algorithm once clean,
+// then once per (seed, straggler count, jitter level) grid cell, and
+// reports completion-time slowdowns relative to clean. Every run is a
+// single iteration on the same workload, so the ratio isolates the
+// injected perturbation.
+func Chaos(o Options, cfg ChaosConfig) (ChaosReport, error) {
+	o = o.withDefaults()
+	cfg.defaults()
+	rep := ChaosReport{Config: cfg}
+	measure := func(alg string, pl *fault.Plan) (float64, error) {
+		res, err := RunMicro(MicroConfig{
+			P:         cfg.P,
+			Algorithm: alg,
+			Spec:      cfg.Spec,
+			Model:     o.Model,
+			Iters:     1,
+			Faults:    pl,
+			Deadline:  cfg.Deadline,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Times[0], nil
+	}
+	for _, alg := range cfg.Algorithms {
+		clean, err := measure(alg, nil)
+		if err != nil {
+			return rep, fmt.Errorf("bench: chaos clean run of %q: %w", alg, err)
+		}
+		row := ChaosRow{Algorithm: alg, CleanNs: clean}
+		for _, s := range cfg.Stragglers {
+			for _, j := range cfg.Jitters {
+				cell := ChaosCell{Stragglers: s, Jitter: j}
+				for _, seed := range cfg.Seeds {
+					pl := fault.Plan{Seed: seed, NumStragglers: s, Slowdown: cfg.Slowdown, Jitter: j}
+					t, err := measure(alg, &pl)
+					if err != nil {
+						return rep, fmt.Errorf("bench: chaos run of %q under %v: %w", alg, pl, err)
+					}
+					ratio := t / clean
+					cell.Slowdown += ratio
+					if ratio > cell.Worst {
+						cell.Worst, cell.WorstSeed = ratio, seed
+					}
+				}
+				cell.Slowdown /= float64(len(cfg.Seeds))
+				row.Cells = append(row.Cells, cell)
+				o.progress("chaos %-15s P=%-5d stragglers=%d jitter=%g mean x%.3f worst x%.3f",
+					alg, cfg.P, s, j, cell.Slowdown, cell.Worst)
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Fprint renders the sensitivity table: one row per algorithm, the clean
+// completion time, and the mean slowdown factor of each grid cell.
+func (r ChaosReport) Fprint(w io.Writer) {
+	c := r.Config
+	fmt.Fprintf(w, "# chaos — straggler sensitivity: P=%d, %s, slowdown=%gx, seeds=%v\n",
+		c.P, c.Spec, c.Slowdown, c.Seeds)
+	header := []string{"algorithm", "clean (ms)"}
+	for _, s := range c.Stragglers {
+		for _, j := range c.Jitters {
+			header = append(header, fmt.Sprintf("s=%d j=%g", s, j))
+		}
+	}
+	rows := [][]string{header}
+	for _, row := range r.Rows {
+		line := []string{row.Algorithm, fmt.Sprintf("%.3f", row.CleanNs/1e6)}
+		for _, cell := range row.Cells {
+			line = append(line, fmt.Sprintf("x%.3f", cell.Slowdown))
+		}
+		rows = append(rows, line)
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  (cells are mean faulted/clean completion-time ratios over %d fault seeds)\n\n",
+		len(c.Seeds))
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/fault"
+)
+
+// TestChaosSweep runs a small grid over two algorithms and checks the
+// structural invariants of the report: one row per algorithm, one cell
+// per grid point, slowdowns >= 1 (faults only ever add virtual time),
+// and a rendered table that names every algorithm and cell.
+func TestChaosSweep(t *testing.T) {
+	cfg := ChaosConfig{
+		P:          16,
+		Spec:       dist.Spec{Kind: dist.Uniform, N: 32, Seed: 1},
+		Algorithms: []string{"two-phase", "spreadout"},
+		Seeds:      []uint64{1, 2},
+		Stragglers: []int{1, 2},
+		Jitters:    []float64{0.2, 0.6},
+		Slowdown:   4,
+	}
+	r, err := Chaos(fastOpts(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CleanNs <= 0 {
+			t.Errorf("%s: non-positive clean time %v", row.Algorithm, row.CleanNs)
+		}
+		if len(row.Cells) != 4 {
+			t.Fatalf("%s: got %d cells, want 4", row.Algorithm, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.Slowdown < 1 {
+				t.Errorf("%s s=%d j=%g: mean slowdown %v < 1", row.Algorithm, c.Stragglers, c.Jitter, c.Slowdown)
+			}
+			if c.Worst < c.Slowdown {
+				t.Errorf("%s s=%d j=%g: worst %v < mean %v", row.Algorithm, c.Stragglers, c.Jitter, c.Worst, c.Slowdown)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"two-phase", "spreadout", "s=1 j=0.2", "s=2 j=0.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDeterministic asserts the sweep itself is reproducible: the
+// same config renders the same table twice.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		P:          8,
+		Spec:       dist.Spec{Kind: dist.Uniform, N: 16, Seed: 3},
+		Algorithms: []string{"two-phase"},
+		Seeds:      []uint64{5},
+		Stragglers: []int{1},
+		Jitters:    []float64{0.4},
+	}
+	render := func() string {
+		r, err := Chaos(fastOpts(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Fprint(&buf)
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("chaos sweep not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestStepsWithFaults checks the faulted steps path bruckbench -faults
+// uses: the traced exchange carries injected-delay events and the
+// report prints their total.
+func TestStepsWithFaults(t *testing.T) {
+	o := fastOpts()
+	o.Faults = &fault.Plan{Seed: 1, NumStragglers: 2, Slowdown: 4, Jitter: 0.3}
+	r, err := Steps(o, "two-phase", 16, dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace.TotalFaultNs() <= 0 {
+		t.Fatal("faulted steps trace carries no injected delay")
+	}
+	if r.TraceBytes != r.RuntimeBytes || r.TraceMsgs != r.RuntimeMsgs {
+		t.Errorf("fault events broke reconciliation: trace (%d, %d) != runtime (%d, %d)",
+			r.TraceBytes, r.TraceMsgs, r.RuntimeBytes, r.RuntimeMsgs)
+	}
+	var buf bytes.Buffer
+	r.Fprint(&buf)
+	if !strings.Contains(buf.String(), "injected fault delay") {
+		t.Errorf("report does not surface the injected delay:\n%s", buf.String())
+	}
+}

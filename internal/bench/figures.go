@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"bruckv/internal/dist"
+	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 )
 
@@ -23,6 +24,11 @@ type Options struct {
 	MaxSimP int
 	// Progress, if non-nil, receives one line per finished configuration.
 	Progress io.Writer
+	// Faults, if non-nil, perturbs fully simulated runs with the given
+	// plan (see internal/fault). Only Steps honors it: figure sweeps
+	// compare algorithms on the clean model, and the analytic fill-in for
+	// large P cannot price perturbations.
+	Faults *fault.Plan
 }
 
 func (o Options) withDefaults() Options {

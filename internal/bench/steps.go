@@ -34,7 +34,9 @@ type StepsReport struct {
 // non-uniform algorithm and rolls its event log up per collective step.
 // A single iteration is deliberate: step time spans are only meaningful
 // within one exchange. rpn > 1 places consecutive ranks on shared
-// nodes (required by the hierarchical algorithm).
+// nodes (required by the hierarchical algorithm). When o.Faults is set
+// the exchange runs perturbed and the trace carries the injected-delay
+// events.
 func Steps(o Options, alg string, P int, spec dist.Spec, rpn int) (StepsReport, error) {
 	o = o.withDefaults()
 	res, err := RunMicro(MicroConfig{
@@ -45,6 +47,7 @@ func Steps(o Options, alg string, P int, spec dist.Spec, rpn int) (StepsReport, 
 		Iters:        1,
 		RanksPerNode: rpn,
 		Trace:        true,
+		Faults:       o.Faults,
 	})
 	if err != nil {
 		return StepsReport{}, err
@@ -94,6 +97,9 @@ func (r StepsReport) Fprint(w io.Writer) {
 	if stepBytes < r.TraceBytes || stepMsgs < r.TraceMsgs {
 		fmt.Fprintf(w, "  (outside annotated steps: %d bytes, %d msgs)\n",
 			r.TraceBytes-stepBytes, r.TraceMsgs-stepMsgs)
+	}
+	if f := r.Trace.TotalFaultNs(); f > 0 {
+		fmt.Fprintf(w, "  injected fault delay: %.3f ms summed across ranks\n", f/1e6)
 	}
 	if r.TraceBytes == r.RuntimeBytes && r.TraceMsgs == r.RuntimeMsgs {
 		fmt.Fprintf(w, "  trace totals reconcile with runtime counters (%d bytes, %d msgs)\n\n",

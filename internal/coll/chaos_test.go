@@ -1,0 +1,128 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// Chaos harness: every registered Alltoallv algorithm must stay
+// byte-exact under a grid of deterministic perturbations (fault seeds ×
+// straggler counts × jitter levels). Stragglers and jitter reorder
+// message arrivals on the priced Theta model, which is exactly the
+// schedule diversity a clean run never explores. CI runs this file
+// under -race via `go test -race -run Chaos ./...`.
+
+// chaosGrid is the sweep the harness covers: 3 seeds × 2 straggler
+// counts × 2 jitter levels, per the acceptance grid.
+var chaosGrid = struct {
+	seeds      []uint64
+	stragglers []int
+	jitters    []float64
+	slowdown   float64
+}{
+	seeds:      []uint64{1, 2, 3},
+	stragglers: []int{1, 3},
+	jitters:    []float64{0.1, 0.5},
+	slowdown:   4,
+}
+
+// chaosWorld builds a P-rank priced world under the given plan, with a
+// watchdog so a perturbation-induced hang fails the test with a
+// blocked-rank report instead of wedging CI.
+func chaosWorld(t *testing.T, P int, pl fault.Plan) *mpi.World {
+	t.Helper()
+	w, err := mpi.NewWorld(P,
+		mpi.WithModel(machine.Theta()),
+		mpi.WithFaults(pl),
+		mpi.WithRanksPerNode(4),
+		mpi.WithDeadline(2*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestChaosGridByteExact runs every registered algorithm on real
+// buffers in every grid cell and demands byte-exact agreement with the
+// naive reference.
+func TestChaosGridByteExact(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	algs := NonUniformAlgorithms()
+	names := Names(algs)
+	for _, fs := range chaosGrid.seeds {
+		for _, s := range chaosGrid.stragglers {
+			for _, j := range chaosGrid.jitters {
+				pl := fault.Plan{Seed: fs, NumStragglers: s, Slowdown: chaosGrid.slowdown, Jitter: j}
+				t.Run(fmt.Sprintf("seed=%d,stragglers=%d,jitter=%g", fs, s, j), func(t *testing.T) {
+					w := chaosWorld(t, P, pl)
+					err := w.Run(func(p *mpi.Proc) error {
+						send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, fs+99)
+						ref := buffer.New(rTotal)
+						if err := NaiveAlltoallv(p, send, sc, sd, ref, rc, rd); err != nil {
+							return err
+						}
+						for _, name := range names {
+							got := buffer.New(rTotal)
+							if err := algs[name](p, send, sc, sd, got, rc, rd); err != nil {
+								return fmt.Errorf("%s: %w", name, err)
+							}
+							if !buffer.Equal(got, ref) {
+								t.Errorf("%s: rank %d corrupted under %v", name, p.Rank(), pl)
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosTimingDeterministic asserts the acceptance property that an
+// identical (seed, plan, algorithm) triple yields a bit-identical
+// virtual completion time, and that the zero plan reproduces the
+// no-fault-layer timing exactly.
+func TestChaosTimingDeterministic(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	run := func(name string, alg Alltoallv, opts ...mpi.Option) float64 {
+		t.Helper()
+		w, err := mpi.NewWorld(P, append([]mpi.Option{
+			mpi.WithModel(machine.Theta()), mpi.WithRanksPerNode(4),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 7)
+			got := buffer.New(rTotal)
+			return alg(p, send, sc, sd, got, rc, rd)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return w.MaxTime()
+	}
+	pl := fault.Plan{Seed: 2, NumStragglers: 2, Slowdown: 4, Jitter: 0.3}
+	for name, alg := range NonUniformAlgorithms() {
+		clean := run(name, alg)
+		a := run(name, alg, mpi.WithFaults(pl))
+		b := run(name, alg, mpi.WithFaults(pl))
+		if a != b {
+			t.Errorf("%s: faulted completion time not bit-reproducible: %v vs %v", name, a, b)
+		}
+		if zero := run(name, alg, mpi.WithFaults(fault.Plan{Seed: 2})); zero != clean {
+			t.Errorf("%s: zero fault plan changed timing: %v != clean %v", name, zero, clean)
+		}
+	}
+}

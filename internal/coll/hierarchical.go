@@ -189,7 +189,9 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		reqs = append(reqs, p.Isend(dstN*R, tagInter, outBufs[dstN].Slice(0, outLens[dstN])))
 	}
 	p.ClearStep()
-	p.Waitall(reqs)
+	if err := p.Waitall(reqs); err != nil {
+		return err
+	}
 	inBufs[node] = outBufs[node]
 
 	// Parse inbound node buffers: block (srcLocal lr, dstLocal j) has

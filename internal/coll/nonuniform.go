@@ -74,7 +74,9 @@ func spreadOutWindowed(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			dst := (rank + i) % P
 			reqs = append(reqs, p.Isend(dst, tagSpreadOut, send.Slice(sdispls[dst], scounts[dst])))
 		}
-		p.Waitall(reqs)
+		if err := p.Waitall(reqs); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -94,8 +96,7 @@ func NaiveAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	for i := 0; i < P; i++ {
 		reqs = append(reqs, p.Isend(i, tagNaive, send.Slice(sdispls[i], scounts[i])))
 	}
-	p.Waitall(reqs)
-	return nil
+	return p.Waitall(reqs)
 }
 
 // paddedCommon implements padded Bruck / padded Alltoall: pad every

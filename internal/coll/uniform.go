@@ -244,7 +244,9 @@ func SpreadOutUniform(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) erro
 		dst := (rank + i) % P
 		reqs = append(reqs, p.Isend(dst, tagSpreadOut, send.Slice(dst*n, n)))
 	}
-	p.Waitall(reqs)
+	if err := p.Waitall(reqs); err != nil {
+		return err
+	}
 	done()
 	return nil
 }
@@ -272,6 +274,5 @@ func NaiveAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	for i := 0; i < P; i++ {
 		reqs = append(reqs, p.Isend(i, tagNaive, send.Slice(i*n, n)))
 	}
-	p.Waitall(reqs)
-	return nil
+	return p.Waitall(reqs)
 }

@@ -1,0 +1,248 @@
+// Package fault is the deterministic perturbation model for the
+// simulated runtime: seeded straggler ranks and per-message jitter that
+// are priced into the virtual clocks exactly like any other cost.
+//
+// The paper argues (Sections 5 and 7) that log-P algorithms beat linear
+// spread-out exchanges partly because O(P) concurrent messages amplify
+// congestion and straggler effects; a clean simulator cannot examine
+// that claim. A Plan perturbs the clean machine model in two seeded,
+// reproducible ways:
+//
+//   - Stragglers: a chosen (or seed-derived) set of ranks whose send,
+//     receive, and compute costs are scaled by a slowdown factor,
+//     modeling OS noise, thermal throttling, or a slow NIC.
+//   - Jitter: every message's wire cost (per-byte injection time and
+//     latency) is inflated by an independent factor drawn uniformly
+//     from [0, Jitter], modeling congestion variance.
+//
+// Every draw is a pure function of (Seed, sender, destination,
+// per-sender message sequence number), so a run's virtual timings are
+// bit-reproducible for a given plan: no wall clock, no global counters,
+// no map-iteration order. A zero plan (Slowdown <= 1, Jitter == 0, no
+// stragglers) is inert — worlds configured with it produce timings
+// bit-identical to worlds with no fault layer at all.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan describes one deterministic perturbation configuration.
+type Plan struct {
+	// Seed drives every random draw: the straggler pick (when Stragglers
+	// is empty) and each message's jitter factor.
+	Seed uint64
+
+	// Stragglers is an explicit set of straggler rank ids. Ranks outside
+	// [0, P) are ignored at resolution time so one plan can be reused
+	// across world sizes.
+	Stragglers []int
+
+	// NumStragglers, used when Stragglers is empty, picks this many
+	// distinct ranks deterministically from Seed at world-creation time.
+	NumStragglers int
+
+	// Slowdown is the multiplier (>= 1) applied to straggler ranks'
+	// send/receive overheads, injection and drain byte times, and
+	// Charge'd compute. 0 and 1 both mean "no straggler slowdown".
+	Slowdown float64
+
+	// Jitter is the maximum fractional inflation of one message's wire
+	// cost: each message's per-byte time and latency are scaled by
+	// 1 + U(0, Jitter). 0 disables jitter.
+	Jitter float64
+}
+
+// Validate reports whether the plan is usable.
+func (p Plan) Validate() error {
+	switch {
+	case p.Slowdown < 0:
+		return fmt.Errorf("fault: negative slowdown %g", p.Slowdown)
+	case p.Slowdown != 0 && p.Slowdown < 1:
+		return fmt.Errorf("fault: slowdown %g < 1 would speed stragglers up", p.Slowdown)
+	case p.Jitter < 0:
+		return fmt.Errorf("fault: negative jitter %g", p.Jitter)
+	case p.NumStragglers < 0:
+		return fmt.Errorf("fault: negative straggler count %d", p.NumStragglers)
+	}
+	for _, r := range p.Stragglers {
+		if r < 0 {
+			return fmt.Errorf("fault: negative straggler rank %d", r)
+		}
+	}
+	return nil
+}
+
+// SlowdownFactor returns the effective straggler multiplier (1 when
+// unset).
+func (p Plan) SlowdownFactor() float64 {
+	if p.Slowdown <= 1 {
+		return 1
+	}
+	return p.Slowdown
+}
+
+// Enabled reports whether the plan perturbs anything at all. A disabled
+// plan is equivalent to having no fault layer.
+func (p Plan) Enabled() bool {
+	hasStragglers := (len(p.Stragglers) > 0 || p.NumStragglers > 0) && p.SlowdownFactor() > 1
+	return hasStragglers || p.Jitter > 0
+}
+
+// StragglerRanks resolves the plan's straggler set for a P-rank world:
+// the explicit Stragglers clipped to [0, P), or NumStragglers distinct
+// ranks drawn deterministically from Seed. The result is sorted and
+// duplicate-free.
+func (p Plan) StragglerRanks(P int) []int {
+	if len(p.Stragglers) > 0 {
+		seen := make(map[int]bool, len(p.Stragglers))
+		out := make([]int, 0, len(p.Stragglers))
+		for _, r := range p.Stragglers {
+			if r >= 0 && r < P && !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	k := p.NumStragglers
+	if k > P {
+		k = P
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over [0, P) driven by the seeded hash chain:
+	// swap a deterministic j in [i, P) into position i for the first k
+	// positions. Identical (Seed, P, k) always yields the same set.
+	idx := make([]int, P)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(mix(p.Seed, 0x57a661e2, i)%uint64(P-i))
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// StragglerMask returns a per-rank straggler flag slice of length P.
+func (p Plan) StragglerMask(P int) []bool {
+	mask := make([]bool, P)
+	for _, r := range p.StragglerRanks(P) {
+		mask[r] = true
+	}
+	return mask
+}
+
+// JitterFor returns the fractional wire-cost inflation of the seq-th
+// message rank src sends to rank dst, uniform in [0, Jitter]. It is a
+// pure function of its arguments and the plan, so repeated runs see
+// identical perturbations.
+func (p Plan) JitterFor(src, dst int, seq int64) float64 {
+	if p.Jitter <= 0 {
+		return 0
+	}
+	h := mix(p.Seed, uint64(seq)+0x6a177e5, src*1_000_003+dst)
+	return p.Jitter * u01(h)
+}
+
+// String renders the plan in the same k=v form Parse accepts.
+func (p Plan) String() string {
+	var parts []string
+	if len(p.Stragglers) > 0 {
+		rs := make([]string, len(p.Stragglers))
+		for i, r := range p.Stragglers {
+			rs[i] = strconv.Itoa(r)
+		}
+		parts = append(parts, "ranks="+strings.Join(rs, ":"))
+	} else if p.NumStragglers > 0 {
+		parts = append(parts, fmt.Sprintf("stragglers=%d", p.NumStragglers))
+	}
+	if p.SlowdownFactor() > 1 {
+		parts = append(parts, fmt.Sprintf("slowdown=%g", p.Slowdown))
+	}
+	if p.Jitter > 0 {
+		parts = append(parts, fmt.Sprintf("jitter=%g", p.Jitter))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from a comma-separated k=v spec, e.g.
+//
+//	stragglers=2,slowdown=4,jitter=0.25
+//	ranks=0:5:9,slowdown=8,seed=3
+//
+// Keys: stragglers (count, picked from seed), ranks (explicit ids
+// separated by ':'), slowdown (multiplier >= 1), jitter (max fractional
+// inflation), seed. "" and "none" parse to the zero plan.
+func Parse(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad spec element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "stragglers":
+			p.NumStragglers, err = strconv.Atoi(v)
+		case "ranks":
+			for _, rs := range strings.Split(v, ":") {
+				var r int
+				if r, err = strconv.Atoi(rs); err != nil {
+					break
+				}
+				p.Stragglers = append(p.Stragglers, r)
+			}
+		case "slowdown":
+			p.Slowdown, err = strconv.ParseFloat(v, 64)
+		case "jitter":
+			p.Jitter, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown spec key %q", k)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %q: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// mix is splitmix64's finalizer over a (seed, salt, i) triple — the
+// same construction internal/dist uses for workload sizes.
+func mix(seed, salt uint64, i int) uint64 {
+	x := seed + 0x9e3779b97f4a7c15
+	x += salt * 0xbf58476d1ce4e5b9
+	x += uint64(int64(i)) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u01 maps a hash to [0, 1).
+func u01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }

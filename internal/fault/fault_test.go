@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Slowdown: -1},
+		{Slowdown: 0.5},
+		{Jitter: -0.1},
+		{NumStragglers: -2},
+		{Stragglers: []int{3, -1}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	good := []Plan{
+		{},
+		{Slowdown: 1},
+		{Slowdown: 4, NumStragglers: 2, Jitter: 0.3, Seed: 7},
+		{Stragglers: []int{0, 5}, Slowdown: 2},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		p    Plan
+		want bool
+	}{
+		{Plan{}, false},
+		{Plan{Slowdown: 4}, false},                      // factor without stragglers
+		{Plan{NumStragglers: 2}, false},                 // stragglers without factor
+		{Plan{NumStragglers: 2, Slowdown: 1}, false},    // explicit no-op factor
+		{Plan{NumStragglers: 2, Slowdown: 2}, true},     //
+		{Plan{Stragglers: []int{1}, Slowdown: 2}, true}, //
+		{Plan{Jitter: 0.1}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Enabled(); got != c.want {
+			t.Errorf("Enabled(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStragglerRanksDeterministicAndDistinct(t *testing.T) {
+	p := Plan{Seed: 42, NumStragglers: 5}
+	a := p.StragglerRanks(64)
+	b := p.StragglerRanks(64)
+	if len(a) != 5 {
+		t.Fatalf("want 5 stragglers, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("straggler pick not deterministic: %v vs %v", a, b)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("stragglers not sorted/distinct: %v", a)
+		}
+		if a[i] < 0 || a[i] >= 64 {
+			t.Fatalf("straggler %d out of range: %v", a[i], a)
+		}
+	}
+	// Different seeds should (for this pair) pick different sets.
+	c := Plan{Seed: 43, NumStragglers: 5}.StragglerRanks(64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("seeds 42 and 43 picked identical straggler sets %v", a)
+	}
+}
+
+func TestStragglerRanksExplicit(t *testing.T) {
+	p := Plan{Stragglers: []int{9, 2, 2, 100}, NumStragglers: 3}
+	got := p.StragglerRanks(10)
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("explicit ranks: got %v, want [2 9]", got)
+	}
+	mask := p.StragglerMask(10)
+	for r, on := range mask {
+		want := r == 2 || r == 9
+		if on != want {
+			t.Errorf("mask[%d] = %v, want %v", r, on, want)
+		}
+	}
+}
+
+func TestStragglerCountClamped(t *testing.T) {
+	got := Plan{Seed: 1, NumStragglers: 99}.StragglerRanks(4)
+	if len(got) != 4 {
+		t.Fatalf("count should clamp to P: got %v", got)
+	}
+}
+
+func TestJitterForDeterministicAndBounded(t *testing.T) {
+	p := Plan{Seed: 7, Jitter: 0.25}
+	seen := map[float64]int{}
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			for seq := int64(0); seq < 8; seq++ {
+				j := p.JitterFor(src, dst, seq)
+				if j != p.JitterFor(src, dst, seq) {
+					t.Fatal("JitterFor not deterministic")
+				}
+				if j < 0 || j > 0.25 {
+					t.Fatalf("jitter %g outside [0, 0.25]", j)
+				}
+				seen[j]++
+			}
+		}
+	}
+	if len(seen) < 100 {
+		t.Errorf("jitter draws suspiciously repetitive: %d distinct of 128", len(seen))
+	}
+	if (Plan{Seed: 7}).JitterFor(0, 1, 0) != 0 {
+		t.Error("zero-jitter plan must draw exactly 0")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"none",
+		"stragglers=2,slowdown=4,jitter=0.25",
+		"ranks=0:5:9,slowdown=8,seed=3",
+		"jitter=0.1,seed=11",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)=%q): %v", s, p.String(), err)
+		}
+		if p.String() != q.String() {
+			t.Errorf("round trip of %q: %q != %q", s, p.String(), q.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus",
+		"stragglers=x",
+		"slowdown=0.5",
+		"jitter=-1",
+		"mystery=3",
+		"ranks=1:zap",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = nil error, want failure", s)
+		}
+	}
+}

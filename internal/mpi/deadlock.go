@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Deadlock and watchdog diagnostics. When a run is aborted — the
+// blocked-rank detector fired, or a WithDeadline watchdog expired — the
+// error returned by World.Run includes a DeadlockError: a per-rank
+// report of which ranks were blocked, in which operation, on which
+// (src, tag) pairs, and since when on the virtual timeline.
+
+// PendingRecv is one unmatched receive a blocked rank is waiting on.
+type PendingRecv struct {
+	// Src is the rank the receive is posted against.
+	Src int
+	// Tag is the message tag the receive is matching.
+	Tag int
+}
+
+func (pr PendingRecv) String() string {
+	return fmt.Sprintf("(src=%d, tag=%d)", pr.Src, pr.Tag)
+}
+
+// BlockedRank describes one rank's blocked state at abort time.
+type BlockedRank struct {
+	// Rank is the blocked rank's id.
+	Rank int
+	// Op names the blocking call: "Recv" or "Waitall".
+	Op string
+	// Pending lists the unmatched (src, tag) receives, sorted by
+	// (src, tag).
+	Pending []PendingRecv
+	// SinceNs is the rank's virtual clock when it blocked.
+	SinceNs float64
+}
+
+// DeadlockError is the diagnostic attached to the error of an aborted
+// Run. It reports every rank that was blocked in a receive at the
+// moment the run was declared dead, with the (src, tag) pairs each one
+// was waiting for and the virtual time at which it blocked.
+type DeadlockError struct {
+	// Reason says what aborted the run: the deadlock detector or a
+	// WithDeadline watchdog expiry.
+	Reason string
+	// WorldSize is the number of ranks in the world.
+	WorldSize int
+	// Blocked holds one entry per blocked rank, sorted by rank.
+	Blocked []BlockedRank
+}
+
+// Error renders the per-rank blocked-state report.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: run aborted: %s\n", e.Reason)
+	blocked := append([]BlockedRank(nil), e.Blocked...)
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].Rank < blocked[j].Rank })
+	fmt.Fprintf(&b, "  %d of %d ranks blocked:\n", len(blocked), e.WorldSize)
+	for _, br := range blocked {
+		pend := make([]string, len(br.Pending))
+		for i, p := range br.Pending {
+			pend[i] = p.String()
+		}
+		fmt.Fprintf(&b, "    rank %d: blocked in %s since t=%.0fns waiting for %s\n",
+			br.Rank, br.Op, br.SinceNs, strings.Join(pend, ", "))
+	}
+	if done := e.WorldSize - len(blocked); done > 0 {
+		fmt.Fprintf(&b, "  %d ranks already returned\n", done)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// BlockedRanks returns the ids of the blocked ranks, sorted.
+func (e *DeadlockError) BlockedRanks() []int {
+	out := make([]int, 0, len(e.Blocked))
+	for _, br := range e.Blocked {
+		out = append(out, br.Rank)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runAbort is the panic payload used to unwind a rank goroutine after
+// the run was declared dead; Run recognizes it and drops the per-rank
+// error (the DeadlockError carries the diagnostic).
+type runAbort struct{ rank int }
+
+// setWait records, under box.mu, what this rank is about to block on,
+// so an abort can report it.
+func (p *Proc) setWait(op string, pending []PendingRecv) {
+	p.waitOp = op
+	p.waitPending = pending
+	p.waitSince = p.now
+}
+
+// clearWait erases the blocked-state record; it must run under box.mu.
+func (p *Proc) clearWait() {
+	p.waitOp = ""
+	p.waitPending = nil
+}
+
+// pendingFromKeys decodes inbox bucket keys into sorted (src, tag)
+// pairs. The uint32 halves round-trip negative tags (collectives use
+// the reserved tag space below -1000) through int32.
+func pendingFromKeys(keys map[uint64][]*Request) []PendingRecv {
+	out := make([]PendingRecv, 0, len(keys))
+	for key, reqs := range keys {
+		pr := PendingRecv{Src: int(int32(key >> 32)), Tag: int(int32(key))}
+		for range reqs {
+			out = append(out, pr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
+	"bruckv/internal/machine"
+	"bruckv/internal/trace"
+)
+
+// ringExchange is a small deterministic program touching sends,
+// receives, Waitall, and Charge, used to compare clean vs. faulted
+// timings.
+func ringExchange(p *Proc) error {
+	P := p.Size()
+	b := buffer.New(64)
+	for it := 0; it < 3; it++ {
+		dst, src := (p.Rank()+1)%P, (p.Rank()-1+P)%P
+		p.Send(dst, 1, b)
+		p.Recv(src, 1, b)
+		p.Charge(100)
+		reqs := make([]*Request, 0, 2*P)
+		for i := 0; i < P; i++ {
+			reqs = append(reqs, p.Irecv(i, 2, b.Slice(0, 8)))
+		}
+		sb := buffer.New(8)
+		for i := 0; i < P; i++ {
+			reqs = append(reqs, p.Isend(i, 2, sb))
+		}
+		if err := p.Waitall(reqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runMaxTime(t *testing.T, opts ...Option) float64 {
+	t.Helper()
+	w, err := NewWorld(8, append([]Option{WithModel(machine.Theta())}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(ringExchange); err != nil {
+		t.Fatal(err)
+	}
+	return w.MaxTime()
+}
+
+func TestFaultZeroPlanBitIdentical(t *testing.T) {
+	clean := runMaxTime(t)
+	// A plan that perturbs nothing must take the exact clean code paths.
+	for _, pl := range []fault.Plan{
+		{},
+		{Seed: 9},
+		{Slowdown: 1, NumStragglers: 3}, // explicit no-op factor
+		{Slowdown: 4},                   // factor but no stragglers
+	} {
+		if got := runMaxTime(t, WithFaults(pl)); got != clean {
+			t.Errorf("plan %v: MaxTime %v != clean %v (must be bit-identical)", pl, got, clean)
+		}
+	}
+}
+
+func TestFaultDeterministicAcrossRuns(t *testing.T) {
+	pl := fault.Plan{Seed: 5, NumStragglers: 2, Slowdown: 4, Jitter: 0.3}
+	a := runMaxTime(t, WithFaults(pl))
+	for i := 0; i < 3; i++ {
+		if b := runMaxTime(t, WithFaults(pl)); b != a {
+			t.Fatalf("faulted virtual time not bit-reproducible: %v vs %v", a, b)
+		}
+	}
+	if a <= runMaxTime(t) {
+		t.Errorf("faulted run (%v) not slower than clean run", a)
+	}
+}
+
+func TestFaultSeedChangesTimings(t *testing.T) {
+	a := runMaxTime(t, WithFaults(fault.Plan{Seed: 1, Jitter: 0.5}))
+	b := runMaxTime(t, WithFaults(fault.Plan{Seed: 2, Jitter: 0.5}))
+	if a == b {
+		t.Errorf("different jitter seeds produced identical timings %v", a)
+	}
+}
+
+func TestStragglerSlowsOnlyChargedRank(t *testing.T) {
+	// One rank computes; with that rank a straggler the total grows by
+	// exactly the slowdown factor.
+	run := func(opts ...Option) float64 {
+		w, err := NewWorld(4, append([]Option{WithModel(machine.Zero())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(p *Proc) error {
+			if p.Rank() == 2 {
+				p.Charge(1000)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	clean := run()
+	slow := run(WithFaults(fault.Plan{Stragglers: []int{2}, Slowdown: 3}))
+	other := run(WithFaults(fault.Plan{Stragglers: []int{1}, Slowdown: 3}))
+	if clean != 1000 || slow != 3000 {
+		t.Errorf("straggler compute scaling: clean=%v slow=%v, want 1000/3000", clean, slow)
+	}
+	if other != clean {
+		t.Errorf("non-charging straggler changed time: %v != %v", other, clean)
+	}
+}
+
+func TestFaultTraceAttribution(t *testing.T) {
+	pl := fault.Plan{Seed: 3, Stragglers: []int{0}, Slowdown: 2, Jitter: 0.4}
+	w, err := NewWorld(4, WithModel(machine.Theta()), WithFaults(pl), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(ringExchange); err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if tr.TotalFaultNs() <= 0 {
+		t.Fatal("expected positive injected fault time in trace")
+	}
+	// The straggler rank must carry straggler-attributed events; every
+	// fault event must have a positive duration and a known name.
+	totals := tr.FaultTotals()
+	if totals[0] <= 0 {
+		t.Errorf("straggler rank 0 has no injected time: %v", totals)
+	}
+	for r := 0; r < tr.Ranks(); r++ {
+		for _, ev := range tr.Events(r) {
+			if ev.Kind != trace.KindFault {
+				continue
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("rank %d: fault event with non-positive duration %v", r, ev.Dur)
+			}
+			switch ev.Name {
+			case "straggler(send)", "straggler(recv)", "straggler(compute)",
+				"jitter(send)", "straggler+jitter(send)":
+			default:
+				t.Errorf("rank %d: unexpected fault event name %q", r, ev.Name)
+			}
+		}
+	}
+	// Tracing remains observational: the traced faulted run matches the
+	// untraced faulted run bit-for-bit.
+	w2, err := NewWorld(4, WithModel(machine.Theta()), WithFaults(pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Run(ringExchange); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := w.MaxTime(), w2.MaxTime(); a != b {
+		t.Errorf("traced faulted run %v != untraced %v", a, b)
+	}
+}
+
+func TestFaultPlanValidatedAtWorldCreation(t *testing.T) {
+	if _, err := NewWorld(4, WithFaults(fault.Plan{Slowdown: 0.5})); err == nil {
+		t.Error("invalid plan accepted by NewWorld")
+	}
+	if _, err := NewWorld(4, WithFaults(fault.Plan{Jitter: math.Inf(-1)})); err == nil {
+		t.Error("negative-infinite jitter accepted by NewWorld")
+	}
+}
+
+func TestRanksPerNodeValidation(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := NewWorld(8, WithRanksPerNode(n)); err == nil {
+			t.Errorf("WithRanksPerNode(%d) accepted, want error", n)
+		}
+	}
+	// Wider than the world normalizes down to one all-encompassing node.
+	w, err := NewWorld(4, WithRanksPerNode(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RanksPerNode() != 4 {
+		t.Errorf("RanksPerNode = %d, want normalized 4", w.RanksPerNode())
+	}
+	if !w.SameNode(0, 3) {
+		t.Error("all ranks should share the single node after normalization")
+	}
+	// A width that does not divide the world size is allowed: the last
+	// node is simply smaller.
+	w, err = NewWorld(5, WithRanksPerNode(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SameNode(0, 2) || w.SameNode(2, 3) || !w.SameNode(3, 4) {
+		t.Error("non-dividing node width groups ranks wrongly")
+	}
+}
+
+func TestWaitallNilRequest(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		reqs := []*Request{p.Irecv(1-p.Rank(), 7, b), nil}
+		return p.Waitall(reqs)
+	})
+	if err == nil {
+		t.Fatal("Waitall accepted a nil request")
+	}
+	for _, want := range []string{"nil request", "index 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

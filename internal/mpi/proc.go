@@ -23,6 +23,18 @@ type Proc struct {
 
 	box inbox
 
+	// slow is this rank's straggler slowdown factor from the world's
+	// fault plan (1 when unperturbed); it scales send/receive costs and
+	// Charge'd compute.
+	slow float64
+
+	// Blocked-state record for deadlock/watchdog diagnostics, guarded
+	// by box.mu: while this rank is blocked in Recv or Waitall, waitOp
+	// names the call and waitPending the unmatched (src, tag) pairs.
+	waitOp      string
+	waitPending []PendingRecv
+	waitSince   float64
+
 	bytesSent int64
 	msgsSent  int64
 
@@ -90,7 +102,10 @@ func boxKey(src, tag int) uint64 {
 }
 
 func newProc(w *World, rank int) *Proc {
-	p := &Proc{w: w, rank: rank, phases: map[string]float64{}, step: trace.NoStep}
+	p := &Proc{w: w, rank: rank, phases: map[string]float64{}, step: trace.NoStep, slow: 1}
+	if w.faultsOn && w.straggler[rank] {
+		p.slow = w.faults.SlowdownFactor()
+	}
 	p.box.cond = sync.NewCond(&p.box.mu)
 	p.box.q = make(map[uint64][]message)
 	return p
@@ -109,9 +124,21 @@ func (p *Proc) World() *World { return p.w }
 func (p *Proc) Now() float64 { return p.now }
 
 // Charge advances this rank's clock by ns nanoseconds of local compute.
+// On a straggler rank (see WithFaults) the compute is additionally
+// scaled by the plan's slowdown factor, with the injected portion
+// attributed to a fault trace event.
 func (p *Proc) Charge(ns float64) {
-	if ns > 0 {
-		p.now += ns
+	if ns <= 0 {
+		return
+	}
+	p.now += ns
+	if p.slow > 1 {
+		extra := ns * (p.slow - 1)
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: "straggler(compute)",
+				Start: p.now, Dur: extra, Peer: -1, Step: p.step})
+		}
+		p.now += extra
 	}
 }
 

@@ -34,9 +34,24 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		os, g, l = p.w.intraOS, p.w.intraG, p.w.intraL
 	}
 	start := max2(p.now, p.txFree)
-	txDone := start + os*f + float64(n)*g
+	ovh, inj := os*f, float64(n)*g
+	if p.w.faultsOn {
+		// Straggler slowdown scales the sender's CPU overhead and
+		// injection; jitter inflates this message's wire cost (per-byte
+		// time and latency). The jitter draw is a pure function of
+		// (plan, sender, destination, per-sender message index), so
+		// perturbed timings stay bit-reproducible across runs.
+		j := p.w.faults.JitterFor(p.rank, dst, p.msgsSent)
+		sOvh, sInj, sLat := ovh*p.slow, inj*p.slow*(1+j), l*(1+j)
+		if extra := (sOvh + sInj + sLat) - (ovh + inj + l); extra > 0 && p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: faultName(p.slow > 1, j > 0) + "(send)",
+				Start: start + ovh + inj, Dur: extra, Bytes: n, Peer: dst, Tag: tag, Step: p.step})
+		}
+		ovh, inj, l = sOvh, sInj, sLat
+	}
+	txDone := start + ovh + inj
 	p.txFree = txDone
-	p.now = start + os*f
+	p.now = start + ovh
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindSend, Start: start, Dur: txDone - start,
 			Bytes: n, Peer: dst, Tag: tag, Step: p.step})
@@ -87,7 +102,18 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 		or, g = p.w.intraOR, p.w.intraG
 	}
 	start := max3(p.now, p.rxFree, msg.arrival)
-	done := start + or*f + float64(msg.size)*g
+	ovh, drain := or*f, float64(msg.size)*g
+	if p.slow > 1 {
+		// A straggler receiver drains its link more slowly; the wire
+		// jitter was already priced into msg.arrival by the sender.
+		sOvh, sDrain := ovh*p.slow, drain*p.slow
+		if extra := (sOvh + sDrain) - (ovh + drain); extra > 0 && p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: "straggler(recv)",
+				Start: start + ovh + drain, Dur: extra, Bytes: msg.size, Peer: msg.src, Tag: msg.tag, Step: p.step})
+		}
+		ovh, drain = sOvh, sDrain
+	}
+	done := start + ovh + drain
 	p.rxFree = done
 	p.now = done
 	if p.tr != nil {
@@ -98,10 +124,26 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 	return msg.size
 }
 
+// faultName labels a fault event by its perturbation sources.
+func faultName(straggler, jitter bool) string {
+	switch {
+	case straggler && jitter:
+		return "straggler+jitter"
+	case straggler:
+		return "straggler"
+	default:
+		return "jitter"
+	}
+}
+
 // matchBlocking removes and returns the first queued message matching
-// (src, tag), blocking until one exists.
+// (src, tag), blocking until one exists. If the run is aborted while
+// blocked (deadlock declared, or a WithDeadline watchdog expired), it
+// unwinds the rank goroutine with a runAbort panic; the diagnostic
+// reaches the caller through Run's DeadlockError.
 func (p *Proc) matchBlocking(src, tag int) message {
 	key := boxKey(src, tag)
+	var pend []PendingRecv
 	p.box.mu.Lock()
 	defer p.box.mu.Unlock()
 	for {
@@ -117,21 +159,26 @@ func (p *Proc) matchBlocking(src, tag int) message {
 			return m
 		}
 		if p.w.dead.Load() {
-			panic(fmt.Sprintf("mpi: rank %d: deadlock detected while waiting for message from %d tag %d", p.rank, src, tag))
+			panic(runAbort{p.rank})
 		}
+		if pend == nil {
+			pend = []PendingRecv{{Src: src, Tag: tag}}
+		}
+		p.setWait("Recv", pend)
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
 			p.box.mu.Unlock()
 			p.w.suspectDeadlock()
 			p.box.mu.Lock()
-			if p.w.dead.Load() {
-				p.w.blocked.Add(-1)
-				panic(fmt.Sprintf("mpi: rank %d: deadlock detected while waiting for message from %d tag %d", p.rank, src, tag))
-			}
 			p.w.blocked.Add(-1)
+			if p.w.dead.Load() {
+				panic(runAbort{p.rank})
+			}
+			p.clearWait()
 			continue
 		}
 		p.box.cond.Wait()
 		p.w.blocked.Add(-1)
+		p.clearWait()
 	}
 }
 
@@ -177,11 +224,21 @@ func (p *Proc) Wait(r *Request) int {
 // link as data shows up and keeps virtual time independent of the posting
 // order.
 //
+// A nil request in the slice is a caller bug; Waitall reports it as an
+// error naming the offending index, before any request is touched, so
+// the failure is deterministic rather than a panic inside a rank
+// goroutine.
+//
 // Matching is opportunistic: each time the rank wakes it drains every
 // outstanding request whose message has arrived, so a flood of arrivals
 // (spread-out posts P-1 receives) costs a handful of wake-ups rather
 // than one per message.
-func (p *Proc) Waitall(rs []*Request) {
+func (p *Proc) Waitall(rs []*Request) error {
+	for i, r := range rs {
+		if r == nil {
+			return fmt.Errorf("mpi: rank %d: Waitall: nil request at index %d of %d", p.rank, i, len(rs))
+		}
+	}
 	type pending struct {
 		req *Request
 		msg message
@@ -258,17 +315,24 @@ func (p *Proc) Waitall(rs []*Request) {
 		}
 		if p.w.dead.Load() {
 			p.box.mu.Unlock()
-			panic(fmt.Sprintf("mpi: rank %d: deadlock detected in Waitall (%d receives outstanding)", p.rank, outstanding))
+			panic(runAbort{p.rank})
 		}
+		p.setWait("Waitall", pendingFromKeys(wanted))
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
 			p.box.mu.Unlock()
 			p.w.suspectDeadlock()
 			p.box.mu.Lock()
 			p.w.blocked.Add(-1)
+			if p.w.dead.Load() {
+				p.box.mu.Unlock()
+				panic(runAbort{p.rank})
+			}
+			p.clearWait()
 			continue
 		}
 		p.box.cond.Wait()
 		p.w.blocked.Add(-1)
+		p.clearWait()
 	}
 	p.box.mu.Unlock()
 	sort.Slice(ps, func(i, j int) bool {
@@ -285,6 +349,7 @@ func (p *Proc) Waitall(rs []*Request) {
 		pd.req.size = p.completeRecv(pd.msg, pd.req.buf)
 		pd.req.done = true
 	}
+	return nil
 }
 
 // SendRecv sends sbuf to dst and receives into rbuf from src, allowing

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 	"bruckv/internal/trace"
 )
@@ -44,6 +45,17 @@ type World struct {
 	phantom      bool
 	geff         float64 // effective inter-node per-byte time for this world size
 	ranksPerNode int
+	rpnSet       bool // WithRanksPerNode was passed (even with a bad value)
+
+	// Fault layer (see WithFaults). faultsOn gates every perturbation
+	// site; straggler is the per-rank mask resolved from the plan.
+	faults    fault.Plan
+	faultsOn  bool
+	straggler []bool
+
+	// deadline is the wall-clock watchdog bound for one Run (see
+	// WithDeadline); 0 disables it.
+	deadline time.Duration
 
 	// intra-node cost parameters (see machine.Model.IntraParams)
 	intraOS, intraOR, intraL, intraG float64
@@ -56,7 +68,14 @@ type World struct {
 	blocked  atomic.Int32 // ranks currently blocked waiting for a message
 	finished atomic.Int32 // ranks whose functions have returned
 	activity atomic.Int64 // bumps on every enqueue and every match
-	dead     atomic.Bool  // deadlock declared
+	dead     atomic.Bool  // run aborted (deadlock declared or deadline hit)
+
+	// deadMu guards the abort diagnostic and the run generation; gen
+	// keeps a stale watchdog timer from a previous Run from aborting the
+	// next one.
+	deadMu  sync.Mutex
+	deadErr *DeadlockError
+	gen     int64
 }
 
 // Option configures a World.
@@ -74,7 +93,35 @@ func WithPhantom() Option { return func(w *World) { w.phantom = true } }
 // the given size: messages between ranks on the same node use the
 // model's (much cheaper) intra-node parameters and skip network
 // congestion. The default of 1 makes every message inter-node.
-func WithRanksPerNode(n int) Option { return func(w *World) { w.ranksPerNode = n } }
+// NewWorld rejects n <= 0 and normalizes n larger than the world size
+// down to the world size; a node width that does not divide the world
+// size is allowed — the last node is simply smaller.
+func WithRanksPerNode(n int) Option {
+	return func(w *World) { w.ranksPerNode, w.rpnSet = n, true }
+}
+
+// WithFaults installs a deterministic perturbation plan (see
+// internal/fault): straggler ranks whose send/receive/compute costs are
+// scaled by the plan's slowdown factor, and per-message wire jitter.
+// All injected delay is priced into the virtual clocks exactly like
+// model costs, so perturbed runs stay bit-reproducible for a given
+// (plan, algorithm, workload); with tracing enabled, injected delay is
+// recorded as its own event kind (trace.KindFault). A disabled plan
+// (no stragglers, zero jitter) leaves timings bit-identical to a world
+// with no fault layer.
+func WithFaults(pl fault.Plan) Option {
+	return func(w *World) { w.faults = pl; w.faultsOn = true }
+}
+
+// WithDeadline arms a wall-clock watchdog on each Run: if the run has
+// not completed after d, it is aborted and Run returns a DeadlockError
+// naming every blocked rank and its pending (src, tag) — the same
+// diagnostic the deadlock detector produces, for hangs (e.g. livelocks
+// under chaos testing) the blocked-rank detector cannot see. Aborting
+// is best-effort: ranks are interrupted at their next blocking receive,
+// so a rank spinning in pure compute is not stopped. 0 (the default)
+// disables the watchdog.
+func WithDeadline(d time.Duration) Option { return func(w *World) { w.deadline = d } }
 
 // WithTrace records a structured event log (sends, receives, local
 // copies, phases) on the virtual timeline during each Run, available
@@ -96,13 +143,36 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	if err := w.model.Validate(); err != nil {
 		return nil, err
 	}
+	if w.rpnSet && w.ranksPerNode < 1 {
+		return nil, fmt.Errorf("mpi: ranks per node %d < 1", w.ranksPerNode)
+	}
 	if w.ranksPerNode < 1 {
 		w.ranksPerNode = 1
+	}
+	if w.ranksPerNode > size {
+		w.ranksPerNode = size
+	}
+	if w.deadline < 0 {
+		return nil, fmt.Errorf("mpi: negative deadline %v", w.deadline)
+	}
+	if w.faultsOn {
+		if err := w.faults.Validate(); err != nil {
+			return nil, err
+		}
+		if !w.faults.Enabled() {
+			w.faultsOn = false // inert plan: take the exact clean paths
+		} else {
+			w.straggler = w.faults.StragglerMask(size)
+		}
 	}
 	w.geff = w.model.EffectiveByteTime(size)
 	w.intraOS, w.intraOR, w.intraL, w.intraG = w.model.IntraParams()
 	return w, nil
 }
+
+// Faults returns the world's active fault plan and whether one is
+// enabled.
+func (w *World) Faults() (fault.Plan, bool) { return w.faults, w.faultsOn }
 
 // RanksPerNode returns the node width configured with WithRanksPerNode.
 func (w *World) RanksPerNode() int { return w.ranksPerNode }
@@ -130,6 +200,11 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	w.finished.Store(0)
 	w.activity.Store(0)
 	w.dead.Store(false)
+	w.deadMu.Lock()
+	w.gen++
+	gen := w.gen
+	w.deadErr = nil
+	w.deadMu.Unlock()
 	w.procs = make([]*Proc, w.size)
 	if w.tracing {
 		w.tr = trace.New(w.size)
@@ -140,6 +215,13 @@ func (w *World) Run(fn func(p *Proc) error) error {
 			w.procs[r].tr = w.tr.Buffer(r)
 		}
 	}
+	var watchdog *time.Timer
+	if w.deadline > 0 {
+		d := w.deadline
+		watchdog = time.AfterFunc(d, func() {
+			w.declareDead(gen, fmt.Sprintf("wall-clock deadline %v exceeded", d))
+		})
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
@@ -148,7 +230,14 @@ func (w *World) Run(fn func(p *Proc) error) error {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
-					errs[p.rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, v, debug.Stack())
+					if _, ok := v.(runAbort); ok {
+						// Deliberate unwind after an abort was declared;
+						// the DeadlockError carries the diagnostic, so
+						// per-rank noise (and its stack) is dropped.
+						errs[p.rank] = nil
+					} else {
+						errs[p.rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, v, debug.Stack())
+					}
 				}
 				// A rank exiting early (error or panic) can strand the
 				// others mid-collective; its exit may complete the
@@ -161,7 +250,19 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		}(w.procs[r])
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	err := errors.Join(errs...)
+	if w.dead.Load() {
+		w.deadMu.Lock()
+		de := w.deadErr
+		w.deadMu.Unlock()
+		if de != nil {
+			return errors.Join(de, err)
+		}
+	}
+	return err
 }
 
 // Trace returns the event log of the last Run, or nil if the world was
@@ -248,11 +349,35 @@ func (w *World) suspectDeadlock() {
 			return // everyone finished: normal termination
 		}
 	}
-	if w.dead.CompareAndSwap(false, true) {
-		for _, p := range w.procs {
-			p.box.mu.Lock()
-			p.box.cond.Broadcast()
-			p.box.mu.Unlock()
-		}
+	w.deadMu.Lock()
+	gen := w.gen
+	w.deadMu.Unlock()
+	w.declareDead(gen, "deadlock detected: every live rank is blocked waiting for a message")
+}
+
+// declareDead aborts the current run (if gen still names it): it marks
+// the world dead, snapshots every blocked rank's pending receives into
+// a DeadlockError, and wakes all waiters so they unwind. Idempotent.
+func (w *World) declareDead(gen int64, reason string) {
+	w.deadMu.Lock()
+	if gen != w.gen || !w.dead.CompareAndSwap(false, true) {
+		w.deadMu.Unlock()
+		return
 	}
+	de := &DeadlockError{Reason: reason, WorldSize: w.size}
+	for _, p := range w.procs {
+		p.box.mu.Lock()
+		if p.waitOp != "" {
+			de.Blocked = append(de.Blocked, BlockedRank{
+				Rank:    p.rank,
+				Op:      p.waitOp,
+				Pending: append([]PendingRecv(nil), p.waitPending...),
+				SinceNs: p.waitSince,
+			})
+		}
+		p.box.cond.Broadcast()
+		p.box.mu.Unlock()
+	}
+	w.deadErr = de
+	w.deadMu.Unlock()
 }

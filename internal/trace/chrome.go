@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Chrome trace_event export. The format is the JSON Object Format of
@@ -56,7 +57,10 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			}
 			dur := ev.Dur / 1e3
 			ce.Dur = &dur
-			if ev.Kind == KindSend {
+			// Sends occupy the injection track; fault delays injected on
+			// the send path land there too so they visually extend the
+			// send slice they perturbed.
+			if ev.Kind == KindSend || (ev.Kind == KindFault && strings.HasSuffix(ev.Name, "(send)")) {
 				ce.Tid = 2*r + 1
 			}
 			args := map[string]any{}
@@ -93,6 +97,8 @@ func chromeName(ev Event) string {
 		return "memcpy"
 	case KindPhase:
 		return ev.Name
+	case KindFault:
+		return "fault:" + ev.Name
 	}
 	return "event"
 }

@@ -33,6 +33,11 @@ const (
 	// KindPhase is a named algorithm phase interval (see Proc.Phase);
 	// the interval is inclusive of nested phases.
 	KindPhase
+	// KindFault is virtual time injected by the fault layer (straggler
+	// slowdown or message jitter; see mpi.WithFaults). Name carries the
+	// perturbation source, and the interval sits where the delay landed,
+	// so Chrome traces show exactly which operations were perturbed.
+	KindFault
 )
 
 // String returns the kind's short name (also the Chrome trace
@@ -47,6 +52,8 @@ func (k Kind) String() string {
 		return "memcpy"
 	case KindPhase:
 		return "phase"
+	case KindFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -229,6 +236,30 @@ func (t *Trace) StepStats() []StepStat {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
 	return out
+}
+
+// FaultTotals returns, per rank, the summed virtual time injected by
+// the fault layer (KindFault events): the per-rank attribution of where
+// perturbation landed. The slice is indexed by rank.
+func (t *Trace) FaultTotals() []float64 {
+	out := make([]float64, len(t.bufs))
+	for r, b := range t.bufs {
+		for _, ev := range b.Events {
+			if ev.Kind == KindFault {
+				out[r] += ev.Dur
+			}
+		}
+	}
+	return out
+}
+
+// TotalFaultNs returns the total injected virtual time across ranks.
+func (t *Trace) TotalFaultNs() float64 {
+	var n float64
+	for _, d := range t.FaultTotals() {
+		n += d
+	}
+	return n
 }
 
 // PhaseTotals returns, per phase name, the maximum over ranks of the
