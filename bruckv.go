@@ -41,8 +41,14 @@ import (
 type Algorithm int
 
 const (
-	// Auto picks among TwoPhaseBruck, PaddedBruck, and Vendor using the
-	// machine model and the workload's global maximum block size.
+	// Auto picks per call among TwoPhaseBruck (including its radix-4 and
+	// radix-8 variants), PaddedBruck, and SpreadOut, using the machine
+	// model's estimates at the call's globally agreed rank count, maximum
+	// block size, and skew — the paper's Figure 9 decision surface as a
+	// runtime selector. An empirical calibration table installed with
+	// WithTuning overrides the analytic prior where it has coverage. The
+	// decision is deterministic and appears in traces as a phase named
+	// "auto:<algorithm> pred=<ns> <source>".
 	Auto Algorithm = iota
 	// SpreadOut posts all nonblocking sends/receives at once (linear in
 	// P).
@@ -102,8 +108,9 @@ func (a Algorithm) impl() coll.Alltoallv {
 
 // World is a simulated communicator of Size ranks.
 type World struct {
-	w   *mpi.World
-	alg Algorithm
+	w      *mpi.World
+	alg    Algorithm
+	tuning *coll.Table
 }
 
 // Option configures a World.
@@ -113,6 +120,7 @@ type config struct {
 	params       MachineParams
 	phantom      bool
 	alg          Algorithm
+	tuning       *Tuning
 	ranksPerNode int
 	rpnSet       bool
 	trace        bool
@@ -228,7 +236,11 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &World{w: w, alg: cfg.alg}, nil
+	nw := &World{w: w, alg: cfg.alg}
+	if cfg.tuning != nil {
+		nw.tuning = cfg.tuning.table
+	}
+	return nw, nil
 }
 
 // Size returns the number of ranks.
@@ -238,7 +250,7 @@ func (w *World) Size() int { return w.w.Size() }
 // errors.
 func (w *World) Run(fn func(c *Comm) error) error {
 	return w.w.Run(func(p *mpi.Proc) error {
-		return fn(&Comm{p: p, alg: w.alg})
+		return fn(&Comm{p: p, alg: w.alg, tuning: w.tuning})
 	})
 }
 
@@ -255,8 +267,9 @@ func (w *World) TotalMessages() int64 { return w.w.TotalMessages() }
 
 // Comm is one rank's communicator handle, valid only inside Run.
 type Comm struct {
-	p   *mpi.Proc
-	alg Algorithm
+	p      *mpi.Proc
+	alg    Algorithm
+	tuning *coll.Table
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -421,17 +434,12 @@ func (c *Comm) AlltoallvWith(alg Algorithm, send []byte, scounts, sdispls []int,
 	if err != nil {
 		return err
 	}
-	if alg == Auto {
-		localMax := 0
-		for _, cnt := range scounts {
-			if cnt > localMax {
-				localMax = cnt
-			}
-		}
-		n := c.p.AllreduceMaxInt(localMax)
-		alg = ChooseAlgorithm(c.Size(), n, modelParams(c.p.World().Model()))
+	var impl coll.Alltoallv
+	if alg == Auto && c.tuning != nil {
+		impl = coll.Auto(c.tuning)
+	} else {
+		impl = alg.impl()
 	}
-	impl := alg.impl()
 	if impl == nil {
 		return fmt.Errorf("bruckv: algorithm %v has no Alltoallv implementation", alg)
 	}
@@ -487,8 +495,8 @@ func Displacements(counts []int) (displs []int, total int) {
 
 // ensure the internal registry stays in sync with the enum.
 var _ = func() struct{} {
-	for a, name := range algNames {
-		if a != Auto && coll.NonUniformAlgorithms()[name] == nil {
+	for _, name := range algNames {
+		if coll.NonUniformAlgorithms()[name] == nil {
 			panic("bruckv: algorithm " + name + " missing from registry")
 		}
 	}

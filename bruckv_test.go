@@ -171,25 +171,37 @@ func TestChooseAlgorithmRegimes(t *testing.T) {
 	if a := ChooseAlgorithm(256, 8, m); a != PaddedBruck {
 		t.Errorf("N=8, P=256: chose %v, want padded-bruck", a)
 	}
-	// Small-to-moderate blocks: two-phase.
-	if a := ChooseAlgorithm(1024, 256, m); a != TwoPhaseBruck {
-		t.Errorf("N=256, P=1024: chose %v, want two-phase", a)
+	// Small-to-moderate blocks at large P: a log-time two-phase variant
+	// (the radix generalizations trade hops for messages, so any of them
+	// may edge out the binary version).
+	switch a := ChooseAlgorithm(1024, 256, m); a {
+	case TwoPhaseBruck, TwoPhaseRadix4, TwoPhaseRadix8:
+	default:
+		t.Errorf("N=256, P=1024: chose %v, want a two-phase variant", a)
 	}
-	// Large blocks at large scale: vendor.
-	if a := ChooseAlgorithm(32768, 4096, m); a != Vendor {
-		t.Errorf("N=4096, P=32768: chose %v, want vendor", a)
+	// Large blocks at large scale: the linear-time spread-out.
+	if a := ChooseAlgorithm(32768, 4096, m); a != SpreadOut {
+		t.Errorf("N=4096, P=32768: chose %v, want spreadout", a)
 	}
 }
 
 func TestPredictNsPositive(t *testing.T) {
 	m := Theta()
-	for _, a := range []Algorithm{SpreadOut, Vendor, PaddedBruck, PaddedAlltoall, TwoPhaseBruck, SLOAVBaseline} {
-		if PredictNs(a, 512, 128, m) <= 0 {
+	algs := []Algorithm{SpreadOut, Vendor, PaddedBruck, PaddedAlltoall,
+		TwoPhaseBruck, SLOAVBaseline, TwoPhaseRadix4, TwoPhaseRadix8}
+	best := PredictNs(algs[0], 512, 128, m)
+	for _, a := range algs {
+		p := PredictNs(a, 512, 128, m)
+		if p <= 0 {
 			t.Errorf("PredictNs(%v) not positive", a)
 		}
+		if p < best {
+			best = p
+		}
 	}
-	if PredictNs(Auto, 512, 128, m) != 0 {
-		t.Error("Auto has no direct prediction")
+	// Auto's prediction is the minimum over its candidates.
+	if p := PredictNs(Auto, 512, 128, m); p <= 0 || p > best {
+		t.Errorf("PredictNs(Auto) = %v, want positive and <= best candidate %v", p, best)
 	}
 }
 
@@ -364,5 +376,84 @@ func TestPlanThroughFacade(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTuningRoundTrip(t *testing.T) {
+	tun, err := NewTuning("theta", []TuningCell{
+		{P: 64, N: 16, Algorithm: PaddedBruck},
+		{P: 64, N: 1024, Algorithm: TwoPhaseRadix4},
+		{P: 256, N: 2048, Algorithm: SpreadOut},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tun.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTuning(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine() != "theta" || got.Len() != 3 {
+		t.Errorf("round trip: machine %q len %d", got.Machine(), got.Len())
+	}
+	// Vendor is not an algorithm Auto can dispatch.
+	if _, err := NewTuning("x", []TuningCell{{P: 8, N: 8, Algorithm: Vendor}}); err == nil {
+		t.Error("non-dispatchable tuning cell accepted")
+	}
+}
+
+// WithTuning must steer Auto's dispatch: the same workload forced to
+// spread-out vs padded Bruck produces observably different exchanges
+// (linear vs logarithmic message counts), both byte-correct.
+func TestWithTuningSteersAuto(t *testing.T) {
+	const P, N = 8, 16
+	run := func(forced Algorithm) (int64, error) {
+		tun, err := NewTuning("test", []TuningCell{{P: P, N: N, Algorithm: forced}})
+		if err != nil {
+			return 0, err
+		}
+		w, err := NewWorld(P, WithTuning(tun))
+		if err != nil {
+			return 0, err
+		}
+		err = w.Run(func(c *Comm) error {
+			counts := make([]int, P)
+			for d := range counts {
+				counts[d] = N
+			}
+			displs, total := Displacements(counts)
+			send := make([]byte, total)
+			for i := range send {
+				send[i] = byte(c.Rank() ^ i)
+			}
+			recv := make([]byte, total)
+			if err := c.Alltoallv(send, counts, displs, recv, counts, displs); err != nil {
+				return err
+			}
+			for s := 0; s < P; s++ {
+				for j := 0; j < N; j++ {
+					if recv[displs[s]+j] != byte(s^(displs[c.Rank()]+j)) {
+						t.Errorf("forced %v: rank %d block from %d wrong", forced, c.Rank(), s)
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+		return w.TotalMessages(), err
+	}
+	spread, err := run(SpreadOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := run(PaddedBruck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread <= padded {
+		t.Errorf("tuning did not steer dispatch: spread-out sent %d messages, padded %d", spread, padded)
 	}
 }

@@ -10,6 +10,15 @@
 //	bruckbench -trace out.json -alg two-phase -ps 256
 //	bruckbench -fig chaos -ps 128
 //	bruckbench -trace out.json -alg two-phase -ps 128 -faults stragglers=2,slowdown=4,jitter=0.25
+//	bruckbench -fig auto -ps 64,128,256,512
+//	bruckbench -calibrate tuning.json -ps 64,128,256
+//
+// -fig auto runs the auto-selection study: every algorithm AlgAuto
+// chooses among plus AlgAuto itself (analytic, and tuned with the
+// calibration table built from the sweep), on the three machine
+// models, reporting per-cell ratios against the measured best.
+// -calibrate sweeps the candidates on one machine (-machine) and
+// persists the per-cell winner table as JSON for bruckv.ReadTuning.
 //
 // Simulated process counts are bounded by -maxsimp; larger configured
 // counts are filled from the calibrated analytic model and marked '*' in
@@ -43,7 +52,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,auto,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -57,6 +66,7 @@ func main() {
 		rpn      = flag.Int("rpn", 1, "ranks per node for -trace / -fig steps (hierarchical needs >1)")
 		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25")
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0: keep the plan's own)")
+		calOut   = flag.String("calibrate", "", "sweep the auto candidates and write the winner table as JSON to this file")
 	)
 	flag.Parse()
 
@@ -94,6 +104,17 @@ func main() {
 		r, err := bench.Steps(o, *alg, p, spec, *rpn)
 		check(err)
 		return r
+	}
+	if *calOut != "" {
+		table, err := bench.Calibrate(o, ps, ns)
+		check(err)
+		fh, err := os.Create(*calOut)
+		check(err)
+		check(table.Encode(fh))
+		check(fh.Close())
+		fmt.Printf("wrote %s (%d cells, machine %s) — load with bruckv.ReadTuning\n",
+			*calOut, len(table.Cells), table.Machine)
+		return
 	}
 	if *traceOut != "" {
 		r := runSteps()
@@ -182,6 +203,13 @@ func main() {
 	}
 	if want["steps"] {
 		runSteps().Fprint(out)
+	}
+	if all || want["auto"] {
+		results, err := bench.FigAuto(o, ps, ns)
+		check(err)
+		for _, r := range results {
+			r.Fprint(out)
+		}
 	}
 	if want["chaos"] {
 		cfg := bench.ChaosConfig{Slowdown: plan.Slowdown}

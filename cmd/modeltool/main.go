@@ -1,7 +1,10 @@
 // Command modeltool explores the analytic cost models: the paper's own
 // Section 3.3 equations (Eqs. 1-3) and this repository's refined
-// estimates, including the crossover table behind Figure 9 and an
-// algorithm advisor ("with P=350 and N=800, what should I use?").
+// estimates, including the crossover table behind Figure 9, an
+// algorithm advisor ("with P=350 and N=800, what should I use?"), and
+// the AlgAuto decision table — the per-(P, N) algorithm the runtime
+// selector would dispatch, optionally overlaid with an empirical
+// calibration table from bruckbench -calibrate.
 package main
 
 import (
@@ -9,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"bruckv/internal/coll"
 	"bruckv/internal/machine"
 )
 
@@ -16,6 +20,8 @@ func main() {
 	var (
 		mach   = flag.String("machine", "theta", "machine model: theta,cori,stampede")
 		advise = flag.Bool("advise", false, "print advice for -p and -n instead of tables")
+		table  = flag.Bool("table", false, "print the AlgAuto decision table over a (P, N) grid")
+		tuning = flag.String("tuning", "", "overlay this calibration table (JSON from bruckbench -calibrate)")
 		pFlag  = flag.Int("p", 350, "process count for -advise")
 		nFlag  = flag.Int("n", 800, "maximum block size for -advise")
 	)
@@ -26,9 +32,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "modeltool: unknown machine %q\n", *mach)
 		os.Exit(1)
 	}
+	var tun *coll.Table
+	if *tuning != "" {
+		fh, err := os.Open(*tuning)
+		fatal(err)
+		tun, err = coll.DecodeTable(fh)
+		fatal(err)
+		fatal(fh.Close())
+	}
 
 	if *advise {
-		adviseOne(m, *pFlag, *nFlag)
+		adviseOne(m, tun, *pFlag, *nFlag)
+		return
+	}
+	if *table {
+		decisionTable(m, tun)
 		return
 	}
 
@@ -78,21 +96,50 @@ func main() {
 	}
 }
 
-func adviseOne(m machine.Model, p, n int) {
-	avg := float64(n) / 2
-	tp := m.EstimateTwoPhase(p, avg)
-	pd := m.EstimatePadded(p, n, avg)
-	so := m.EstimateSpreadOut(p, avg)
+// decisionTable dumps what AlgAuto would dispatch per (P, N) cell — the
+// runtime's Figure 9.
+func decisionTable(m machine.Model, tun *coll.Table) {
+	source := "analytic prior"
+	if tun != nil {
+		source = fmt.Sprintf("analytic prior + %d-cell calibration overlay", len(tun.Cells))
+	}
+	fmt.Printf("# AlgAuto decision table on %s (%s); * = tuned cell\n", m.Name, source)
+	fmt.Printf("%-8s", "P\\N")
+	ns := []int{16, 64, 256, 1024, 4096, 16384}
+	for _, n := range ns {
+		fmt.Printf("  %14d", n)
+	}
+	fmt.Println()
+	for _, p := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		fmt.Printf("%-8d", p)
+		for _, n := range ns {
+			sel := coll.Select(m, tun, p, n, float64(n)/2)
+			mark := ""
+			if sel.Source == "tuned" {
+				mark = "*"
+			}
+			fmt.Printf("  %14s", sel.Algorithm+mark)
+		}
+		fmt.Println()
+	}
+}
+
+func adviseOne(m machine.Model, tun *coll.Table, p, n int) {
+	sel := coll.Select(m, tun, p, n, float64(n)/2)
 	fmt.Printf("P=%d, max block N=%d bytes on %s:\n", p, n, m.Name)
-	fmt.Printf("  two-phase Bruck : %.3f ms\n", tp/1e6)
-	fmt.Printf("  padded Bruck    : %.3f ms\n", pd/1e6)
-	fmt.Printf("  vendor/spread   : %.3f ms\n", so/1e6)
-	best, t := "two-phase Bruck", tp
-	if pd < t {
-		best, t = "padded Bruck", pd
+	for _, c := range sel.Candidates {
+		mark := "  "
+		if c.Name == sel.Algorithm {
+			mark = "->"
+		}
+		fmt.Printf("  %s %-14s: %.3f ms\n", mark, c.Name, c.PredictedNs/1e6)
 	}
-	if so < t {
-		best = "vendor Alltoallv"
+	fmt.Printf("  -> use %s (%s)\n", sel.Algorithm, sel.Source)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modeltool: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("  -> use %s\n", best)
 }

@@ -73,8 +73,8 @@ func ExampleChooseAlgorithm() {
 	fmt.Println(bruckv.ChooseAlgorithm(32768, 4096, m))
 	// Output:
 	// padded-bruck
-	// two-phase
-	// vendor
+	// two-phase-r4
+	// spreadout
 }
 
 // Phantom worlds simulate large scales without payload memory.

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bruckv/internal/coll"
+	"bruckv/internal/dist"
+	"bruckv/internal/machine"
+)
+
+// The auto-selection study: run every algorithm Auto chooses among over
+// the Figure 9 (N, P) grid, then run Auto itself — analytic prior only,
+// and again with the calibration table built from that very sweep — and
+// report how close Auto lands to the per-cell best. This is the paper's
+// Section 7 argument made falsifiable: a selector is only useful if it
+// tracks the oracle across the whole decision surface, not just on the
+// cells it was derived from.
+
+// AutoCell is one (P, N) grid point of the auto study.
+type AutoCell struct {
+	P, N int
+	// CandidateNs maps each coll.AutoCandidates entry to its median
+	// simulated time.
+	CandidateNs map[string]float64
+	// BestAlg / BestNs and WorstAlg / WorstNs are the per-cell oracle
+	// extremes over the candidates.
+	BestAlg  string
+	BestNs   float64
+	WorstAlg string
+	WorstNs  float64
+	// AutoNs / AutoPick are Auto with the analytic prior only; TunedNs /
+	// TunedPick consult the calibration table built from this sweep. A
+	// pick lists every algorithm Auto dispatched across iterations
+	// (normally one).
+	AutoNs    float64
+	AutoPick  string
+	TunedNs   float64
+	TunedPick string
+}
+
+// AutoRatio returns analytic Auto's time relative to the cell's best.
+func (c AutoCell) AutoRatio() float64 { return c.AutoNs / c.BestNs }
+
+// TunedRatio returns tuned Auto's time relative to the cell's best.
+func (c AutoCell) TunedRatio() float64 { return c.TunedNs / c.BestNs }
+
+// AutoResult is the auto study on one machine model.
+type AutoResult struct {
+	Machine string
+	Ps, Ns  []int
+	Cells   []AutoCell
+	// Table is the calibration table the sweep produced (the per-cell
+	// measured winners) — what bruckbench -calibrate persists.
+	Table *coll.Table
+}
+
+// autoPick extracts the algorithm(s) Auto dispatched from a result's
+// phase roll-up: each decision runs inside a phase named
+// "auto:<algorithm> pred=<ns> <source>".
+func autoPick(phases map[string]float64) string {
+	var picks []string
+	for k := range phases {
+		if !strings.HasPrefix(k, "auto:") {
+			continue
+		}
+		name := strings.TrimPrefix(k, "auto:")
+		if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		picks = append(picks, name)
+	}
+	sort.Strings(picks)
+	return strings.Join(uniqStrings(picks), ",")
+}
+
+func uniqStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// measureAuto runs one algorithm at one grid cell and returns its median
+// time plus (for "auto") the dispatched algorithm.
+func (o Options) measureAuto(alg string, P, N int, tuning *coll.Table) (float64, string, error) {
+	res, err := RunMicro(MicroConfig{
+		P: P, Algorithm: alg, Model: o.Model, Iters: o.Iters, Tuning: tuning,
+		Spec: dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed},
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	return res.Summary.Median, autoPick(res.Phases), nil
+}
+
+// sweepCandidates measures every auto candidate over the grid and builds
+// the calibration table of per-cell winners.
+func (o Options) sweepCandidates(ps, ns []int) ([]AutoCell, *coll.Table, error) {
+	table := &coll.Table{Machine: o.Model.Name}
+	var cells []AutoCell
+	for _, P := range ps {
+		for _, N := range ns {
+			cell := AutoCell{P: P, N: N, CandidateNs: map[string]float64{}}
+			for _, alg := range coll.AutoCandidates {
+				t, _, err := o.measureAuto(alg, P, N, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				cell.CandidateNs[alg] = t
+				if cell.BestAlg == "" || t < cell.BestNs {
+					cell.BestAlg, cell.BestNs = alg, t
+				}
+				if cell.WorstAlg == "" || t > cell.WorstNs {
+					cell.WorstAlg, cell.WorstNs = alg, t
+				}
+			}
+			o.progress("sweep %-9s P=%-5d N=%-5d best=%s %.3fms worst=%s %.3fms",
+				o.Model.Name, P, N, cell.BestAlg, cell.BestNs/1e6, cell.WorstAlg, cell.WorstNs/1e6)
+			table.Cells = append(table.Cells, coll.Cell{P: P, N: N, Algorithm: cell.BestAlg, BestNs: cell.BestNs})
+			cells = append(cells, cell)
+		}
+	}
+	table.Sort()
+	return cells, table, nil
+}
+
+// autoGrid applies the default study grid: the paper's block-size sweep
+// across moderate process counts, capped at what full simulation allows.
+func (o Options) autoGrid(ps, ns []int) ([]int, []int) {
+	if ps == nil {
+		ps = []int{64, 128, 256, 512}
+	}
+	var kept []int
+	for _, P := range ps {
+		if P <= o.MaxSimP {
+			kept = append(kept, P)
+		}
+	}
+	if ns == nil {
+		ns = DefaultNs
+	}
+	return kept, ns
+}
+
+// Calibrate sweeps the candidate algorithms over the grid and returns
+// the empirical selection table of per-cell winners, ready to persist
+// for bruckv.ReadTuning.
+func Calibrate(o Options, ps, ns []int) (*coll.Table, error) {
+	o = o.withDefaults()
+	ps, ns = o.autoGrid(ps, ns)
+	_, table, err := o.sweepCandidates(ps, ns)
+	return table, err
+}
+
+// FigAuto runs the auto-selection study on each of the paper's three
+// machine models: candidates, analytic Auto, and table-tuned Auto on
+// every grid cell.
+func FigAuto(o Options, ps, ns []int) ([]AutoResult, error) {
+	o = o.withDefaults()
+	var out []AutoResult
+	for _, m := range []machine.Model{machine.Theta(), machine.Cori(), machine.Stampede()} {
+		oo := o
+		oo.Model = m
+		gps, gns := oo.autoGrid(ps, ns)
+		cells, table, err := oo.sweepCandidates(gps, gns)
+		if err != nil {
+			return out, err
+		}
+		for i := range cells {
+			c := &cells[i]
+			if c.AutoNs, c.AutoPick, err = oo.measureAuto("auto", c.P, c.N, nil); err != nil {
+				return out, err
+			}
+			if c.TunedNs, c.TunedPick, err = oo.measureAuto("auto", c.P, c.N, table); err != nil {
+				return out, err
+			}
+			oo.progress("auto  %-9s P=%-5d N=%-5d pick=%s ratio=%.3f tuned=%s ratio=%.3f",
+				m.Name, c.P, c.N, c.AutoPick, c.AutoRatio(), c.TunedPick, c.TunedRatio())
+		}
+		out = append(out, AutoResult{Machine: m.Name, Ps: gps, Ns: gns, Cells: cells, Table: table})
+	}
+	return out, nil
+}
+
+// Fprint renders the study as a per-cell table plus a summary of how
+// Auto tracks the per-cell oracle.
+func (r AutoResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# fig-auto — AlgAuto vs per-cell best/worst on the %s model\n", r.Machine)
+	rows := [][]string{{"P", "N", "best (alg)", "worst (alg)", "auto (pick)", "auto/best", "tuned (pick)", "tuned/best"}}
+	maxAuto, maxTuned := 0.0, 0.0
+	within, beatsWorst := 0, 0
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			fmt.Sprint(c.P), fmt.Sprint(c.N),
+			fmt.Sprintf("%.3fms (%s)", c.BestNs/1e6, c.BestAlg),
+			fmt.Sprintf("%.3fms (%s)", c.WorstNs/1e6, c.WorstAlg),
+			fmt.Sprintf("%.3fms (%s)", c.AutoNs/1e6, c.AutoPick),
+			fmt.Sprintf("%.3f", c.AutoRatio()),
+			fmt.Sprintf("%.3fms (%s)", c.TunedNs/1e6, c.TunedPick),
+			fmt.Sprintf("%.3f", c.TunedRatio()),
+		})
+		if c.AutoRatio() > maxAuto {
+			maxAuto = c.AutoRatio()
+		}
+		if c.TunedRatio() > maxTuned {
+			maxTuned = c.TunedRatio()
+		}
+		if c.AutoRatio() <= 1.10 {
+			within++
+		}
+		if c.AutoNs < c.WorstNs {
+			beatsWorst++
+		}
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  analytic auto: %d/%d cells within 10%% of best (max ratio %.3f); beats worst in %d/%d\n",
+		within, len(r.Cells), maxAuto, beatsWorst, len(r.Cells))
+	fmt.Fprintf(w, "  tuned auto:    max ratio %.3f over best\n", maxTuned)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/coll"
+	"bruckv/internal/dist"
+	"bruckv/internal/machine"
+)
+
+// The auto study's regression tolerance: the analytic prior must land
+// within this factor of the measured per-cell best on the simulated
+// grid. The acceptance bar for the recorded full-grid run is 1.10; the
+// small CI grid uses the same bound.
+const autoTolerance = 1.10
+
+func TestFigAutoTracksOracle(t *testing.T) {
+	results, err := FigAuto(Options{Iters: 3, Seed: 7}, []int{16, 32, 64}, []int{16, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected one result per machine preset, got %d", len(results))
+	}
+	for _, r := range results {
+		for _, c := range r.Cells {
+			if c.AutoRatio() > autoTolerance {
+				t.Errorf("%s P=%d N=%d: analytic auto %.3fms is %.3fx the best %.3fms (%s)",
+					r.Machine, c.P, c.N, c.AutoNs/1e6, c.AutoRatio(), c.BestNs/1e6, c.BestAlg)
+			}
+			if c.TunedRatio() > autoTolerance {
+				t.Errorf("%s P=%d N=%d: tuned auto %.3fms is %.3fx the best %.3fms (%s)",
+					r.Machine, c.P, c.N, c.TunedNs/1e6, c.TunedRatio(), c.BestNs/1e6, c.BestAlg)
+			}
+			if c.AutoNs > c.WorstNs {
+				t.Errorf("%s P=%d N=%d: auto %.3fms is worse than the worst candidate %.3fms (%s)",
+					r.Machine, c.P, c.N, c.AutoNs/1e6, c.WorstNs/1e6, c.WorstAlg)
+			}
+			if c.AutoPick == "" || c.TunedPick == "" {
+				t.Errorf("%s P=%d N=%d: missing auto pick annotation (%q, %q)",
+					r.Machine, c.P, c.N, c.AutoPick, c.TunedPick)
+			}
+			// The tuned pick must be the sweep's measured winner: the
+			// table covers this exact cell.
+			if c.TunedPick != c.BestAlg {
+				t.Errorf("%s P=%d N=%d: tuned auto picked %s, table says %s",
+					r.Machine, c.P, c.N, c.TunedPick, c.BestAlg)
+			}
+		}
+	}
+}
+
+func TestCalibrateProducesValidTable(t *testing.T) {
+	ps, ns := []int{8, 16}, []int{32, 512}
+	table, err := Calibrate(Options{Iters: 2, Seed: 3}, ps, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(table.Cells), len(ps)*len(ns); got != want {
+		t.Fatalf("table has %d cells, want %d", got, want)
+	}
+	for _, c := range table.Cells {
+		if c.BestNs <= 0 {
+			t.Errorf("cell P=%d N=%d has non-positive best time %v", c.P, c.N, c.BestNs)
+		}
+	}
+	// Every grid point must be covered by a lookup.
+	for _, P := range ps {
+		for _, N := range ns {
+			if _, ok := table.Lookup(P, N); !ok {
+				t.Errorf("table has no coverage at P=%d N=%d", P, N)
+			}
+		}
+	}
+}
+
+func TestRunMicroAutoAnnotatesPick(t *testing.T) {
+	res, err := RunMicro(MicroConfig{
+		P: 16, Algorithm: "auto", Iters: 2,
+		Spec: dist.Spec{Kind: dist.Uniform, N: 64, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := autoPick(res.Phases)
+	if pick == "" {
+		t.Fatalf("no auto:* phase in %v", res.Phases)
+	}
+	if strings.Contains(pick, ",") {
+		t.Errorf("same workload shape dispatched differently across iterations: %q", pick)
+	}
+	if _, ok := res.Phases[coll.PhaseAutoSelect]; !ok {
+		t.Errorf("no %q phase in %v", coll.PhaseAutoSelect, res.Phases)
+	}
+}
+
+// The CI benchmark smoke job runs these with -benchtime=1x to catch
+// harness regressions; they double as the performance entry points for
+// manual comparison.
+
+func benchmarkMicro(b *testing.B, alg string, P, N int) {
+	for i := 0; i < b.N; i++ {
+		_, err := RunMicro(MicroConfig{
+			P: P, Algorithm: alg, Iters: 1,
+			Spec: dist.Spec{Kind: dist.Uniform, N: N, Seed: uint64(i)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMicroAuto(b *testing.B)     { benchmarkMicro(b, "auto", 64, 256) }
+func BenchmarkRunMicroTwoPhase(b *testing.B) { benchmarkMicro(b, "two-phase", 64, 256) }
+func BenchmarkRunMicroPadded(b *testing.B)   { benchmarkMicro(b, "padded-bruck", 64, 256) }
+func BenchmarkRunMicroSpread(b *testing.B)   { benchmarkMicro(b, "spreadout", 64, 256) }
+
+func BenchmarkCalibrateTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Calibrate(Options{Iters: 1, Seed: 1, Model: machine.Theta()},
+			[]int{8, 16}, []int{32, 256}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

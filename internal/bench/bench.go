@@ -49,6 +49,9 @@ type MicroConfig struct {
 	// a hung configuration aborts with a blocked-rank report instead of
 	// wedging the harness.
 	Deadline time.Duration
+	// Tuning, if non-nil, is an empirical calibration table consulted by
+	// the "auto" algorithm (ignored for every other Algorithm).
+	Tuning *coll.Table
 }
 
 // Result is the outcome of a measurement.
@@ -86,6 +89,9 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("bench: unknown algorithm %q (have %v)",
 			cfg.Algorithm, coll.Names(coll.NonUniformAlgorithms()))
+	}
+	if cfg.Algorithm == "auto" && cfg.Tuning != nil {
+		alg = coll.Auto(cfg.Tuning)
 	}
 	opts := []mpi.Option{mpi.WithModel(cfg.Model)}
 	if !cfg.Real {

@@ -77,3 +77,61 @@ func FuzzRadix(f *testing.F) {
 		fuzzAgainstReference(t, TwoPhaseBruckRadix(r%9+2), P, 1, maxN, seed)
 	})
 }
+
+// FuzzAuto drives the auto selector against the reference over
+// fuzzer-chosen world sizes, block-size ranges, machine models, and
+// (for odd table seeds) a forced calibration table, so every dispatch
+// path — analytic or tuned, on any preset — stays byte-exact. Seeds
+// cover the degenerate shapes: P=1, all-zero counts, and single-byte
+// extremes.
+func FuzzAuto(f *testing.F) {
+	f.Add(4, 0, 16, uint64(1), uint8(0))
+	f.Add(1, 0, 8, uint64(3), uint8(1))   // one rank
+	f.Add(13, 0, 0, uint64(0), uint8(2))  // all-zero counts
+	f.Add(7, 0, 1, uint64(9), uint8(3))   // 1-byte extremes
+	f.Add(16, 0, 39, uint64(5), uint8(7)) // near the size cap, tuned
+	f.Fuzz(func(t *testing.T, P, _, maxN int, seed uint64, pick uint8) {
+		models := []func() machine.Model{machine.Theta, machine.Cori, machine.Stampede, machine.Zero}
+		model := models[int(pick)%len(models)]()
+		if P < 1 {
+			P = 1
+		}
+		P = P%24 + 1
+		maxN = maxN % 40
+		if maxN < 0 {
+			maxN = -maxN
+		}
+		var table *Table
+		if pick%2 == 1 { // odd picks force a tuned dispatch
+			cand := AutoCandidates[int(pick/2)%len(AutoCandidates)]
+			n := maxN
+			if n < 1 {
+				n = 1
+			}
+			table = &Table{Cells: []Cell{{P: P, N: n, Algorithm: cand}}}
+		}
+		w, err := mpi.NewWorld(P, mpi.WithModel(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := Auto(table)
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			got := buffer.New(rTotal)
+			want := buffer.New(rTotal)
+			if err := alg(p, send, sc, sd, got, rc, rd); err != nil {
+				return err
+			}
+			if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+				return err
+			}
+			if !buffer.Equal(got, want) {
+				t.Errorf("rank %d: auto differs from reference (P=%d maxN=%d seed=%d pick=%d)", p.Rank(), P, maxN, seed, pick)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("P=%d maxN=%d seed=%d pick=%d: %v", P, maxN, seed, pick, err)
+		}
+	})
+}

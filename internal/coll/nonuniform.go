@@ -107,10 +107,17 @@ func paddedCommon(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 		return err
 	}
-	P := p.Size()
-
 	// Find the global maximum block size with an Allreduce.
 	N := p.AllreduceMaxInt(maxInts(scounts))
+	return paddedWithMax(p, N, send, scounts, sdispls, recv, rcounts, rdispls, uniform)
+}
+
+// paddedWithMax is the padded exchange after validation and the
+// max-block Allreduce (see twoPhaseWithMax). N must be the true global
+// maximum of scounts across ranks.
+func paddedWithMax(p *mpi.Proc, N int, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int, uniform Alltoall) error {
+	P := p.Size()
 	if N == 0 {
 		return nil
 	}

@@ -153,98 +153,105 @@ func TwoPhaseBruckRadix(r int) Alltoallv {
 		if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 			return err
 		}
-		P := p.Size()
-		rank := p.Rank()
-
 		N := p.AllreduceMaxInt(maxInts(scounts))
-		if err := selfCopy(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
-			return err
-		}
-		if P == 1 || N == 0 {
-			return nil
-		}
+		return twoPhaseRadixWithMax(p, r, N, send, scounts, sdispls, recv, rcounts, rdispls)
+	}
+}
 
-		w := p.AllocBuf(P * N)
-		idx := make([]int, P)
-		for s := 0; s < P; s++ {
-			idx[s] = ((2*rank-s)%P + P) % P
-		}
-		p.Charge(float64(P))
+// twoPhaseRadixWithMax is the radix-r two-phase exchange after
+// validation and the max-block Allreduce (see twoPhaseWithMax).
+func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error {
+	P := p.Size()
+	rank := p.Rank()
 
-		size := make([]int, P)
-		for s := 0; s < P; s++ {
-			size[s] = scounts[idx[s]]
-		}
-		status := make([]bool, P)
-
-		maxBlocks := maxDigitBlocks(P, r)
-		stage := p.AllocBuf(maxBlocks * N)
-		rstage := p.AllocBuf(maxBlocks * N)
-		meta := buffer.New(4 * maxBlocks)
-		rmeta := buffer.New(4 * maxBlocks)
-
-		done := p.Phase(PhaseComm)
-		defer done()
-		defer p.ClearStep()
-		var rel []int
-		substep := 0 // running (position, digit) sub-step index
-		for k, step := range radixSteps(P, r) {
-			for d := 1; d < r && d*step < P; d++ {
-				rel = digitSlots(rel, P, r, k, d)
-				if len(rel) == 0 {
-					continue
-				}
-				p.SetStep(substep)
-				substep++
-				dst := (rank - d*step%P + P) % P
-				src := (rank + d*step) % P
-				mtag := tagMeta + k*16 + d
-				dtag := tagData + k*16 + d
-
-				for j, i := range rel {
-					s := (i + rank) % P
-					meta.PutUint32(4*j, uint32(size[s]))
-				}
-				p.SendRecv(dst, mtag, meta.Slice(0, 4*len(rel)), src, mtag, rmeta.Slice(0, 4*len(rel)))
-
-				off := 0
-				for _, i := range rel {
-					s := (i + rank) % P
-					var blk buffer.Buf
-					if status[s] {
-						blk = w.Slice(s*N, size[s])
-					} else {
-						blk = send.Slice(sdispls[idx[s]], size[s])
-					}
-					p.Memcpy(stage.Slice(off, size[s]), blk)
-					off += size[s]
-				}
-				p.Send(dst, dtag, stage.Slice(0, off))
-
-				total := 0
-				for j := range rel {
-					total += int(rmeta.Uint32(4 * j))
-				}
-				p.Recv(src, dtag, rstage.Slice(0, total))
-
-				roff := 0
-				for j, i := range rel {
-					s := (i + rank) % P
-					sz := int(rmeta.Uint32(4 * j))
-					if i < step*r { // final hop: highest nonzero digit is position k
-						if sz != rcounts[s] {
-							return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d", r, s, sz, rcounts[s])
-						}
-						p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
-					} else {
-						p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
-					}
-					roff += sz
-					size[s] = sz
-					status[s] = true
-				}
-			}
-		}
+	if err := selfCopy(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+		return err
+	}
+	if P == 1 || N == 0 {
 		return nil
 	}
+
+	w := p.AllocBuf(P * N)
+	idx := make([]int, P)
+	for s := 0; s < P; s++ {
+		idx[s] = ((2*rank-s)%P + P) % P
+	}
+	p.Charge(float64(P))
+
+	size := make([]int, P)
+	for s := 0; s < P; s++ {
+		size[s] = scounts[idx[s]]
+	}
+	status := make([]bool, P)
+
+	maxBlocks := maxDigitBlocks(P, r)
+	stage := p.AllocBuf(maxBlocks * N)
+	rstage := p.AllocBuf(maxBlocks * N)
+	meta := buffer.New(4 * maxBlocks)
+	rmeta := buffer.New(4 * maxBlocks)
+
+	done := p.Phase(PhaseComm)
+	defer done()
+	defer p.ClearStep()
+	var rel []int
+	substep := 0 // running (position, digit) sub-step index
+	for k, step := range radixSteps(P, r) {
+		for d := 1; d < r && d*step < P; d++ {
+			rel = digitSlots(rel, P, r, k, d)
+			if len(rel) == 0 {
+				continue
+			}
+			p.SetStep(substep)
+			substep++
+			dst := (rank - d*step%P + P) % P
+			src := (rank + d*step) % P
+			mtag := tagMeta + k*16 + d
+			dtag := tagData + k*16 + d
+
+			for j, i := range rel {
+				s := (i + rank) % P
+				meta.PutUint32(4*j, uint32(size[s]))
+			}
+			p.SendRecv(dst, mtag, meta.Slice(0, 4*len(rel)), src, mtag, rmeta.Slice(0, 4*len(rel)))
+
+			off := 0
+			for _, i := range rel {
+				s := (i + rank) % P
+				var blk buffer.Buf
+				if status[s] {
+					blk = w.Slice(s*N, size[s])
+				} else {
+					blk = send.Slice(sdispls[idx[s]], size[s])
+				}
+				p.Memcpy(stage.Slice(off, size[s]), blk)
+				off += size[s]
+			}
+			p.Send(dst, dtag, stage.Slice(0, off))
+
+			total := 0
+			for j := range rel {
+				total += int(rmeta.Uint32(4 * j))
+			}
+			p.Recv(src, dtag, rstage.Slice(0, total))
+
+			roff := 0
+			for j, i := range rel {
+				s := (i + rank) % P
+				sz := int(rmeta.Uint32(4 * j))
+				if i < step*r { // final hop: highest nonzero digit is position k
+					if sz != rcounts[s] {
+						return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d", r, s, sz, rcounts[s])
+					}
+					p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
+				} else {
+					p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
+				}
+				roff += sz
+				size[s] = sz
+				status[s] = true
+			}
+		}
+	}
+	return nil
 }

@@ -28,6 +28,7 @@ func UniformAlgorithms() map[string]Alltoall {
 // implementations by name.
 func NonUniformAlgorithms() map[string]Alltoallv {
 	return map[string]Alltoallv{
+		"auto":            Auto(nil),
 		"spreadout":       SpreadOut,
 		"vendor":          VendorAlltoallv,
 		"padded-bruck":    PaddedBruck,

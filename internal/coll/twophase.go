@@ -22,11 +22,21 @@ func TwoPhaseBruck(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 		return err
 	}
+	// Line 1 of Algorithm 1: global maximum block size.
+	N := p.AllreduceMaxInt(maxInts(scounts))
+	return twoPhaseWithMax(p, N, send, scounts, sdispls, recv, rcounts, rdispls)
+}
+
+// twoPhaseWithMax is TwoPhaseBruck after validation and the max-block
+// Allreduce: callers that already know the global maximum (the
+// auto-selector's fused reduction, a persistent plan) enter here so the
+// reduction is never paid twice. N must be the true global maximum of
+// scounts across ranks.
+func twoPhaseWithMax(p *mpi.Proc, N int, send buffer.Buf, scounts, sdispls []int,
+	recv buffer.Buf, rcounts, rdispls []int) error {
 	P := p.Size()
 	rank := p.Rank()
 
-	// Line 1 of Algorithm 1: global maximum block size.
-	N := p.AllreduceMaxInt(maxInts(scounts))
 	if err := selfCopy(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 		return err
 	}

@@ -181,7 +181,16 @@ func (m Model) EstimateSpreadOut(p int, avg float64) float64 {
 // powers of two up to limit) for which two-phase Bruck is predicted to
 // beat spread-out at p ranks, or 0 if it never does. This mirrors how
 // Figure 9 of the paper carves the (N, P) parameter space.
+//
+// Degenerate inputs yield 0 rather than an arbitrary probe point: p <= 1
+// (a one-rank "exchange" has no communication to cross over), limit
+// below the first probed size (2 bytes), and free-communication models
+// (zero latency, overheads, and byte time price every algorithm at 0,
+// so no algorithm ever strictly beats another).
 func (m Model) CrossoverN(p, limit int) int {
+	if p <= 1 || limit < 2 {
+		return 0
+	}
 	best := 0
 	for n := 2; n <= limit; n *= 2 {
 		avg := float64(n) / 2

@@ -1,0 +1,54 @@
+package machine
+
+import "testing"
+
+// CrossoverN edge behaviour: degenerate rank counts, limits below the
+// first probe, and free-communication models must all report "no
+// crossover" rather than an arbitrary probe point.
+
+func TestCrossoverNOneRank(t *testing.T) {
+	for _, p := range []int{-1, 0, 1} {
+		if got := Theta().CrossoverN(p, 1<<20); got != 0 {
+			t.Errorf("CrossoverN(p=%d) = %d, want 0: a one-rank exchange has no crossover", p, got)
+		}
+	}
+}
+
+func TestCrossoverNSmallLimit(t *testing.T) {
+	for _, limit := range []int{-4, 0, 1} {
+		if got := Theta().CrossoverN(512, limit); got != 0 {
+			t.Errorf("CrossoverN(limit=%d) = %d, want 0: limit is below the first 2-byte probe", limit, got)
+		}
+	}
+	// The smallest usable limit probes exactly N=2.
+	if got := Theta().CrossoverN(512, 2); got != 0 && got != 2 {
+		t.Errorf("CrossoverN(limit=2) = %d, want 0 or 2", got)
+	}
+}
+
+func TestCrossoverNZeroCostModel(t *testing.T) {
+	if got := Zero().CrossoverN(512, 1<<20); got != 0 {
+		t.Errorf("CrossoverN on the free model = %d, want 0: every algorithm costs 0, nothing strictly wins", got)
+	}
+}
+
+func TestCrossoverNNeverExceedsLimit(t *testing.T) {
+	for name, m := range Presets() {
+		for _, limit := range []int{2, 64, 4096} {
+			if got := m.CrossoverN(512, limit); got > limit {
+				t.Errorf("%s: CrossoverN(512, %d) = %d exceeds the limit", name, limit, got)
+			}
+		}
+	}
+}
+
+func TestCrossoverNRealModelsPositive(t *testing.T) {
+	// On every calibrated machine, two-phase wins at least the smallest
+	// blocks at the paper's scales.
+	for _, name := range []string{"theta", "cori", "stampede"} {
+		m := Presets()[name]
+		if got := m.CrossoverN(256, 1<<20); got < 2 {
+			t.Errorf("%s: CrossoverN(256) = %d, want a positive crossover", name, got)
+		}
+	}
+}

@@ -21,6 +21,7 @@ const (
 	tagReduceSum
 	tagBcast
 	tagGather
+	tagAllreduceFused
 )
 
 // Barrier blocks until all ranks have entered it (dissemination barrier,
@@ -105,6 +106,65 @@ func (p *Proc) AllreduceSumInt64(v int64) int64 {
 		}
 	}
 	return p.BcastInt64(v, 0)
+}
+
+// AllreduceMaxIntSumInt64 returns (max of maxv, sum of sumv) over all
+// ranks as one fused allreduce. It exists for callers that need both
+// reductions at once — the auto-selecting Alltoallv derives the global
+// maximum block size and the global byte total from a single exchange —
+// and is priced accordingly: recursive doubling over the 16-byte
+// (max, sum) pair costs exactly log2(P) rounds for power-of-two P, the
+// same as one AllreduceMaxInt, and ceil(log2 P)+2 rounds otherwise
+// (non-power-of-two ranks fold the remainder in and out).
+func (p *Proc) AllreduceMaxIntSumInt64(maxv int, sumv int64) (int, int64) {
+	P := p.Size()
+	if P == 1 {
+		return maxv, sumv
+	}
+	sb := buffer.New(16)
+	rb := buffer.New(16)
+	// Order-preserving bias so max works on the unsigned wire encoding.
+	mx := uint64(int64(maxv)) + 1<<63
+	sm := sumv
+	send := func(dst int) {
+		sb.PutUint64(0, mx)
+		sb.PutUint64(8, uint64(sm))
+		p.sendColl(dst, tagAllreduceFused, sb)
+	}
+	combine := func() {
+		if got := rb.Uint64(0); got > mx {
+			mx = got
+		}
+		sm += int64(rb.Uint64(8))
+	}
+	// p2 is the largest power of two <= P; the r = P - p2 extra ranks
+	// fold into their partner below p2 and sit out the doubling.
+	p2 := 1
+	for p2<<1 <= P {
+		p2 <<= 1
+	}
+	r := P - p2
+	rank := p.rank
+	if rank >= p2 {
+		send(rank - p2)
+		p.recvColl(rank-p2, tagAllreduceFused, rb)
+		return int(int64(rb.Uint64(0) - 1<<63)), int64(rb.Uint64(8))
+	}
+	if rank < r {
+		p.recvColl(rank+p2, tagAllreduceFused, rb)
+		combine()
+	}
+	for k := 1; k < p2; k <<= 1 {
+		partner := rank ^ k
+		sb.PutUint64(0, mx)
+		sb.PutUint64(8, uint64(sm))
+		p.sendRecvColl(partner, tagAllreduceFused, sb, partner, tagAllreduceFused, rb)
+		combine()
+	}
+	if rank < r {
+		send(rank + p2)
+	}
+	return int(int64(mx - 1<<63)), sm
 }
 
 // BcastInt64 broadcasts v from root to all ranks along a binomial tree

@@ -140,3 +140,73 @@ func TestCollectiveFactorDiscount(t *testing.T) {
 		t.Errorf("one allreduce round (%v) should be cheaper than a full-price sendrecv (%v)", c, pt)
 	}
 }
+
+// Property: the fused max+sum allreduce agrees with the separate
+// reductions for arbitrary values and world sizes, power of two or not.
+func TestQuickAllreduceMaxSumFused(t *testing.T) {
+	f := func(maxima []int16, sums []int32, pRaw uint8) bool {
+		P := int(pRaw)%13 + 1
+		if len(maxima) < P || len(sums) < P {
+			return true
+		}
+		wantMax := int(maxima[0])
+		var wantSum int64
+		for r := 0; r < P; r++ {
+			if int(maxima[r]) > wantMax {
+				wantMax = int(maxima[r])
+			}
+			wantSum += int64(sums[r])
+		}
+		w, err := NewWorld(P, WithModel(machine.Zero()))
+		if err != nil {
+			return false
+		}
+		ok := true
+		err = w.Run(func(p *Proc) error {
+			gotMax, gotSum := p.AllreduceMaxIntSumInt64(int(maxima[p.Rank()]), int64(sums[p.Rank()]))
+			if gotMax != wantMax || gotSum != wantSum {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fused reduction's selling point: at power-of-two P it costs the
+// same number of rounds as a plain AllreduceMaxInt, so auto-selection
+// adds no latency over the Allreduce every Bruck variant already pays.
+// Allow only the 8-extra-bytes-per-round wire time as slack.
+func TestFusedAllreduceCostMatchesMax(t *testing.T) {
+	for _, P := range []int{2, 8, 64} {
+		var plain, fused float64
+		w, err := NewWorld(P, WithModel(machine.Theta()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *Proc) error {
+			t0 := p.Now()
+			p.AllreduceMaxInt(p.Rank())
+			t1 := p.Now()
+			p.AllreduceMaxIntSumInt64(p.Rank(), int64(p.Rank()))
+			t2 := p.Now()
+			if p.Rank() == 0 {
+				plain, fused = t1-t0, t2-t1
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain <= 0 || fused <= 0 {
+			t.Fatalf("P=%d: non-positive costs plain=%v fused=%v", P, plain, fused)
+		}
+		// 8 extra bytes per round at ~0.1 ns/B is well under 2% here.
+		if fused > plain*1.05 {
+			t.Errorf("P=%d: fused allreduce %.0fns vs plain max %.0fns (>5%% over)", P, fused, plain)
+		}
+	}
+}

@@ -1,6 +1,12 @@
 package bruckv
 
-import "bruckv/internal/machine"
+import (
+	"fmt"
+	"io"
+
+	"bruckv/internal/coll"
+	"bruckv/internal/machine"
+)
 
 // MachineParams is the public mirror of the communication cost model:
 // a LogGP-style description of one machine, in nanoseconds and
@@ -70,34 +76,106 @@ func ZeroCost() MachineParams { return modelParams(machine.Zero()) }
 
 // PredictNs estimates the runtime in nanoseconds of one Alltoallv under
 // the given machine, rank count, and maximum block size (average block
-// assumed maxBlock/2, the paper's continuous uniform workload). It
-// returns 0 for algorithms without an analytic model.
+// assumed maxBlock/2, the paper's continuous uniform workload). For
+// Auto it returns the analytic selection's predicted cost — the minimum
+// over the candidate estimates. It returns 0 for algorithms without an
+// analytic model.
 func PredictNs(alg Algorithm, p, maxBlock int, mp MachineParams) float64 {
 	m := mp.model()
 	avg := float64(maxBlock) / 2
 	switch alg {
 	case TwoPhaseBruck, SLOAVBaseline:
 		return m.EstimateTwoPhase(p, avg)
+	case TwoPhaseRadix4:
+		return m.EstimateTwoPhaseRadix(p, 4, avg)
+	case TwoPhaseRadix8:
+		return m.EstimateTwoPhaseRadix(p, 8, avg)
 	case PaddedBruck, PaddedAlltoall:
 		return m.EstimatePadded(p, maxBlock, avg)
 	case SpreadOut, Vendor:
 		return m.EstimateSpreadOut(p, avg)
+	case Auto:
+		return coll.Select(m, nil, p, maxBlock, avg).PredictedNs
 	}
 	return 0
 }
 
 // ChooseAlgorithm is the paper's empirical performance model turned into
 // a tuner: given the rank count, the global maximum block size, and the
-// machine, it picks the predicted-fastest of TwoPhaseBruck, PaddedBruck,
-// and Vendor — the decision Figure 9 carves out ("with P=350 and N=800,
-// should one use two-phase, padded, or the vendor's Alltoallv?").
+// machine, it picks the predicted-fastest Alltoallv algorithm — the
+// decision Figure 9 carves out ("with P=350 and N=800, should one use
+// two-phase, padded, or the linear-time Alltoallv?"). It is the analytic
+// half of the Auto algorithm exposed as a standalone advisor: the same
+// selection an un-tuned Auto world makes at runtime, assuming the
+// paper's continuous uniform workload (average block maxBlock/2).
 func ChooseAlgorithm(p, maxBlock int, mp MachineParams) Algorithm {
-	best := Vendor
-	bestT := PredictNs(Vendor, p, maxBlock, mp)
-	for _, a := range []Algorithm{TwoPhaseBruck, PaddedBruck} {
-		if t := PredictNs(a, p, maxBlock, mp); t < bestT {
-			best, bestT = a, t
-		}
+	sel := coll.Select(mp.model(), nil, p, maxBlock, float64(maxBlock)/2)
+	a, err := ParseAlgorithm(sel.Algorithm)
+	if err != nil {
+		return TwoPhaseBruck // unreachable: Select only names registry algorithms
 	}
-	return best
+	return a
 }
+
+// Tuning is an empirical calibration table for the Auto algorithm: the
+// measured-fastest algorithm per (rank count, maximum block size) cell,
+// as produced by an offline sweep (bruckbench -calibrate). Installed
+// with WithTuning, it overrides Auto's analytic prior for calls landing
+// within a factor of two of a calibrated cell on both axes.
+type Tuning struct {
+	table *coll.Table
+}
+
+// TuningCell is one calibrated grid point.
+type TuningCell struct {
+	// P is the rank count and N the global maximum block size in bytes.
+	P, N int
+	// Algorithm is the measured-fastest algorithm at this cell. It must
+	// be one Auto can dispatch: TwoPhaseBruck, TwoPhaseRadix4,
+	// TwoPhaseRadix8, PaddedBruck, or SpreadOut.
+	Algorithm Algorithm
+}
+
+// NewTuning builds a calibration table from explicit cells. machineName
+// records which machine model the measurements were taken under
+// (informational).
+func NewTuning(machineName string, cells []TuningCell) (*Tuning, error) {
+	t := &coll.Table{Machine: machineName}
+	for _, c := range cells {
+		t.Cells = append(t.Cells, coll.Cell{P: c.P, N: c.N, Algorithm: c.Algorithm.String()})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	t.Sort()
+	return &Tuning{table: t}, nil
+}
+
+// ReadTuning loads a JSON table written by Write (or by
+// bruckbench -calibrate).
+func ReadTuning(r io.Reader) (*Tuning, error) {
+	t, err := coll.DecodeTable(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Tuning{table: t}, nil
+}
+
+// Write persists the table as indented JSON, readable by ReadTuning.
+func (t *Tuning) Write(w io.Writer) error {
+	if t == nil || t.table == nil {
+		return fmt.Errorf("bruckv: writing nil tuning table")
+	}
+	return t.table.Encode(w)
+}
+
+// Machine returns the machine name recorded in the table.
+func (t *Tuning) Machine() string { return t.table.Machine }
+
+// Len returns the number of calibrated cells.
+func (t *Tuning) Len() int { return len(t.table.Cells) }
+
+// WithTuning installs an empirical calibration table consulted by the
+// Auto algorithm (see Tuning). Worlds without tuning use the pure
+// analytic model.
+func WithTuning(t *Tuning) Option { return func(c *config) { c.tuning = t } }
