@@ -12,6 +12,7 @@
 //	bruckbench -trace out.json -alg two-phase -ps 128 -faults stragglers=2,slowdown=4,jitter=0.25
 //	bruckbench -fig auto -ps 64,128,256,512
 //	bruckbench -calibrate tuning.json -ps 64,128,256
+//	bruckbench -fig hostperf -hostperf-out BENCH_hostperf.json
 //
 // -fig auto runs the auto-selection study: every algorithm AlgAuto
 // chooses among plus AlgAuto itself (analytic, and tuned with the
@@ -34,6 +35,14 @@
 // exchange; -fault-seed overrides the plan's seed. -fig chaos sweeps
 // every registered Alltoallv algorithm across a fault grid and prints a
 // straggler-sensitivity table of faulted/clean completion-time ratios.
+//
+// -fig hostperf measures what each Alltoallv algorithm costs the
+// simulating host per collective call — wall time, heap allocations,
+// and transport buffer-pool recycling rates — by differencing a long
+// run against a one-call run so world setup cancels. -hostperf-out
+// additionally records the report as JSON (BENCH_hostperf.json in this
+// repository). Host performance is observational: virtual timings are
+// bit-identical with or without it.
 package main
 
 import (
@@ -52,7 +61,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,auto,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,auto,hostperf,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -67,6 +76,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25")
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0: keep the plan's own)")
 		calOut   = flag.String("calibrate", "", "sweep the auto candidates and write the winner table as JSON to this file")
+		hpOut    = flag.String("hostperf-out", "", "also write the -fig hostperf report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -222,6 +232,30 @@ func main() {
 		r, err := bench.Chaos(o, cfg)
 		check(err)
 		r.Fprint(out)
+	}
+	if want["hostperf"] {
+		cfg := bench.HostPerfConfig{}
+		if len(ps) > 0 {
+			cfg.P = ps[0]
+		}
+		if len(ns) > 0 {
+			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "iters" {
+				cfg.Iters = *iters
+			}
+		})
+		r, err := bench.HostPerf(o, cfg)
+		check(err)
+		r.Fprint(out)
+		if *hpOut != "" {
+			fh, err := os.Create(*hpOut)
+			check(err)
+			check(r.WriteJSON(fh))
+			check(fh.Close())
+			fmt.Printf("wrote %s (%d algorithms)\n", *hpOut, len(r.Rows))
+		}
 	}
 	if all || want["ext"] {
 		p := 256

@@ -65,6 +65,11 @@ type Result struct {
 	// was set. Steps is its per-step roll-up (see trace.StepStats).
 	Trace *trace.Trace
 	Steps []trace.StepStat
+	// Host is the host-side performance of the whole measurement run:
+	// wall time, allocator and GC activity, and transport pool traffic.
+	// All iterations share one run, so divide by Iters for per-call
+	// figures (see HostPerf for a setup-cancelling report).
+	Host mpi.RunStats
 }
 
 func (c *MicroConfig) defaults() error {
@@ -148,6 +153,7 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 		Phases:       scalePhases(w.MaxPhase(), cfg.Iters),
 		BytesPerRank: float64(w.TotalBytes()) / float64(P) / float64(cfg.Iters),
 		MsgsPerRank:  float64(w.TotalMessages()) / float64(P) / float64(cfg.Iters),
+		Host:         w.RunStats(),
 	}
 	if tr := w.Trace(); tr != nil {
 		res.Trace = tr
@@ -221,6 +227,7 @@ func RunUniform(cfg UniformConfig) (Result, error) {
 		Phases:       scalePhases(w.MaxPhase(), cfg.Iters),
 		BytesPerRank: float64(w.TotalBytes()) / float64(cfg.P) / float64(cfg.Iters),
 		MsgsPerRank:  float64(w.TotalMessages()) / float64(cfg.P) / float64(cfg.Iters),
+		Host:         w.RunStats(),
 	}, nil
 }
 

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bruckv/internal/coll"
+	"bruckv/internal/dist"
+	"bruckv/internal/mpi"
+)
+
+// HostPerfConfig describes one host-performance sweep: every algorithm
+// runs the same workload twice — once for a single collective call and
+// once for Iters calls in the same world — and the per-call numbers are
+// the difference divided by Iters-1, which cancels the O(P) per-run
+// world setup and isolates the steady-state hot path.
+type HostPerfConfig struct {
+	// P is the number of simulated ranks (default 32; host performance
+	// is per-call, so modest worlds suffice).
+	P int
+	// Spec generates the workload (default uniform, N=256, seed 1).
+	Spec dist.Spec
+	// Algorithms are keys of coll.NonUniformAlgorithms (default: all
+	// registered, sorted).
+	Algorithms []string
+	// Iters is the long run's call count (default 16; must be >= 2).
+	Iters int
+	// Phantom drops real payloads. The default is real payloads — the
+	// configuration where the transport pool matters; phantom mode
+	// isolates bookkeeping allocations instead.
+	Phantom bool
+}
+
+func (c *HostPerfConfig) defaults() {
+	if c.P <= 0 {
+		c.P = 32
+	}
+	if c.Spec.Kind == 0 && c.Spec.N == 0 {
+		c.Spec = dist.Spec{Kind: dist.Uniform, N: 256, Seed: 1}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = coll.Names(coll.NonUniformAlgorithms())
+	}
+	if c.Iters < 2 {
+		c.Iters = 16
+	}
+}
+
+// HostPerfRow is one algorithm's host-performance profile. The PerCall
+// figures are steady-state (setup-cancelled); the Run block is the raw
+// record of the long run.
+type HostPerfRow struct {
+	Algorithm string
+	// WallNsPerCall, AllocsPerCall, and AllocBytesPerCall are the
+	// long-run minus short-run deltas divided by Iters-1: the marginal
+	// host cost of one more collective call, with world construction
+	// and first-call warm-up cancelled out.
+	WallNsPerCall     float64
+	AllocsPerCall     float64
+	AllocBytesPerCall float64
+	// PoolHitRate and ScratchHitRate are the long run's recycling
+	// rates: the fraction of payload-pool and scratch-arena Gets served
+	// without allocating.
+	PoolHitRate    float64
+	ScratchHitRate float64
+	// PoolOutstanding is the payload pool's Gets-Puts balance after the
+	// long run; nonzero means a payload leaked.
+	PoolOutstanding int64
+	// Run is the raw host-performance record of the long (Iters-call)
+	// run.
+	Run mpi.RunStats
+}
+
+// HostPerfReport is the full host-performance table.
+type HostPerfReport struct {
+	Config HostPerfConfig
+	Rows   []HostPerfRow
+}
+
+// HostPerf measures the host-side cost of every configured Alltoallv
+// algorithm: wall time, allocator traffic, GC work, and transport-pool
+// recycling. Virtual timings are unaffected by any of this — the report
+// is about what the simulation costs the machine running it.
+func HostPerf(o Options, cfg HostPerfConfig) (HostPerfReport, error) {
+	o = o.withDefaults()
+	cfg.defaults()
+	rep := HostPerfReport{Config: cfg}
+	measure := func(alg string, iters int) (mpi.RunStats, error) {
+		res, err := RunMicro(MicroConfig{
+			P:         cfg.P,
+			Algorithm: alg,
+			Spec:      cfg.Spec,
+			Model:     o.Model,
+			Iters:     iters,
+			Real:      !cfg.Phantom,
+		})
+		if err != nil {
+			return mpi.RunStats{}, err
+		}
+		return res.Host, nil
+	}
+	for _, alg := range cfg.Algorithms {
+		short, err := measure(alg, 1)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hostperf short run of %q: %w", alg, err)
+		}
+		long, err := measure(alg, cfg.Iters)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hostperf long run of %q: %w", alg, err)
+		}
+		span := float64(cfg.Iters - 1)
+		row := HostPerfRow{
+			Algorithm:         alg,
+			WallNsPerCall:     float64(long.WallNs-short.WallNs) / span,
+			AllocsPerCall:     float64(int64(long.Mallocs)-int64(short.Mallocs)) / span,
+			AllocBytesPerCall: float64(int64(long.AllocBytes)-int64(short.AllocBytes)) / span,
+			PoolHitRate:       long.Pool.HitRate(),
+			ScratchHitRate:    long.Scratch.HitRate(),
+			PoolOutstanding:   long.Pool.Outstanding(),
+			Run:               long,
+		}
+		rep.Rows = append(rep.Rows, row)
+		o.progress("hostperf %-15s P=%-5d allocs/call %.0f bytes/call %.0f pool %.0f%% scratch %.0f%%",
+			alg, cfg.P, row.AllocsPerCall, row.AllocBytesPerCall,
+			100*row.PoolHitRate, 100*row.ScratchHitRate)
+	}
+	return rep, nil
+}
+
+// Fprint renders the host-performance table: one row per algorithm with
+// steady-state per-call cost and pool recycling rates.
+func (r HostPerfReport) Fprint(w io.Writer) {
+	c := r.Config
+	mode := "real"
+	if c.Phantom {
+		mode = "phantom"
+	}
+	fmt.Fprintf(w, "# hostperf — host-side cost per collective call: P=%d, %s, %s payloads, %d iters\n",
+		c.P, c.Spec, mode, c.Iters)
+	rows := [][]string{{"algorithm", "wall/call (us)", "allocs/call", "KiB/call", "pool hit", "scratch hit", "leaked"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Algorithm,
+			fmt.Sprintf("%.1f", row.WallNsPerCall/1e3),
+			fmt.Sprintf("%.0f", row.AllocsPerCall),
+			fmt.Sprintf("%.1f", row.AllocBytesPerCall/1024),
+			fmt.Sprintf("%.1f%%", 100*row.PoolHitRate),
+			fmt.Sprintf("%.1f%%", 100*row.ScratchHitRate),
+			fmt.Sprintf("%d", row.PoolOutstanding),
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  (per-call figures subtract a 1-call run from a %d-call run, cancelling world setup)\n\n",
+		c.Iters)
+}
+
+// WriteJSON writes the report as indented JSON, the format recorded as
+// BENCH_hostperf.json.
+func (r HostPerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

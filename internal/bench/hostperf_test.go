@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHostPerfReport(t *testing.T) {
+	cfg := HostPerfConfig{P: 8, Iters: 4, Algorithms: []string{"two-phase", "spreadout"}}
+	rep, err := HostPerf(Options{Iters: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.AllocsPerCall < 0 {
+			t.Errorf("%s: negative allocs/call %.1f", row.Algorithm, row.AllocsPerCall)
+		}
+		if row.PoolOutstanding != 0 {
+			t.Errorf("%s: %d payloads leaked", row.Algorithm, row.PoolOutstanding)
+		}
+		if row.PoolHitRate < 0 || row.PoolHitRate > 1 {
+			t.Errorf("%s: pool hit rate %.3f outside [0,1]", row.Algorithm, row.PoolHitRate)
+		}
+		if row.Run.Pool.Gets == 0 {
+			t.Errorf("%s: real-payload run recorded no pool activity", row.Algorithm)
+		}
+	}
+
+	var text bytes.Buffer
+	rep.Fprint(&text)
+	for _, want := range []string{"hostperf", "two-phase", "spreadout", "pool hit"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("report text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back HostPerfReport
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != 2 || back.Rows[0].Algorithm != rep.Rows[0].Algorithm {
+		t.Errorf("round-tripped report lost rows: %+v", back.Rows)
+	}
+}
+
+// TestHostPerfPhantom checks the phantom configuration: data payloads
+// are phantom, so the only pool traffic is two-phase's real metadata
+// messages — which must still balance to zero outstanding.
+func TestHostPerfPhantom(t *testing.T) {
+	cfg := HostPerfConfig{P: 8, Iters: 3, Algorithms: []string{"two-phase"}, Phantom: true}
+	rep, err := HostPerf(Options{Iters: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Rows[0]
+	if row.PoolOutstanding != 0 {
+		t.Errorf("phantom run leaked %d pooled buffers", row.PoolOutstanding)
+	}
+	if row.Run.Scratch.Gets == 0 {
+		t.Errorf("phantom run recorded no scratch-arena activity (metadata stays real)")
+	}
+}

@@ -55,7 +55,12 @@ func FromBytes(b []byte) Buf { return Buf{data: b, n: len(b)} }
 func (b Buf) Len() int { return b.n }
 
 // Real reports whether the buffer has backing storage. Zero-length
-// buffers are considered real.
+// buffers are always real: with no bytes to back, a zero-length slice
+// of a phantom buffer and a zero-length real buffer are the same
+// object, and both may be passed anywhere a real buffer is expected
+// (the transport relies on this to never hand a phantom payload to a
+// real receiver — any non-empty payload's mode follows its source
+// buffer, and empty payloads are mode-less).
 func (b Buf) Real() bool { return b.data != nil || b.n == 0 }
 
 // Bytes returns the backing slice of a real buffer. It panics for a
@@ -71,7 +76,9 @@ func (b Buf) Bytes() []byte {
 }
 
 // Slice returns the sub-buffer [off, off+n). Like a Go slice it aliases
-// the original storage. It panics if the range is out of bounds.
+// the original storage. It panics if the range is out of bounds. A
+// zero-length slice of a phantom buffer is a zero-length real buffer,
+// per the Real convention that zero-length buffers carry no mode.
 func (b Buf) Slice(off, n int) Buf {
 	if off < 0 || n < 0 || off+n > b.n {
 		panic(fmt.Sprintf("buffer: slice [%d:%d) out of range of %d-byte buffer", off, off+n, b.n))
@@ -104,15 +111,27 @@ func (b Buf) SetByte(i int, v byte) {
 }
 
 // Copy copies min(dst.Len(), src.Len()) bytes from src to dst and returns
-// the number of bytes copied. If either side is phantom, no bytes move
-// but the count is still returned, so callers can account the copy.
+// the number of bytes copied. Mixed-mode copies are defined explicitly:
+//
+//   - real -> real: bytes move.
+//   - any -> phantom: nothing moves (there is nowhere to write); the
+//     count is still returned so callers can account the copy.
+//   - phantom -> real: the destination prefix is zeroed, consistent
+//     with phantom buffers reading as zero everywhere else (Byte,
+//     Uint32, Uint64). This is the path taken when a caller hands a
+//     real buffer to a receive in a phantom world; before it was made
+//     explicit, the destination silently kept its stale contents.
 func Copy(dst, src Buf) int {
 	n := dst.n
 	if src.n < n {
 		n = src.n
 	}
-	if dst.data != nil && src.data != nil {
-		copy(dst.data[:n], src.data[:n])
+	if dst.data != nil {
+		if src.data != nil {
+			copy(dst.data[:n], src.data[:n])
+		} else {
+			clear(dst.data[:n])
+		}
 	}
 	return n
 }

@@ -241,3 +241,50 @@ func TestQuickSliceIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestZeroLengthSliceOfPhantomIsReal(t *testing.T) {
+	ph := Phantom(64)
+	s := ph.Slice(8, 0)
+	if !s.Real() {
+		t.Error("zero-length slice of a phantom buffer must be real (zero-length buffers carry no mode)")
+	}
+	// And it must be usable anywhere a real buffer is: Bytes must not
+	// panic.
+	if got := len(s.Bytes()); got != 0 {
+		t.Errorf("Bytes() length = %d, want 0", got)
+	}
+	if s2 := ph.Slice(0, 1); s2.Real() {
+		t.Error("non-empty slice of a phantom buffer must stay phantom")
+	}
+}
+
+func TestCopyMixedModes(t *testing.T) {
+	// real -> real moves bytes.
+	dst := New(4)
+	src := New(4)
+	src.FillPattern(3)
+	if n := Copy(dst, src); n != 4 || !Equal(dst, src) {
+		t.Errorf("real->real: n=%d equal=%v", n, Equal(dst, src))
+	}
+	// phantom -> real zeroes the destination prefix (phantoms read as
+	// zero), rather than leaving stale bytes behind.
+	dst.FillPattern(9)
+	if n := Copy(dst.Slice(0, 3), Phantom(3)); n != 3 {
+		t.Errorf("phantom->real: n=%d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if dst.Byte(i) != 0 {
+			t.Errorf("phantom->real: byte %d = %#x, want 0", i, dst.Byte(i))
+		}
+	}
+	if dst.Byte(3) == 0 {
+		t.Error("phantom->real: byte past the copied prefix was clobbered")
+	}
+	// real -> phantom and phantom -> phantom only account.
+	if n := Copy(Phantom(8), src); n != 4 {
+		t.Errorf("real->phantom: n=%d, want 4", n)
+	}
+	if n := Copy(Phantom(2), Phantom(8)); n != 2 {
+		t.Errorf("phantom->phantom: n=%d, want 2", n)
+	}
+}

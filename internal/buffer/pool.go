@@ -1,0 +1,275 @@
+package buffer
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Size-classed buffer recycling for the transport hot path.
+//
+// Two flavors share the same size-class layout:
+//
+//   - Pool is safe for concurrent use and backs message payloads: the
+//     sending rank Gets, the receiving rank Puts after copy-out, so
+//     buffers cross goroutines.
+//   - Arena is single-owner (no locking) and backs one rank's scratch
+//     buffers (working buffers, staging areas, metadata arrays), which
+//     never leave the rank's goroutine.
+//
+// Both hand out real buffers whose backing capacity is the class size
+// (the next power of two >= the requested length, minimum 8 bytes) and
+// whose length is exactly the requested length. Returned memory is NOT
+// zeroed: every transport and algorithm path overwrites its buffers
+// before reading them, and skipping the clear is half the point of
+// recycling. Only buffers obtained from the same pool/arena may be
+// returned to it, and only once; phantom and zero-length buffers are
+// ignored by Put, so callers can return unconditionally.
+
+// minClassBits is the smallest class (8 bytes); classes are powers of
+// two up to 1<<62.
+const minClassBits = 3
+
+const numClasses = 64 - minClassBits
+
+// classFor returns the size-class index for a payload of n bytes
+// (n > 0): the smallest c with classSize(c) >= n.
+func classFor(n int) int {
+	c := bits.Len64(uint64(n)-1) - minClassBits
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// classSize returns the byte capacity of class c.
+func classSize(c int) int { return 1 << (c + minClassBits) }
+
+// classOf returns the class a previously handed-out buffer belongs to,
+// or -1 if the buffer did not come from a pool/arena (wrong backing
+// capacity, e.g. a sub-slice or a foreign allocation).
+func classOf(b Buf) int {
+	if b.data == nil || cap(b.data) == 0 {
+		return -1
+	}
+	n := cap(b.data)
+	if n&(n-1) != 0 || n < 1<<minClassBits {
+		return -1
+	}
+	return bits.TrailingZeros(uint(n)) - minClassBits
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's accounting.
+type PoolStats struct {
+	// Gets and Puts count successful Get and Put calls. Their
+	// difference — Outstanding — is the number of buffers currently
+	// held by callers; a steady nonzero value after a clean run is a
+	// leak.
+	Gets, Puts uint64
+	// Hits counts Gets served from a free list; Misses counts Gets
+	// that had to allocate. HitRate derives from them.
+	Hits, Misses uint64
+	// BytesAlloc is the total backing bytes allocated by misses (class
+	// capacities, not requested lengths).
+	BytesAlloc uint64
+}
+
+// Outstanding returns the number of buffers held by callers.
+func (s PoolStats) Outstanding() int64 { return int64(s.Gets) - int64(s.Puts) }
+
+// HitRate returns the fraction of Gets served without allocating, or 1
+// if there were no Gets.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Add returns the element-wise sum of two snapshots; used to aggregate
+// the per-rank arenas of a world into one record.
+func (s PoolStats) Add(t PoolStats) PoolStats {
+	return PoolStats{
+		Gets:       s.Gets + t.Gets,
+		Puts:       s.Puts + t.Puts,
+		Hits:       s.Hits + t.Hits,
+		Misses:     s.Misses + t.Misses,
+		BytesAlloc: s.BytesAlloc + t.BytesAlloc,
+	}
+}
+
+// Sub returns the stats accumulated since an earlier snapshot.
+func (s PoolStats) Sub(earlier PoolStats) PoolStats {
+	return PoolStats{
+		Gets:       s.Gets - earlier.Gets,
+		Puts:       s.Puts - earlier.Puts,
+		Hits:       s.Hits - earlier.Hits,
+		Misses:     s.Misses - earlier.Misses,
+		BytesAlloc: s.BytesAlloc - earlier.BytesAlloc,
+	}
+}
+
+// Pool is a concurrency-safe, size-classed free list of real buffers.
+// The zero value is ready to use.
+type Pool struct {
+	classes [numClasses]poolClass
+
+	gets, puts, hits, misses, bytes atomic.Uint64
+
+	// debug, when enabled via SetDebug, tracks the head pointer of every
+	// free buffer so a double Put panics instead of corrupting the free
+	// list, and poisons returned buffers so use-after-return reads are
+	// conspicuous. It costs a map operation per Get/Put, so it is off by
+	// default.
+	debugOn atomic.Bool
+	debugMu sync.Mutex
+	free    map[*byte]bool
+}
+
+type poolClass struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// poisonByte fills buffers returned to a debug-enabled pool, making any
+// read of recycled memory conspicuous (0xDB: "dead buffer").
+const poisonByte = 0xDB
+
+// SetDebug toggles double-free detection and poisoning. Enable it in
+// tests; it is too expensive for the steady-state hot path.
+func (p *Pool) SetDebug(on bool) {
+	p.debugMu.Lock()
+	if on && p.free == nil {
+		p.free = map[*byte]bool{}
+	}
+	p.debugOn.Store(on)
+	p.debugMu.Unlock()
+}
+
+// Get returns a real buffer of exactly n bytes with uninitialized
+// contents, recycling a free buffer of the right class when one exists.
+// Get(0) returns an empty buffer that Put ignores.
+func (p *Pool) Get(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: pool Get with negative length %d", n))
+	}
+	if n == 0 {
+		return Buf{data: []byte{}}
+	}
+	c := classFor(n)
+	pc := &p.classes[c]
+	var mem []byte
+	pc.mu.Lock()
+	if k := len(pc.bufs); k > 0 {
+		mem = pc.bufs[k-1]
+		pc.bufs[k-1] = nil
+		pc.bufs = pc.bufs[:k-1]
+	}
+	pc.mu.Unlock()
+	p.gets.Add(1)
+	if mem == nil {
+		p.misses.Add(1)
+		p.bytes.Add(uint64(classSize(c)))
+		mem = make([]byte, classSize(c))
+	} else {
+		p.hits.Add(1)
+		if p.debugOn.Load() {
+			p.debugMu.Lock()
+			delete(p.free, &mem[0])
+			p.debugMu.Unlock()
+		}
+	}
+	return Buf{data: mem[:n], n: n}
+}
+
+// Put returns a buffer obtained from Get to the free list. Phantom,
+// zero-length, and foreign buffers (not produced by Get, or sub-slices
+// that lost the class-sized backing) are ignored, so transport code can
+// call Put unconditionally on any payload it retires. With SetDebug
+// enabled, returning the same buffer twice panics and the contents are
+// poisoned.
+func (p *Pool) Put(b Buf) {
+	c := classOf(b)
+	if c < 0 {
+		return
+	}
+	mem := b.data[:1][0:classSize(c):classSize(c)]
+	if p.debugOn.Load() {
+		head := &mem[0]
+		p.debugMu.Lock()
+		if p.free[head] {
+			p.debugMu.Unlock()
+			panic("buffer: pool double free: payload returned twice")
+		}
+		p.free[head] = true
+		p.debugMu.Unlock()
+		for i := range mem {
+			mem[i] = poisonByte
+		}
+	}
+	pc := &p.classes[c]
+	pc.mu.Lock()
+	pc.bufs = append(pc.bufs, mem)
+	pc.mu.Unlock()
+	p.puts.Add(1)
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:       p.gets.Load(),
+		Puts:       p.puts.Load(),
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		BytesAlloc: p.bytes.Load(),
+	}
+}
+
+// Arena is a single-owner, size-classed free list of real buffers, the
+// lock-free counterpart of Pool for scratch that never leaves one
+// goroutine. The zero value is ready to use.
+type Arena struct {
+	classes [numClasses][][]byte
+	stats   PoolStats
+}
+
+// Get returns a real buffer of exactly n bytes with uninitialized
+// contents.
+func (a *Arena) Get(n int) Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("buffer: arena Get with negative length %d", n))
+	}
+	if n == 0 {
+		return Buf{data: []byte{}}
+	}
+	c := classFor(n)
+	a.stats.Gets++
+	if k := len(a.classes[c]); k > 0 {
+		mem := a.classes[c][k-1]
+		a.classes[c][k-1] = nil
+		a.classes[c] = a.classes[c][:k-1]
+		a.stats.Hits++
+		return Buf{data: mem[:n], n: n}
+	}
+	a.stats.Misses++
+	a.stats.BytesAlloc += uint64(classSize(c))
+	mem := make([]byte, classSize(c))
+	return Buf{data: mem[:n], n: n}
+}
+
+// Put returns a buffer obtained from Get. Phantom, zero-length, and
+// foreign buffers are ignored, so callers may return scratch
+// unconditionally.
+func (a *Arena) Put(b Buf) {
+	c := classOf(b)
+	if c < 0 {
+		return
+	}
+	mem := b.data[:1][0:classSize(c):classSize(c)]
+	a.classes[c] = append(a.classes[c], mem)
+	a.stats.Puts++
+}
+
+// Stats returns the arena's accounting.
+func (a *Arena) Stats() PoolStats { return a.stats }

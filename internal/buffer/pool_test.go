@@ -1,0 +1,143 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, size int }{
+		{1, 8}, {7, 8}, {8, 8}, {9, 16}, {16, 16}, {17, 32},
+		{4096, 4096}, {4097, 8192}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		if got := classSize(classFor(c.n)); got != c.size {
+			t.Errorf("classFor(%d): class size %d, want %d", c.n, got, c.size)
+		}
+	}
+}
+
+func TestPoolGetPutRecycles(t *testing.T) {
+	var p Pool
+	b := p.Get(100)
+	if !b.Real() || b.Len() != 100 {
+		t.Fatalf("Get(100): real=%v len=%d", b.Real(), b.Len())
+	}
+	head := &b.data[0]
+	p.Put(b)
+	c := p.Get(70) // same class (128)
+	if &c.data[0] != head {
+		t.Error("Get after Put did not recycle the buffer")
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Puts != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want gets=2 puts=1 hits=1 misses=1", s)
+	}
+	if s.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", s.Outstanding())
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", s.HitRate())
+	}
+}
+
+func TestPoolIgnoresPhantomZeroAndForeign(t *testing.T) {
+	var p Pool
+	p.Put(Phantom(64))                  // phantom: no storage to recycle
+	p.Put(Buf{})                        // zero value
+	p.Put(p.Get(0))                     // zero-length
+	p.Put(FromBytes(make([]byte, 100))) // foreign: capacity is no class size
+	if s := p.Stats(); s.Puts != 0 {
+		t.Errorf("puts = %d, want 0 (all Put calls were no-ops)", s.Puts)
+	}
+}
+
+func TestPoolGetZero(t *testing.T) {
+	var p Pool
+	b := p.Get(0)
+	if !b.Real() || b.Len() != 0 {
+		t.Fatalf("Get(0): real=%v len=%d, want real empty", b.Real(), b.Len())
+	}
+}
+
+func TestPoolDoubleFreePanicsInDebug(t *testing.T) {
+	var p Pool
+	p.SetDebug(true)
+	b := p.Get(64)
+	p.Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Put of the same buffer did not panic")
+		}
+	}()
+	p.Put(b)
+}
+
+func TestPoolDebugPoisonsFreedBuffer(t *testing.T) {
+	var p Pool
+	p.SetDebug(true)
+	b := p.Get(32)
+	for i := 0; i < b.Len(); i++ {
+		b.SetByte(i, 7)
+	}
+	p.Put(b)
+	// The freed storage must be poisoned so a use-after-return read is
+	// conspicuous rather than silently stale.
+	for i := 0; i < 32; i++ {
+		if b.data[i] != poisonByte {
+			t.Fatalf("freed byte %d = %#x, want poison %#x", i, b.data[i], poisonByte)
+		}
+	}
+	c := p.Get(32) // recycles and un-registers the buffer
+	p.Put(c)       // must not be flagged as a double free
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	var p Pool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := p.Get(1 + (g*37+i)%500)
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := p.Stats(); s.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after balanced Get/Put", s.Outstanding())
+	}
+}
+
+func TestArenaRecyclesAndCounts(t *testing.T) {
+	var a Arena
+	b := a.Get(200)
+	head := &b.data[0]
+	a.Put(b)
+	c := a.Get(129) // same class (256)
+	if &c.data[0] != head {
+		t.Error("arena Get after Put did not recycle")
+	}
+	a.Put(c)
+	a.Put(Phantom(16)) // ignored
+	s := a.Stats()
+	if s.Gets != 2 || s.Puts != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", s.Outstanding())
+	}
+}
+
+func TestPoolStatsSub(t *testing.T) {
+	var p Pool
+	p.Put(p.Get(10))
+	before := p.Stats()
+	p.Put(p.Get(10))
+	d := p.Stats().Sub(before)
+	if d.Gets != 1 || d.Puts != 1 || d.Hits != 1 || d.Misses != 0 {
+		t.Errorf("delta = %+v, want one recycled get", d)
+	}
+}

@@ -1,0 +1,146 @@
+package coll_test
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/coll"
+	"bruckv/internal/mpi"
+)
+
+// Allocation-ceiling tests: every registered Alltoallv algorithm must
+// hold a small per-rank allocation budget per collective call in steady
+// state, in phantom mode at P=64 (the transport and bookkeeping cost,
+// with no payload memory in the picture). Measured by differencing a
+// long run against a one-call run in the same world, which cancels the
+// O(P) per-run setup — goroutines, mailboxes, first-touch arena misses.
+//
+// The ceilings are per rank per call, set at roughly twice the measured
+// steady state so a regression that reintroduces per-message or
+// per-block allocation (the pre-pool transport paid both) fails clearly
+// while allocator noise does not.
+var allocCeilings = map[string]float64{
+	"auto":            18,
+	"hierarchical":    60,
+	"padded-alltoall": 10,
+	"padded-bruck":    10,
+	"sloav":           14,
+	"spreadout":       16,
+	"two-phase":       12,
+	"two-phase-r4":    22,
+	"two-phase-r8":    26,
+	"vendor":          16,
+}
+
+func TestAlltoallvAllocCeilings(t *testing.T) {
+	const (
+		P     = 64
+		n     = 64
+		iters = 8
+	)
+	for _, name := range coll.Names(coll.NonUniformAlgorithms()) {
+		ceiling, ok := allocCeilings[name]
+		if !ok {
+			t.Errorf("algorithm %q has no allocation ceiling; add one to allocCeilings", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			alg := coll.NonUniformAlgorithms()[name]
+			w, err := mpi.NewWorld(P, mpi.WithPhantom())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(calls int) uint64 {
+				err := w.Run(func(p *mpi.Proc) error {
+					sc := make([]int, P)
+					sd := make([]int, P)
+					rc := make([]int, P)
+					rd := make([]int, P)
+					for i := 0; i < P; i++ {
+						sc[i], rc[i] = n, n
+						sd[i], rd[i] = i*n, i*n
+					}
+					send := buffer.Phantom(P * n)
+					recv := buffer.Phantom(P * n)
+					for c := 0; c < calls; c++ {
+						if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w.RunStats().Mallocs
+			}
+			run(1) // warm the arenas and free lists
+			short := run(1)
+			long := run(iters)
+			perCall := float64(int64(long)-int64(short)) / float64(iters-1)
+			perRank := perCall / P
+			if perRank > ceiling {
+				t.Errorf("%s allocates %.2f objects/rank/call (%.0f total), ceiling %.0f",
+					name, perRank, perCall, ceiling)
+			}
+			if out := w.RunStats().Scratch.Outstanding(); out != 0 {
+				t.Errorf("%s leaked %d scratch buffers", name, out)
+			}
+		})
+	}
+}
+
+// TestAlltoallvPoolBalanceReal runs the two headline algorithms with
+// real payloads and asserts every pooled payload went back: the
+// Gets-Puts balance of the transport pool is zero after a clean run.
+func TestAlltoallvPoolBalanceReal(t *testing.T) {
+	const (
+		P = 16
+		n = 128
+	)
+	for _, name := range []string{"spreadout", "two-phase"} {
+		t.Run(name, func(t *testing.T) {
+			alg := coll.NonUniformAlgorithms()[name]
+			w, err := mpi.NewWorld(P, mpi.WithTransportChecks())
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(p *mpi.Proc) error {
+				sc := make([]int, P)
+				sd := make([]int, P)
+				rc := make([]int, P)
+				rd := make([]int, P)
+				for i := 0; i < P; i++ {
+					sc[i], rc[i] = n, n
+					sd[i], rd[i] = i*n, i*n
+				}
+				send := buffer.New(P * n)
+				recv := buffer.New(P * n)
+				for i := 0; i < P; i++ {
+					for b := 0; b < n; b++ {
+						send.SetByte(i*n+b, byte(p.Rank()^i))
+					}
+				}
+				if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+					return err
+				}
+				for i := 0; i < P; i++ {
+					for b := 0; b < n; b++ {
+						if got := recv.Byte(i*n + b); got != byte(i^p.Rank()) {
+							t.Errorf("rank %d: block %d byte %d = %#x, want %#x",
+								p.Rank(), i, b, got, byte(i^p.Rank()))
+							return nil
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out := w.RunStats().Pool.Outstanding(); out != 0 {
+				t.Errorf("%s leaked %d payloads", name, out)
+			}
+		})
+	}
+}

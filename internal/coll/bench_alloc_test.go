@@ -1,0 +1,76 @@
+package coll_test
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/coll"
+	"bruckv/internal/mpi"
+)
+
+// Host-side allocation benchmarks for every registered Alltoallv
+// algorithm. Phantom mode isolates the transport and bookkeeping
+// allocations (no payload memory exists); the two real-mode benchmarks
+// additionally exercise payload cloning on the paper's two headline
+// algorithms. allocs/op is the total across all ranks for one
+// collective call.
+
+func benchmarkAlltoallvAllocs(b *testing.B, name string, P, n int, phantom bool) {
+	alg, ok := coll.NonUniformAlgorithms()[name]
+	if !ok {
+		b.Fatalf("unknown algorithm %q", name)
+	}
+	opts := []mpi.Option{}
+	if phantom {
+		opts = append(opts, mpi.WithPhantom())
+	}
+	w, err := mpi.NewWorld(P, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = w.Run(func(p *mpi.Proc) error {
+		sc := make([]int, P)
+		sd := make([]int, P)
+		rc := make([]int, P)
+		rd := make([]int, P)
+		for i := 0; i < P; i++ {
+			sc[i], rc[i] = n, n
+			sd[i], rd[i] = i*n, i*n
+		}
+		send := buffer.Make(P*n, phantom)
+		recv := buffer.Make(P*n, phantom)
+		for i := 0; i < b.N; i++ {
+			if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAlltoallvAllocsPhantom covers every registered algorithm at
+// P=64 in phantom mode, the configuration the allocation-ceiling tests
+// in alloc_test.go assert against.
+func BenchmarkAlltoallvAllocsPhantom(b *testing.B) {
+	for _, name := range coll.Names(coll.NonUniformAlgorithms()) {
+		b.Run(name, func(b *testing.B) {
+			benchmarkAlltoallvAllocs(b, name, 64, 64, true)
+		})
+	}
+}
+
+// BenchmarkAlltoallvAllocsReal measures the real-payload hot paths of
+// the two headline algorithms, where the pre-pool transport cloned every
+// payload.
+func BenchmarkAlltoallvAllocsReal(b *testing.B) {
+	for _, name := range []string{"spreadout", "two-phase"} {
+		b.Run(name, func(b *testing.B) {
+			benchmarkAlltoallvAllocs(b, name, 32, 256, false)
+		})
+	}
+}

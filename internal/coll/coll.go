@@ -118,8 +118,11 @@ func CountsExchange(p *mpi.Proc, scounts []int, rcounts []int) error {
 	if len(scounts) != P || len(rcounts) != P {
 		return fmt.Errorf("coll: CountsExchange needs %d-length arrays", P)
 	}
-	sb := buffer.New(8 * P)
-	rb := buffer.New(8 * P)
+	// Counts drive control flow, so they stay real even in phantom
+	// worlds.
+	sb := p.AllocReal(8 * P)
+	rb := p.AllocReal(8 * P)
+	defer p.FreeBuf(sb, rb)
 	for i, c := range scounts {
 		sb.PutUint64(8*i, uint64(c))
 	}

@@ -55,13 +55,17 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	if rank != leader {
 		// Ship the counts table, then the packed payload, to the
 		// leader; receive the assembled inbound stream at the end.
-		cbuf := buffer.New(4 * P)
+		// Sends are eager (the payload is captured at send time), so
+		// each staging buffer goes back to the arena as soon as its
+		// send returns.
+		cbuf := p.AllocReal(4 * P)
 		total := 0
 		for d := 0; d < P; d++ {
 			cbuf.PutUint32(4*d, uint32(scounts[d]))
 			total += scounts[d]
 		}
 		p.Send(leader, tagUpCounts, cbuf)
+		p.FreeBuf(cbuf)
 		pay := p.AllocBuf(total)
 		off := 0
 		for d := 0; d < P; d++ {
@@ -69,6 +73,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			off += scounts[d]
 		}
 		p.Send(leader, tagUpData, pay.Slice(0, total))
+		p.FreeBuf(pay)
 
 		rTotal := 0
 		for _, c := range rcounts {
@@ -81,6 +86,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			p.Memcpy(recv.Slice(rdispls[s], rcounts[s]), in.Slice(off, rcounts[s]))
 			off += rcounts[s]
 		}
+		p.FreeBuf(in)
 		return nil
 	}
 
@@ -105,7 +111,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		}
 		payload[0] = own.Slice(0, total)
 	}
-	cbuf := buffer.New(4 * P)
+	cbuf := p.AllocReal(4 * P)
 	for lr := 1; lr < myNodeSize; lr++ {
 		p.Recv(leader+lr, tagUpCounts, cbuf)
 		cs := make([]int, P)
@@ -119,6 +125,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		p.Recv(leader+lr, tagUpData, buf.Slice(0, total))
 		payload[lr] = buf.Slice(0, total)
 	}
+	p.FreeBuf(cbuf)
 
 	// Build, per destination node, a block-size table (real bytes even
 	// in phantom worlds: it drives control flow) and the packed payload
@@ -134,7 +141,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 				total += counts[lr][nd*R+j]
 			}
 		}
-		table := buffer.New(4 * myNodeSize * dsz)
+		table := p.AllocReal(4 * myNodeSize * dsz)
 		buf := p.AllocBuf(total)
 		ti := 0
 		off := 0
@@ -155,6 +162,10 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		outBufs[nd] = buf
 		outLens[nd] = total
 	}
+	// The local payloads are fully repacked into outBufs; payload[0]
+	// aliases own at offset 0, so freeing the slices recycles the
+	// original allocations.
+	p.FreeBuf(payload...)
 
 	// Exchange size tables, then the aggregated payloads, among
 	// leaders. The inbound lengths fall out of the tables.
@@ -167,7 +178,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		dstN := (node + i) % nodes
 		srcN := (node - i + nodes) % nodes
 		ssz := nodeSize(srcN)
-		inTables[srcN] = buffer.New(4 * ssz * myNodeSize)
+		inTables[srcN] = p.AllocReal(4 * ssz * myNodeSize)
 		p.SendRecv(dstN*R, tagUpCounts, outTables[dstN], srcN*R, tagUpCounts, inTables[srcN])
 		for ti := 0; ti < ssz*myNodeSize; ti++ {
 			inLens[srcN] += int(inTables[srcN].Uint32(4 * ti))
@@ -192,6 +203,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	if err := p.Waitall(reqs); err != nil {
 		return err
 	}
+	p.FreeRequests(reqs)
 	inBufs[node] = outBufs[node]
 
 	// Parse inbound node buffers: block (srcLocal lr, dstLocal j) has
@@ -245,6 +257,16 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			off += b.size
 		}
 		p.Send(leader+j, tagDown, down.Slice(0, total))
+		p.FreeBuf(down)
+	}
+	// inTables/inBufs alias the out side at this node's own index, so
+	// free each underlying buffer exactly once: the in side in full,
+	// the out side everywhere except the aliased slot.
+	for nd := 0; nd < nodes; nd++ {
+		p.FreeBuf(inTables[nd], inBufs[nd])
+		if nd != node {
+			p.FreeBuf(outTables[nd], outBufs[nd])
+		}
 	}
 	return nil
 }

@@ -77,6 +77,7 @@ func spreadOutWindowed(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		if err := p.Waitall(reqs); err != nil {
 			return err
 		}
+		p.FreeRequests(reqs)
 	}
 	return nil
 }
@@ -96,7 +97,11 @@ func NaiveAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	for i := 0; i < P; i++ {
 		reqs = append(reqs, p.Isend(i, tagNaive, send.Slice(sdispls[i], scounts[i])))
 	}
-	return p.Waitall(reqs)
+	if err := p.Waitall(reqs); err != nil {
+		return err
+	}
+	p.FreeRequests(reqs)
+	return nil
 }
 
 // paddedCommon implements padded Bruck / padded Alltoall: pad every
@@ -122,15 +127,19 @@ func paddedWithMax(p *mpi.Proc, N int, send buffer.Buf, scounts, sdispls []int,
 		return nil
 	}
 
-	// Pad: every block copied into a fixed N-byte cell.
+	// Pad: every block copied into a fixed N-byte cell. The cells'
+	// padding bytes are whatever the arena hands back — they travel on
+	// the wire but the scan below never reads them.
 	done := p.Phase(PhasePad)
 	ps := p.AllocBuf(P * N)
+	defer p.FreeBuf(ps)
 	for i := 0; i < P; i++ {
 		p.Memcpy(ps.Slice(i*N, scounts[i]), send.Slice(sdispls[i], scounts[i]))
 	}
 	done()
 
 	pr := p.AllocBuf(P * N)
+	defer p.FreeBuf(pr)
 	if err := uniform(p, ps, N, pr); err != nil {
 		return err
 	}

@@ -76,11 +76,21 @@ func PlanTwoPhase(p *mpi.Proc, scounts, sdispls, rcounts, rdispls []int) (*TwoPh
 	pl.w = p.AllocBuf(P * pl.n)
 	pl.stage = p.AllocBuf(half * pl.n)
 	pl.rstage = p.AllocBuf(half * pl.n)
-	pl.meta = buffer.New(4 * half)
-	pl.rmeta = buffer.New(4 * half)
+	pl.meta = p.AllocReal(4 * half)
+	pl.rmeta = p.AllocReal(4 * half)
 	pl.size = make([]int, P)
 	pl.status = make([]bool, P)
 	return pl, nil
+}
+
+// Release returns the plan's working buffers to the rank's scratch
+// arena. The plan must not be executed again afterwards. Releasing is
+// optional — an unreleased plan is garbage-collected like any other
+// value — but long-lived ranks that build many plans should release
+// them so the scratch memory recycles.
+func (pl *TwoPhasePlan) Release() {
+	pl.p.FreeBuf(pl.w, pl.stage, pl.rstage, pl.meta, pl.rmeta)
+	pl.w, pl.stage, pl.rstage, pl.meta, pl.rmeta = buffer.Buf{}, buffer.Buf{}, buffer.Buf{}, buffer.Buf{}, buffer.Buf{}
 }
 
 // MaxBlock returns the plan's global maximum block size in bytes.
@@ -129,7 +139,7 @@ func (pl *TwoPhasePlan) Execute(send, recv buffer.Buf) error {
 	}
 
 	defer p.ClearStep()
-	var rel []int
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)

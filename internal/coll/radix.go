@@ -104,7 +104,8 @@ func ZeroRotationBruckRadix(r int) Alltoall {
 		maxBlocks := maxDigitBlocks(P, r)
 		stage := p.AllocBuf(maxBlocks * n)
 		rstage := p.AllocBuf(maxBlocks * n)
-		var rel []int
+		defer p.FreeBuf(stage, rstage)
+		rel := make([]int, 0, maxBlocks)
 		substep := 0 // running (position, digit) sub-step index
 		for k, step := range radixSteps(P, r) {
 			for d := 1; d < r && d*step < P; d++ {
@@ -173,6 +174,7 @@ func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdisp
 	}
 
 	w := p.AllocBuf(P * N)
+	defer p.FreeBuf(w)
 	idx := make([]int, P)
 	for s := 0; s < P; s++ {
 		idx[s] = ((2*rank-s)%P + P) % P
@@ -188,13 +190,14 @@ func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdisp
 	maxBlocks := maxDigitBlocks(P, r)
 	stage := p.AllocBuf(maxBlocks * N)
 	rstage := p.AllocBuf(maxBlocks * N)
-	meta := buffer.New(4 * maxBlocks)
-	rmeta := buffer.New(4 * maxBlocks)
+	meta := p.AllocReal(4 * maxBlocks)
+	rmeta := p.AllocReal(4 * maxBlocks)
+	defer p.FreeBuf(stage, rstage, meta, rmeta)
 
 	done := p.Phase(PhaseComm)
 	defer done()
 	defer p.ClearStep()
-	var rel []int
+	rel := make([]int, 0, maxBlocks)
 	substep := 0 // running (position, digit) sub-step index
 	for k, step := range radixSteps(P, r) {
 		for d := 1; d < r && d*step < P; d++ {

@@ -43,6 +43,7 @@ func SLOAV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	}
 
 	w := p.AllocBuf(P * N)
+	defer p.FreeBuf(w)
 	idx := make([]int, P)
 	for s := 0; s < P; s++ {
 		idx[s] = ((2*rank-s)%P + P) % P
@@ -64,8 +65,9 @@ func SLOAV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	// them in the header message instead; the split moves exactly the
 	// same total bytes in the same two messages per step, and the
 	// coupled pack/unpack cost is still charged below.
-	hdr := buffer.New(4 + 4*half)
-	rhdr := buffer.New(4 + 4*half)
+	hdr := p.AllocReal(4 + 4*half)
+	rhdr := p.AllocReal(4 + 4*half)
+	defer p.FreeBuf(combined, rcombined, hdr, rhdr)
 
 	// finalAt[s] remembers where slot s's last-hop block landed in W so
 	// the final scan can fetch it.
@@ -73,7 +75,7 @@ func SLOAV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	finalSize[rank] = -1 // self block already placed
 
 	done := p.Phase(PhaseComm)
-	var rel []int
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)

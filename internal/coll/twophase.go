@@ -47,6 +47,7 @@ func twoPhaseWithMax(p *mpi.Proc, N int, send buffer.Buf, scounts, sdispls []int
 	// Line 2: monolithic working buffer, sized for the worst case so no
 	// intermediate block can overflow.
 	w := p.AllocBuf(P * N)
+	defer p.FreeBuf(w)
 
 	// Lines 3-5: rotation index array instead of a data rotation.
 	idx := make([]int, P)
@@ -69,13 +70,14 @@ func twoPhaseWithMax(p *mpi.Proc, N int, send buffer.Buf, scounts, sdispls []int
 	rstage := p.AllocBuf(half * N)
 	// Metadata travels as real bytes even in phantom worlds: the sizes
 	// drive control flow.
-	meta := buffer.New(4 * half)
-	rmeta := buffer.New(4 * half)
+	meta := p.AllocReal(4 * half)
+	rmeta := p.AllocReal(4 * half)
+	defer p.FreeBuf(stage, rstage, meta, rmeta)
 
 	done := p.Phase(PhaseComm)
 	defer done()
 	defer p.ClearStep()
-	var rel []int
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)

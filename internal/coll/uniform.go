@@ -44,6 +44,7 @@ func BasicBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	// chunk copies.
 	done := p.Phase(PhaseInitRotation)
 	work := p.AllocBuf(P * n)
+	defer p.FreeBuf(work)
 	head := (P - rank) * n
 	p.Memcpy(work.Slice(0, head), send.Slice(rank*n, head))
 	if rank > 0 {
@@ -57,7 +58,8 @@ func BasicBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	done = p.Phase(PhaseComm)
 	stage := p.AllocBuf((P + 1) / 2 * n)
 	rstage := p.AllocBuf((P + 1) / 2 * n)
-	var slots []int
+	defer p.FreeBuf(stage, rstage)
+	slots := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		slots = sendSlots(slots, P, k)
@@ -113,7 +115,8 @@ func ModifiedBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	done = p.Phase(PhaseComm)
 	stage := p.AllocBuf((P + 1) / 2 * n)
 	rstage := p.AllocBuf((P + 1) / 2 * n)
-	var rel []int
+	defer p.FreeBuf(stage, rstage)
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
@@ -166,7 +169,8 @@ func ZeroRotationBruck(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) err
 	status := make([]bool, P)
 	stage := p.AllocBuf((P + 1) / 2 * n)
 	rstage := p.AllocBuf((P + 1) / 2 * n)
-	var rel []int
+	defer p.FreeBuf(stage, rstage)
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
@@ -247,6 +251,7 @@ func SpreadOutUniform(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) erro
 	if err := p.Waitall(reqs); err != nil {
 		return err
 	}
+	p.FreeRequests(reqs)
 	done()
 	return nil
 }
@@ -274,5 +279,9 @@ func NaiveAlltoall(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	for i := 0; i < P; i++ {
 		reqs = append(reqs, p.Isend(i, tagNaive, send.Slice(i*n, n)))
 	}
-	return p.Waitall(reqs)
+	if err := p.Waitall(reqs); err != nil {
+		return err
+	}
+	p.FreeRequests(reqs)
+	return nil
 }

@@ -28,6 +28,7 @@ func BasicBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 
 	done := p.Phase(PhaseInitRotation)
 	work := p.AllocBuf(P * n)
+	defer p.FreeBuf(work)
 	head := (P - rank) * n
 	p.Memcpy(work.Slice(0, head), send.Slice(rank*n, head))
 	if rank > 0 {
@@ -36,7 +37,7 @@ func BasicBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 	done()
 
 	done = p.Phase(PhaseComm)
-	var slots []int
+	slots := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		slots = sendSlots(slots, P, k)
@@ -81,7 +82,7 @@ func ModifiedBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 	done()
 
 	done = p.Phase(PhaseComm)
-	var rel []int
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)
@@ -127,6 +128,7 @@ func ZeroCopyBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 	}
 	rank := p.Rank()
 	tmp := p.AllocBuf(P * n)
+	defer p.FreeBuf(tmp)
 
 	// slotBuf returns the buffer holding slot s just before its j-th
 	// transfer (j=0 means the initial placement).
@@ -147,7 +149,7 @@ func ZeroCopyBruckDT(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error
 	done()
 
 	done = p.Phase(PhaseComm)
-	var rel []int
+	rel := make([]int, 0, (P+1)/2)
 	for k := 0; 1<<k < P; k++ {
 		p.SetStep(k)
 		rel = sendSlots(rel, P, k)

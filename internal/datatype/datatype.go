@@ -79,6 +79,7 @@ func Send(p *mpi.Proc, dst, tag int, t Type) {
 	t.Pack(stage)
 	p.Charge(p.World().Model().DTypeCost(t.Blocks(), n))
 	p.Send(dst, tag, stage)
+	p.FreeBuf(stage) // sends are eager: the payload is captured above
 }
 
 // Recv receives a message from src and unpacks it into t, charging
@@ -89,6 +90,7 @@ func Recv(p *mpi.Proc, src, tag int, t Type) int {
 	stage := p.AllocBuf(n)
 	got := p.Recv(src, tag, stage)
 	t.Unpack(stage)
+	p.FreeBuf(stage)
 	p.Charge(p.World().Model().DTypeCost(t.Blocks(), got))
 	return got
 }
@@ -101,5 +103,6 @@ func SendRecv(p *mpi.Proc, dst, stag int, st Type, src, rtag int, rt Type) int {
 	st.Pack(stage)
 	p.Charge(p.World().Model().DTypeCost(st.Blocks(), n))
 	p.Send(dst, stag, stage)
+	p.FreeBuf(stage)
 	return Recv(p, src, rtag, rt)
 }

@@ -1,0 +1,79 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// Host-side allocation benchmarks for the point-to-point hot path. The
+// interesting number is allocs/op: the pooled transport should hold it
+// at a small constant per message regardless of payload size, where the
+// pre-pool transport paid one payload clone plus queue churn per send.
+
+// BenchmarkPingPongReal measures b.N round trips of a 4 KiB real payload
+// between two ranks, the minimal Send/Recv hot path.
+func BenchmarkPingPongReal(b *testing.B) {
+	w, err := mpi.NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = w.Run(func(p *mpi.Proc) error {
+		buf := buffer.New(4096)
+		for i := 0; i < b.N; i++ {
+			if p.Rank() == 0 {
+				p.Send(1, 7, buf)
+				p.Recv(1, 8, buf)
+			} else {
+				p.Recv(0, 7, buf)
+				p.Send(0, 8, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWaitallReal measures b.N all-to-all rounds of P ranks, each
+// posting P nonblocking receives and sends and retiring them with one
+// Waitall — the request-matching hot path the spread-out algorithms
+// stress.
+func BenchmarkWaitallReal(b *testing.B) {
+	const (
+		P = 32
+		n = 64
+	)
+	w, err := mpi.NewWorld(P)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = w.Run(func(p *mpi.Proc) error {
+		send := buffer.New(P * n)
+		recv := buffer.New(P * n)
+		reqs := make([]*mpi.Request, 0, 2*P)
+		for i := 0; i < b.N; i++ {
+			reqs = reqs[:0]
+			for r := 0; r < P; r++ {
+				reqs = append(reqs, p.Irecv(r, 9, recv.Slice(r*n, n)))
+			}
+			for r := 0; r < P; r++ {
+				reqs = append(reqs, p.Isend(r, 9, send.Slice(r*n, n)))
+			}
+			if err := p.Waitall(reqs); err != nil {
+				return err
+			}
+			p.FreeRequests(reqs)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -39,8 +39,8 @@ func (p *Proc) Barrier() {
 // dissemMax runs a dissemination all-reduction of one 8-byte word with a
 // max-combine, valid because max is idempotent.
 func (p *Proc) dissemMax(v uint64, ge func(a, b uint64) bool) uint64 {
-	sb := buffer.New(8)
-	rb := buffer.New(8)
+	sb := p.AllocReal(8)
+	rb := p.AllocReal(8)
 	P := p.Size()
 	for k := 1; k < P; k <<= 1 {
 		dst := (p.rank + k) % P
@@ -51,6 +51,7 @@ func (p *Proc) dissemMax(v uint64, ge func(a, b uint64) bool) uint64 {
 			v = got
 		}
 	}
+	p.FreeBuf(sb, rb)
 	return v
 }
 
@@ -89,8 +90,8 @@ func floatFromOrderedBits(b uint64) float64 {
 // AllreduceSumInt64 returns the sum of v over all ranks (binomial reduce
 // to rank 0, then broadcast).
 func (p *Proc) AllreduceSumInt64(v int64) int64 {
-	sb := buffer.New(8)
-	rb := buffer.New(8)
+	sb := p.AllocReal(8)
+	rb := p.AllocReal(8)
 	P := p.Size()
 	// Reduce: at round k, ranks with the k-th bit set send their partial
 	// sum to rank - 2^k and exit the tree.
@@ -105,6 +106,7 @@ func (p *Proc) AllreduceSumInt64(v int64) int64 {
 			v += int64(rb.Uint64(0))
 		}
 	}
+	p.FreeBuf(sb, rb)
 	return p.BcastInt64(v, 0)
 }
 
@@ -121,8 +123,9 @@ func (p *Proc) AllreduceMaxIntSumInt64(maxv int, sumv int64) (int, int64) {
 	if P == 1 {
 		return maxv, sumv
 	}
-	sb := buffer.New(16)
-	rb := buffer.New(16)
+	sb := p.AllocReal(16)
+	rb := p.AllocReal(16)
+	defer p.FreeBuf(sb, rb)
 	// Order-preserving bias so max works on the unsigned wire encoding.
 	mx := uint64(int64(maxv)) + 1<<63
 	sm := sumv
@@ -170,7 +173,8 @@ func (p *Proc) AllreduceMaxIntSumInt64(maxv int, sumv int64) (int, int64) {
 // BcastInt64 broadcasts v from root to all ranks along a binomial tree
 // and returns the broadcast value.
 func (p *Proc) BcastInt64(v int64, root int) int64 {
-	b := buffer.New(8)
+	b := p.AllocReal(8)
+	defer p.FreeBuf(b)
 	P := p.Size()
 	rel := (p.rank - root + P) % P
 	// Binomial tree on relative ranks: node rel receives from
@@ -201,7 +205,8 @@ func (p *Proc) BcastInt64(v int64, root int) int64 {
 // returns a slice indexed by rank; elsewhere it returns nil. Linear
 // gather; intended for harness bookkeeping, not hot paths.
 func (p *Proc) GatherInt64(v int64, root int) []int64 {
-	b := buffer.New(8)
+	b := p.AllocReal(8)
+	defer p.FreeBuf(b)
 	if p.rank != root {
 		b.PutUint64(0, uint64(v))
 		p.Send(root, tagGather, b)

@@ -101,22 +101,34 @@ func (p *Proc) clearWait() {
 	p.waitPending = nil
 }
 
-// pendingFromKeys decodes inbox bucket keys into sorted (src, tag)
-// pairs. The uint32 halves round-trip negative tags (collectives use
-// the reserved tag space below -1000) through int32.
-func pendingFromKeys(keys map[uint64][]*Request) []PendingRecv {
-	out := make([]PendingRecv, 0, len(keys))
-	for key, reqs := range keys {
+// pendRecvs orders pending receives by (src, tag). sort.Interface on
+// the pointer keeps the sort allocation-free (sort.Slice allocates its
+// closure and swapper on every call, and Waitall re-registers its wait
+// every time it blocks).
+type pendRecvs []PendingRecv
+
+func (s *pendRecvs) Len() int      { return len(*s) }
+func (s *pendRecvs) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *pendRecvs) Less(i, j int) bool {
+	if (*s)[i].Src != (*s)[j].Src {
+		return (*s)[i].Src < (*s)[j].Src
+	}
+	return (*s)[i].Tag < (*s)[j].Tag
+}
+
+// pendingFromWanted decodes the outstanding-receive index into sorted
+// (src, tag) pairs, reusing the rank's scratch slice. The uint32 key
+// halves round-trip negative tags (collectives use the reserved tag
+// space below -1000) through int32. Must run under box.mu; diagnostics
+// copy the result under the same lock before the next reuse.
+func (p *Proc) pendingFromWanted() []PendingRecv {
+	p.waitPendBuf = p.waitPendBuf[:0]
+	for key, rq := range p.wanted {
 		pr := PendingRecv{Src: int(int32(key >> 32)), Tag: int(int32(key))}
-		for range reqs {
-			out = append(out, pr)
+		for i := rq.head; i < len(rq.reqs); i++ {
+			p.waitPendBuf = append(p.waitPendBuf, pr)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Tag < out[j].Tag
-	})
-	return out
+	sort.Sort(&p.waitPendBuf)
+	return p.waitPendBuf
 }

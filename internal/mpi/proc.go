@@ -23,6 +23,26 @@ type Proc struct {
 
 	box inbox
 
+	// arena is this rank's single-owner scratch free list behind
+	// AllocBuf/AllocReal. It lives on the World (indexed by rank) so it
+	// survives Run's Proc recreation, keeping steady-state iterations
+	// allocation-free.
+	arena *buffer.Arena
+
+	// Request recycling and reusable Waitall state. reqFree holds
+	// handles returned via FreeRequests. waitSeq is a per-rank Waitall
+	// call counter used to detect duplicate requests without allocating
+	// a set (each request is stamped with the call that last saw it).
+	// wanted/wkeys/pend/wOutstanding are Waitall's working structures,
+	// kept on the Proc so repeated calls reuse their backing storage.
+	reqFree      []*Request
+	waitSeq      int64
+	wanted       map[uint64]*reqQueue
+	rqFree       []*reqQueue
+	wkeys        []uint64
+	pend         pendHeap
+	wOutstanding int
+
 	// slow is this rank's straggler slowdown factor from the world's
 	// fault plan (1 when unperturbed); it scales send/receive costs and
 	// Charge'd compute.
@@ -31,9 +51,14 @@ type Proc struct {
 	// Blocked-state record for deadlock/watchdog diagnostics, guarded
 	// by box.mu: while this rank is blocked in Recv or Waitall, waitOp
 	// names the call and waitPending the unmatched (src, tag) pairs.
+	// pendScratch backs the one-element waitPending of a blocking Recv
+	// so registering the wait never allocates (diagnostics copy the
+	// contents under box.mu before the next reuse).
 	waitOp      string
 	waitPending []PendingRecv
 	waitSince   float64
+	pendScratch [1]PendingRecv
+	waitPendBuf pendRecvs
 
 	bytesSent int64
 	msgsSent  int64
@@ -64,13 +89,23 @@ type message struct {
 	seq      int64
 }
 
+// msgQueue is one (source, tag) bucket of the inbox: a FIFO of queued
+// messages with a consumed-prefix head index. Keeping the head instead
+// of re-slicing lets a drained bucket reset to its full backing array,
+// and emptied buckets stay in the map, so steady-state traffic on a
+// recurring (src, tag) pair allocates nothing.
+type msgQueue struct {
+	msgs []message
+	head int
+}
+
 // inbox holds pending messages bucketed by (source, tag), so matching
 // is O(1) even when thousands of messages are queued (spread-out posts
 // P-1 receives at once).
 type inbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    map[uint64][]message
+	q    map[uint64]*msgQueue
 	seq  int64
 	// arr logs arrival keys so Waitall can process only what landed
 	// since its last wake instead of rescanning; arrPos is the consumed
@@ -107,7 +142,12 @@ func newProc(w *World, rank int) *Proc {
 		p.slow = w.faults.SlowdownFactor()
 	}
 	p.box.cond = sync.NewCond(&p.box.mu)
-	p.box.q = make(map[uint64][]message)
+	p.box.q = make(map[uint64]*msgQueue)
+	p.wanted = make(map[uint64]*reqQueue)
+	if w.arenas[rank] == nil {
+		w.arenas[rank] = new(buffer.Arena)
+	}
+	p.arena = w.arenas[rank]
 	return p
 }
 
@@ -143,8 +183,34 @@ func (p *Proc) Charge(ns float64) {
 }
 
 // AllocBuf returns a scratch buffer of n bytes, phantom if the world was
-// created with WithPhantom.
-func (p *Proc) AllocBuf(n int) buffer.Buf { return buffer.Make(n, p.w.phantom) }
+// created with WithPhantom. Real buffers come from this rank's arena
+// with UNINITIALIZED contents — every algorithm writes its scratch
+// before reading it, and skipping the clear is part of what makes the
+// arena cheap. Callers that want the memory back in steady state return
+// it with FreeBuf; unreturned buffers are simply garbage-collected.
+func (p *Proc) AllocBuf(n int) buffer.Buf {
+	if p.w.phantom {
+		return buffer.Phantom(n)
+	}
+	return p.arena.Get(n)
+}
+
+// AllocReal returns a real scratch buffer of n bytes from this rank's
+// arena even in a phantom world, with uninitialized contents. It is for
+// metadata that drives control flow (counts, displacements, headers),
+// which must stay real when payloads are phantom.
+func (p *Proc) AllocReal(n int) buffer.Buf { return p.arena.Get(n) }
+
+// FreeBuf returns scratch buffers obtained from AllocBuf or AllocReal
+// to this rank's arena for reuse. Phantom and foreign buffers are
+// ignored, so callers can free unconditionally; sub-slices of a scratch
+// buffer must not be freed (only the originally allocated buffer is
+// recycled). A freed buffer must not be used again.
+func (p *Proc) FreeBuf(bs ...buffer.Buf) {
+	for _, b := range bs {
+		p.arena.Put(b)
+	}
+}
 
 // Memcpy copies src into dst (phantom-aware) and charges the model's
 // local-copy cost for the bytes moved. It returns the byte count.

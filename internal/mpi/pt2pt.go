@@ -57,9 +57,14 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 			Bytes: n, Peer: dst, Tag: tag, Step: p.step})
 	}
 
+	// Capture the payload. Real payloads are copied into a pool buffer
+	// (eager-send semantics: the caller may reuse b immediately) that the
+	// receiver returns after copy-out, so steady-state traffic recycles
+	// instead of allocating; phantom payloads carry only their size.
 	var payload buffer.Buf
-	if b.Real() {
-		payload = b.Clone()
+	if b.Real() && n > 0 {
+		payload = p.w.pool.Get(n)
+		buffer.Copy(payload, b)
 	} else {
 		payload = buffer.Phantom(n)
 	}
@@ -70,7 +75,12 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	key := boxKey(p.rank, tag)
 	dp.box.mu.Lock()
 	dp.box.seq++
-	dp.box.q[key] = append(dp.box.q[key], message{
+	q := dp.box.q[key]
+	if q == nil {
+		q = &msgQueue{}
+		dp.box.q[key] = q
+	}
+	q.msgs = append(q.msgs, message{
 		src: p.rank, tag: tag, payload: payload, size: n,
 		arrival: txDone + l, seq: dp.box.seq,
 	})
@@ -121,6 +131,7 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 			Bytes: msg.size, Peer: msg.src, Tag: msg.tag, Step: p.step})
 	}
 	buffer.Copy(b, msg.payload)
+	p.w.pool.Put(msg.payload)
 	return msg.size
 }
 
@@ -147,12 +158,13 @@ func (p *Proc) matchBlocking(src, tag int) message {
 	p.box.mu.Lock()
 	defer p.box.mu.Unlock()
 	for {
-		if bucket := p.box.q[key]; len(bucket) > 0 {
-			m := bucket[0]
-			if len(bucket) == 1 {
-				delete(p.box.q, key)
-			} else {
-				p.box.q[key] = bucket[1:]
+		if q := p.box.q[key]; q != nil && q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = message{}
+			q.head++
+			if q.head == len(q.msgs) {
+				q.msgs = q.msgs[:0]
+				q.head = 0
 			}
 			p.box.noteConsumed(1)
 			p.w.activity.Add(1)
@@ -162,7 +174,8 @@ func (p *Proc) matchBlocking(src, tag int) message {
 			panic(runAbort{p.rank})
 		}
 		if pend == nil {
-			pend = []PendingRecv{{Src: src, Tag: tag}}
+			p.pendScratch[0] = PendingRecv{Src: src, Tag: tag}
+			pend = p.pendScratch[:]
 		}
 		p.setWait("Recv", pend)
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
@@ -183,14 +196,63 @@ func (p *Proc) matchBlocking(src, tag int) message {
 }
 
 // Request is a handle for a nonblocking operation. Complete it with
-// Proc.Wait or Proc.Waitall.
+// Proc.Wait or Proc.Waitall; optionally recycle it afterwards with
+// Proc.FreeRequests.
 type Request struct {
 	isRecv bool
+	done   bool
+	freed  bool
 	src    int
 	tag    int
 	buf    buffer.Buf
-	done   bool
 	size   int
+	// wseq/widx stamp the request with the last Waitall call that saw
+	// it (the per-Proc waitSeq counter and the index in that call's
+	// slice), which is how Waitall detects a duplicated pointer without
+	// allocating a set.
+	wseq int64
+	widx int
+}
+
+// newRequest returns a zeroed request, recycling one returned via
+// FreeRequests when available.
+func (p *Proc) newRequest() *Request {
+	if k := len(p.reqFree); k > 0 {
+		r := p.reqFree[k-1]
+		p.reqFree[k-1] = nil
+		p.reqFree = p.reqFree[:k-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// FreeRequests returns completed request handles to this rank's free
+// list for reuse by later Isend/Irecv calls, eliminating the
+// per-request allocation in steady-state loops. Freeing is optional —
+// handles that are never freed are collected by the GC like any other
+// value.
+//
+// Every handle must already be complete (its Wait or Waitall has
+// returned); freeing an incomplete or already-freed handle panics. Nil
+// entries are skipped. After FreeRequests the handles must not be used
+// again: Wait panics and Waitall errors on a freed handle, so a stale
+// use fails deterministically instead of reading state recycled by a
+// later nonblocking call.
+func (p *Proc) FreeRequests(rs []*Request) {
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if r.freed {
+			panic(fmt.Sprintf("mpi: rank %d: FreeRequests: request freed twice", p.rank))
+		}
+		if !r.done {
+			panic(fmt.Sprintf("mpi: rank %d: FreeRequests: request not complete", p.rank))
+		}
+		r.freed = true
+		p.reqFree = append(p.reqFree, r)
+	}
 }
 
 // Isend starts a nonblocking send. In this runtime sends are always
@@ -198,18 +260,27 @@ type Request struct {
 // algorithm code reads like its MPI counterpart.
 func (p *Proc) Isend(dst, tag int, b buffer.Buf) *Request {
 	p.Send(dst, tag, b)
-	return &Request{done: true, size: b.Len()}
+	r := p.newRequest()
+	r.done, r.size = true, b.Len()
+	return r
 }
 
 // Irecv posts a nonblocking receive for (src, tag) into b. Matching and
 // clock accounting happen at Wait or Waitall.
 func (p *Proc) Irecv(src, tag int, b buffer.Buf) *Request {
 	p.checkPeer(src, "receive from")
-	return &Request{isRecv: true, src: src, tag: tag, buf: b}
+	r := p.newRequest()
+	r.isRecv, r.src, r.tag, r.buf = true, src, tag, b
+	return r
 }
 
 // Wait completes a single request and returns the transferred size.
+// Waiting again on a completed request is idempotent; waiting on a
+// request recycled via FreeRequests panics.
 func (p *Proc) Wait(r *Request) int {
+	if r.freed {
+		panic(fmt.Sprintf("mpi: rank %d: Wait on freed request (use after FreeRequests)", p.rank))
+	}
 	if r.done {
 		return r.size
 	}
@@ -219,90 +290,143 @@ func (p *Proc) Wait(r *Request) int {
 	return r.size
 }
 
+// reqQueue is one (src, tag) bucket of Waitall's outstanding-receive
+// index: requests in posting order with a consumed-prefix head, the
+// mirror of the inbox's msgQueue. Queues are recycled on the Proc
+// (rqFree) so repeated Waitall calls allocate nothing.
+type reqQueue struct {
+	reqs []*Request
+	head int
+}
+
+// pendingMatch pairs a matched request with its message until the
+// arrival-ordered completion pass.
+type pendingMatch struct {
+	req *Request
+	msg message
+}
+
+// pendHeap orders matched pairs by (arrival, src, seq) — seq is unique
+// per inbox, so the order is total and deterministic. sort.Interface on
+// the pointer keeps the sort allocation-free (sort.Slice allocates its
+// closure and swapper on every call).
+type pendHeap []pendingMatch
+
+func (h *pendHeap) Len() int      { return len(*h) }
+func (h *pendHeap) Swap(i, j int) { (*h)[i], (*h)[j] = (*h)[j], (*h)[i] }
+func (h *pendHeap) Less(i, j int) bool {
+	a, b := (*h)[i].msg, (*h)[j].msg
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// waitallTake matches as many queued messages as possible against the
+// outstanding requests for one key, appending the pairs to p.pend. It
+// must run under box.mu.
+func (p *Proc) waitallTake(key uint64) bool {
+	rq := p.wanted[key]
+	if rq == nil || rq.head == len(rq.reqs) {
+		return false
+	}
+	mq := p.box.q[key]
+	if mq == nil {
+		return false
+	}
+	n := len(rq.reqs) - rq.head
+	if avail := len(mq.msgs) - mq.head; avail < n {
+		n = avail
+	}
+	if n == 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		p.pend = append(p.pend, pendingMatch{req: rq.reqs[rq.head+i], msg: mq.msgs[mq.head+i]})
+		mq.msgs[mq.head+i] = message{}
+	}
+	rq.head += n
+	mq.head += n
+	if mq.head == len(mq.msgs) {
+		mq.msgs = mq.msgs[:0]
+		mq.head = 0
+	}
+	p.wOutstanding -= n
+	p.box.noteConsumed(n)
+	p.w.activity.Add(int64(n))
+	return true
+}
+
 // Waitall completes all requests. Pending receives are matched first and
 // then retired in message-arrival order, which models a rank draining its
 // link as data shows up and keeps virtual time independent of the posting
 // order.
 //
-// A nil request in the slice is a caller bug; Waitall reports it as an
-// error naming the offending index, before any request is touched, so
-// the failure is deterministic rather than a panic inside a rank
-// goroutine.
+// A nil, freed, or duplicated request in the slice is a caller bug;
+// Waitall reports it as an error naming the offending index (both
+// indices, for a duplicate), before any request is touched, so the
+// failure is deterministic rather than a panic inside a rank goroutine.
+// Duplicates matter because the same receive would otherwise consume
+// two messages and silently corrupt one destination buffer.
 //
 // Matching is opportunistic: each time the rank wakes it drains every
 // outstanding request whose message has arrived, so a flood of arrivals
 // (spread-out posts P-1 receives) costs a handful of wake-ups rather
 // than one per message.
 func (p *Proc) Waitall(rs []*Request) error {
+	p.waitSeq++
 	for i, r := range rs {
 		if r == nil {
 			return fmt.Errorf("mpi: rank %d: Waitall: nil request at index %d of %d", p.rank, i, len(rs))
 		}
+		if r.freed {
+			return fmt.Errorf("mpi: rank %d: Waitall: freed request at index %d of %d (use after FreeRequests)", p.rank, i, len(rs))
+		}
+		if r.wseq == p.waitSeq {
+			return fmt.Errorf("mpi: rank %d: Waitall: duplicate request at indices %d and %d", p.rank, r.widx, i)
+		}
+		r.wseq, r.widx = p.waitSeq, i
 	}
-	type pending struct {
-		req *Request
-		msg message
-	}
-	ps := make([]pending, 0, len(rs))
 	// Index outstanding receives by (src, tag); same-key requests
-	// complete in posting order against the bucket's FIFO.
-	wanted := make(map[uint64][]*Request)
-	outstanding := 0
+	// complete in posting order against the bucket's FIFO. The index
+	// and its queues live on the Proc and are reused across calls.
+	p.wOutstanding = 0
 	for _, r := range rs {
 		if r.done || !r.isRecv {
 			r.done = true
 			continue
 		}
 		key := boxKey(r.src, r.tag)
-		wanted[key] = append(wanted[key], r)
-		outstanding++
+		rq := p.wanted[key]
+		if rq == nil {
+			if k := len(p.rqFree); k > 0 {
+				rq = p.rqFree[k-1]
+				p.rqFree = p.rqFree[:k-1]
+			} else {
+				rq = &reqQueue{}
+			}
+			p.wanted[key] = rq
+			p.wkeys = append(p.wkeys, key)
+		}
+		rq.reqs = append(rq.reqs, r)
+		p.wOutstanding++
 	}
 	p.box.mu.Lock()
-	// takeKey matches as many queued messages as possible against the
-	// outstanding requests for one key; it must run under box.mu.
-	takeKey := func(key uint64) bool {
-		reqs := wanted[key]
-		if len(reqs) == 0 {
-			return false
-		}
-		bucket := p.box.q[key]
-		n := len(reqs)
-		if len(bucket) < n {
-			n = len(bucket)
-		}
-		if n == 0 {
-			return false
-		}
-		for i := 0; i < n; i++ {
-			ps = append(ps, pending{req: reqs[i], msg: bucket[i]})
-		}
-		outstanding -= n
-		p.box.noteConsumed(n)
-		p.w.activity.Add(int64(n))
-		if n == len(bucket) {
-			delete(p.box.q, key)
-		} else {
-			p.box.q[key] = bucket[n:]
-		}
-		if n == len(reqs) {
-			delete(wanted, key)
-		} else {
-			wanted[key] = reqs[n:]
-		}
-		return true
-	}
 	// First pass: whatever already arrived before this Waitall.
-	for key := range wanted {
-		takeKey(key)
+	for _, key := range p.wkeys {
+		p.waitallTake(key)
 	}
-	for outstanding > 0 {
+	for p.wOutstanding > 0 {
 		// Process only arrivals logged since the last consumed
 		// position, so total matching work is linear in messages.
 		progress := false
 		for p.box.arrPos < len(p.box.arr) {
 			key := p.box.arr[p.box.arrPos]
 			p.box.arrPos++
-			if takeKey(key) {
+			if p.waitallTake(key) {
 				progress = true
 			}
 		}
@@ -310,14 +434,14 @@ func (p *Proc) Waitall(rs []*Request) error {
 			p.box.arr = p.box.arr[:0]
 			p.box.arrPos = 0
 		}
-		if outstanding == 0 || progress {
+		if p.wOutstanding == 0 || progress {
 			continue
 		}
 		if p.w.dead.Load() {
 			p.box.mu.Unlock()
 			panic(runAbort{p.rank})
 		}
-		p.setWait("Waitall", pendingFromKeys(wanted))
+		p.setWait("Waitall", p.pendingFromWanted())
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
 			p.box.mu.Unlock()
 			p.w.suspectDeadlock()
@@ -335,20 +459,26 @@ func (p *Proc) Waitall(rs []*Request) error {
 		p.clearWait()
 	}
 	p.box.mu.Unlock()
-	sort.Slice(ps, func(i, j int) bool {
-		a, b := ps[i].msg, ps[j].msg
-		if a.arrival != b.arrival {
-			return a.arrival < b.arrival
+	// Release this call's index queues before the completion pass.
+	for _, key := range p.wkeys {
+		rq := p.wanted[key]
+		delete(p.wanted, key)
+		for i := range rq.reqs {
+			rq.reqs[i] = nil
 		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		return a.seq < b.seq
-	})
-	for _, pd := range ps {
+		rq.reqs = rq.reqs[:0]
+		rq.head = 0
+		p.rqFree = append(p.rqFree, rq)
+	}
+	p.wkeys = p.wkeys[:0]
+	sort.Sort(&p.pend)
+	for i := range p.pend {
+		pd := &p.pend[i]
 		pd.req.size = p.completeRecv(pd.msg, pd.req.buf)
 		pd.req.done = true
+		*pd = pendingMatch{}
 	}
+	p.pend = p.pend[:0]
 	return nil
 }
 

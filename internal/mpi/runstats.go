@@ -1,0 +1,40 @@
+package mpi
+
+import "bruckv/internal/buffer"
+
+// RunStats is the host-performance record of one World.Run: how much
+// wall-clock time, allocator traffic, and GC work the run cost the
+// simulating host, and how well the transport's buffer recycling
+// performed. It is observational — none of these numbers feed back
+// into virtual time, which stays bit-identical whether or not anyone
+// reads them.
+type RunStats struct {
+	// WallNs is the host wall-clock duration of the Run, in
+	// nanoseconds.
+	WallNs int64
+	// Mallocs is the number of heap objects allocated during the Run,
+	// across all rank goroutines (runtime.MemStats.Mallocs delta).
+	Mallocs uint64
+	// AllocBytes is the total heap bytes allocated during the Run
+	// (runtime.MemStats.TotalAlloc delta).
+	AllocBytes uint64
+	// NumGC is the number of garbage-collection cycles that completed
+	// during the Run.
+	NumGC uint32
+	// GCPauseNs is the total stop-the-world pause time during the Run,
+	// in nanoseconds.
+	GCPauseNs uint64
+	// Pool is the payload pool's activity during the Run: every real
+	// message payload is a Get at send time and a Put at receive (or
+	// end-of-run sweep) time, so Outstanding() > 0 after a clean run
+	// indicates a leaked payload. Phantom payloads never touch the
+	// pool.
+	Pool buffer.PoolStats
+	// Scratch aggregates the per-rank scratch arenas behind AllocBuf /
+	// AllocReal across all ranks.
+	Scratch buffer.PoolStats
+}
+
+// RunStats returns the host-performance record of the last Run (the
+// zero value if the world has not run yet).
+func (w *World) RunStats() RunStats { return w.runStats }

@@ -1,0 +1,333 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/buffer"
+)
+
+// Regression tests for the pooled transport's request-lifetime guards:
+// duplicate detection in Waitall, idempotent Wait, and deterministic
+// failure on any use of a handle after FreeRequests — the hazards that
+// appear once payload and request memory recycles.
+
+func TestWaitallDuplicateRequest(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		s := p.Isend(1-p.Rank(), 8, b)
+		p.Recv(1-p.Rank(), 8, b)
+		return p.Waitall([]*Request{r, s, r})
+	})
+	if err == nil {
+		t.Fatal("Waitall accepted a duplicated request pointer")
+	}
+	for _, want := range []string{"duplicate request", "indices 0 and 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestWaitallDuplicateAcrossCalls(t *testing.T) {
+	// The duplicate stamp is per Waitall call: the same handle may
+	// legitimately appear in consecutive calls (Wait is idempotent on
+	// completed requests, and Waitall mirrors that).
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		if err := p.Waitall([]*Request{r}); err != nil {
+			return err
+		}
+		return p.Waitall([]*Request{r})
+	})
+	if err != nil {
+		t.Fatalf("re-waiting a completed request across calls: %v", err)
+	}
+}
+
+func TestWaitIdempotent(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		b.PutUint32(0, uint32(p.Rank()))
+		p.Send(1-p.Rank(), 7, b)
+		rb := buffer.New(4)
+		r := p.Irecv(1-p.Rank(), 7, rb)
+		first := p.Wait(r)
+		again := p.Wait(r)
+		if first != 4 || again != 4 {
+			t.Errorf("rank %d: Wait sizes %d, %d; want 4, 4", p.Rank(), first, again)
+		}
+		if int(rb.Uint32(0)) != 1-p.Rank() {
+			t.Errorf("rank %d: received %d", p.Rank(), rb.Uint32(0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitallFreedRequest(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		if err := p.Waitall([]*Request{r}); err != nil {
+			return err
+		}
+		p.FreeRequests([]*Request{r})
+		return p.Waitall([]*Request{r})
+	})
+	if err == nil {
+		t.Fatal("Waitall accepted a freed request")
+	}
+	for _, want := range []string{"freed request", "index 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestWaitOnFreedRequestPanics(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		p.Wait(r)
+		p.FreeRequests([]*Request{r})
+		defer func() {
+			msg, ok := recover().(string)
+			if !ok || !strings.Contains(msg, "freed request") {
+				t.Errorf("rank %d: Wait on freed request: recovered %v", p.Rank(), msg)
+			}
+		}()
+		p.Wait(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeRequestsTwicePanics(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		p.Send(1-p.Rank(), 7, b)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		p.Wait(r)
+		p.FreeRequests([]*Request{r})
+		defer func() {
+			msg, ok := recover().(string)
+			if !ok || !strings.Contains(msg, "freed twice") {
+				t.Errorf("rank %d: double FreeRequests: recovered %v", p.Rank(), msg)
+			}
+		}()
+		p.FreeRequests([]*Request{r})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeIncompleteRequestPanics(t *testing.T) {
+	w := zeroWorld(t, 2)
+	err := w.Run(func(p *Proc) error {
+		b := buffer.New(4)
+		r := p.Irecv(1-p.Rank(), 7, b)
+		func() {
+			defer func() {
+				msg, ok := recover().(string)
+				if !ok || !strings.Contains(msg, "not complete") {
+					t.Errorf("rank %d: freeing incomplete request: recovered %v", p.Rank(), msg)
+				}
+			}()
+			p.FreeRequests([]*Request{r})
+		}()
+		p.Send(1-p.Rank(), 7, b)
+		p.Wait(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransportChecksDoubleCompletion exercises the debug guard behind
+// WithTransportChecks: completing the same message twice means returning
+// its pooled payload twice, which must panic instead of silently
+// recycling memory another receive may already own.
+func TestTransportChecksDoubleCompletion(t *testing.T) {
+	w, err := NewWorld(2, WithTransportChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(64)
+		if p.Rank() == 0 {
+			p.Send(1, 1, b)
+			return nil
+		}
+		msg := p.matchBlocking(0, 1)
+		buffer.Copy(b, msg.payload)
+		p.w.pool.Put(msg.payload)
+		defer func() {
+			if recover() == nil {
+				t.Error("returning the same payload twice did not panic under WithTransportChecks")
+			}
+		}()
+		p.w.pool.Put(msg.payload) // the duplicated completion
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransportChecksCleanTraffic runs ordinary pooled traffic under the
+// debug guard to prove the guard has no false positives: every payload
+// is Get exactly once and Put exactly once.
+func TestTransportChecksCleanTraffic(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P, WithTransportChecks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ { // two Runs: the pool persists across them
+		err = w.Run(func(p *Proc) error {
+			b := buffer.New(128)
+			for i := 1; i < P; i++ {
+				p.Send((p.Rank()+i)%P, 3, b)
+			}
+			for i := 1; i < P; i++ {
+				p.Recv((p.Rank()-i+P)%P, 3, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out := w.RunStats().Pool.Outstanding(); out != 0 {
+			t.Fatalf("run %d leaked %d payloads", run, out)
+		}
+	}
+}
+
+// TestRunStatsPoolBalance checks the observability contract: after a
+// clean run every pooled payload has been returned, and the second run
+// of the same traffic is served from the free lists.
+func TestRunStatsPoolBalance(t *testing.T) {
+	w := zeroWorld(t, 2)
+	body := func(p *Proc) error {
+		b := buffer.New(1024)
+		p.Send(1-p.Rank(), 5, b)
+		p.Recv(1-p.Rank(), 5, b)
+		return nil
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	first := w.RunStats()
+	if first.Pool.Gets != 2 || first.Pool.Outstanding() != 0 {
+		t.Fatalf("first run pool stats: %+v", first.Pool)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	second := w.RunStats()
+	if second.Pool.Gets != 2 || second.Pool.Hits != 2 {
+		t.Fatalf("second run should hit the free list for both payloads: %+v", second.Pool)
+	}
+	if second.WallNs <= 0 {
+		t.Errorf("WallNs = %d, want > 0", second.WallNs)
+	}
+}
+
+// allocsPerIter measures the steady-state heap allocations of one
+// iteration of body by differencing a long run against a one-iteration
+// run in the same world, cancelling the O(P) per-run setup (goroutines,
+// mailboxes, first-touch pool misses).
+func allocsPerIter(t *testing.T, w *World, iters int, body func(p *Proc, it int) error) float64 {
+	t.Helper()
+	run := func(n int) uint64 {
+		err := w.Run(func(p *Proc) error {
+			for it := 0; it < n; it++ {
+				if err := body(p, it); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.RunStats().Mallocs
+	}
+	run(1) // warm the pools and free lists
+	short := run(1)
+	long := run(iters)
+	return float64(int64(long)-int64(short)) / float64(iters-1)
+}
+
+// TestSendRecvAllocCeiling asserts the pooled point-to-point hot path
+// stays O(1) allocations per message: a 4 KiB ping-pong must not exceed
+// a small constant per round trip (the pre-pool transport paid a payload
+// clone plus queue churn on every send).
+func TestSendRecvAllocCeiling(t *testing.T) {
+	w := zeroWorld(t, 2)
+	got := allocsPerIter(t, w, 100, func(p *Proc, it int) error {
+		b := buffer.New(4096)
+		if p.Rank() == 0 {
+			p.Send(1, 7, b)
+			p.Recv(1, 8, b)
+		} else {
+			p.Recv(0, 7, b)
+			p.Send(0, 8, b)
+		}
+		return nil
+	})
+	// One buffer.New per rank per iteration is the test's own cost; the
+	// transport itself should add nothing in steady state.
+	if got > 8 {
+		t.Errorf("ping-pong allocates %.2f objects/round-trip, ceiling 8", got)
+	}
+}
+
+// TestWaitallAllocCeiling asserts the Waitall matching path stays O(1)
+// allocations per message in steady state across P ranks posting 2(P-1)
+// requests each.
+func TestWaitallAllocCeiling(t *testing.T) {
+	const P = 8
+	w := zeroWorld(t, P)
+	got := allocsPerIter(t, w, 50, func(p *Proc, it int) error {
+		b := buffer.New(64)
+		reqs := make([]*Request, 0, 2*(P-1))
+		for i := 1; i < P; i++ {
+			reqs = append(reqs, p.Irecv((p.Rank()-i+P)%P, 9, b))
+		}
+		for i := 1; i < P; i++ {
+			reqs = append(reqs, p.Isend((p.Rank()+i)%P, 9, b))
+		}
+		if err := p.Waitall(reqs); err != nil {
+			return err
+		}
+		p.FreeRequests(reqs)
+		return nil
+	})
+	// Per iteration each rank allocates its buffer and the reqs slice;
+	// everything else (requests, queues, pend heap, payloads) recycles.
+	// Budget 4 objects per rank per iteration.
+	if got > 4*P {
+		t.Errorf("Waitall round allocates %.2f objects/iter across %d ranks, ceiling %d", got, P, 4*P)
+	}
+}

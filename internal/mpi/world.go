@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bruckv/internal/buffer"
 	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 	"bruckv/internal/trace"
@@ -61,6 +62,19 @@ type World struct {
 	intraOS, intraOR, intraL, intraG float64
 
 	procs []*Proc
+
+	// pool recycles real message payloads across the whole world: the
+	// sending rank Gets at capture time, the receiving rank Puts after
+	// copy-out (payloads cross goroutines, hence a locked pool and not
+	// the per-rank arenas). arenas holds each rank's single-owner
+	// scratch free list behind AllocBuf; it is indexed by rank and
+	// persists across Runs so steady-state benchmark iterations reuse
+	// warm memory even though Procs are recreated per Run. checks turns
+	// on the pool's double-free/poison debugging (WithTransportChecks).
+	pool     buffer.Pool
+	arenas   []*buffer.Arena
+	checks   bool
+	runStats RunStats
 
 	tracing bool
 	tr      *trace.Trace // event log of the last Run, nil unless tracing
@@ -123,6 +137,15 @@ func WithFaults(pl fault.Plan) Option {
 // disables the watchdog.
 func WithDeadline(d time.Duration) Option { return func(w *World) { w.deadline = d } }
 
+// WithTransportChecks enables debug validation on the transport's
+// payload pool: a payload returned twice panics instead of corrupting
+// the free list, and recycled memory is poisoned (0xDB) so any
+// use-after-return read is conspicuous rather than silently stale. It
+// costs a map operation per message, so it is meant for tests — the
+// conformance and chaos suites run with it on — not for large
+// simulations.
+func WithTransportChecks() Option { return func(w *World) { w.checks = true } }
+
 // WithTrace records a structured event log (sends, receives, local
 // copies, phases) on the virtual timeline during each Run, available
 // afterwards from World.Trace. Tracing is observational: it never
@@ -167,6 +190,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	}
 	w.geff = w.model.EffectiveByteTime(size)
 	w.intraOS, w.intraOR, w.intraL, w.intraG = w.model.IntraParams()
+	if w.checks {
+		w.pool.SetDebug(true)
+	}
 	return w, nil
 }
 
@@ -196,6 +222,10 @@ func (w *World) Phantom() bool { return w.phantom }
 // panic in a rank is converted into an error. Run may be called multiple
 // times; each call starts from fresh clocks and mailboxes.
 func (w *World) Run(fn func(p *Proc) error) error {
+	hostStart := time.Now()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	pool0 := w.pool.Stats()
 	w.blocked.Store(0)
 	w.finished.Store(0)
 	w.activity.Store(0)
@@ -205,6 +235,9 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	gen := w.gen
 	w.deadErr = nil
 	w.deadMu.Unlock()
+	if w.arenas == nil {
+		w.arenas = make([]*buffer.Arena, w.size)
+	}
 	w.procs = make([]*Proc, w.size)
 	if w.tracing {
 		w.tr = trace.New(w.size)
@@ -214,6 +247,10 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		if w.tracing {
 			w.procs[r].tr = w.tr.Buffer(r)
 		}
+	}
+	var scratch0 buffer.PoolStats
+	for _, a := range w.arenas {
+		scratch0 = scratch0.Add(a.Stats())
 	}
 	var watchdog *time.Timer
 	if w.deadline > 0 {
@@ -252,6 +289,22 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	wg.Wait()
 	if watchdog != nil {
 		watchdog.Stop()
+	}
+	w.sweepInboxes()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	var scratch1 buffer.PoolStats
+	for _, a := range w.arenas {
+		scratch1 = scratch1.Add(a.Stats())
+	}
+	w.runStats = RunStats{
+		WallNs:     time.Since(hostStart).Nanoseconds(),
+		Mallocs:    ms1.Mallocs - ms0.Mallocs,
+		AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		NumGC:      ms1.NumGC - ms0.NumGC,
+		GCPauseNs:  ms1.PauseTotalNs - ms0.PauseTotalNs,
+		Pool:       w.pool.Stats().Sub(pool0),
+		Scratch:    scratch1.Sub(scratch0),
 	}
 	err := errors.Join(errs...)
 	if w.dead.Load() {
@@ -320,6 +373,26 @@ func (w *World) MaxPhase() map[string]float64 {
 		}
 	}
 	return out
+}
+
+// sweepInboxes returns every payload still queued in a rank's inbox to
+// the pool after all rank goroutines have joined. A clean collective
+// consumes everything it was sent, but a rank that errored, panicked,
+// or was aborted mid-run strands the messages addressed to it; without
+// the sweep those payloads would count as leaks forever and
+// Pool.Outstanding would stop being a useful invariant. Runs after the
+// goroutines join, so no locking is needed.
+func (w *World) sweepInboxes() {
+	for _, p := range w.procs {
+		for _, q := range p.box.q {
+			for i := q.head; i < len(q.msgs); i++ {
+				w.pool.Put(q.msgs[i].payload)
+				q.msgs[i] = message{}
+			}
+			q.msgs = q.msgs[:0]
+			q.head = 0
+		}
+	}
 }
 
 // suspectDeadlock is called when every rank is either blocked waiting
