@@ -1,0 +1,174 @@
+package bruckv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Exported-API snapshot: the package's public surface — every exported
+// constant, variable, function, type, struct field, and method, with
+// full type signatures — is type-checked from source and compared
+// against testdata/api.golden. Accidental breakage (a removed method, a
+// changed signature, a type quietly becoming unexported) fails here
+// before it fails a downstream caller. Deliberate API changes update
+// the golden with:
+//
+//	UPDATE_API_GOLDEN=1 go test -run TestExportedAPISnapshot .
+
+const goldenPath = "testdata/api.golden"
+
+// moduleImporter type-checks packages of this module from source
+// (the stdlib source importer only resolves GOPATH layouts) and
+// delegates everything else to the compiled-package importer.
+type moduleImporter struct {
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+	root string
+	mod  string
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.pkgs[path]; ok {
+		return p, nil
+	}
+	if path != mi.mod && !strings.HasPrefix(path, mi.mod+"/") {
+		return mi.std.Import(path)
+	}
+	dir := filepath.Join(mi.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, mi.mod), "/")))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(mi.fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: mi}
+	pkg, err := conf.Check(path, mi.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	mi.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// apiSurface renders the exported surface of pkg, one declaration per
+// line, sorted.
+func apiSurface(pkg *types.Package) string {
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			lines = append(lines, types.ObjectString(obj, qual))
+			continue
+		}
+		if tn.IsAlias() {
+			lines = append(lines, fmt.Sprintf("type %s = %s", name, types.TypeString(tn.Type(), qual)))
+			continue
+		}
+		named := tn.Type().(*types.Named)
+		under := named.Underlying()
+		if st, ok := under.(*types.Struct); ok {
+			lines = append(lines, fmt.Sprintf("type %s struct", name))
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Exported() {
+					lines = append(lines, fmt.Sprintf("type %s struct, field %s %s", name, f.Name(), types.TypeString(f.Type(), qual)))
+				}
+			}
+		} else {
+			lines = append(lines, fmt.Sprintf("type %s %s", name, types.TypeString(under, qual)))
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Exported() {
+				lines = append(lines, fmt.Sprintf("method (*%s) %s%s", name, m.Name(),
+					strings.TrimPrefix(types.TypeString(m.Type(), qual), "func")))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestExportedAPISnapshot(t *testing.T) {
+	fset := token.NewFileSet()
+	mi := &moduleImporter{
+		fset: fset,
+		std:  importer.Default(),
+		pkgs: map[string]*types.Package{},
+		root: ".",
+		mod:  "bruckv",
+	}
+	pkg, err := mi.Import("bruckv")
+	if err != nil {
+		t.Fatalf("type-checking the package: %v", err)
+	}
+	got := apiSurface(pkg)
+	if os.Getenv("UPDATE_API_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", goldenPath, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading %s (run with UPDATE_API_GOLDEN=1 to create it): %v", goldenPath, err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	inGot := map[string]bool{}
+	for _, l := range gotLines {
+		inGot[l] = true
+	}
+	inWant := map[string]bool{}
+	for _, l := range wantLines {
+		inWant[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !inGot[l] {
+			t.Errorf("missing from exported API: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !inWant[l] {
+			t.Errorf("new in exported API (UPDATE_API_GOLDEN=1 to accept): %s", l)
+		}
+	}
+	if !t.Failed() {
+		t.Errorf("exported API differs from %s (ordering?)", goldenPath)
+	}
+}

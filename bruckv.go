@@ -27,7 +27,10 @@
 package bruckv
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -92,14 +95,39 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm resolves a name (as printed by String) to an Algorithm.
+// ParseAlgorithm resolves a name (as printed by String) to an
+// Algorithm. An unknown name returns an error wrapping
+// ErrInvalidAlgorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for a, n := range algNames {
 		if n == strings.ToLower(s) {
 			return a, nil
 		}
 	}
-	return Auto, fmt.Errorf("bruckv: unknown algorithm %q", s)
+	return Auto, fmt.Errorf("bruckv: unknown algorithm %q: %w", s, ErrInvalidAlgorithm)
+}
+
+// Algorithms returns every Alltoallv algorithm, in enum order. The
+// names printed by their String methods are exactly the set
+// ParseAlgorithm accepts.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(algNames))
+	for a := range algNames {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UniformAlgorithmList returns every uniform Alltoall variant, in enum
+// order.
+func UniformAlgorithmList() []UniformAlgorithm {
+	out := make([]UniformAlgorithm, 0, len(uniformNames))
+	for a := range uniformNames {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (a Algorithm) impl() coll.Alltoallv {
@@ -214,7 +242,7 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 		o(&cfg)
 	}
 	if _, ok := algNames[cfg.alg]; !ok {
-		return nil, fmt.Errorf("bruckv: invalid algorithm %d", int(cfg.alg))
+		return nil, fmt.Errorf("bruckv: algorithm %d: %w", int(cfg.alg), ErrInvalidAlgorithm)
 	}
 	mopts := []mpi.Option{mpi.WithModel(cfg.params.model())}
 	if cfg.phantom {
@@ -247,12 +275,30 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 func (w *World) Size() int { return w.w.Size() }
 
 // Run executes fn on every rank concurrently and returns the joined
-// errors.
+// errors. The rank goroutines are resident: the first Run spawns them
+// and later Runs reuse them, so iterated workloads pay the session
+// setup once (see Close).
 func (w *World) Run(fn func(c *Comm) error) error {
-	return w.w.Run(func(p *mpi.Proc) error {
+	return w.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run bounded by a context: if ctx is canceled or its
+// deadline passes mid-run, the run aborts with the same per-rank
+// blocked-state report (DeadlockError) the deadlock detector and
+// WithDeadline watchdog produce, and the returned error matches
+// errors.Is against ctx's error. Cancellation is best-effort — ranks
+// are interrupted at their next blocking receive.
+func (w *World) RunContext(ctx context.Context, fn func(c *Comm) error) error {
+	return w.w.RunContext(ctx, func(p *mpi.Proc) error {
 		return fn(&Comm{p: p, alg: w.alg, tuning: w.tuning})
 	})
 }
+
+// Close releases the world's resident rank goroutines; further Runs
+// fail. Closing is idempotent and optional — dropping the last
+// reference to a World has the same effect — but deterministic release
+// matters when many worlds are created in sequence.
+func (w *World) Close() { w.w.Close() }
 
 // MaxTimeNs returns the maximum virtual time over all ranks of the last
 // Run, in nanoseconds.
@@ -298,6 +344,51 @@ func (c *Comm) AllreduceSumInt64(v int64) int64 { return c.p.AllreduceSumInt64(v
 // BcastInt64 broadcasts v from root and returns it on every rank.
 func (c *Comm) BcastInt64(v int64, root int) int64 { return c.p.BcastInt64(v, root) }
 
+// Undefined is the color passed to Split by ranks that want no
+// communicator out of the split.
+const Undefined = mpi.Undefined
+
+// Split partitions this communicator by color: ranks passing the same
+// color form a new communicator whose ranks are ordered by (key, old
+// rank), with barriers, allreduces, and Alltoall(v) dispatch scoped to
+// the subset. Ranks passing Undefined receive nil. It is a collective —
+// every rank of this communicator must call it — and collectives on the
+// resulting disjoint communicators may run concurrently. Colors must be
+// >= 0 or Undefined.
+func (c *Comm) Split(color, key int) *Comm {
+	p := c.p.Split(color, key)
+	if p == nil {
+		return nil
+	}
+	return &Comm{p: p, alg: c.alg, tuning: c.tuning}
+}
+
+// Group returns the communicator consisting of the listed ranks of this
+// communicator, in the given order (the i-th listed rank becomes rank
+// i). It exchanges no messages, but every listed rank must call Group
+// with an identical list; a caller not in the list gets (nil, nil). A
+// malformed list (empty, out of range, duplicates) returns an error
+// wrapping ErrInvalidRanks.
+func (c *Comm) Group(ranks []int) (*Comm, error) {
+	p, err := c.p.Group(ranks)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrInvalidRanks, err)
+	}
+	if p == nil {
+		return nil, nil
+	}
+	return &Comm{p: p, alg: c.alg, tuning: c.tuning}, nil
+}
+
+// GlobalRank returns this rank's id in the world communicator,
+// regardless of which communicator this handle is scoped to.
+func (c *Comm) GlobalRank() int { return c.p.GlobalRank() }
+
+// CommID returns this communicator's context id: 0 for the world,
+// unique per derived membership otherwise. Trace events and deadlock
+// reports attribute sub-communicator traffic by this id.
+func (c *Comm) CommID() int { return c.p.CommID() }
+
 // buf wraps a user slice, or fabricates a phantom buffer of the given
 // size when the world is phantom and the slice is nil.
 func (c *Comm) buf(b []byte, size int) (buffer.Buf, error) {
@@ -305,7 +396,7 @@ func (c *Comm) buf(b []byte, size int) (buffer.Buf, error) {
 		return buffer.Phantom(size), nil
 	}
 	if b == nil {
-		return buffer.Buf{}, fmt.Errorf("bruckv: nil buffer outside a phantom world")
+		return buffer.Buf{}, fmt.Errorf("bruckv: %w", ErrNilBuffer)
 	}
 	return buffer.FromBytes(b), nil
 }
@@ -360,10 +451,10 @@ func (c *Comm) Alltoall(send []byte, n int, recv []byte) error {
 func (c *Comm) AlltoallWith(alg UniformAlgorithm, send []byte, n int, recv []byte) error {
 	name, ok := uniformNames[alg]
 	if !ok {
-		return fmt.Errorf("bruckv: invalid uniform algorithm %d", int(alg))
+		return fmt.Errorf("bruckv: uniform algorithm %d: %w", int(alg), ErrInvalidAlgorithm)
 	}
 	if n < 0 {
-		return fmt.Errorf("bruckv: negative block size %d", n)
+		return fmt.Errorf("bruckv: negative block size %d: %w", n, ErrInvalidLayout)
 	}
 	sb, err := c.buf(send, c.Size()*n)
 	if err != nil {
@@ -396,16 +487,23 @@ func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int,
 // extent of any block).
 func validateLayout(P int, counts, displs []int, side string) (int, error) {
 	if len(counts) != P || len(displs) != P {
-		return 0, fmt.Errorf("bruckv: %s counts/displs must have length %d (got %d/%d)",
-			side, P, len(counts), len(displs))
+		return 0, fmt.Errorf("bruckv: %s counts/displs must have length %d (got %d/%d): %w",
+			side, P, len(counts), len(displs), ErrInvalidLayout)
 	}
 	span := 0
 	for i, cnt := range counts {
 		if cnt < 0 {
-			return 0, fmt.Errorf("bruckv: negative %s count %d for rank %d", side, cnt, i)
+			return 0, fmt.Errorf("bruckv: negative %s count %d for rank %d: %w", side, cnt, i, ErrInvalidLayout)
 		}
 		if displs[i] < 0 {
-			return 0, fmt.Errorf("bruckv: negative %s displacement %d for rank %d", side, displs[i], i)
+			return 0, fmt.Errorf("bruckv: negative %s displacement %d for rank %d: %w", side, displs[i], i, ErrInvalidLayout)
+		}
+		// displs[i]+cnt can wrap past MaxInt (most plausibly on 32-bit
+		// targets); a wrapped end would compare small and smuggle the
+		// bogus block past the span check.
+		if cnt > math.MaxInt-displs[i] {
+			return 0, fmt.Errorf("bruckv: %s block for rank %d (displ %d + count %d) overflows the address space: %w",
+				side, i, displs[i], cnt, ErrInvalidLayout)
 		}
 		if end := displs[i] + cnt; end > span {
 			span = end
@@ -441,7 +539,7 @@ func (c *Comm) AlltoallvWith(alg Algorithm, send []byte, scounts, sdispls []int,
 		impl = alg.impl()
 	}
 	if impl == nil {
-		return fmt.Errorf("bruckv: algorithm %v has no Alltoallv implementation", alg)
+		return fmt.Errorf("bruckv: algorithm %v has no Alltoallv implementation: %w", alg, ErrInvalidAlgorithm)
 	}
 	return impl(c.p, sb, scounts, sdispls, rb, rcounts, rdispls)
 }

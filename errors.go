@@ -1,0 +1,53 @@
+package bruckv
+
+import (
+	"errors"
+
+	"bruckv/internal/mpi"
+)
+
+// Typed errors for the public API. Every validation failure returned by
+// this package wraps one of these sentinels, so callers branch with
+// errors.Is instead of matching message text:
+//
+//	if errors.Is(err, bruckv.ErrInvalidLayout) { ... }
+//
+// Aborted runs (deadlock, watchdog, context cancellation) additionally
+// carry a *DeadlockError retrievable with errors.As, and
+// context-aborted runs match errors.Is against context.Canceled /
+// context.DeadlineExceeded.
+var (
+	// ErrInvalidLayout marks malformed Alltoall(v) arguments: count and
+	// displacement arrays of the wrong length, negative counts,
+	// displacements, or block sizes, or layouts whose extent overflows
+	// the int range.
+	ErrInvalidLayout = errors.New("invalid layout")
+
+	// ErrInvalidAlgorithm marks an Algorithm or UniformAlgorithm value
+	// outside the enumerated set (or an unknown name passed to
+	// ParseAlgorithm).
+	ErrInvalidAlgorithm = errors.New("invalid algorithm")
+
+	// ErrNilBuffer marks a nil payload buffer passed to a collective in
+	// a non-phantom world (only phantom worlds run without payload
+	// memory).
+	ErrNilBuffer = errors.New("nil buffer outside a phantom world")
+
+	// ErrInvalidRanks marks a malformed rank list passed to Comm.Group:
+	// empty, out of range, or containing duplicates.
+	ErrInvalidRanks = errors.New("invalid rank list")
+)
+
+// DeadlockError is the per-rank blocked-state report attached to the
+// error of an aborted Run: which ranks were blocked, in which
+// operation, on which (comm, src, tag) receives, and since when on the
+// virtual timeline. It is produced identically by the deadlock
+// detector, the WithDeadline watchdog, and RunContext cancellation;
+// retrieve it with errors.As.
+type DeadlockError = mpi.DeadlockError
+
+// BlockedRank is one rank's entry in a DeadlockError.
+type BlockedRank = mpi.BlockedRank
+
+// PendingRecv is one unmatched receive in a BlockedRank report.
+type PendingRecv = mpi.PendingRecv

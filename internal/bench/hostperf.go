@@ -30,6 +30,9 @@ type HostPerfConfig struct {
 	// configuration where the transport pool matters; phantom mode
 	// isolates bookkeeping allocations instead.
 	Phantom bool
+	// Runs is the Run count of the session-amortization measurement
+	// (default 32; 0 keeps the default, negative disables the block).
+	Runs int
 }
 
 func (c *HostPerfConfig) defaults() {
@@ -44,6 +47,9 @@ func (c *HostPerfConfig) defaults() {
 	}
 	if c.Iters < 2 {
 		c.Iters = 16
+	}
+	if c.Runs == 0 {
+		c.Runs = 32
 	}
 }
 
@@ -76,6 +82,75 @@ type HostPerfRow struct {
 type HostPerfReport struct {
 	Config HostPerfConfig
 	Rows   []HostPerfRow
+	// Amortization measures what the resident session runtime saves on
+	// repeated Run calls; nil when the measurement is disabled
+	// (Config.Runs < 0).
+	Amortization *RunAmortization
+}
+
+// RunAmortization is the session-amortization record: the per-Run host
+// cost of a minimal (barrier-only) run on one resident world reused for
+// Runs runs, against a fresh world constructed, run once, and closed,
+// Runs times. The gap is the per-Run session setup — goroutine spawn,
+// arena and mailbox construction — that resident workers pay once.
+type RunAmortization struct {
+	P    int
+	Runs int
+	// ResidentNsPerRun / ResidentAllocsPerRun are per-Run averages over
+	// Runs reuses of one world (after one uncounted warm-up Run that
+	// pays the session spawn).
+	ResidentNsPerRun     float64
+	ResidentAllocsPerRun float64
+	// FreshNsPerRun / FreshAllocsPerRun are the same averages when each
+	// Run gets its own world.
+	FreshNsPerRun     float64
+	FreshAllocsPerRun float64
+}
+
+// SetupNsSaved is the per-Run host-time saving from reusing the
+// session.
+func (a RunAmortization) SetupNsSaved() float64 { return a.FreshNsPerRun - a.ResidentNsPerRun }
+
+// measureAmortization times a barrier-only Run body both ways. Phantom
+// payloads and the caller's model keep the collective itself as close
+// to free as the runtime allows, so the difference is run setup.
+func measureAmortization(o Options, P, runs int) (*RunAmortization, error) {
+	am := &RunAmortization{P: P, Runs: runs}
+	body := func(p *mpi.Proc) error { p.Barrier(); return nil }
+	w, err := mpi.NewWorld(P, mpi.WithModel(o.Model), mpi.WithPhantom())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(body); err != nil { // warm-up: pays the session spawn
+		return nil, err
+	}
+	for i := 0; i < runs; i++ {
+		if err := w.Run(body); err != nil {
+			return nil, err
+		}
+		st := w.RunStats()
+		am.ResidentNsPerRun += float64(st.WallNs)
+		am.ResidentAllocsPerRun += float64(st.Mallocs)
+	}
+	w.Close()
+	am.ResidentNsPerRun /= float64(runs)
+	am.ResidentAllocsPerRun /= float64(runs)
+	for i := 0; i < runs; i++ {
+		fw, err := mpi.NewWorld(P, mpi.WithModel(o.Model), mpi.WithPhantom())
+		if err != nil {
+			return nil, err
+		}
+		if err := fw.Run(body); err != nil {
+			return nil, err
+		}
+		st := fw.RunStats()
+		am.FreshNsPerRun += float64(st.WallNs)
+		am.FreshAllocsPerRun += float64(st.Mallocs)
+		fw.Close()
+	}
+	am.FreshNsPerRun /= float64(runs)
+	am.FreshAllocsPerRun /= float64(runs)
+	return am, nil
 }
 
 // HostPerf measures the host-side cost of every configured Alltoallv
@@ -125,6 +200,15 @@ func HostPerf(o Options, cfg HostPerfConfig) (HostPerfReport, error) {
 			alg, cfg.P, row.AllocsPerCall, row.AllocBytesPerCall,
 			100*row.PoolHitRate, 100*row.ScratchHitRate)
 	}
+	if cfg.Runs > 0 {
+		am, err := measureAmortization(o, cfg.P, cfg.Runs)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hostperf amortization: %w", err)
+		}
+		rep.Amortization = am
+		o.progress("hostperf amortization P=%-5d resident %.1fus/run fresh %.1fus/run",
+			cfg.P, am.ResidentNsPerRun/1e3, am.FreshNsPerRun/1e3)
+	}
 	return rep, nil
 }
 
@@ -151,8 +235,14 @@ func (r HostPerfReport) Fprint(w io.Writer) {
 		})
 	}
 	writeAligned(w, rows)
-	fmt.Fprintf(w, "  (per-call figures subtract a 1-call run from a %d-call run, cancelling world setup)\n\n",
+	fmt.Fprintf(w, "  (per-call figures subtract a 1-call run from a %d-call run, cancelling world setup)\n",
 		c.Iters)
+	if a := r.Amortization; a != nil {
+		fmt.Fprintf(w, "  run-setup amortization over %d runs: resident world %.1f us/run (%.0f allocs), fresh world %.1f us/run (%.0f allocs), %.1f us/run saved\n",
+			a.Runs, a.ResidentNsPerRun/1e3, a.ResidentAllocsPerRun,
+			a.FreshNsPerRun/1e3, a.FreshAllocsPerRun, a.SetupNsSaved()/1e3)
+	}
+	fmt.Fprintln(w)
 }
 
 // WriteJSON writes the report as indented JSON, the format recorded as

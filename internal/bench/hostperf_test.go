@@ -52,6 +52,47 @@ func TestHostPerfReport(t *testing.T) {
 	}
 }
 
+// TestHostPerfAmortization checks the session-amortization block: a
+// resident world reused across Runs must beat a fresh world per Run on
+// per-Run allocations (the session spawn — goroutines, arenas,
+// mailboxes — is paid once, not per Run).
+func TestHostPerfAmortization(t *testing.T) {
+	cfg := HostPerfConfig{P: 32, Iters: 2, Algorithms: []string{"spreadout"}, Runs: 16}
+	rep, err := HostPerf(Options{Iters: 1}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Amortization
+	if a == nil {
+		t.Fatal("no amortization block with Runs > 0")
+	}
+	if a.P != 32 || a.Runs != 16 {
+		t.Errorf("amortization ran at P=%d Runs=%d, want 32/16", a.P, a.Runs)
+	}
+	if a.ResidentAllocsPerRun >= a.FreshAllocsPerRun {
+		t.Errorf("resident runs allocate %.0f objects/run, fresh worlds %.0f — session setup not amortized",
+			a.ResidentAllocsPerRun, a.FreshAllocsPerRun)
+	}
+	if a.SetupNsSaved() <= 0 {
+		t.Errorf("resident %.0f ns/run, fresh %.0f ns/run: reuse saved no host time",
+			a.ResidentNsPerRun, a.FreshNsPerRun)
+	}
+	var text bytes.Buffer
+	rep.Fprint(&text)
+	if !strings.Contains(text.String(), "run-setup amortization") {
+		t.Errorf("report text missing the amortization line:\n%s", text.String())
+	}
+
+	// Runs < 0 disables the block.
+	rep2, err := HostPerf(Options{Iters: 1}, HostPerfConfig{P: 4, Iters: 2, Algorithms: []string{"spreadout"}, Runs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Amortization != nil {
+		t.Error("amortization block present with Runs < 0")
+	}
+}
+
 // TestHostPerfPhantom checks the phantom configuration: data payloads
 // are phantom, so the only pool traffic is two-phase's real metadata
 // messages — which must still balance to zero outstanding.

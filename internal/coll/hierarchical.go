@@ -17,30 +17,27 @@ import (
 // where the paper places it: repeated exchanges of small messages on
 // fat nodes.
 //
+// The node structure comes from Proc.SplitByNode: the intra-node
+// communicator carries the funnel and scatter hops (the leader is its
+// rank 0), and the leader communicator (one rank per node, indexed by
+// node) carries the aggregated inter-node exchange. Both derivations
+// are communication-free and memoized on the resident rank state, so
+// repeated calls pay no communicator setup. Because the communicators
+// are first-class, the scheme also works on a sub-communicator parent
+// whose members straddle nodes unevenly; with one rank per node it
+// degenerates to a spread-out exchange among all ranks.
+//
 // Each inter-node message is self-describing: a table of the
 // (source-local-rank x destination-rank) block sizes precedes the
 // packed blocks, so the receiving leader can split and re-scatter.
-// Node placement comes from the world's WithRanksPerNode configuration;
-// with one rank per node the scheme degenerates to a spread-out
-// exchange among all ranks.
 func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	recv buffer.Buf, rcounts, rdispls []int) error {
 	if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 		return err
 	}
 	P := p.Size()
-	R := p.World().RanksPerNode()
-	rank := p.Rank()
-	node := rank / R
-	leader := node * R
-	nodes := (P + R - 1) / R
-	nodeSize := func(nd int) int {
-		if (nd+1)*R <= P {
-			return R
-		}
-		return P - nd*R
-	}
-	myNodeSize := nodeSize(node)
+	intra, leaders := p.SplitByNode()
+	myNodeSize := intra.Size()
 
 	const (
 		tagUpCounts = tagSpreadOut + 8
@@ -52,19 +49,19 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	done := p.Phase(PhaseComm)
 	defer done()
 
-	if rank != leader {
-		// Ship the counts table, then the packed payload, to the
-		// leader; receive the assembled inbound stream at the end.
-		// Sends are eager (the payload is captured at send time), so
-		// each staging buffer goes back to the arena as soon as its
-		// send returns.
+	if leaders == nil {
+		// Non-leader: ship the counts table, then the packed payload, to
+		// the leader (intra rank 0); receive the assembled inbound
+		// stream at the end. Sends are eager (the payload is captured at
+		// send time), so each staging buffer goes back to the arena as
+		// soon as its send returns.
 		cbuf := p.AllocReal(4 * P)
 		total := 0
 		for d := 0; d < P; d++ {
 			cbuf.PutUint32(4*d, uint32(scounts[d]))
 			total += scounts[d]
 		}
-		p.Send(leader, tagUpCounts, cbuf)
+		intra.Send(0, tagUpCounts, cbuf)
 		p.FreeBuf(cbuf)
 		pay := p.AllocBuf(total)
 		off := 0
@@ -72,7 +69,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			p.Memcpy(pay.Slice(off, scounts[d]), send.Slice(sdispls[d], scounts[d]))
 			off += scounts[d]
 		}
-		p.Send(leader, tagUpData, pay.Slice(0, total))
+		intra.Send(0, tagUpData, pay.Slice(0, total))
 		p.FreeBuf(pay)
 
 		rTotal := 0
@@ -80,7 +77,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			rTotal += c
 		}
 		in := p.AllocBuf(rTotal)
-		p.Recv(leader, tagDown, in.Slice(0, rTotal))
+		intra.Recv(0, tagDown, in.Slice(0, rTotal))
 		off = 0
 		for s := 0; s < P; s++ {
 			p.Memcpy(recv.Slice(rdispls[s], rcounts[s]), in.Slice(off, rcounts[s]))
@@ -92,8 +89,19 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 
 	// --- Leader path ---
 
+	node := leaders.Rank()
+	nodes := leaders.Size()
+
+	// Node map over the parent communicator, memoized with the
+	// communicators themselves: nodeOf[r] is the node index (= leader
+	// rank) of parent rank r, and nodeMembers[ni] lists that node's
+	// parent ranks in parent order.
+	layout := p.NodeLayout()
+	nodeOf := layout.NodeOf
+	nodeMembers := layout.Members
+
 	// Gather local counts and payloads. counts[lr][d] is the size of
-	// the block local rank lr sends to global rank d; payload[lr] holds
+	// the block intra rank lr sends to parent rank d; payload[lr] holds
 	// lr's blocks packed in destination order.
 	counts := make([][]int, myNodeSize)
 	payload := make([]buffer.Buf, myNodeSize)
@@ -113,7 +121,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	}
 	cbuf := p.AllocReal(4 * P)
 	for lr := 1; lr < myNodeSize; lr++ {
-		p.Recv(leader+lr, tagUpCounts, cbuf)
+		intra.Recv(lr, tagUpCounts, cbuf)
 		cs := make([]int, P)
 		total := 0
 		for d := 0; d < P; d++ {
@@ -122,7 +130,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		}
 		counts[lr] = cs
 		buf := p.AllocBuf(total)
-		p.Recv(leader+lr, tagUpData, buf.Slice(0, total))
+		intra.Recv(lr, tagUpData, buf.Slice(0, total))
 		payload[lr] = buf.Slice(0, total)
 	}
 	p.FreeBuf(cbuf)
@@ -134,11 +142,11 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	outBufs := make([]buffer.Buf, nodes)
 	outLens := make([]int, nodes)
 	for nd := 0; nd < nodes; nd++ {
-		dsz := nodeSize(nd)
+		dsz := len(nodeMembers[nd])
 		total := 0
 		for lr := 0; lr < myNodeSize; lr++ {
-			for j := 0; j < dsz; j++ {
-				total += counts[lr][nd*R+j]
+			for _, d := range nodeMembers[nd] {
+				total += counts[lr][d]
 			}
 		}
 		table := p.AllocReal(4 * myNodeSize * dsz)
@@ -149,7 +157,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			pOff := 0
 			for d := 0; d < P; d++ {
 				c := counts[lr][d]
-				if d/R == nd {
+				if nodeOf[d] == nd {
 					table.PutUint32(4*ti, uint32(c))
 					ti++
 					p.Memcpy(buf.Slice(off, c), payload[lr].Slice(pOff, c))
@@ -177,9 +185,9 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		p.SetStep(i - 1)
 		dstN := (node + i) % nodes
 		srcN := (node - i + nodes) % nodes
-		ssz := nodeSize(srcN)
+		ssz := len(nodeMembers[srcN])
 		inTables[srcN] = p.AllocReal(4 * ssz * myNodeSize)
-		p.SendRecv(dstN*R, tagUpCounts, outTables[dstN], srcN*R, tagUpCounts, inTables[srcN])
+		leaders.SendRecv(dstN, tagUpCounts, outTables[dstN], srcN, tagUpCounts, inTables[srcN])
 		for ti := 0; ti < ssz*myNodeSize; ti++ {
 			inLens[srcN] += int(inTables[srcN].Uint32(4 * ti))
 		}
@@ -192,12 +200,12 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	for i := 1; i < nodes; i++ {
 		srcN := (node - i + nodes) % nodes
 		inBufs[srcN] = p.AllocBuf(inLens[srcN])
-		reqs = append(reqs, p.Irecv(srcN*R, tagInter, inBufs[srcN]))
+		reqs = append(reqs, leaders.Irecv(srcN, tagInter, inBufs[srcN]))
 	}
 	for i := 1; i < nodes; i++ {
 		p.SetStep(i - 1)
 		dstN := (node + i) % nodes
-		reqs = append(reqs, p.Isend(dstN*R, tagInter, outBufs[dstN].Slice(0, outLens[dstN])))
+		reqs = append(reqs, leaders.Isend(dstN, tagInter, outBufs[dstN].Slice(0, outLens[dstN])))
 	}
 	p.ClearStep()
 	if err := p.Waitall(reqs); err != nil {
@@ -212,27 +220,26 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		buf  buffer.Buf
 		size int
 	}
-	blocks := make([][]blockRef, myNodeSize) // [dstLocal][globalSrc]
+	blocks := make([][]blockRef, myNodeSize) // [dstLocal][parent src rank]
 	for j := range blocks {
 		blocks[j] = make([]blockRef, P)
 	}
 	for srcN := 0; srcN < nodes; srcN++ {
-		ssz := nodeSize(srcN)
 		buf := inBufs[srcN]
 		table := inTables[srcN]
 		off := 0
 		ti := 0
-		for lr := 0; lr < ssz; lr++ {
+		for _, src := range nodeMembers[srcN] {
 			for j := 0; j < myNodeSize; j++ {
 				c := int(table.Uint32(4 * ti))
 				ti++
-				blocks[j][srcN*R+lr] = blockRef{buf: buf.Slice(off, c), size: c}
+				blocks[j][src] = blockRef{buf: buf.Slice(off, c), size: c}
 				off += c
 			}
 		}
 	}
 
-	// Scatter: assemble each local rank's inbound stream in global
+	// Scatter: assemble each local rank's inbound stream in parent
 	// source order; the leader places its own blocks directly.
 	for j := 0; j < myNodeSize; j++ {
 		if j == 0 {
@@ -256,7 +263,7 @@ func HierarchicalAlltoallv(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 			p.Memcpy(down.Slice(off, b.size), b.buf)
 			off += b.size
 		}
-		p.Send(leader+j, tagDown, down.Slice(0, total))
+		intra.Send(j, tagDown, down.Slice(0, total))
 		p.FreeBuf(down)
 	}
 	// inTables/inBufs alias the out side at this node's own index, so

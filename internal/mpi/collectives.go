@@ -22,6 +22,7 @@ const (
 	tagBcast
 	tagGather
 	tagAllreduceFused
+	tagSplit
 )
 
 // Barrier blocks until all ranks have entered it (dissemination barrier,

@@ -1,0 +1,247 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Communicator derivation. A derived communicator is a new Proc handle
+// sharing this rank's resident state but scoped to a subset of the
+// parent's ranks with its own contiguous rank numbering and its own
+// context id: point-to-point matching, the built-in collectives, and
+// everything layered on them (Alltoallv dispatch, barriers, allreduces)
+// operate within the subset, and traffic on different communicators can
+// never match. Collectives on disjoint communicators may run
+// concurrently in one world.
+//
+// Context ids are allocated from the world's membership registry — a
+// deterministic function of the ordered global membership — so member
+// ranks agree on the id without communicating, and deriving the same
+// membership twice yields the same communicator identity. The handles
+// of one rank share that rank's clocks and mailbox and must be used
+// sequentially from the rank's goroutine, like MPI communicators of one
+// process.
+
+// Undefined is the color passed to Split by ranks that want no
+// communicator out of the split (MPI_UNDEFINED).
+const Undefined = -1
+
+// Split partitions this handle's communicator by color: ranks passing
+// the same color form a new communicator, with new ranks ordered by
+// (key, parent rank). Ranks passing Undefined get nil. It is a
+// collective over the parent communicator — every rank must call it —
+// and is priced like one: (color, key) pairs are gathered at parent
+// rank 0, which computes the partition and sends each member its new
+// rank and membership. Colors must be >= 0 or Undefined.
+func (p *Proc) Split(color, key int) *Proc {
+	if color < 0 && color != Undefined {
+		panic(fmt.Sprintf("mpi: rank %d: Split color %d is negative (use mpi.Undefined to opt out)", p.rank, color))
+	}
+	P := p.Size()
+	pair := p.AllocReal(16)
+	defer p.FreeBuf(pair)
+	var newRank int
+	var members []int // parent-local ranks of my new communicator
+	if p.rank != 0 {
+		pair.PutUint64(0, uint64(int64(color)))
+		pair.PutUint64(8, uint64(int64(key)))
+		p.sendColl(0, tagSplit, pair)
+		reply := p.AllocReal(16 + 8*P)
+		defer p.FreeBuf(reply)
+		n := p.recvColl(0, tagSplit, reply)
+		newRank = int(int64(reply.Uint64(0)))
+		size := int(int64(reply.Uint64(8)))
+		if n != 16+8*size {
+			panic(fmt.Sprintf("mpi: rank %d: Split reply size %d does not match member count %d", p.rank, n, size))
+		}
+		if size == 0 {
+			return nil // this rank passed Undefined
+		}
+		members = make([]int, size)
+		for i := range members {
+			members[i] = int(int64(reply.Uint64(16 + 8*i)))
+		}
+	} else {
+		colors := make([]int, P)
+		keys := make([]int, P)
+		colors[0], keys[0] = color, key
+		for r := 1; r < P; r++ {
+			p.recvColl(r, tagSplit, pair)
+			colors[r] = int(int64(pair.Uint64(0)))
+			keys[r] = int(int64(pair.Uint64(8)))
+		}
+		// Partition: per color, members ordered by (key, parent rank).
+		byColor := make(map[int][]int)
+		for r := 0; r < P; r++ {
+			if colors[r] == Undefined {
+				continue
+			}
+			byColor[colors[r]] = append(byColor[colors[r]], r)
+		}
+		for _, ms := range byColor {
+			sort.Slice(ms, func(i, j int) bool {
+				if keys[ms[i]] != keys[ms[j]] {
+					return keys[ms[i]] < keys[ms[j]]
+				}
+				return ms[i] < ms[j]
+			})
+		}
+		reply := p.AllocReal(16 + 8*P)
+		for r := 1; r < P; r++ {
+			ms := byColor[colors[r]]
+			if colors[r] == Undefined {
+				ms = nil
+			}
+			nr := 0
+			for i, m := range ms {
+				if m == r {
+					nr = i
+					break
+				}
+			}
+			reply.PutUint64(0, uint64(int64(nr)))
+			reply.PutUint64(8, uint64(int64(len(ms))))
+			for i, m := range ms {
+				reply.PutUint64(16+8*i, uint64(int64(m)))
+			}
+			p.sendColl(r, tagSplit, reply.Slice(0, 16+8*len(ms)))
+		}
+		p.FreeBuf(reply)
+		if color == Undefined {
+			return nil
+		}
+		members = byColor[color]
+		for i, m := range members {
+			if m == 0 {
+				newRank = i
+				break
+			}
+		}
+	}
+	return p.derive(members, newRank)
+}
+
+// Group returns a handle on the communicator consisting of the given
+// parent-local ranks, in the given order (the i-th listed rank becomes
+// rank i). It exchanges no messages: every listed rank must call Group
+// with an identical list, and agreement on the communicator identity
+// comes from the world's membership registry. A caller not in the list
+// gets (nil, nil). The list must be non-empty, in range, and free of
+// duplicates.
+func (p *Proc) Group(ranks []int) (*Proc, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("mpi: rank %d: Group of no ranks", p.rank)
+	}
+	seen := make(map[int]bool, len(ranks))
+	newRank := -1
+	for i, r := range ranks {
+		if r < 0 || r >= p.Size() {
+			return nil, fmt.Errorf("mpi: rank %d: Group rank %d out of range [0,%d)", p.rank, r, p.Size())
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: rank %d: Group rank %d listed twice", p.rank, r)
+		}
+		seen[r] = true
+		if r == p.rank {
+			newRank = i
+		}
+	}
+	if newRank < 0 {
+		return nil, nil
+	}
+	return p.derive(ranks, newRank), nil
+}
+
+// NodeLayout describes how a communicator's ranks are placed on nodes
+// (WithRanksPerNode placement of their global ranks). Node indices are
+// assigned in order of first appearance scanning local ranks ascending
+// — the same order SplitByNode numbers the leader communicator by, so a
+// node's index is its leader's rank in that communicator. The layout is
+// memoized with the communicators; callers must not mutate it.
+type NodeLayout struct {
+	// NodeOf maps a communicator-local rank to its node index.
+	NodeOf []int
+	// Members lists each node's communicator-local ranks, ascending.
+	Members [][]int
+}
+
+// nodeSplit is a memoized SplitByNode/NodeLayout result (see
+// procState.nodeComms).
+type nodeSplit struct {
+	intra, leaders *Proc
+	layout         *NodeLayout
+}
+
+// SplitByNode splits this handle's communicator along node boundaries
+// (WithRanksPerNode placement of global ranks): intra is the
+// communicator of this rank's node-mates within the parent (ordered by
+// parent rank), and leaders is the communicator of each node's first
+// (lowest parent rank) member, one per node in order of first
+// appearance — nil on ranks that are not their node's leader. Like
+// Group it exchanges no messages; the grouping is a pure function of
+// the membership table every member already holds. Results are
+// memoized per parent communicator on the resident rank state, so
+// repeated node-aware collectives derive their communicators once per
+// session.
+func (p *Proc) SplitByNode() (intra, leaders *Proc) {
+	c := p.nodeSplit()
+	return c.intra, c.leaders
+}
+
+// NodeLayout returns this communicator's node partition (memoized with
+// SplitByNode's communicators). Node-aware algorithms use it to group
+// per-destination blocks by node without per-call index rebuilds.
+func (p *Proc) NodeLayout() *NodeLayout { return p.nodeSplit().layout }
+
+func (p *Proc) nodeSplit() *nodeSplit {
+	if c, ok := p.nodeComms[p.grp]; ok {
+		return c
+	}
+	lay := &NodeLayout{NodeOf: make([]int, len(p.grp.ranks))}
+	nodeIdx := make(map[int]int) // global node id -> node index
+	var leaderLs []int           // parent-local leader ranks, by node first-appearance
+	for l, g := range p.grp.ranks {
+		node := g / p.w.ranksPerNode
+		ni, ok := nodeIdx[node]
+		if !ok {
+			ni = len(lay.Members)
+			nodeIdx[node] = ni
+			lay.Members = append(lay.Members, nil)
+			leaderLs = append(leaderLs, l)
+		}
+		lay.NodeOf[l] = ni
+		lay.Members[ni] = append(lay.Members[ni], l)
+	}
+	myNI := lay.NodeOf[p.rank]
+	mates := lay.Members[myNI]
+	myIntraRank := 0
+	for i, l := range mates {
+		if l == p.rank {
+			myIntraRank = i
+		}
+	}
+	c := &nodeSplit{layout: lay}
+	c.intra = p.derive(mates, myIntraRank)
+	if leaderLs[myNI] == p.rank {
+		c.leaders = p.derive(leaderLs, myNI)
+	}
+	if p.nodeComms == nil {
+		p.nodeComms = make(map[*group]*nodeSplit)
+	}
+	p.nodeComms[p.grp] = c
+	return c
+}
+
+// derive builds the handle for the communicator whose members are the
+// given parent-local ranks, with this rank at local rank newRank.
+func (p *Proc) derive(parentRanks []int, newRank int) *Proc {
+	global := make([]int, len(parentRanks))
+	for i, r := range parentRanks {
+		global[i] = p.grp.ranks[r]
+	}
+	return &Proc{
+		procState: p.procState,
+		grp:       &group{ctx: p.w.ctxFor(global), ranks: global},
+		rank:      newRank,
+	}
+}

@@ -1,0 +1,562 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bruckv/internal/buffer"
+)
+
+// TestSplitPartitionsByColorAndOrdersByKey checks the MPI_Comm_split
+// contract: same-color ranks form one communicator, ordered by (key,
+// parent rank), and Undefined opts out.
+func TestSplitPartitionsByColorAndOrdersByKey(t *testing.T) {
+	const P = 9
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		// Three colors 0/1/2 by rank%3; key descends with rank so the
+		// new numbering reverses parent order. Rank 8 opts out.
+		color := p.Rank() % 3
+		if p.Rank() == 8 {
+			color = Undefined
+		}
+		sub := p.Split(color, -p.Rank())
+		if p.Rank() == 8 {
+			if sub != nil {
+				return fmt.Errorf("rank 8 passed Undefined but got a communicator")
+			}
+			return nil
+		}
+		// color 2 has members {2,5} after 8 opted out; colors 0/1 have 3.
+		wantSize := 3
+		if color == 2 {
+			wantSize = 2
+		}
+		if sub.Size() != wantSize {
+			return fmt.Errorf("rank %d: sub size %d, want %d", p.Rank(), sub.Size(), wantSize)
+		}
+		// Descending key: highest parent rank becomes rank 0.
+		wantRank := wantSize - 1 - p.Rank()/3
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("rank %d: sub rank %d, want %d", p.Rank(), sub.Rank(), wantRank)
+		}
+		if sub.GlobalRank() != p.Rank() {
+			return fmt.Errorf("rank %d: global rank %d through sub handle", p.Rank(), sub.GlobalRank())
+		}
+		if sub.CommID() == 0 {
+			return fmt.Errorf("rank %d: sub-communicator has world context id", p.Rank())
+		}
+		// The sub-communicator's collectives run within the subset.
+		if got := sub.AllreduceMaxInt(p.Rank()); got != (wantSize-1)*3+color {
+			return fmt.Errorf("rank %d: sub allreduce max = %d", p.Rank(), got)
+		}
+		sub.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitMatchingIsolation sends identical (src, tag) traffic on the
+// world and on a sub-communicator at once; context-id matching must
+// keep the two streams apart.
+func TestSplitMatchingIsolation(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		// Sub-communicator of the even ranks: world ranks 0,2 become sub
+		// ranks 0,1. World rank 2 sends to world rank 0 on tag 7, and
+		// sub rank 1 (the same physical rank) sends a different payload
+		// to sub rank 0 (also the same physical rank) on tag 7. The
+		// world message's comm-local src is 2, the sub message's is 1 —
+		// only context ids keep recv from crossing the streams when the
+		// local src ranks collide too: sub rank 1 is world rank 2, so
+		// also send world-tagged traffic from world rank 1.
+		color := Undefined
+		if p.Rank()%2 == 0 {
+			color = 0
+		}
+		sub := p.Split(color, 0)
+		b := buffer.New(1)
+		switch p.Rank() {
+		case 1:
+			b.Bytes()[0] = 'w'
+			p.Send(0, 7, b) // world ctx, src 1
+		case 2:
+			b.Bytes()[0] = 's'
+			sub.Send(0, 7, b) // sub ctx, src 1 (world rank 2 is sub rank 1)
+		case 0:
+			p.Recv(1, 7, b)
+			if b.Bytes()[0] != 'w' {
+				return fmt.Errorf("world recv got %q", b.Bytes()[0])
+			}
+			sub.Recv(1, 7, b)
+			if b.Bytes()[0] != 's' {
+				return fmt.Errorf("sub recv got %q", b.Bytes()[0])
+			}
+		}
+		if sub != nil {
+			sub.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupZeroCommunication checks Group semantics: ordered
+// membership, no messages exchanged, nil for non-members, and typed
+// validation errors.
+func TestGroupZeroCommunication(t *testing.T) {
+	const P = 6
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		msgs0 := p.MsgsSent()
+		g, err := p.Group([]int{4, 2, 0})
+		if err != nil {
+			return err
+		}
+		if p.MsgsSent() != msgs0 {
+			return fmt.Errorf("rank %d: Group sent %d messages", p.Rank(), p.MsgsSent()-msgs0)
+		}
+		switch p.Rank() {
+		case 0, 2, 4:
+			if g == nil {
+				return fmt.Errorf("rank %d: member got nil", p.Rank())
+			}
+			wantRank := map[int]int{4: 0, 2: 1, 0: 2}[p.Rank()]
+			if g.Rank() != wantRank || g.Size() != 3 {
+				return fmt.Errorf("rank %d: got (rank %d, size %d)", p.Rank(), g.Rank(), g.Size())
+			}
+			// Membership agreement without communication: a collective
+			// on the group works.
+			if got := g.AllreduceMaxInt(g.Rank()); got != 2 {
+				return fmt.Errorf("rank %d: group allreduce = %d", p.Rank(), got)
+			}
+		default:
+			if g != nil {
+				return fmt.Errorf("rank %d: non-member got a communicator", p.Rank())
+			}
+		}
+		for _, bad := range [][]int{{}, {0, 0}, {-1}, {P}} {
+			if _, err := p.Group(bad); err == nil {
+				return fmt.Errorf("rank %d: Group(%v) accepted", p.Rank(), bad)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupSameMembershipSharesContext checks the registry property
+// that makes zero-communication derivation sound: identical ordered
+// membership yields the same context id, different membership a
+// different one.
+func TestGroupSameMembershipSharesContext(t *testing.T) {
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		a, _ := p.Group([]int{0, 1})
+		b, _ := p.Group([]int{0, 1})
+		c, _ := p.Group([]int{1, 0})
+		d, _ := p.Group([]int{2, 3})
+		if p.Rank() < 2 {
+			if a.CommID() != b.CommID() {
+				return fmt.Errorf("same membership, different ctx: %d vs %d", a.CommID(), b.CommID())
+			}
+			if a.CommID() == c.CommID() {
+				return fmt.Errorf("different order, same ctx %d", a.CommID())
+			}
+			if a.CommID() == 0 || c.CommID() == 0 {
+				return errors.New("derived comm got world ctx")
+			}
+		} else if d.CommID() == 0 {
+			return errors.New("derived comm got world ctx")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full identity membership is the world communicator.
+	err = w.Run(func(p *Proc) error {
+		id, err := p.Group([]int{0, 1, 2, 3})
+		if err != nil {
+			return err
+		}
+		if id.CommID() != 0 {
+			return fmt.Errorf("identity Group ctx = %d, want 0", id.CommID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisjointCommsRunConcurrently proves collectives on disjoint
+// sub-communicators make progress simultaneously: a barrier on comm A
+// interleaved with a barrier on comm B would deadlock if either
+// serialized the world.
+func TestDisjointCommsRunConcurrently(t *testing.T) {
+	const P = 8
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		sub := p.Split(p.Rank()%2, 0)
+		// Different halves do a different number of collectives before
+		// agreeing on a value — if matching leaked across the comms,
+		// the counts would not line up and the run would deadlock.
+		iters := 3 + p.Rank()%2
+		v := p.Rank()
+		for i := 0; i < iters; i++ {
+			sub.Barrier()
+			v = sub.AllreduceMaxInt(v)
+		}
+		want := 6 + p.Rank()%2 // max rank in my half
+		if v != want {
+			return fmt.Errorf("rank %d: got %d, want %d", p.Rank(), v, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitByNodeLayout checks the node-derived communicators and the
+// memoized layout against a non-dividing node width.
+func TestSplitByNodeLayout(t *testing.T) {
+	const P, R = 10, 4 // nodes: {0..3}, {4..7}, {8,9}
+	w, err := NewWorld(P, WithRanksPerNode(R))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		intra, leaders := p.SplitByNode()
+		node := p.Rank() / R
+		wantSize := R
+		if node == 2 {
+			wantSize = 2
+		}
+		if intra.Size() != wantSize || intra.Rank() != p.Rank()%R {
+			return fmt.Errorf("rank %d: intra (rank %d, size %d)", p.Rank(), intra.Rank(), intra.Size())
+		}
+		isLeader := p.Rank()%R == 0
+		if isLeader != (leaders != nil) {
+			return fmt.Errorf("rank %d: leaders handle mismatch", p.Rank())
+		}
+		if leaders != nil && (leaders.Rank() != node || leaders.Size() != 3) {
+			return fmt.Errorf("rank %d: leaders (rank %d, size %d)", p.Rank(), leaders.Rank(), leaders.Size())
+		}
+		lay := p.NodeLayout()
+		if len(lay.Members) != 3 || lay.NodeOf[9] != 2 || lay.Members[2][0] != 8 {
+			return fmt.Errorf("rank %d: bad layout %+v", p.Rank(), lay)
+		}
+		// Memoized: the same handle derives identical communicators.
+		i2, l2 := p.SplitByNode()
+		if i2 != intra || l2 != leaders {
+			return fmt.Errorf("rank %d: SplitByNode not memoized", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResidentWorkersPersistAcrossRuns checks the session property: the
+// same goroutines serve every Run (no per-Run spawn), and per-rank
+// state is properly reset in between.
+func TestResidentWorkersPersistAcrossRuns(t *testing.T) {
+	const P = 8
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first [P]int64
+	err = w.Run(func(p *Proc) error {
+		// Message both ways so clocks and counters move.
+		b := buffer.New(8)
+		p.SendRecv((p.Rank()+1)%P, 3, b, (p.Rank()-1+P)%P, 3, b)
+		atomic.StoreInt64(&first[p.Rank()], int64(goid()))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, m1 := w.MaxTime(), w.TotalMessages()
+	for run := 0; run < 3; run++ {
+		err = w.Run(func(p *Proc) error {
+			if p.Now() != 0 || p.BytesSent() != 0 || p.MsgsSent() != 0 {
+				return fmt.Errorf("rank %d: stale state (now=%g bytes=%d msgs=%d)",
+					p.Rank(), p.Now(), p.BytesSent(), p.MsgsSent())
+			}
+			b := buffer.New(8)
+			p.SendRecv((p.Rank()+1)%P, 3, b, (p.Rank()-1+P)%P, 3, b)
+			if atomic.LoadInt64(&first[p.Rank()]) != int64(goid()) {
+				return fmt.Errorf("rank %d: served by a different goroutine", p.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.MaxTime() != t1 || w.TotalMessages() != m1 {
+			t.Fatalf("run %d: timings drifted: %g/%d vs %g/%d", run, w.MaxTime(), w.TotalMessages(), t1, m1)
+		}
+	}
+}
+
+// goid extracts the current goroutine id from the runtime stack header
+// ("goroutine N [...]"). Test-only.
+func goid() int {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	f := strings.Fields(string(buf[:n]))
+	if len(f) < 2 {
+		return -1
+	}
+	var id int
+	fmt.Sscanf(f[1], "%d", &id)
+	return id
+}
+
+// TestRunContextCancellation aborts a wedged run through context
+// cancellation and expects the watchdog-style blocked-state report plus
+// errors.Is(err, context.Canceled).
+func TestRunContextCancellation(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	err = w.RunContext(ctx, func(p *Proc) error {
+		// Livelock: the ranks ping-pong forever, so only cancellation
+		// (not the blocked-rank detector) can end the run.
+		b := buffer.New(8)
+		for {
+			p.Send(1-p.Rank(), 1, b)
+			p.Recv(1-p.Rank(), 1, b)
+		}
+	})
+	if err == nil {
+		t.Fatal("canceled run returned nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not match context.Canceled: %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+	if !strings.Contains(de.Reason, "canceled") {
+		t.Errorf("reason %q does not mention cancellation", de.Reason)
+	}
+	// The world stays usable after an aborted run.
+	if err := w.Run(func(p *Proc) error { p.Barrier(); return nil }); err != nil {
+		t.Fatalf("run after cancellation: %v", err)
+	}
+}
+
+// TestRunContextDeadline checks that a context deadline aborts like the
+// watchdog and matches context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = w.RunContext(ctx, func(p *Proc) error {
+		b := buffer.New(8)
+		for {
+			p.Send(1-p.Rank(), 1, b)
+			p.Recv(1-p.Rank(), 1, b)
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error does not match context.DeadlineExceeded: %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+}
+
+// TestRunContextPreCanceled must not dispatch any rank work.
+func TestRunContextPreCanceled(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Bool{}
+	err = w.RunContext(ctx, func(p *Proc) error {
+		ran.Store(true)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if ran.Load() {
+		t.Error("rank function ran under a pre-canceled context")
+	}
+}
+
+// TestWithDeadlineMatchesContextDeadline: the watchdog is now a context
+// deadline, so its error joins context.DeadlineExceeded while keeping
+// the classic report.
+func TestWithDeadlineMatchesContextDeadline(t *testing.T) {
+	w, err := NewWorld(2, WithDeadline(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(8)
+		for {
+			p.Send(1-p.Rank(), 1, b)
+			p.Recv(1-p.Rank(), 1, b)
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("watchdog error does not match context.DeadlineExceeded: %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+	if !strings.Contains(de.Reason, "wall-clock deadline") {
+		t.Errorf("reason %q lost the watchdog wording", de.Reason)
+	}
+}
+
+// TestCloseReleasesSession checks Close semantics: idempotent, Runs
+// fail afterwards, and the session goroutines exit.
+func TestCloseReleasesSession(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, err := NewWorld(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(p *Proc) error { p.Barrier(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close() // idempotent
+	if err := w.Run(func(p *Proc) error { return nil }); err == nil {
+		t.Error("Run after Close succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("%d goroutines still alive after Close (started with %d)", n, before)
+	}
+}
+
+// TestSubCommDeadlockReportNamesComm wedges a receive on a derived
+// communicator and expects the blocked-state report to attribute it.
+func TestSubCommDeadlockReportNamesComm(t *testing.T) {
+	w, err := NewWorld(4, WithDeadline(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		sub := p.Split(p.Rank()%2, 0)
+		if p.Rank() == 0 {
+			b := buffer.New(8)
+			sub.Recv(1, 42, b) // never sent
+		}
+		return nil
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+	found := false
+	for _, br := range de.Blocked {
+		for _, pr := range br.Pending {
+			if pr.Tag == 42 {
+				found = true
+				if pr.Comm == 0 {
+					t.Errorf("pending %v lost its communicator id", pr)
+				}
+				if !strings.Contains(pr.String(), "comm=") {
+					t.Errorf("String %q does not name the comm", pr.String())
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("wedged sub-comm receive missing from report %v", de)
+	}
+}
+
+// TestWaitallAcrossCommunicators posts receives on two communicators
+// and completes them with one Waitall.
+func TestWaitallAcrossCommunicators(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		sub := p.Split(p.Rank()%2, 0) // evens and odds
+		wb, sb := buffer.New(8), buffer.New(8)
+		wb.PutUint64(0, uint64(100+p.Rank()))
+		sb.PutUint64(0, uint64(200+p.Rank()))
+		rw, rs := buffer.New(8), buffer.New(8)
+		reqs := []*Request{
+			p.Irecv((p.Rank()+1)%P, 5, rw),
+			sub.Irecv((sub.Rank()+1)%2, 5, rs),
+		}
+		p.Send((p.Rank()-1+P)%P, 5, wb)
+		sub.Send((sub.Rank()-1+2)%2, 5, sb)
+		if err := p.Waitall(reqs); err != nil {
+			return err
+		}
+		p.FreeRequests(reqs)
+		if got := int(rw.Uint64(0)); got != 100+(p.Rank()+1)%P {
+			return fmt.Errorf("rank %d: world recv %d", p.Rank(), got)
+		}
+		wantSub := 200 + (p.Rank()+2)%P // my sub-partner's world rank
+		if got := int(rs.Uint64(0)); got != wantSub {
+			return fmt.Errorf("rank %d: sub recv %d, want %d", p.Rank(), got, wantSub)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,14 +14,21 @@ import (
 
 // PendingRecv is one unmatched receive a blocked rank is waiting on.
 type PendingRecv struct {
-	// Src is the rank the receive is posted against.
+	// Comm is the context id of the communicator the receive was posted
+	// on; 0 is the world communicator.
+	Comm int
+	// Src is the rank (local to that communicator) the receive is
+	// posted against.
 	Src int
 	// Tag is the message tag the receive is matching.
 	Tag int
 }
 
 func (pr PendingRecv) String() string {
-	return fmt.Sprintf("(src=%d, tag=%d)", pr.Src, pr.Tag)
+	if pr.Comm == 0 {
+		return fmt.Sprintf("(src=%d, tag=%d)", pr.Src, pr.Tag)
+	}
+	return fmt.Sprintf("(comm=%d, src=%d, tag=%d)", pr.Comm, pr.Src, pr.Tag)
 }
 
 // BlockedRank describes one rank's blocked state at abort time.
@@ -110,6 +117,9 @@ type pendRecvs []PendingRecv
 func (s *pendRecvs) Len() int      { return len(*s) }
 func (s *pendRecvs) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
 func (s *pendRecvs) Less(i, j int) bool {
+	if (*s)[i].Comm != (*s)[j].Comm {
+		return (*s)[i].Comm < (*s)[j].Comm
+	}
 	if (*s)[i].Src != (*s)[j].Src {
 		return (*s)[i].Src < (*s)[j].Src
 	}
@@ -117,14 +127,15 @@ func (s *pendRecvs) Less(i, j int) bool {
 }
 
 // pendingFromWanted decodes the outstanding-receive index into sorted
-// (src, tag) pairs, reusing the rank's scratch slice. The uint32 key
-// halves round-trip negative tags (collectives use the reserved tag
-// space below -1000) through int32. Must run under box.mu; diagnostics
-// copy the result under the same lock before the next reuse.
-func (p *Proc) pendingFromWanted() []PendingRecv {
+// (comm, src, tag) pairs, reusing the rank's scratch slice. Tags
+// round-trip negative values (collectives use the reserved tag space
+// below -1000) through the key's int32. Must run under box.mu;
+// diagnostics copy the result under the same lock before the next
+// reuse.
+func (p *procState) pendingFromWanted() []PendingRecv {
 	p.waitPendBuf = p.waitPendBuf[:0]
 	for key, rq := range p.wanted {
-		pr := PendingRecv{Src: int(int32(key >> 32)), Tag: int(int32(key))}
+		pr := PendingRecv{Comm: int(key.ctx), Src: int(key.src), Tag: int(key.tag)}
 		for i := rq.head; i < len(rq.reqs); i++ {
 			p.waitPendBuf = append(p.waitPendBuf, pr)
 		}

@@ -8,11 +8,39 @@ import (
 	"bruckv/internal/trace"
 )
 
-// Proc is one rank's handle onto the world. All methods must be called
-// only from the goroutine Run started for this rank.
+// Proc is one rank's handle onto a communicator. The world's Run hands
+// each rank a handle on the world communicator; Split, Group, and
+// SplitByNode derive handles scoped to a subset of ranks with their own
+// rank numbering. All handles of one rank share the same underlying
+// per-rank state (clocks, mailbox, arena), so a rank goroutine may hold
+// several communicator handles but uses them sequentially, exactly like
+// an MPI process holding several communicators. All methods must be
+// called only from the goroutine Run started for this rank.
 type Proc struct {
-	w    *World
+	*procState
+
+	// grp is the communicator this handle is scoped to; rank is this
+	// rank's id within grp (equal to the global rank on the world
+	// communicator).
+	grp  *group
 	rank int
+}
+
+// group is a communicator's membership: a context id that isolates its
+// point-to-point matching from every other communicator in the world,
+// plus the local-to-global rank translation table.
+type group struct {
+	ctx   uint32
+	ranks []int // local rank -> global rank
+}
+
+// procState is the per-global-rank runtime state. It is resident: it
+// lives on the World and persists across Run calls (reset between
+// runs), so iterated workloads keep warm mailbox buckets, request free
+// lists, and scratch arenas.
+type procState struct {
+	w     *World
+	grank int // global (world) rank
 
 	// Virtual clocks, in nanoseconds. now is the CPU clock; txFree and
 	// rxFree are the times at which the injection and drain paths of this
@@ -25,8 +53,7 @@ type Proc struct {
 
 	// arena is this rank's single-owner scratch free list behind
 	// AllocBuf/AllocReal. It lives on the World (indexed by rank) so it
-	// survives Run's Proc recreation, keeping steady-state iterations
-	// allocation-free.
+	// also survives world recreation in benchmarks that reuse arenas.
 	arena *buffer.Arena
 
 	// Request recycling and reusable Waitall state. reqFree holds
@@ -34,12 +61,12 @@ type Proc struct {
 	// call counter used to detect duplicate requests without allocating
 	// a set (each request is stamped with the call that last saw it).
 	// wanted/wkeys/pend/wOutstanding are Waitall's working structures,
-	// kept on the Proc so repeated calls reuse their backing storage.
+	// kept on the state so repeated calls reuse their backing storage.
 	reqFree      []*Request
 	waitSeq      int64
-	wanted       map[uint64]*reqQueue
+	wanted       map[matchKey]*reqQueue
 	rqFree       []*reqQueue
-	wkeys        []uint64
+	wkeys        []matchKey
 	pend         pendHeap
 	wOutstanding int
 
@@ -50,10 +77,11 @@ type Proc struct {
 
 	// Blocked-state record for deadlock/watchdog diagnostics, guarded
 	// by box.mu: while this rank is blocked in Recv or Waitall, waitOp
-	// names the call and waitPending the unmatched (src, tag) pairs.
-	// pendScratch backs the one-element waitPending of a blocking Recv
-	// so registering the wait never allocates (diagnostics copy the
-	// contents under box.mu before the next reuse).
+	// names the call and waitPending the unmatched (comm, src, tag)
+	// triples. pendScratch backs the one-element waitPending of a
+	// blocking Recv so registering the wait never allocates
+	// (diagnostics copy the contents under box.mu before the next
+	// reuse).
 	waitOp      string
 	waitPending []PendingRecv
 	waitSince   float64
@@ -65,6 +93,12 @@ type Proc struct {
 
 	phases     map[string]float64
 	phaseStack []*phaseMark
+
+	// nodeComms memoizes SplitByNode results per parent group. Group
+	// membership is immutable and the derivation is deterministic, so
+	// the cache is never invalidated; with resident state it makes
+	// repeated node-aware collectives communicator-setup free.
+	nodeComms map[*group]*nodeSplit
 
 	// tr is this rank's trace event buffer, nil unless the world was
 	// created with WithTrace; every hot-path recording site nil-checks
@@ -82,30 +116,34 @@ type phaseMark struct {
 }
 
 type message struct {
-	src, tag int
-	payload  buffer.Buf
-	size     int
-	arrival  float64
-	seq      int64
+	src     int // sender's rank local to the message's communicator
+	gsrc    int // sender's global rank (node placement, fault identity)
+	ctx     uint32
+	tag     int
+	payload buffer.Buf
+	size    int
+	arrival float64
+	seq     int64
 }
 
-// msgQueue is one (source, tag) bucket of the inbox: a FIFO of queued
-// messages with a consumed-prefix head index. Keeping the head instead
-// of re-slicing lets a drained bucket reset to its full backing array,
-// and emptied buckets stay in the map, so steady-state traffic on a
-// recurring (src, tag) pair allocates nothing.
+// msgQueue is one (comm, source, tag) bucket of the inbox: a FIFO of
+// queued messages with a consumed-prefix head index. Keeping the head
+// instead of re-slicing lets a drained bucket reset to its full backing
+// array, and emptied buckets stay in the map, so steady-state traffic
+// on a recurring (comm, src, tag) triple allocates nothing.
 type msgQueue struct {
 	msgs []message
 	head int
 }
 
-// inbox holds pending messages bucketed by (source, tag), so matching
-// is O(1) even when thousands of messages are queued (spread-out posts
-// P-1 receives at once).
+// inbox holds pending messages bucketed by (comm context, source, tag),
+// so matching is O(1) even when thousands of messages are queued
+// (spread-out posts P-1 receives at once) and traffic on different
+// communicators can never match each other's receives.
 type inbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    map[uint64]*msgQueue
+	q    map[matchKey]*msgQueue
 	seq  int64
 	// arr logs arrival keys so Waitall can process only what landed
 	// since its last wake instead of rescanning; arrPos is the consumed
@@ -115,7 +153,7 @@ type inbox struct {
 	// stale, so the log is reset — this is what keeps arr bounded on
 	// ranks that only ever use blocking Recv and never reach Waitall's
 	// own compaction.
-	arr    []uint64
+	arr    []matchKey
 	arrPos int
 	qn     int
 }
@@ -131,31 +169,95 @@ func (b *inbox) noteConsumed(n int) {
 	}
 }
 
-// boxKey packs (src, tag) into the bucket key.
-func boxKey(src, tag int) uint64 {
-	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+// matchKey is the point-to-point matching key: communicator context id,
+// sender rank local to that communicator, and tag. The context id keeps
+// traffic on different communicators invisible to each other, the MPI
+// context-id discipline.
+type matchKey struct {
+	ctx      uint32
+	src, tag int32
 }
 
-func newProc(w *World, rank int) *Proc {
-	p := &Proc{w: w, rank: rank, phases: map[string]float64{}, step: trace.NoStep, slow: 1}
-	if w.faultsOn && w.straggler[rank] {
-		p.slow = w.faults.SlowdownFactor()
-	}
-	p.box.cond = sync.NewCond(&p.box.mu)
-	p.box.q = make(map[uint64]*msgQueue)
-	p.wanted = make(map[uint64]*reqQueue)
-	if w.arenas[rank] == nil {
-		w.arenas[rank] = new(buffer.Arena)
-	}
-	p.arena = w.arenas[rank]
-	return p
+func mkKey(ctx uint32, src, tag int) matchKey {
+	return matchKey{ctx: ctx, src: int32(src), tag: int32(tag)}
 }
 
-// Rank returns this rank's id in [0, Size).
+func newProc(w *World, grank int) *Proc {
+	st := &procState{w: w, grank: grank, phases: map[string]float64{}, step: trace.NoStep, slow: 1}
+	if w.faultsOn && w.straggler[grank] {
+		st.slow = w.faults.SlowdownFactor()
+	}
+	st.box.cond = sync.NewCond(&st.box.mu)
+	st.box.q = make(map[matchKey]*msgQueue)
+	st.wanted = make(map[matchKey]*reqQueue)
+	if w.arenas[grank] == nil {
+		w.arenas[grank] = new(buffer.Arena)
+	}
+	st.arena = w.arenas[grank]
+	return &Proc{procState: st, grp: w.worldGrp, rank: grank}
+}
+
+// reset returns the resident state to a fresh-run condition: clocks and
+// counters zeroed, phase and trace state cleared, and any Waitall index
+// left over from an aborted run released. Mailbox buckets were emptied
+// by the end-of-run sweep and stay warm; only the arrival log is
+// rewound. tr is the rank's event buffer for the coming run (nil when
+// tracing is off).
+func (st *procState) reset(tr *trace.Buffer) {
+	st.now, st.txFree, st.rxFree = 0, 0, 0
+	st.bytesSent, st.msgsSent = 0, 0
+	clear(st.phases)
+	st.phaseStack = st.phaseStack[:0]
+	st.tr = tr
+	st.step = trace.NoStep
+	st.waitOp, st.waitPending = "", nil
+	st.wOutstanding = 0
+	for key, rq := range st.wanted {
+		delete(st.wanted, key)
+		for i := range rq.reqs {
+			rq.reqs[i] = nil
+		}
+		rq.reqs = rq.reqs[:0]
+		rq.head = 0
+		st.rqFree = append(st.rqFree, rq)
+	}
+	st.wkeys = st.wkeys[:0]
+	st.pend = st.pend[:0]
+	st.box.arr = st.box.arr[:0]
+	st.box.arrPos = 0
+	st.box.qn = 0
+}
+
+// Rank returns this rank's id in [0, Size) within this handle's
+// communicator.
 func (p *Proc) Rank() int { return p.rank }
 
-// Size returns the world size.
-func (p *Proc) Size() int { return p.w.size }
+// Size returns this handle's communicator size.
+func (p *Proc) Size() int { return len(p.grp.ranks) }
+
+// GlobalRank returns this rank's id in the world communicator,
+// regardless of which communicator this handle is scoped to. Node
+// placement (WithRanksPerNode) and fault identity are functions of the
+// global rank.
+func (p *Proc) GlobalRank() int { return p.grank }
+
+// CommID returns this handle's communicator context id: 0 for the
+// world communicator, unique per derived communicator membership
+// otherwise. It is the id trace events and deadlock reports attribute
+// sub-communicator traffic to.
+func (p *Proc) CommID() int { return int(p.grp.ctx) }
+
+// global translates a communicator-local rank to its world rank.
+func (p *Proc) global(local int) int { return p.grp.ranks[local] }
+
+// GlobalRankOf translates a rank local to this handle's communicator to
+// its world rank. Node placement (World.SameNode, RanksPerNode) is
+// defined on world ranks, so locality-aware algorithms running on a
+// sub-communicator translate through this.
+func (p *Proc) GlobalRankOf(local int) int {
+	p.checkPeer(local, "translate")
+	return p.grp.ranks[local]
+}
 
 // World returns the world this rank belongs to.
 func (p *Proc) World() *World { return p.w }
@@ -176,7 +278,7 @@ func (p *Proc) Charge(ns float64) {
 		extra := ns * (p.slow - 1)
 		if p.tr != nil {
 			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: "straggler(compute)",
-				Start: p.now, Dur: extra, Peer: -1, Step: p.step})
+				Start: p.now, Dur: extra, Peer: -1, Step: p.step, Comm: int(p.grp.ctx)})
 		}
 		p.now += extra
 	}
@@ -220,7 +322,7 @@ func (p *Proc) Memcpy(dst, src buffer.Buf) int {
 	p.now += p.w.model.MemcpyCost(n)
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindMemcpy, Start: start, Dur: p.now - start,
-			Bytes: n, Peer: -1, Step: p.step})
+			Bytes: n, Peer: -1, Step: p.step, Comm: int(p.grp.ctx)})
 	}
 	return n
 }
@@ -232,7 +334,7 @@ func (p *Proc) ChargeMemcpy(n int) {
 	p.now += p.w.model.MemcpyCost(n)
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindMemcpy, Start: start, Dur: p.now - start,
-			Bytes: n, Peer: -1, Step: p.step})
+			Bytes: n, Peer: -1, Step: p.step, Comm: int(p.grp.ctx)})
 	}
 }
 
@@ -279,7 +381,7 @@ func (p *Proc) Phase(name string) func() {
 		p.phases[name] += dur - m.child
 		if p.tr != nil {
 			p.tr.Add(trace.Event{Kind: trace.KindPhase, Name: name,
-				Start: m.start, Dur: dur, Peer: -1, Step: trace.NoStep})
+				Start: m.start, Dur: dur, Peer: -1, Step: trace.NoStep, Comm: int(p.grp.ctx)})
 		}
 	}
 }
@@ -301,9 +403,10 @@ func (p *Proc) SetStep(k int) {
 // ClearStep removes the collective-step tag set by SetStep.
 func (p *Proc) ClearStep() { p.step = trace.NoStep }
 
-// SyncClocks aligns every rank's virtual clock to the global maximum and
-// resets link occupancy, giving benchmark iterations a clean common
-// start. It is a collective: all ranks must call it.
+// SyncClocks aligns the virtual clocks of this communicator's ranks to
+// their maximum and resets link occupancy, giving benchmark iterations
+// a clean common start. It is a collective: all ranks of this
+// communicator must call it.
 func (p *Proc) SyncClocks() {
 	m := p.AllreduceMaxFloat64(p.now)
 	p.now = m
@@ -312,8 +415,8 @@ func (p *Proc) SyncClocks() {
 }
 
 func (p *Proc) checkPeer(r int, what string) {
-	if r < 0 || r >= p.w.size {
-		panic(fmt.Sprintf("mpi: rank %d: %s rank %d out of range [0,%d)", p.rank, what, r, p.w.size))
+	if r < 0 || r >= len(p.grp.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d: %s rank %d out of range [0,%d)", p.rank, what, r, len(p.grp.ranks)))
 	}
 }
 

@@ -15,9 +15,17 @@ import (
 // injection path is charged overhead plus per-byte time, and the call
 // returns — the sender may immediately reuse its buffer, matching MPI's
 // small-message semantics. Receives block until a matching message (by
-// source and tag, with per-pair FIFO ordering) is available, then charge
-// the receive overhead and per-byte drain time, starting no earlier than
-// the message's arrival (sender injection completion plus wire latency).
+// communicator, source, and tag, with per-triple FIFO ordering) is
+// available, then charge the receive overhead and per-byte drain time,
+// starting no earlier than the message's arrival (sender injection
+// completion plus wire latency).
+//
+// Ranks in a send or receive call are local to the communicator of the
+// Proc handle the call is made on; the transport translates them to
+// global ranks for delivery, node placement, and fault identity. The
+// communicator's context id is part of the matching key, so traffic on
+// different communicators — even with identical (src, tag) pairs —
+// can never match each other's receives.
 
 // Send transmits b to rank dst with the given tag. It does not block on
 // the receiver.
@@ -28,9 +36,10 @@ func (p *Proc) Send(dst, tag int, b buffer.Buf) { p.sendf(dst, tag, b, 1) }
 // for hardware-offloaded small collectives.
 func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	p.checkPeer(dst, "send to")
+	gdst := p.grp.ranks[dst]
 	n := b.Len()
 	os, g, l := p.w.model.SendOverhead, p.w.geff, p.w.model.Latency
-	if p.w.SameNode(p.rank, dst) {
+	if p.w.SameNode(p.grank, gdst) {
 		os, g, l = p.w.intraOS, p.w.intraG, p.w.intraL
 	}
 	start := max2(p.now, p.txFree)
@@ -39,13 +48,14 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		// Straggler slowdown scales the sender's CPU overhead and
 		// injection; jitter inflates this message's wire cost (per-byte
 		// time and latency). The jitter draw is a pure function of
-		// (plan, sender, destination, per-sender message index), so
-		// perturbed timings stay bit-reproducible across runs.
-		j := p.w.faults.JitterFor(p.rank, dst, p.msgsSent)
+		// (plan, global sender, global destination, per-sender message
+		// index), so perturbed timings stay bit-reproducible across runs
+		// and identical no matter which communicator carried the message.
+		j := p.w.faults.JitterFor(p.grank, gdst, p.msgsSent)
 		sOvh, sInj, sLat := ovh*p.slow, inj*p.slow*(1+j), l*(1+j)
 		if extra := (sOvh + sInj + sLat) - (ovh + inj + l); extra > 0 && p.tr != nil {
 			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: faultName(p.slow > 1, j > 0) + "(send)",
-				Start: start + ovh + inj, Dur: extra, Bytes: n, Peer: dst, Tag: tag, Step: p.step})
+				Start: start + ovh + inj, Dur: extra, Bytes: n, Peer: gdst, Tag: tag, Step: p.step, Comm: int(p.grp.ctx)})
 		}
 		ovh, inj, l = sOvh, sInj, sLat
 	}
@@ -54,7 +64,7 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	p.now = start + ovh
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindSend, Start: start, Dur: txDone - start,
-			Bytes: n, Peer: dst, Tag: tag, Step: p.step})
+			Bytes: n, Peer: gdst, Tag: tag, Step: p.step, Comm: int(p.grp.ctx)})
 	}
 
 	// Capture the payload. Real payloads are copied into a pool buffer
@@ -71,8 +81,8 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	p.bytesSent += int64(n)
 	p.msgsSent++
 
-	dp := p.w.procs[dst]
-	key := boxKey(p.rank, tag)
+	dp := p.w.procs[gdst]
+	key := mkKey(p.grp.ctx, p.rank, tag)
 	dp.box.mu.Lock()
 	dp.box.seq++
 	q := dp.box.q[key]
@@ -81,7 +91,8 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		dp.box.q[key] = q
 	}
 	q.msgs = append(q.msgs, message{
-		src: p.rank, tag: tag, payload: payload, size: n,
+		src: p.rank, gsrc: p.grank, ctx: p.grp.ctx, tag: tag,
+		payload: payload, size: n,
 		arrival: txDone + l, seq: dp.box.seq,
 	})
 	dp.box.arr = append(dp.box.arr, key)
@@ -91,12 +102,13 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	dp.box.mu.Unlock()
 }
 
-// Recv blocks until a message with the given source and tag arrives,
-// copies it into b, advances the clock, and returns the message size. It
-// panics if the message is larger than b (truncation, an MPI error).
+// Recv blocks until a message with the given source and tag arrives on
+// this handle's communicator, copies it into b, advances the clock, and
+// returns the message size. It panics if the message is larger than b
+// (truncation, an MPI error).
 func (p *Proc) Recv(src, tag int, b buffer.Buf) int {
 	p.checkPeer(src, "receive from")
-	msg := p.matchBlocking(src, tag)
+	msg := p.matchBlocking(p.grp.ctx, src, tag)
 	return p.completeRecv(msg, b)
 }
 
@@ -108,7 +120,7 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 			p.rank, msg.src, msg.tag, msg.size, b.Len()))
 	}
 	or, g := p.w.model.RecvOverhead, p.w.geff
-	if p.w.SameNode(p.rank, msg.src) {
+	if p.w.SameNode(p.grank, msg.gsrc) {
 		or, g = p.w.intraOR, p.w.intraG
 	}
 	start := max3(p.now, p.rxFree, msg.arrival)
@@ -119,7 +131,7 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 		sOvh, sDrain := ovh*p.slow, drain*p.slow
 		if extra := (sOvh + sDrain) - (ovh + drain); extra > 0 && p.tr != nil {
 			p.tr.Add(trace.Event{Kind: trace.KindFault, Name: "straggler(recv)",
-				Start: start + ovh + drain, Dur: extra, Bytes: msg.size, Peer: msg.src, Tag: msg.tag, Step: p.step})
+				Start: start + ovh + drain, Dur: extra, Bytes: msg.size, Peer: msg.gsrc, Tag: msg.tag, Step: p.step, Comm: int(msg.ctx)})
 		}
 		ovh, drain = sOvh, sDrain
 	}
@@ -128,7 +140,7 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 	p.now = done
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: start, Dur: done - start,
-			Bytes: msg.size, Peer: msg.src, Tag: msg.tag, Step: p.step})
+			Bytes: msg.size, Peer: msg.gsrc, Tag: msg.tag, Step: p.step, Comm: int(msg.ctx)})
 	}
 	buffer.Copy(b, msg.payload)
 	p.w.pool.Put(msg.payload)
@@ -148,12 +160,13 @@ func faultName(straggler, jitter bool) string {
 }
 
 // matchBlocking removes and returns the first queued message matching
-// (src, tag), blocking until one exists. If the run is aborted while
-// blocked (deadlock declared, or a WithDeadline watchdog expired), it
-// unwinds the rank goroutine with a runAbort panic; the diagnostic
-// reaches the caller through Run's DeadlockError.
-func (p *Proc) matchBlocking(src, tag int) message {
-	key := boxKey(src, tag)
+// (ctx, src, tag), blocking until one exists. If the run is aborted
+// while blocked (deadlock declared, a WithDeadline watchdog expired, or
+// a RunContext context canceled), it unwinds the rank goroutine with a
+// runAbort panic; the diagnostic reaches the caller through Run's
+// DeadlockError.
+func (p *Proc) matchBlocking(ctx uint32, src, tag int) message {
+	key := mkKey(ctx, src, tag)
 	var pend []PendingRecv
 	p.box.mu.Lock()
 	defer p.box.mu.Unlock()
@@ -174,7 +187,7 @@ func (p *Proc) matchBlocking(src, tag int) message {
 			panic(runAbort{p.rank})
 		}
 		if pend == nil {
-			p.pendScratch[0] = PendingRecv{Src: src, Tag: tag}
+			p.pendScratch[0] = PendingRecv{Comm: int(ctx), Src: src, Tag: tag}
 			pend = p.pendScratch[:]
 		}
 		p.setWait("Recv", pend)
@@ -202,6 +215,7 @@ type Request struct {
 	isRecv bool
 	done   bool
 	freed  bool
+	ctx    uint32 // communicator context the receive was posted on
 	src    int
 	tag    int
 	buf    buffer.Buf
@@ -265,12 +279,15 @@ func (p *Proc) Isend(dst, tag int, b buffer.Buf) *Request {
 	return r
 }
 
-// Irecv posts a nonblocking receive for (src, tag) into b. Matching and
-// clock accounting happen at Wait or Waitall.
+// Irecv posts a nonblocking receive for (src, tag) on this handle's
+// communicator into b. Matching and clock accounting happen at Wait or
+// Waitall. Requests posted on different communicators of the same rank
+// may be completed by one Waitall: each request remembers the
+// communicator it was posted on.
 func (p *Proc) Irecv(src, tag int, b buffer.Buf) *Request {
 	p.checkPeer(src, "receive from")
 	r := p.newRequest()
-	r.isRecv, r.src, r.tag, r.buf = true, src, tag, b
+	r.isRecv, r.ctx, r.src, r.tag, r.buf = true, p.grp.ctx, src, tag, b
 	return r
 }
 
@@ -284,16 +301,17 @@ func (p *Proc) Wait(r *Request) int {
 	if r.done {
 		return r.size
 	}
-	msg := p.matchBlocking(r.src, r.tag)
+	msg := p.matchBlocking(r.ctx, r.src, r.tag)
 	r.size = p.completeRecv(msg, r.buf)
 	r.done = true
 	return r.size
 }
 
-// reqQueue is one (src, tag) bucket of Waitall's outstanding-receive
-// index: requests in posting order with a consumed-prefix head, the
-// mirror of the inbox's msgQueue. Queues are recycled on the Proc
-// (rqFree) so repeated Waitall calls allocate nothing.
+// reqQueue is one (comm, src, tag) bucket of Waitall's
+// outstanding-receive index: requests in posting order with a
+// consumed-prefix head, the mirror of the inbox's msgQueue. Queues are
+// recycled on the Proc (rqFree) so repeated Waitall calls allocate
+// nothing.
 type reqQueue struct {
 	reqs []*Request
 	head int
@@ -306,7 +324,7 @@ type pendingMatch struct {
 	msg message
 }
 
-// pendHeap orders matched pairs by (arrival, src, seq) — seq is unique
+// pendHeap orders matched pairs by (arrival, gsrc, seq) — seq is unique
 // per inbox, so the order is total and deterministic. sort.Interface on
 // the pointer keeps the sort allocation-free (sort.Slice allocates its
 // closure and swapper on every call).
@@ -319,8 +337,8 @@ func (h *pendHeap) Less(i, j int) bool {
 	if a.arrival != b.arrival {
 		return a.arrival < b.arrival
 	}
-	if a.src != b.src {
-		return a.src < b.src
+	if a.gsrc != b.gsrc {
+		return a.gsrc < b.gsrc
 	}
 	return a.seq < b.seq
 }
@@ -328,7 +346,7 @@ func (h *pendHeap) Less(i, j int) bool {
 // waitallTake matches as many queued messages as possible against the
 // outstanding requests for one key, appending the pairs to p.pend. It
 // must run under box.mu.
-func (p *Proc) waitallTake(key uint64) bool {
+func (p *Proc) waitallTake(key matchKey) bool {
 	rq := p.wanted[key]
 	if rq == nil || rq.head == len(rq.reqs) {
 		return false
@@ -390,7 +408,7 @@ func (p *Proc) Waitall(rs []*Request) error {
 		}
 		r.wseq, r.widx = p.waitSeq, i
 	}
-	// Index outstanding receives by (src, tag); same-key requests
+	// Index outstanding receives by (comm, src, tag); same-key requests
 	// complete in posting order against the bucket's FIFO. The index
 	// and its queues live on the Proc and are reused across calls.
 	p.wOutstanding = 0
@@ -399,7 +417,7 @@ func (p *Proc) Waitall(rs []*Request) error {
 			r.done = true
 			continue
 		}
-		key := boxKey(r.src, r.tag)
+		key := mkKey(r.ctx, r.src, r.tag)
 		rq := p.wanted[key]
 		if rq == nil {
 			if k := len(p.rqFree); k > 0 {
@@ -495,7 +513,7 @@ func (p *Proc) SendRecv(dst, stag int, sbuf buffer.Buf, src, rtag int, rbuf buff
 func (p *Proc) sendRecvColl(dst, stag int, sbuf buffer.Buf, src, rtag int, rbuf buffer.Buf) int {
 	f := p.w.model.CollFactor()
 	p.sendf(dst, stag, sbuf, f)
-	msg := p.matchBlocking(src, rtag)
+	msg := p.matchBlocking(p.grp.ctx, src, rtag)
 	return p.completeRecvf(msg, rbuf, f)
 }
 
@@ -506,6 +524,6 @@ func (p *Proc) sendColl(dst, tag int, b buffer.Buf) {
 
 func (p *Proc) recvColl(src, tag int, b buffer.Buf) int {
 	p.checkPeer(src, "receive from")
-	msg := p.matchBlocking(src, tag)
+	msg := p.matchBlocking(p.grp.ctx, src, tag)
 	return p.completeRecvf(msg, b, p.w.model.CollFactor())
 }

@@ -178,7 +178,7 @@ func TestTransportChecksDoubleCompletion(t *testing.T) {
 			p.Send(1, 1, b)
 			return nil
 		}
-		msg := p.matchBlocking(0, 1)
+		msg := p.matchBlocking(p.grp.ctx, 0, 1)
 		buffer.Copy(b, msg.payload)
 		p.w.pool.Put(msg.payload)
 		defer func() {

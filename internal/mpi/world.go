@@ -1,11 +1,26 @@
 // Package mpi is an MPI-like message-passing runtime for a single
 // process.
 //
-// A World runs P ranks, each as its own goroutine, exchanging messages
-// through mailboxes with (source, tag) matching — the same point-to-point
-// contract the paper's algorithms are written against in C/MPI. On top of
-// the point-to-point layer the package provides the base collectives the
-// algorithms and applications need (barrier, allreduce, small gathers).
+// A World runs P ranks, each as its own resident goroutine, exchanging
+// messages through mailboxes with (communicator, source, tag) matching —
+// the same point-to-point contract the paper's algorithms are written
+// against in C/MPI. On top of the point-to-point layer the package
+// provides the base collectives the algorithms and applications need
+// (barrier, allreduce, small gathers), and communicator derivation
+// (Proc.Split, Proc.Group, Proc.SplitByNode) scoping those operations to
+// rank subsets, with collectives on disjoint sub-communicators running
+// concurrently in one world.
+//
+// # Session runtime
+//
+// A World is a session: its rank goroutines and per-rank state (mailbox
+// buckets, request free lists, scratch arenas) are created once, on the
+// first Run, and persist across Run calls — each Run resets clocks and
+// dispatches work to the parked workers instead of respawning P
+// goroutines, so iterated workloads pay the setup once. The resident
+// goroutines hold no reference to the World, so dropping the last
+// reference to a World releases everything (a finalizer parks the
+// workers); call Close to release them deterministically.
 //
 // # Virtual time
 //
@@ -24,10 +39,13 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,8 +56,8 @@ import (
 	"bruckv/internal/trace"
 )
 
-// World is a communicator: a fixed set of ranks plus the machine model
-// that prices their communication.
+// World is the root communicator: a fixed set of ranks plus the machine
+// model that prices their communication, run as a resident session.
 type World struct {
 	size         int
 	model        machine.Model
@@ -61,16 +79,35 @@ type World struct {
 	// intra-node cost parameters (see machine.Model.IntraParams)
 	intraOS, intraOR, intraL, intraG float64
 
-	procs []*Proc
+	// Session state, created lazily by the first Run and resident until
+	// Close: the world-communicator group, the per-rank handles (whose
+	// procState persists across runs), and one parked worker goroutine
+	// per rank. workerLoop closes over only its channel, never the
+	// World, so an unreferenced World remains collectable.
+	worldGrp *group
+	procs    []*Proc
+	workers  []chan func()
+
+	// Communicator context-id registry: every derived communicator's
+	// context id is a deterministic function of its (ordered) global
+	// membership, so member ranks can construct the same communicator
+	// without exchanging a single message and still agree on the id.
+	ctxMu   sync.Mutex
+	ctxIDs  map[string]uint32 // membership signature -> context id
+	ctxSigs map[uint32]string // context id -> signature (collision probe)
+
+	// closeMu guards closed; Close parks the workers and further Runs
+	// fail fast.
+	closeMu sync.Mutex
+	closed  bool
 
 	// pool recycles real message payloads across the whole world: the
 	// sending rank Gets at capture time, the receiving rank Puts after
 	// copy-out (payloads cross goroutines, hence a locked pool and not
 	// the per-rank arenas). arenas holds each rank's single-owner
-	// scratch free list behind AllocBuf; it is indexed by rank and
-	// persists across Runs so steady-state benchmark iterations reuse
-	// warm memory even though Procs are recreated per Run. checks turns
-	// on the pool's double-free/poison debugging (WithTransportChecks).
+	// scratch free list behind AllocBuf; it is indexed by global rank
+	// and persists across Runs. checks turns on the pool's
+	// double-free/poison debugging (WithTransportChecks).
 	pool     buffer.Pool
 	arenas   []*buffer.Arena
 	checks   bool
@@ -84,12 +121,13 @@ type World struct {
 	activity atomic.Int64 // bumps on every enqueue and every match
 	dead     atomic.Bool  // run aborted (deadlock declared or deadline hit)
 
-	// deadMu guards the abort diagnostic and the run generation; gen
-	// keeps a stale watchdog timer from a previous Run from aborting the
-	// next one.
-	deadMu  sync.Mutex
-	deadErr *DeadlockError
-	gen     int64
+	// deadMu guards the abort diagnostic, its external cause, and the
+	// run generation; gen keeps a stale watchdog from a previous Run
+	// from aborting the next one.
+	deadMu   sync.Mutex
+	deadErr  *DeadlockError
+	ctxCause error // context error behind the abort, for errors.Is
+	gen      int64
 }
 
 // Option configures a World.
@@ -122,7 +160,9 @@ func WithRanksPerNode(n int) Option {
 // (plan, algorithm, workload); with tracing enabled, injected delay is
 // recorded as its own event kind (trace.KindFault). A disabled plan
 // (no stragglers, zero jitter) leaves timings bit-identical to a world
-// with no fault layer.
+// with no fault layer. Straggler identity and jitter draws are functions
+// of global ranks, so timings do not depend on which communicator
+// carried a message.
 func WithFaults(pl fault.Plan) Option {
 	return func(w *World) { w.faults = pl; w.faultsOn = true }
 }
@@ -131,10 +171,13 @@ func WithFaults(pl fault.Plan) Option {
 // not completed after d, it is aborted and Run returns a DeadlockError
 // naming every blocked rank and its pending (src, tag) — the same
 // diagnostic the deadlock detector produces, for hangs (e.g. livelocks
-// under chaos testing) the blocked-rank detector cannot see. Aborting
-// is best-effort: ranks are interrupted at their next blocking receive,
-// so a rank spinning in pure compute is not stopped. 0 (the default)
-// disables the watchdog.
+// under chaos testing) the blocked-rank detector cannot see. It is
+// implemented as a context deadline: Run behaves exactly like
+// RunContext with a context that times out after d, and the returned
+// error additionally matches errors.Is(err, context.DeadlineExceeded).
+// Aborting is best-effort: ranks are interrupted at their next blocking
+// receive, so a rank spinning in pure compute is not stopped. 0 (the
+// default) disables the watchdog.
 func WithDeadline(d time.Duration) Option { return func(w *World) { w.deadline = d } }
 
 // WithTransportChecks enables debug validation on the transport's
@@ -154,7 +197,8 @@ func WithTransportChecks() Option { return func(w *World) { w.checks = true } }
 // default costs nothing.
 func WithTrace() Option { return func(w *World) { w.tracing = true } }
 
-// NewWorld creates a communicator with size ranks.
+// NewWorld creates a world with size ranks. The rank goroutines are not
+// spawned until the first Run.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: world size %d < 1", size)
@@ -203,7 +247,7 @@ func (w *World) Faults() (fault.Plan, bool) { return w.faults, w.faultsOn }
 // RanksPerNode returns the node width configured with WithRanksPerNode.
 func (w *World) RanksPerNode() int { return w.ranksPerNode }
 
-// SameNode reports whether two ranks share a node.
+// SameNode reports whether two global ranks share a node.
 func (w *World) SameNode(a, b int) bool {
 	return a/w.ranksPerNode == b/w.ranksPerNode
 }
@@ -217,11 +261,147 @@ func (w *World) Model() machine.Model { return w.model }
 // Phantom reports whether AllocBuf returns phantom buffers.
 func (w *World) Phantom() bool { return w.phantom }
 
-// Run executes fn once per rank, each in its own goroutine, and blocks
-// until all ranks return. It returns the joined errors of all ranks; a
-// panic in a rank is converted into an error. Run may be called multiple
-// times; each call starts from fresh clocks and mailboxes.
+// workerLoop is one resident rank worker: it executes the job sent for
+// each Run and parks on the channel in between. It deliberately closes
+// over nothing but its channel — in particular not the World — so
+// parked workers never keep an abandoned World (and its arenas and
+// pools) reachable.
+func workerLoop(ch chan func()) {
+	for f := range ch {
+		f()
+	}
+}
+
+// initSession spawns the session: the world group, the per-rank resident
+// state, and one parked worker goroutine per rank. The finalizer parks
+// the workers when the World is garbage-collected without an explicit
+// Close.
+func (w *World) initSession() {
+	ids := make([]int, w.size)
+	for i := range ids {
+		ids[i] = i
+	}
+	w.worldGrp = &group{ctx: 0, ranks: ids}
+	if w.arenas == nil {
+		w.arenas = make([]*buffer.Arena, w.size)
+	}
+	w.procs = make([]*Proc, w.size)
+	w.workers = make([]chan func(), w.size)
+	for r := 0; r < w.size; r++ {
+		w.procs[r] = newProc(w, r)
+		ch := make(chan func())
+		w.workers[r] = ch
+		go workerLoop(ch)
+	}
+	runtime.SetFinalizer(w, (*World).Close)
+}
+
+// Close ends the session: the resident rank goroutines exit and further
+// Runs fail. Closing is idempotent and optional — an unreferenced World
+// is finalized to the same effect — but deterministic release matters
+// when many worlds are created in sequence (calibration sweeps). It must
+// not be called concurrently with Run.
+func (w *World) Close() {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, ch := range w.workers {
+		close(ch)
+	}
+	w.workers = nil
+	runtime.SetFinalizer(w, nil)
+}
+
+// membershipSig canonically encodes an ordered global-rank list.
+func membershipSig(ranks []int) string {
+	b := make([]byte, 0, len(ranks)*3)
+	for _, r := range ranks {
+		b = strconv.AppendInt(b, int64(r), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// ctxFor returns the context id for the communicator with the given
+// ordered global membership, allocating one on first use. The id is a
+// hash of the membership (probed past rare collisions in first-come
+// order under the registry lock), so all member ranks — and repeated
+// derivations of the same communicator — agree on it without
+// communicating, and ids are stable run to run. The full world
+// membership maps to the world context 0.
+func (w *World) ctxFor(ranks []int) uint32 {
+	if len(ranks) == w.size {
+		identity := true
+		for i, r := range ranks {
+			if r != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			return 0
+		}
+	}
+	sig := membershipSig(ranks)
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	if w.ctxIDs == nil {
+		w.ctxIDs = make(map[string]uint32)
+		w.ctxSigs = make(map[uint32]string)
+	}
+	if id, ok := w.ctxIDs[sig]; ok {
+		return id
+	}
+	h := fnv.New32a()
+	h.Write([]byte(sig))
+	id := h.Sum32()
+	for {
+		if id == 0 {
+			id = 1
+		}
+		if _, taken := w.ctxSigs[id]; !taken {
+			break
+		}
+		id++
+	}
+	w.ctxIDs[sig] = id
+	w.ctxSigs[id] = sig
+	return id
+}
+
+// Run executes fn once per rank on the session's resident workers and
+// blocks until all ranks return. It returns the joined errors of all
+// ranks; a panic in a rank is converted into an error. Run may be called
+// many times; each call starts from fresh clocks and mailboxes, reusing
+// the session's goroutines and warm per-rank state.
 func (w *World) Run(fn func(p *Proc) error) error {
+	return w.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run bounded by a context: when ctx is canceled or its
+// deadline passes mid-run, the run is aborted with the same per-rank
+// blocked-state report (DeadlockError) the deadlock detector and
+// WithDeadline watchdog produce, and the returned error matches
+// errors.Is against ctx's error (context.Canceled or
+// context.DeadlineExceeded). Like the watchdog, cancellation is
+// best-effort: ranks are interrupted at their next blocking receive.
+func (w *World) RunContext(ctx context.Context, fn func(p *Proc) error) error {
+	w.closeMu.Lock()
+	if w.closed {
+		w.closeMu.Unlock()
+		return errors.New("mpi: Run on closed World")
+	}
+	if w.procs == nil {
+		w.initSession()
+	}
+	w.closeMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("mpi: run not started: %w", err)
+	}
+
 	hostStart := time.Now()
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -234,36 +414,59 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	w.gen++
 	gen := w.gen
 	w.deadErr = nil
+	w.ctxCause = nil
 	w.deadMu.Unlock()
-	if w.arenas == nil {
-		w.arenas = make([]*buffer.Arena, w.size)
-	}
-	w.procs = make([]*Proc, w.size)
 	if w.tracing {
 		w.tr = trace.New(w.size)
 	}
 	for r := 0; r < w.size; r++ {
-		w.procs[r] = newProc(w, r)
+		var tb *trace.Buffer
 		if w.tracing {
-			w.procs[r].tr = w.tr.Buffer(r)
+			tb = w.tr.Buffer(r)
 		}
+		w.procs[r].procState.reset(tb)
 	}
 	var scratch0 buffer.PoolStats
 	for _, a := range w.arenas {
 		scratch0 = scratch0.Add(a.Stats())
 	}
-	var watchdog *time.Timer
+
+	// The watchdog deadline is a context deadline layered over the
+	// caller's context; the watcher goroutine translates whichever
+	// fires first into an abort with the classic blocked-state report.
+	rctx := ctx
 	if w.deadline > 0 {
-		d := w.deadline
-		watchdog = time.AfterFunc(d, func() {
-			w.declareDead(gen, fmt.Sprintf("wall-clock deadline %v exceeded", d))
-		})
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, w.deadline)
+		defer cancel()
 	}
+	watcherDone := make(chan struct{})
+	if rctx.Done() != nil {
+		go func() {
+			select {
+			case <-rctx.Done():
+				cause := rctx.Err()
+				var reason string
+				switch {
+				case cause == context.DeadlineExceeded && ctx.Err() == nil && w.deadline > 0:
+					reason = fmt.Sprintf("wall-clock deadline %v exceeded", w.deadline)
+				case cause == context.Canceled:
+					reason = "context canceled"
+				default:
+					reason = "context deadline exceeded"
+				}
+				w.declareDeadCause(gen, reason, cause)
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
-		go func(p *Proc) {
+		p := w.procs[r]
+		w.workers[r] <- func() {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
@@ -284,12 +487,10 @@ func (w *World) Run(fn func(p *Proc) error) error {
 				}
 			}()
 			errs[p.rank] = fn(p)
-		}(w.procs[r])
+		}
 	}
 	wg.Wait()
-	if watchdog != nil {
-		watchdog.Stop()
-	}
+	close(watcherDone)
 	w.sweepInboxes()
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
@@ -309,9 +510,12 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	err := errors.Join(errs...)
 	if w.dead.Load() {
 		w.deadMu.Lock()
-		de := w.deadErr
+		de, cause := w.deadErr, w.ctxCause
 		w.deadMu.Unlock()
 		if de != nil {
+			if cause != nil {
+				return errors.Join(de, cause, err)
+			}
 			return errors.Join(de, err)
 		}
 	}
@@ -432,6 +636,13 @@ func (w *World) suspectDeadlock() {
 // the world dead, snapshots every blocked rank's pending receives into
 // a DeadlockError, and wakes all waiters so they unwind. Idempotent.
 func (w *World) declareDead(gen int64, reason string) {
+	w.declareDeadCause(gen, reason, nil)
+}
+
+// declareDeadCause is declareDead carrying the external error (a context
+// cancellation or deadline) behind the abort, joined into Run's returned
+// error so callers can errors.Is against it.
+func (w *World) declareDeadCause(gen int64, reason string, cause error) {
 	w.deadMu.Lock()
 	if gen != w.gen || !w.dead.CompareAndSwap(false, true) {
 		w.deadMu.Unlock()
@@ -442,7 +653,7 @@ func (w *World) declareDead(gen int64, reason string) {
 		p.box.mu.Lock()
 		if p.waitOp != "" {
 			de.Blocked = append(de.Blocked, BlockedRank{
-				Rank:    p.rank,
+				Rank:    p.grank,
 				Op:      p.waitOp,
 				Pending: append([]PendingRecv(nil), p.waitPending...),
 				SinceNs: p.waitSince,
@@ -452,5 +663,6 @@ func (w *World) declareDead(gen int64, reason string) {
 		p.box.mu.Unlock()
 	}
 	w.deadErr = de
+	w.ctxCause = cause
 	w.deadMu.Unlock()
 }

@@ -74,6 +74,12 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			if ev.Step != NoStep {
 				args["step"] = ev.Step
 			}
+			// Sub-communicator traffic is attributed by context id; world
+			// traffic (comm 0) stays unannotated, keeping single-comm
+			// exports identical to earlier builds.
+			if ev.Comm != 0 {
+				args["comm"] = ev.Comm
+			}
 			if len(args) > 0 {
 				ce.Args = args
 			}

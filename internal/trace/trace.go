@@ -80,6 +80,11 @@ type Event struct {
 	// Step is the collective step index the event belongs to, or
 	// NoStep. Collectives annotate steps via Proc.SetStep.
 	Step int
+	// Comm is the context id of the communicator the event happened
+	// on: 0 for the world communicator, the sub-communicator's id
+	// otherwise. Peer ranks are always recorded as global (world)
+	// ranks regardless of Comm.
+	Comm int
 }
 
 // End returns the event's virtual end time.

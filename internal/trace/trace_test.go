@@ -14,9 +14,10 @@ func sampleTrace() *Trace {
 	t.Buffer(0).Add(Event{Kind: KindSend, Start: 5, Dur: 10, Bytes: 100, Peer: 1, Tag: 7, Step: 0})
 	t.Buffer(0).Add(Event{Kind: KindRecv, Start: 20, Dur: 8, Bytes: 50, Peer: 1, Tag: 8, Step: 1})
 	t.Buffer(0).Add(Event{Kind: KindPhase, Name: "comm", Start: 0, Dur: 28, Peer: -1, Step: NoStep})
-	// Rank 1: one send in step 0, one outside any step.
+	// Rank 1: one send in step 0, one on a sub-communicator outside any
+	// step.
 	t.Buffer(1).Add(Event{Kind: KindSend, Start: 2, Dur: 4, Bytes: 50, Peer: 0, Tag: 8, Step: 0})
-	t.Buffer(1).Add(Event{Kind: KindSend, Start: 30, Dur: 4, Bytes: 9, Peer: 0, Tag: 9, Step: NoStep})
+	t.Buffer(1).Add(Event{Kind: KindSend, Start: 30, Dur: 4, Bytes: 9, Peer: 0, Tag: 9, Step: NoStep, Comm: 913})
 	return t
 }
 
@@ -103,6 +104,21 @@ func TestWriteChromeIsValidJSON(t *testing.T) {
 	}
 	if sends != 1 {
 		t.Errorf("got %d send→1 events, want 1", sends)
+	}
+	// Communicator attribution: exactly the one sub-comm event carries a
+	// "comm" arg; world traffic stays unannotated so single-comm exports
+	// match earlier builds byte for byte.
+	var commArgs int
+	for _, ev := range doc.TraceEvents {
+		if v, ok := ev.Args["comm"]; ok {
+			commArgs++
+			if v != float64(913) {
+				t.Errorf("comm arg = %v, want 913", v)
+			}
+		}
+	}
+	if commArgs != 1 {
+		t.Errorf("got %d events with a comm arg, want 1", commArgs)
 	}
 }
 

@@ -3,6 +3,7 @@ package bruckv
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -116,6 +117,9 @@ func TestAlltoallvValidatesArguments(t *testing.T) {
 				t.Errorf("%s with %v: accepted malformed arguments", tc.name, alg)
 				continue
 			}
+			if !errors.Is(err, ErrInvalidLayout) {
+				t.Errorf("%s with %v: error %q is not ErrInvalidLayout", tc.name, alg, err)
+			}
 			if !strings.Contains(err.Error(), tc.wantSub) {
 				t.Errorf("%s with %v: error %q does not mention %q", tc.name, alg, err, tc.wantSub)
 			}
@@ -134,7 +138,7 @@ func TestAlltoallWithRejectsNegativeBlockSize(t *testing.T) {
 	err = w.Run(func(c *Comm) error {
 		return c.Alltoall(nil, -8, nil)
 	})
-	if err == nil || !strings.Contains(err.Error(), "negative block size") {
-		t.Errorf("negative block size not rejected: %v", err)
+	if err == nil || !errors.Is(err, ErrInvalidLayout) {
+		t.Errorf("negative block size not rejected with ErrInvalidLayout: %v", err)
 	}
 }
