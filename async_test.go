@@ -1,0 +1,233 @@
+package bruckv
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Public-surface tests for the configurable radix family and the
+// non-blocking / persistent collectives.
+
+func TestTwoPhaseRadixIdentities(t *testing.T) {
+	if TwoPhaseRadix(2) != TwoPhaseBruck || TwoPhaseRadix(4) != TwoPhaseRadix4 || TwoPhaseRadix(8) != TwoPhaseRadix8 {
+		t.Error("TwoPhaseRadix must map 2/4/8 to the named constants")
+	}
+	if got := TwoPhaseRadix(16).String(); got != "two-phase-r16" {
+		t.Errorf("TwoPhaseRadix(16).String() = %q", got)
+	}
+	if got := TwoPhaseRadix(2).String(); got != "two-phase" {
+		t.Errorf("TwoPhaseRadix(2).String() = %q, want the canonical binary name", got)
+	}
+	for _, r := range []int{2, 3, 4, 8, 16, 17, 31} {
+		a := TwoPhaseRadix(r)
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v round-trip", a.String(), back, err, a)
+		}
+	}
+	if _, err := ParseAlgorithm("two-phase-r1"); !errors.Is(err, ErrInvalidAlgorithm) {
+		t.Errorf("ParseAlgorithm(two-phase-r1) = %v, want ErrInvalidAlgorithm", err)
+	}
+	if _, err := ParseAlgorithm("two-phase-rx"); !errors.Is(err, ErrInvalidAlgorithm) {
+		t.Errorf("ParseAlgorithm(two-phase-rx) = %v, want ErrInvalidAlgorithm", err)
+	}
+}
+
+func TestInvalidRadixIsTyped(t *testing.T) {
+	for _, r := range []int{1, 0, -3} {
+		if _, err := NewWorld(4, WithAlgorithm(TwoPhaseRadix(r))); !errors.Is(err, ErrInvalidRadix) {
+			t.Errorf("NewWorld(TwoPhaseRadix(%d)) = %v, want ErrInvalidRadix", r, err)
+		}
+	}
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		counts := []int{1, 1}
+		displs := []int{0, 1}
+		buf := make([]byte, 2)
+		if err := c.AlltoallvWith(TwoPhaseRadix(0), buf, counts, displs, buf, counts, displs); !errors.Is(err, ErrInvalidRadix) {
+			t.Errorf("AlltoallvWith(TwoPhaseRadix(0)) = %v, want ErrInvalidRadix", err)
+		}
+		if _, err := c.IAlltoallvWith(TwoPhaseRadix(1), buf, counts, displs, buf, counts, displs); !errors.Is(err, ErrInvalidRadix) {
+			t.Errorf("IAlltoallvWith(TwoPhaseRadix(1)) = %v, want ErrInvalidRadix", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuningNilGuards(t *testing.T) {
+	var nilT *Tuning
+	if nilT.Machine() != "" || nilT.Len() != 0 {
+		t.Errorf("nil Tuning: Machine()=%q Len()=%d, want empty", nilT.Machine(), nilT.Len())
+	}
+	var zero Tuning
+	if zero.Machine() != "" || zero.Len() != 0 {
+		t.Errorf("zero Tuning: Machine()=%q Len()=%d, want empty", zero.Machine(), zero.Len())
+	}
+	if err := zero.Write(&bytes.Buffer{}); err == nil {
+		t.Error("zero Tuning.Write succeeded")
+	}
+}
+
+// TestTuningAcceptsParameterizedRadix: a calibration cell may name any
+// TwoPhaseRadix(r), not just the named variants.
+func TestTuningAcceptsParameterizedRadix(t *testing.T) {
+	tb, err := NewTuning("test", []TuningCell{{P: 32, N: 64, Algorithm: TwoPhaseRadix(16)}})
+	if err != nil {
+		t.Fatalf("NewTuning with two-phase-r16 cell: %v", err)
+	}
+	if tb.Len() != 1 || tb.Machine() != "test" {
+		t.Errorf("tuning Len=%d Machine=%q", tb.Len(), tb.Machine())
+	}
+	if _, err := NewTuning("test", []TuningCell{{P: 32, N: 64, Algorithm: Hierarchical}}); err == nil {
+		t.Error("NewTuning accepted a non-dispatchable cell")
+	}
+}
+
+// exchangePattern fills deterministic per-pair payloads and returns the
+// layout for a P-rank uneven exchange.
+func exchangePattern(rank, P int) (send []byte, scounts, sdispls, rcounts, rdispls []int, rTotal int) {
+	scounts = make([]int, P)
+	rcounts = make([]int, P)
+	for d := 0; d < P; d++ {
+		scounts[d] = 1 + (rank+d)%4
+		rcounts[d] = 1 + (d+rank)%4
+	}
+	sdispls, sTotal := Displacements(scounts)
+	var rdisp []int
+	rdisp, rTotal = Displacements(rcounts)
+	send = make([]byte, sTotal)
+	for d := 0; d < P; d++ {
+		for j := 0; j < scounts[d]; j++ {
+			send[sdispls[d]+j] = byte(16*rank + d)
+		}
+	}
+	return send, scounts, sdispls, rcounts, rdisp, rTotal
+}
+
+func checkPattern(t *testing.T, label string, rank, P int, recv []byte, rcounts, rdispls []int) {
+	t.Helper()
+	for s := 0; s < P; s++ {
+		for j := 0; j < rcounts[s]; j++ {
+			if got, want := recv[rdispls[s]+j], byte(16*s+rank); got != want {
+				t.Errorf("%s: rank %d block from %d byte %d = %#x, want %#x", label, rank, s, j, got, want)
+				return
+			}
+		}
+	}
+}
+
+func TestPublicIAlltoallv(t *testing.T) {
+	const P = 8
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		send, sc, sd, rc, rd, rTotal := exchangePattern(c.Rank(), P)
+		recv := make([]byte, rTotal)
+		op, err := c.IAlltoallv(send, sc, sd, recv, rc, rd)
+		if err != nil {
+			return err
+		}
+		c.ChargeComputeNs(5000) // overlapped compute
+		if err := op.Wait(); err != nil {
+			return err
+		}
+		checkPattern(t, "IAlltoallv", c.Rank(), P, recv, rc, rd)
+
+		// Two outstanding ops, completed with Waitall.
+		recv1 := make([]byte, rTotal)
+		recv2 := make([]byte, rTotal)
+		op1, err := c.IAlltoallvWith(TwoPhaseBruck, send, sc, sd, recv1, rc, rd)
+		if err != nil {
+			return err
+		}
+		op2, err := c.IAlltoallvWith(TwoPhaseRadix(3), send, sc, sd, recv2, rc, rd)
+		if err != nil {
+			return err
+		}
+		if err := c.Waitall(op1, op2); err != nil {
+			return err
+		}
+		checkPattern(t, "Waitall-1", c.Rank(), P, recv1, rc, rd)
+		checkPattern(t, "Waitall-2", c.Rank(), P, recv2, rc, rd)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAlltoallvInit(t *testing.T) {
+	const P, iters = 8, 3
+	// A world pinning TwoPhaseRadix(5) must build a radix-5 handle; the
+	// default Auto world picks its own.
+	w, err := NewWorld(P, WithAlgorithm(TwoPhaseRadix(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		send, sc, sd, rc, rd, rTotal := exchangePattern(c.Rank(), P)
+		h, err := c.AlltoallvInit(sc, sd, rc, rd)
+		if err != nil {
+			return err
+		}
+		if h.Radix() != 5 {
+			t.Errorf("handle radix = %d, want the world's pinned 5", h.Radix())
+		}
+		recv := make([]byte, rTotal)
+		for it := 0; it < iters; it++ {
+			if err := h.Start(send, recv); err != nil {
+				return err
+			}
+			checkPattern(t, "persistent", c.Rank(), P, recv, rc, rd)
+		}
+		if h.Executions() != iters {
+			t.Errorf("Executions() = %d, want %d", h.Executions(), iters)
+		}
+		h.Free()
+		if err := h.Start(send, recv); !errors.Is(err, ErrHandleFreed) {
+			t.Errorf("Start after Free = %v, want ErrHandleFreed", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	auto, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	err = auto.Run(func(c *Comm) error {
+		send, sc, sd, rc, rd, rTotal := exchangePattern(c.Rank(), P)
+		h, err := c.AlltoallvInit(sc, sd, rc, rd)
+		if err != nil {
+			return err
+		}
+		defer h.Free()
+		if h.Radix() < 2 {
+			t.Errorf("auto handle radix = %d", h.Radix())
+		}
+		recv := make([]byte, rTotal)
+		if err := h.Start(send, recv); err != nil {
+			return err
+		}
+		checkPattern(t, "persistent-auto", c.Rank(), P, recv, rc, rd)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

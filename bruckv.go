@@ -87,22 +87,89 @@ var algNames = map[Algorithm]string{
 	Hierarchical: "hierarchical",
 }
 
+// twoPhaseRadixBase offsets radix-parameterized Algorithm values so
+// they can never collide with the named enum: TwoPhaseRadix(r) for r
+// outside {2, 4, 8} is twoPhaseRadixBase + r. Invalid radices (r < 2)
+// all map to the base value itself, which every entry point rejects
+// with ErrInvalidRadix.
+const twoPhaseRadixBase Algorithm = 1 << 16
+
+// TwoPhaseRadix returns the Algorithm running radix-r two-phase Bruck,
+// for any r >= 2: ceil(log_r P) digit positions with r-1 metadata+data
+// sub-steps each — fewer hops per block, more messages, the radix
+// dimension the paper's conclusion calls for. TwoPhaseRadix(2) is
+// TwoPhaseBruck, and TwoPhaseRadix(4)/TwoPhaseRadix(8) are the named
+// constants. A radix below 2 yields an Algorithm that NewWorld and the
+// collectives reject with an error wrapping ErrInvalidRadix.
+func TwoPhaseRadix(r int) Algorithm {
+	switch r {
+	case 2:
+		return TwoPhaseBruck
+	case 4:
+		return TwoPhaseRadix4
+	case 8:
+		return TwoPhaseRadix8
+	}
+	if r < 2 {
+		return twoPhaseRadixBase
+	}
+	return twoPhaseRadixBase + Algorithm(r)
+}
+
+// algRadix returns the two-phase radix an Algorithm pins, if any:
+// TwoPhaseBruck is radix 2, the named and parameterized radix variants
+// their own r. The returned radix may be invalid (< 2) for a value
+// built by TwoPhaseRadix from a bad radix; callers reject those with
+// ErrInvalidRadix.
+func algRadix(a Algorithm) (int, bool) {
+	switch a {
+	case TwoPhaseBruck:
+		return 2, true
+	case TwoPhaseRadix4:
+		return 4, true
+	case TwoPhaseRadix8:
+		return 8, true
+	}
+	if a >= twoPhaseRadixBase {
+		return int(a - twoPhaseRadixBase), true
+	}
+	return 0, false
+}
+
+// validAlgorithm reports whether a names a runnable Alltoallv: a named
+// enum value or a radix-parameterized value with r >= 2.
+func validAlgorithm(a Algorithm) bool {
+	if _, ok := algNames[a]; ok {
+		return true
+	}
+	r, ok := algRadix(a)
+	return ok && r >= 2
+}
+
 // String returns the algorithm's registry name.
 func (a Algorithm) String() string {
 	if s, ok := algNames[a]; ok {
 		return s
 	}
+	if r, ok := algRadix(a); ok && r >= 2 {
+		return coll.RadixName(r)
+	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
 // ParseAlgorithm resolves a name (as printed by String) to an
-// Algorithm. An unknown name returns an error wrapping
-// ErrInvalidAlgorithm.
+// Algorithm. Beyond the named set, "two-phase-r<r>" parses to
+// TwoPhaseRadix(r) for any r >= 2. An unknown name returns an error
+// wrapping ErrInvalidAlgorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
+	lower := strings.ToLower(s)
 	for a, n := range algNames {
-		if n == strings.ToLower(s) {
+		if n == lower {
 			return a, nil
 		}
+	}
+	if r, ok := coll.RadixOfName(lower); ok {
+		return TwoPhaseRadix(r), nil
 	}
 	return Auto, fmt.Errorf("bruckv: unknown algorithm %q: %w", s, ErrInvalidAlgorithm)
 }
@@ -131,7 +198,8 @@ func UniformAlgorithmList() []UniformAlgorithm {
 }
 
 func (a Algorithm) impl() coll.Alltoallv {
-	return coll.NonUniformAlgorithms()[a.String()]
+	impl, _ := coll.ResolveNonUniform(a.String())
+	return impl
 }
 
 // World is a simulated communicator of Size ranks.
@@ -241,7 +309,10 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if _, ok := algNames[cfg.alg]; !ok {
+	if !validAlgorithm(cfg.alg) {
+		if r, ok := algRadix(cfg.alg); ok {
+			return nil, fmt.Errorf("bruckv: two-phase radix %d < 2: %w", r, ErrInvalidRadix)
+		}
 		return nil, fmt.Errorf("bruckv: algorithm %d: %w", int(cfg.alg), ErrInvalidAlgorithm)
 	}
 	mopts := []mpi.Option{mpi.WithModel(cfg.params.model())}
@@ -516,6 +587,9 @@ func validateLayout(P int, counts, displs []int, side string) (int, error) {
 // algorithm choice.
 func (c *Comm) AlltoallvWith(alg Algorithm, send []byte, scounts, sdispls []int,
 	recv []byte, rcounts, rdispls []int) error {
+	if r, ok := algRadix(alg); ok && r < 2 {
+		return fmt.Errorf("bruckv: two-phase radix %d < 2: %w", r, ErrInvalidRadix)
+	}
 	sTotal, err := validateLayout(c.Size(), scounts, sdispls, "send")
 	if err != nil {
 		return err

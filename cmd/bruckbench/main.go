@@ -19,7 +19,10 @@
 // calibration table built from the sweep), on the three machine
 // models, reporting per-cell ratios against the measured best.
 // -calibrate sweeps the candidates on one machine (-machine) and
-// persists the per-cell winner table as JSON for bruckv.ReadTuning.
+// persists the per-cell winner table as JSON for bruckv.ReadTuning;
+// -radices widens the two-phase radix axis of the sweep (e.g.
+// -radices 2,4,8,16), whose winners Auto then dispatches from the
+// table.
 //
 // Simulated process counts are bounded by -maxsimp; larger configured
 // counts are filled from the calibrated analytic model and marked '*' in
@@ -76,6 +79,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25")
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0: keep the plan's own)")
 		calOut   = flag.String("calibrate", "", "sweep the auto candidates and write the winner table as JSON to this file")
+		radices  = flag.String("radices", "", "comma-separated two-phase radices for -calibrate / -fig auto (default: 2,4,8)")
 		hpOut    = flag.String("hostperf-out", "", "also write the -fig hostperf report as JSON to this file")
 	)
 	flag.Parse()
@@ -89,6 +93,12 @@ func main() {
 		progW = os.Stderr
 	}
 	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW}
+	o.Radices = parseInts(*radices)
+	for _, r := range o.Radices {
+		if r < 2 {
+			fatalf("-radices: radix %d < 2", r)
+		}
+	}
 	plan, err := fault.Parse(*faults)
 	if err != nil {
 		fatalf("%v", err)

@@ -3,6 +3,7 @@ package bruckv
 import (
 	"errors"
 
+	"bruckv/internal/coll"
 	"bruckv/internal/mpi"
 )
 
@@ -36,6 +37,14 @@ var (
 	// ErrInvalidRanks marks a malformed rank list passed to Comm.Group:
 	// empty, out of range, or containing duplicates.
 	ErrInvalidRanks = errors.New("invalid rank list")
+
+	// ErrInvalidRadix marks a two-phase radix below 2, whether it
+	// reaches the library through TwoPhaseRadix, AlltoallvInit, or a
+	// parsed "two-phase-r<r>" name.
+	ErrInvalidRadix = coll.ErrInvalidRadix
+
+	// ErrHandleFreed marks a Start on a persistent handle after Free.
+	ErrHandleFreed = coll.ErrHandleFreed
 )
 
 // DeadlockError is the per-rank blocked-state report attached to the

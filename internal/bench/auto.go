@@ -22,8 +22,8 @@ import (
 // AutoCell is one (P, N) grid point of the auto study.
 type AutoCell struct {
 	P, N int
-	// CandidateNs maps each coll.AutoCandidates entry to its median
-	// simulated time.
+	// CandidateNs maps each swept candidate (coll.CandidatesFor over
+	// the study's radix axis) to its median simulated time.
 	CandidateNs map[string]float64
 	// BestAlg / BestNs and WorstAlg / WorstNs are the per-cell oracle
 	// extremes over the candidates.
@@ -107,7 +107,7 @@ func (o Options) sweepCandidates(ps, ns []int) ([]AutoCell, *coll.Table, error) 
 	for _, P := range ps {
 		for _, N := range ns {
 			cell := AutoCell{P: P, N: N, CandidateNs: map[string]float64{}}
-			for _, alg := range coll.AutoCandidates {
+			for _, alg := range coll.CandidatesFor(o.Radices) {
 				t, _, err := o.measureAuto(alg, P, N, nil)
 				if err != nil {
 					return nil, nil, err

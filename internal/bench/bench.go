@@ -22,7 +22,8 @@ import (
 type MicroConfig struct {
 	// P is the number of simulated ranks.
 	P int
-	// Algorithm is a key of coll.NonUniformAlgorithms.
+	// Algorithm is a key of coll.NonUniformAlgorithms, or a
+	// parameterized radix name "two-phase-r<r>" (r >= 2).
 	Algorithm string
 	// Spec generates the block-size workload; its seed is re-derived per
 	// iteration so iterations see fresh, reproducible workloads.
@@ -90,9 +91,9 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return Result{}, err
 	}
-	alg, ok := coll.NonUniformAlgorithms()[cfg.Algorithm]
+	alg, ok := coll.ResolveNonUniform(cfg.Algorithm)
 	if !ok {
-		return Result{}, fmt.Errorf("bench: unknown algorithm %q (have %v)",
+		return Result{}, fmt.Errorf("bench: unknown algorithm %q (have %v and two-phase-r<r>)",
 			cfg.Algorithm, coll.Names(coll.NonUniformAlgorithms()))
 	}
 	if cfg.Algorithm == "auto" && cfg.Tuning != nil {

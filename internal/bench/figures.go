@@ -29,6 +29,9 @@ type Options struct {
 	// compare algorithms on the clean model, and the analytic fill-in for
 	// large P cannot price perturbations.
 	Faults *fault.Plan
+	// Radices overrides the two-phase radix axis of the calibration
+	// sweep (Calibrate, FigAuto); nil uses coll.AutoRadixes.
+	Radices []int
 }
 
 func (o Options) withDefaults() Options {

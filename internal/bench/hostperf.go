@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"bruckv/internal/buffer"
 	"bruckv/internal/coll"
 	"bruckv/internal/dist"
 	"bruckv/internal/mpi"
@@ -86,6 +87,42 @@ type HostPerfReport struct {
 	// repeated Run calls; nil when the measurement is disabled
 	// (Config.Runs < 0).
 	Amortization *RunAmortization
+	// Persistent measures what AlltoallvInit+Start saves per iteration
+	// over fresh Alltoallv calls; nil when disabled (Config.Runs < 0).
+	Persistent *PersistentAmortization
+}
+
+// PersistentAmortization is the persistent-collective amortization
+// record: Iters exchanges of one fixed layout through a persistent
+// handle (coll.AlltoallvInit once, then Start per iteration) against
+// the same exchanges as fresh coll.Alltoallv calls, in one world each.
+// The persistent path freezes the schedule and the metadata after its
+// first exchange, so both the simulated cost (messages, virtual time)
+// and the host cost (wall time, allocations) of an iteration drop.
+type PersistentAmortization struct {
+	P, Iters, Radix int
+	// FreshVirtualNsPerCall / PersistentVirtualNsPerCall are the average
+	// simulated times of one exchange (max over ranks, clock-synced
+	// between iterations).
+	FreshVirtualNsPerCall      float64
+	PersistentVirtualNsPerCall float64
+	// FreshMsgs / PersistentMsgs are the total point-to-point message
+	// counts of the whole run; the gap is the metadata traffic the
+	// frozen schedule stops paying.
+	FreshMsgs      int64
+	PersistentMsgs int64
+	// FreshNsPerCall / PersistentNsPerCall and the Allocs figures are
+	// per-iteration host wall time and allocator traffic.
+	FreshNsPerCall          float64
+	PersistentNsPerCall     float64
+	FreshAllocsPerCall      float64
+	PersistentAllocsPerCall float64
+}
+
+// VirtualNsSaved is the per-iteration simulated-time saving of the
+// persistent path.
+func (a PersistentAmortization) VirtualNsSaved() float64 {
+	return a.FreshVirtualNsPerCall - a.PersistentVirtualNsPerCall
 }
 
 // RunAmortization is the session-amortization record: the per-Run host
@@ -153,6 +190,115 @@ func measureAmortization(o Options, P, runs int) (*RunAmortization, error) {
 	return am, nil
 }
 
+// measurePersistent runs Iters fixed-layout exchanges through a
+// persistent handle and as fresh calls, in one world each, and reports
+// the per-iteration gap. The fresh path runs the same radix the
+// auto-initialized handle froze, so the difference is amortization —
+// the frozen schedule and metadata — not algorithm choice.
+func measurePersistent(o Options, cfg HostPerfConfig) (*PersistentAmortization, error) {
+	am := &PersistentAmortization{P: cfg.P, Iters: cfg.Iters}
+	P := cfg.P
+	phantom := cfg.Phantom
+	spec := cfg.Spec
+	body := func(exchange func(p *mpi.Proc, send, recv buffer.Buf, sc, sd, rc, rd []int) error,
+		finish func(p *mpi.Proc)) func(p *mpi.Proc) error {
+		return func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			sd := make([]int, P)
+			rd := make([]int, P)
+			spec.Counts(p.Rank(), P, sc, rc)
+			sTotal := displsInto(sd, sc)
+			rTotal := displsInto(rd, rc)
+			send := buffer.Make(sTotal, phantom)
+			recv := buffer.Make(rTotal, phantom)
+			for it := 0; it < cfg.Iters; it++ {
+				p.SyncClocks()
+				if err := exchange(p, send, recv, sc, sd, rc, rd); err != nil {
+					return err
+				}
+			}
+			if finish != nil {
+				finish(p)
+			}
+			return nil
+		}
+	}
+	// Persistent path: one init, Iters starts.
+	pw, err := mpi.NewWorld(P, mpi.WithModel(o.Model))
+	if err != nil {
+		return nil, err
+	}
+	defer pw.Close()
+	var pVirtual float64
+	var radix int
+	err = pw.Run(func(p *mpi.Proc) error {
+		var h *coll.PersistentV
+		run := body(func(p *mpi.Proc, send, recv buffer.Buf, sc, sd, rc, rd []int) error {
+			if h == nil {
+				var err error
+				if h, err = coll.AlltoallvInitAuto(p, nil, sc, sd, rc, rd); err != nil {
+					return err
+				}
+			}
+			t0 := p.Now()
+			if err := h.Start(send, recv); err != nil {
+				return err
+			}
+			if el := p.AllreduceMaxFloat64(p.Now() - t0); p.Rank() == 0 {
+				pVirtual += el
+			}
+			return nil
+		}, func(p *mpi.Proc) {
+			if p.Rank() == 0 && h != nil {
+				radix = h.Radix()
+			}
+			if h != nil {
+				h.Free()
+			}
+		})
+		return run(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pStats := pw.RunStats()
+	am.PersistentMsgs = pw.TotalMessages()
+	am.PersistentVirtualNsPerCall = pVirtual / float64(cfg.Iters)
+	am.PersistentNsPerCall = float64(pStats.WallNs) / float64(cfg.Iters)
+	am.PersistentAllocsPerCall = float64(pStats.Mallocs) / float64(cfg.Iters)
+	am.Radix = radix
+
+	// Fresh path: the same exchanges as independent calls of the same
+	// radix, global-maximum Allreduce and all.
+	fw, err := mpi.NewWorld(P, mpi.WithModel(o.Model))
+	if err != nil {
+		return nil, err
+	}
+	defer fw.Close()
+	alg := coll.TwoPhaseBruckRadix(radix)
+	var fVirtual float64
+	err = fw.Run(body(func(p *mpi.Proc, send, recv buffer.Buf, sc, sd, rc, rd []int) error {
+		t0 := p.Now()
+		if err := alg(p, send, sc, sd, recv, rc, rd); err != nil {
+			return err
+		}
+		if el := p.AllreduceMaxFloat64(p.Now() - t0); p.Rank() == 0 {
+			fVirtual += el
+		}
+		return nil
+	}, nil))
+	if err != nil {
+		return nil, err
+	}
+	fStats := fw.RunStats()
+	am.FreshMsgs = fw.TotalMessages()
+	am.FreshVirtualNsPerCall = fVirtual / float64(cfg.Iters)
+	am.FreshNsPerCall = float64(fStats.WallNs) / float64(cfg.Iters)
+	am.FreshAllocsPerCall = float64(fStats.Mallocs) / float64(cfg.Iters)
+	return am, nil
+}
+
 // HostPerf measures the host-side cost of every configured Alltoallv
 // algorithm: wall time, allocator traffic, GC work, and transport-pool
 // recycling. Virtual timings are unaffected by any of this — the report
@@ -208,6 +354,14 @@ func HostPerf(o Options, cfg HostPerfConfig) (HostPerfReport, error) {
 		rep.Amortization = am
 		o.progress("hostperf amortization P=%-5d resident %.1fus/run fresh %.1fus/run",
 			cfg.P, am.ResidentNsPerRun/1e3, am.FreshNsPerRun/1e3)
+		pam, err := measurePersistent(o, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hostperf persistent amortization: %w", err)
+		}
+		rep.Persistent = pam
+		o.progress("hostperf persistent   P=%-5d r=%d persistent %.1fus/call (%.0fns virt) fresh %.1fus/call (%.0fns virt)",
+			cfg.P, pam.Radix, pam.PersistentNsPerCall/1e3, pam.PersistentVirtualNsPerCall,
+			pam.FreshNsPerCall/1e3, pam.FreshVirtualNsPerCall)
 	}
 	return rep, nil
 }
@@ -241,6 +395,13 @@ func (r HostPerfReport) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "  run-setup amortization over %d runs: resident world %.1f us/run (%.0f allocs), fresh world %.1f us/run (%.0f allocs), %.1f us/run saved\n",
 			a.Runs, a.ResidentNsPerRun/1e3, a.ResidentAllocsPerRun,
 			a.FreshNsPerRun/1e3, a.FreshAllocsPerRun, a.SetupNsSaved()/1e3)
+	}
+	if a := r.Persistent; a != nil {
+		fmt.Fprintf(w, "  persistent collective (two-phase r=%d, %d iters): AlltoallvInit+Start %.1f us/call (%.0f allocs, %.0f ns virtual), fresh Alltoallv %.1f us/call (%.0f allocs, %.0f ns virtual), %.0f ns virtual and %d msgs saved total\n",
+			a.Radix, a.Iters,
+			a.PersistentNsPerCall/1e3, a.PersistentAllocsPerCall, a.PersistentVirtualNsPerCall,
+			a.FreshNsPerCall/1e3, a.FreshAllocsPerCall, a.FreshVirtualNsPerCall,
+			a.VirtualNsSaved(), a.FreshMsgs-a.PersistentMsgs)
 	}
 	fmt.Fprintln(w)
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/machine"
@@ -38,10 +40,62 @@ import (
 // decision.
 const PhaseAutoSelect = "auto-select"
 
-// AutoCandidates are the registry names Auto chooses among, in the
-// deterministic order ties are broken (earlier wins).
-var AutoCandidates = []string{
-	"two-phase", "two-phase-r4", "two-phase-r8", "padded-bruck", "spreadout",
+// AutoRadixes is the default radix axis of the candidate space: the
+// two-phase radices Auto's selector prices against the non-radix
+// candidates. Calibration sweeps may widen it (CandidatesFor, and
+// bruckbench's -radices flag); a calibration table may install any
+// measured two-phase-r<r> winner regardless of this default.
+var AutoRadixes = []int{2, 4, 8}
+
+// AutoCandidates are the names Auto chooses among, in the
+// deterministic order ties are broken (earlier wins): the two-phase
+// family over AutoRadixes, then the padded and linear baselines.
+var AutoCandidates = CandidatesFor(nil)
+
+// CandidatesFor returns the auto candidate names for an explicit radix
+// axis (nil or empty: AutoRadixes). Radix 2 is canonicalized to
+// "two-phase"; other radices name "two-phase-r<r>".
+func CandidatesFor(radices []int) []string {
+	if len(radices) == 0 {
+		radices = AutoRadixes
+	}
+	out := make([]string, 0, len(radices)+2)
+	for _, r := range radices {
+		out = append(out, RadixName(r))
+	}
+	return append(out, "padded-bruck", "spreadout")
+}
+
+// RadixName returns the canonical algorithm name of radix-r two-phase
+// Bruck: "two-phase" for r=2, "two-phase-r<r>" otherwise.
+func RadixName(r int) string {
+	if r == 2 {
+		return "two-phase"
+	}
+	return fmt.Sprintf("two-phase-r%d", r)
+}
+
+// RadixOfName extracts the radix of a two-phase algorithm name:
+// "two-phase" is radix 2 and "two-phase-r<r>" is radix r. Names
+// outside the family — including malformed or sub-2 radices — return
+// false.
+func RadixOfName(name string) (int, bool) {
+	if name == "two-phase" {
+		return 2, true
+	}
+	const prefix = "two-phase-r"
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	digits := name[len(prefix):]
+	if digits == "" || digits[0] < '0' || digits[0] > '9' {
+		return 0, false
+	}
+	r, err := strconv.Atoi(digits)
+	if err != nil || r < 2 {
+		return 0, false
+	}
+	return r, true
 }
 
 // PredictAlgNs returns the machine model's runtime estimate in
@@ -52,14 +106,13 @@ func PredictAlgNs(m machine.Model, name string, P, maxN int, avg float64) (float
 	switch name {
 	case "two-phase", "sloav":
 		return m.EstimateTwoPhase(P, avg), true
-	case "two-phase-r4":
-		return m.EstimateTwoPhaseRadix(P, 4, avg), true
-	case "two-phase-r8":
-		return m.EstimateTwoPhaseRadix(P, 8, avg), true
 	case "padded-bruck", "padded-alltoall":
 		return m.EstimatePadded(P, maxN, avg), true
 	case "spreadout", "vendor":
 		return m.EstimateSpreadOut(P, avg), true
+	}
+	if r, ok := RadixOfName(name); ok {
+		return m.EstimateTwoPhaseRadix(P, r, avg), true
 	}
 	return 0, false
 }
@@ -118,14 +171,13 @@ type Table struct {
 	Cells   []Cell `json:"cells"`
 }
 
-// autoDispatchable reports whether name is an algorithm Auto can run.
+// autoDispatchable reports whether name is an algorithm Auto can run:
+// any radix of the two-phase family, or the padded/linear baselines.
 func autoDispatchable(name string) bool {
-	for _, c := range AutoCandidates {
-		if c == name {
-			return true
-		}
+	if _, ok := RadixOfName(name); ok {
+		return true
 	}
-	return false
+	return name == "padded-bruck" || name == "spreadout"
 }
 
 // Validate checks every cell names a dispatchable algorithm on a
@@ -139,7 +191,7 @@ func (t *Table) Validate() error {
 			return fmt.Errorf("coll: tuning cell %d has non-positive grid point P=%d N=%d", i, c.P, c.N)
 		}
 		if !autoDispatchable(c.Algorithm) {
-			return fmt.Errorf("coll: tuning cell %d names %q, not an auto candidate %v", i, c.Algorithm, AutoCandidates)
+			return fmt.Errorf("coll: tuning cell %d names %q, not auto-dispatchable (two-phase[-r<r>], padded-bruck, spreadout)", i, c.Algorithm)
 		}
 	}
 	return nil
@@ -271,14 +323,13 @@ func Auto(t *Table) Alltoallv {
 		switch sel.Algorithm {
 		case "two-phase":
 			return twoPhaseWithMax(p, maxN, send, scounts, sdispls, recv, rcounts, rdispls)
-		case "two-phase-r4":
-			return twoPhaseRadixWithMax(p, 4, maxN, send, scounts, sdispls, recv, rcounts, rdispls)
-		case "two-phase-r8":
-			return twoPhaseRadixWithMax(p, 8, maxN, send, scounts, sdispls, recv, rcounts, rdispls)
 		case "padded-bruck":
 			return paddedWithMax(p, maxN, send, scounts, sdispls, recv, rcounts, rdispls, ZeroRotationBruck)
 		case "spreadout":
 			return spreadOutWindowed(p, send, scounts, sdispls, recv, rcounts, rdispls, 0)
+		}
+		if r, ok := RadixOfName(sel.Algorithm); ok {
+			return twoPhaseRadixWithMax(p, r, maxN, send, scounts, sdispls, recv, rcounts, rdispls)
 		}
 		return fmt.Errorf("coll: auto selected unknown algorithm %q", sel.Algorithm)
 	}

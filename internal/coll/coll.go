@@ -141,8 +141,24 @@ const (
 	tagBruck     = 100 // uniform Bruck comm steps
 	tagPairwise  = 140
 	tagSpreadOut = 160
-	tagMeta      = 200 // two-phase metadata
-	tagData      = 220 // two-phase payload
+	tagMeta      = 200 // two-phase metadata (binary: tagMeta+k, k < 20)
+	tagData      = 220 // two-phase payload (binary: tagData+k, k < 20)
 	tagSloav     = 260
 	tagNaive     = 300
+)
+
+// Radix-r Bruck sub-step tags. The radix variants index their tags by
+// the running sub-step counter — not by a packed (position, digit) pair,
+// which aliased: base + k*16 + d collides for (k, d) vs (k+1, d-16) once
+// d can reach 17 (r >= 18), and the 20-tag gap between tagMeta and
+// tagData lets metadata tags of later positions walk into the data band
+// for r >= 6 (meta k,d=5 == data k-1,d=1). Each stream gets its own
+// band, 1<<24 tags wide: a radix schedule has fewer than
+// (r-1)*ceil(log_r P) + r sub-steps, so the bands stay disjoint for any
+// realistic world, and the largest value (4<<24) is far below the int32
+// ceiling of the match key.
+const (
+	tagRadixUniform = 1 << 24 // zero-rotation radix comm sub-steps
+	tagRadixMeta    = 2 << 24 // radix two-phase metadata
+	tagRadixData    = 3 << 24 // radix two-phase payload
 )

@@ -67,14 +67,21 @@ func FuzzHierarchical(f *testing.F) {
 	})
 }
 
+// FuzzRadix spans the whole configurable-radix axis, [2, 32] — past
+// both aliasing thresholds of the old tag packing (r=6 cross-band,
+// r=18 within-band), so a tag regression resurfaces as a mismatch or
+// deadlock here.
 func FuzzRadix(f *testing.F) {
 	f.Add(9, 3, 12, uint64(2))
 	f.Add(16, 5, 8, uint64(9))
+	f.Add(20, 6, 10, uint64(4))  // metadata tags entered the data band here
+	f.Add(19, 18, 7, uint64(1))  // within-band aliasing threshold
+	f.Add(23, 31, 11, uint64(8)) // large odd radix
 	f.Fuzz(func(t *testing.T, P, r, maxN int, seed uint64) {
 		if r < 0 {
 			r = -r
 		}
-		fuzzAgainstReference(t, TwoPhaseBruckRadix(r%9+2), P, 1, maxN, seed)
+		fuzzAgainstReference(t, TwoPhaseBruckRadix(r%31+2), P, 1, maxN, seed)
 	})
 }
 

@@ -1,0 +1,189 @@
+package coll
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// TestIAlltoallvMatchesBlocking: the nonblocking path defers the same
+// exchange the blocking call runs, so results are byte-exact with it —
+// with and without compute charged inside the overlap window.
+func TestIAlltoallvMatchesBlocking(t *testing.T) {
+	const P, maxN = 9, 12
+	for _, alg := range []struct {
+		name string
+		impl Alltoallv
+	}{{"two-phase", TwoPhaseBruck}, {"two-phase-r3", TwoPhaseBruckRadix(3)}, {"spreadout", SpreadOut}} {
+		t.Run(alg.name, func(t *testing.T) {
+			w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(p *mpi.Proc) error {
+				send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 3)
+				got := buffer.New(rTotal)
+				want := buffer.New(rTotal)
+				req, err := IAlltoallv(p, alg.impl, send, sc, sd, got, rc, rd)
+				if err != nil {
+					return err
+				}
+				p.Charge(float64(1000 * p.Rank())) // rank-skewed overlap compute
+				if err := req.Wait(); err != nil {
+					return err
+				}
+				if err := req.Wait(); err != nil { // idempotent
+					return fmt.Errorf("second Wait: %w", err)
+				}
+				if err := alg.impl(p, send, sc, sd, want, rc, rd); err != nil {
+					return err
+				}
+				if !buffer.Equal(got, want) {
+					t.Errorf("%s: rank %d: nonblocking differs from blocking", alg.name, p.Rank())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIAlltoallvOverlapPricing pins the virtual-clock model: a window
+// with no compute costs exactly the blocking exchange, and a window
+// whose compute dominates costs exactly the compute — communication
+// fully hidden, total = max(comm, compute).
+func TestIAlltoallvOverlapPricing(t *testing.T) {
+	const P, maxN = 16, 256
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Theta()), mpi.WithPhantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocking, idle, overlapped, compute float64
+	err = w.Run(func(p *mpi.Proc) error {
+		_, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 9)
+		send := buffer.Phantom(span(sc, sd))
+		recv := buffer.Phantom(rTotal)
+
+		p.SyncClocks()
+		t0 := p.Now()
+		if err := TwoPhaseBruck(p, send, sc, sd, recv, rc, rd); err != nil {
+			return err
+		}
+		eBlocking := p.AllreduceMaxFloat64(p.Now() - t0)
+
+		p.SyncClocks()
+		t0 = p.Now()
+		req, err := IAlltoallv(p, TwoPhaseBruck, send, sc, sd, recv, rc, rd)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		eIdle := p.AllreduceMaxFloat64(p.Now() - t0)
+
+		c := 100 * eBlocking
+		p.SyncClocks()
+		t0 = p.Now()
+		req, err = IAlltoallv(p, TwoPhaseBruck, send, sc, sd, recv, rc, rd)
+		if err != nil {
+			return err
+		}
+		p.Charge(c)
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		eOverlap := p.AllreduceMaxFloat64(p.Now() - t0)
+
+		if p.Rank() == 0 {
+			blocking, idle, overlapped, compute = eBlocking, eIdle, eOverlap, c
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking <= 0 {
+		t.Fatalf("blocking exchange cost %v ns", blocking)
+	}
+	// The two runs start at different absolute virtual times, so the
+	// elapsed values can differ by float rounding, but nothing more.
+	if math.Abs(idle-blocking) > 1e-9*blocking {
+		t.Errorf("empty overlap window cost %v ns, blocking costs %v ns; must be identical", idle, blocking)
+	}
+	if math.Abs(overlapped-compute) > 1e-6*compute {
+		t.Errorf("dominating compute: total %v ns, compute %v ns; communication must hide fully", overlapped, compute)
+	}
+}
+
+// TestIAlltoallvEagerValidation: malformed arguments fail at initiation
+// on every rank, before any communication.
+func TestIAlltoallvEagerValidation(t *testing.T) {
+	w, err := mpi.NewWorld(2, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		b := buffer.New(8)
+		sc := []int{4, 4}
+		sd := []int{0, 4}
+		if _, err := IAlltoallv(p, TwoPhaseBruck, b, []int{4}, sd, b, sc, sd); err == nil {
+			t.Error("short scounts accepted at initiation")
+		}
+		if _, err := IAlltoallv(p, nil, b, sc, sd, b, sc, sd); err == nil {
+			t.Error("nil algorithm accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitallVCompletesInOrder: several outstanding requests complete
+// in posting order and deliver byte-exact results.
+func TestWaitallVCompletesInOrder(t *testing.T) {
+	const P = 7
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send1, sc1, sd1, rc1, rd1, rT1 := vSetup(p.Rank(), P, 9, 21)
+		send2, sc2, sd2, rc2, rd2, rT2 := vSetup(p.Rank(), P, 14, 22)
+		got1 := buffer.New(rT1)
+		got2 := buffer.New(rT2)
+		r1, err := IAlltoallv(p, TwoPhaseBruck, send1, sc1, sd1, got1, rc1, rd1)
+		if err != nil {
+			return err
+		}
+		r2, err := IAlltoallv(p, TwoPhaseBruckRadix(3), send2, sc2, sd2, got2, rc2, rd2)
+		if err != nil {
+			return err
+		}
+		if err := WaitallV(r1, r2); err != nil {
+			return err
+		}
+		want1 := buffer.New(rT1)
+		want2 := buffer.New(rT2)
+		if err := NaiveAlltoallv(p, send1, sc1, sd1, want1, rc1, rd1); err != nil {
+			return err
+		}
+		if err := NaiveAlltoallv(p, send2, sc2, sd2, want2, rc2, rd2); err != nil {
+			return err
+		}
+		if !buffer.Equal(got1, want1) || !buffer.Equal(got2, want2) {
+			t.Errorf("rank %d: Waitall results differ from reference", p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

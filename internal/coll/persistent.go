@@ -1,0 +1,342 @@
+package coll
+
+import (
+	"errors"
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// ErrHandleFreed marks a Start on a persistent handle after Free.
+var ErrHandleFreed = errors.New("persistent handle used after Free")
+
+// Persistent non-uniform all-to-all (the MPI_Alltoallv_init analogue),
+// built on the radix-r two-phase engine. Initialization freezes
+// everything a repeated exchange with fixed counts can reuse: the radix
+// schedule (partner sequence, per-sub-step block lists, tags), the
+// rotation index, and pinned staging buffers from the rank's pooled
+// scratch arena. The first Start additionally freezes the exchange's
+// data-dependent state — the metadata (block sizes) every sub-step
+// would exchange and each block's source (send buffer vs working
+// buffer) — so every later Start skips the metadata phase entirely:
+// half the messages per sub-step, and no per-call size bookkeeping.
+
+// maxAutoRadix bounds the radix AlltoallvInitAuto's model search
+// considers.
+const maxAutoRadix = 16
+
+// PersistentV is a reusable non-uniform all-to-all handle returned by
+// AlltoallvInit. It is per-rank state bound to the Proc that built it;
+// Start is a collective over the communicator the handle was built on.
+type PersistentV struct {
+	p     *mpi.Proc
+	sched *radixSchedule
+	n     int // global maximum block size
+
+	idx     []int
+	size0   []int // per-slot initial sizes (scounts through idx)
+	scounts []int
+	sdispls []int
+	rcounts []int
+	rdispls []int
+
+	// Pinned staging buffers, allocated once from the rank's arena.
+	w      buffer.Buf
+	stage  buffer.Buf
+	rstage buffer.Buf
+	meta   buffer.Buf
+	rmeta  buffer.Buf
+
+	// Per-call size/placement bookkeeping, used only until freezing.
+	size   []int
+	status []bool
+
+	// Frozen metadata, recorded during the first Start. outSizes[si][j]
+	// and inSizes[si][j] are the byte counts of the j-th outgoing and
+	// incoming block of sub-step si; inTotal[si] is the incoming packed
+	// length; srcW[si][j] records whether the outgoing block reads from
+	// the working buffer (true) or the send buffer (false).
+	frozen   bool
+	outSizes [][]int32
+	inSizes  [][]int32
+	inTotal  []int
+	srcW     [][]bool
+
+	executed int
+	released bool
+}
+
+// checkInitLayout validates the count/displacement arrays of a
+// persistent init against the communicator shape (the buffers do not
+// exist yet; Start re-validates them against the layout).
+func checkInitLayout(p *mpi.Proc, scounts, sdispls, rcounts, rdispls []int) error {
+	P := p.Size()
+	if len(scounts) != P || len(sdispls) != P || len(rcounts) != P || len(rdispls) != P {
+		return fmt.Errorf("coll: init: count/displacement arrays must have length %d (got %d/%d/%d/%d)",
+			P, len(scounts), len(sdispls), len(rcounts), len(rdispls))
+	}
+	for i := 0; i < P; i++ {
+		if scounts[i] < 0 || rcounts[i] < 0 || sdispls[i] < 0 || rdispls[i] < 0 {
+			return fmt.Errorf("coll: init: negative count or displacement for rank %d", i)
+		}
+	}
+	if scounts[p.Rank()] != rcounts[p.Rank()] {
+		return fmt.Errorf("coll: init: self block size mismatch: %d vs %d", scounts[p.Rank()], rcounts[p.Rank()])
+	}
+	return nil
+}
+
+// AlltoallvInit builds a persistent radix-r handle for the given
+// layout. It is a collective: all ranks must initialize together, and
+// every rank must pass the same radix. The count and displacement
+// slices are copied, so later caller mutation does not affect the
+// handle.
+func AlltoallvInit(p *mpi.Proc, r int, scounts, sdispls, rcounts, rdispls []int) (*PersistentV, error) {
+	if r < 2 {
+		return nil, errRadix(r)
+	}
+	if err := checkInitLayout(p, scounts, sdispls, rcounts, rdispls); err != nil {
+		return nil, err
+	}
+	n := p.AllreduceMaxInt(maxInts(scounts))
+	return alltoallvInitWithMax(p, r, n, scounts, sdispls, rcounts, rdispls), nil
+}
+
+// AlltoallvInitAuto builds a persistent handle whose radix is chosen
+// for the layout: the calibration table's winner where it covers the
+// call's (P, maxN) cell and names a two-phase variant, else the machine
+// model's best radix in [2, 16] for the call's mean block size. The
+// fused allreduce that derives the global shape doubles as the
+// max-block reduction, so auto selection costs no extra rounds. t may
+// be nil (pure analytic choice).
+func AlltoallvInitAuto(p *mpi.Proc, t *Table, scounts, sdispls, rcounts, rdispls []int) (*PersistentV, error) {
+	if err := checkInitLayout(p, scounts, sdispls, rcounts, rdispls); err != nil {
+		return nil, err
+	}
+	var local int64
+	for _, c := range scounts {
+		local += int64(c)
+	}
+	P := p.Size()
+	maxN, total := p.AllreduceMaxIntSumInt64(maxInts(scounts), local)
+	avg := float64(total) / float64(P) / float64(P)
+	r := persistentRadix(p.World().Model(), t, P, maxN, avg)
+	return alltoallvInitWithMax(p, r, maxN, scounts, sdispls, rcounts, rdispls), nil
+}
+
+// persistentRadix picks the radix for an auto-initialized persistent
+// handle. It is a pure function of globally agreed values, so all ranks
+// agree.
+func persistentRadix(m machine.Model, t *Table, P, maxN int, avg float64) int {
+	if name, ok := t.Lookup(P, maxN); ok {
+		if r, isRadix := RadixOfName(name); isRadix {
+			return r
+		}
+	}
+	return m.BestRadix(P, maxAutoRadix, avg)
+}
+
+func alltoallvInitWithMax(p *mpi.Proc, r, n int, scounts, sdispls, rcounts, rdispls []int) *PersistentV {
+	P := p.Size()
+	rank := p.Rank()
+	h := &PersistentV{
+		p: p, n: n,
+		scounts: append([]int(nil), scounts...),
+		sdispls: append([]int(nil), sdispls...),
+		rcounts: append([]int(nil), rcounts...),
+		rdispls: append([]int(nil), rdispls...),
+	}
+	h.sched = buildRadixSchedule(P, rank, r)
+	h.idx = make([]int, P)
+	h.size0 = make([]int, P)
+	for s := 0; s < P; s++ {
+		h.idx[s] = ((2*rank-s)%P + P) % P
+		h.size0[s] = scounts[h.idx[s]]
+	}
+	p.Charge(float64(P))
+	if P == 1 || n == 0 {
+		return h // nothing travels; Start degenerates to the self copy
+	}
+	h.w = p.AllocBuf(P * n)
+	h.stage = p.AllocBuf(h.sched.maxBlocks * n)
+	h.rstage = p.AllocBuf(h.sched.maxBlocks * n)
+	h.meta = p.AllocReal(4 * h.sched.maxBlocks)
+	h.rmeta = p.AllocReal(4 * h.sched.maxBlocks)
+	h.size = make([]int, P)
+	h.status = make([]bool, P)
+	subs := len(h.sched.subs)
+	h.outSizes = make([][]int32, subs)
+	h.inSizes = make([][]int32, subs)
+	h.inTotal = make([]int, subs)
+	h.srcW = make([][]bool, subs)
+	return h
+}
+
+// Radix returns the handle's two-phase radix.
+func (h *PersistentV) Radix() int { return h.sched.r }
+
+// MaxBlock returns the global maximum block size in bytes.
+func (h *PersistentV) MaxBlock() int { return h.n }
+
+// Executions returns how many times the handle has started.
+func (h *PersistentV) Executions() int { return h.executed }
+
+// SendSpan and RecvSpan return the minimum buffer lengths Start
+// accepts (the furthest extent of any declared block).
+func (h *PersistentV) SendSpan() int { return span(h.scounts, h.sdispls) }
+
+// RecvSpan is the receive-side counterpart of SendSpan.
+func (h *PersistentV) RecvSpan() int { return span(h.rcounts, h.rdispls) }
+
+// Free returns the handle's pinned buffers to the rank's scratch arena.
+// The handle must not be started again afterwards. Freeing is optional
+// — an unfreed handle is garbage-collected — but long-lived ranks that
+// build many handles should free them so the scratch memory recycles.
+func (h *PersistentV) Free() {
+	if h.released {
+		return
+	}
+	h.released = true
+	h.p.FreeBuf(h.w, h.stage, h.rstage, h.meta, h.rmeta)
+	h.w, h.stage, h.rstage, h.meta, h.rmeta = buffer.Buf{}, buffer.Buf{}, buffer.Buf{}, buffer.Buf{}, buffer.Buf{}
+}
+
+// Start performs one exchange with the frozen layout: send and recv
+// must satisfy the counts and displacements given at init. It is a
+// collective; every initializing rank must start the same number of
+// times. The first Start runs the full two-phase exchange and records
+// its metadata; every later Start replays the frozen schedule without
+// the metadata phase.
+func (h *PersistentV) Start(send, recv buffer.Buf) error {
+	if h.released {
+		return fmt.Errorf("coll: %w", ErrHandleFreed)
+	}
+	p := h.p
+	P := p.Size()
+	rank := p.Rank()
+	if err := checkV(p, send, h.scounts, h.sdispls, recv, h.rcounts, h.rdispls); err != nil {
+		return err
+	}
+	p.Memcpy(recv.Slice(h.rdispls[rank], h.rcounts[rank]), send.Slice(h.sdispls[rank], h.scounts[rank]))
+	h.executed++
+	if P == 1 || h.n == 0 {
+		return nil
+	}
+	defer p.ClearStep()
+	if h.frozen {
+		h.startFrozen(send, recv)
+		return nil
+	}
+	return h.startFirst(send, recv)
+}
+
+// startFirst is the recording execution: a full metadata+data exchange
+// that captures every sub-step's sizes and block sources, after which
+// the handle is frozen.
+func (h *PersistentV) startFirst(send, recv buffer.Buf) error {
+	p := h.p
+	P := p.Size()
+	rank := p.Rank()
+	copy(h.size, h.size0)
+	for s := range h.status {
+		h.status[s] = false
+	}
+	for si := range h.sched.subs {
+		sub := &h.sched.subs[si]
+		p.SetStep(si)
+
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			h.meta.PutUint32(4*j, uint32(h.size[s]))
+		}
+		p.SendRecv(sub.dst, sub.mtag, h.meta.Slice(0, 4*len(sub.rel)), sub.src, sub.mtag, h.rmeta.Slice(0, 4*len(sub.rel)))
+
+		out := make([]int32, len(sub.rel))
+		fromW := make([]bool, len(sub.rel))
+		off := 0
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			var blk buffer.Buf
+			if h.status[s] {
+				blk = h.w.Slice(s*h.n, h.size[s])
+			} else {
+				blk = send.Slice(h.sdispls[h.idx[s]], h.size[s])
+			}
+			out[j] = int32(h.size[s])
+			fromW[j] = h.status[s]
+			p.Memcpy(h.stage.Slice(off, h.size[s]), blk)
+			off += h.size[s]
+		}
+		p.Send(sub.dst, sub.dtag, h.stage.Slice(0, off))
+
+		in := make([]int32, len(sub.rel))
+		total := 0
+		for j := range sub.rel {
+			in[j] = int32(h.rmeta.Uint32(4 * j))
+			total += int(in[j])
+		}
+		p.Recv(sub.src, sub.dtag, h.rstage.Slice(0, total))
+
+		roff := 0
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			sz := int(in[j])
+			if j < sub.final {
+				if sz != h.rcounts[s] {
+					return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d",
+						h.sched.r, s, sz, h.rcounts[s])
+				}
+				p.Memcpy(recv.Slice(h.rdispls[s], sz), h.rstage.Slice(roff, sz))
+			} else {
+				p.Memcpy(h.w.Slice(s*h.n, sz), h.rstage.Slice(roff, sz))
+			}
+			roff += sz
+			h.size[s] = sz
+			h.status[s] = true
+		}
+		h.outSizes[si], h.inSizes[si], h.inTotal[si], h.srcW[si] = out, in, total, fromW
+	}
+	h.frozen = true
+	return nil
+}
+
+// startFrozen replays the recorded schedule: pack from the frozen
+// sources, one data message per sub-step, unpack to the frozen
+// placements. No metadata travels and no sizes are recomputed.
+func (h *PersistentV) startFrozen(send, recv buffer.Buf) {
+	p := h.p
+	P := p.Size()
+	rank := h.sched.rank
+	for si := range h.sched.subs {
+		sub := &h.sched.subs[si]
+		p.SetStep(si)
+		off := 0
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			sz := int(h.outSizes[si][j])
+			var blk buffer.Buf
+			if h.srcW[si][j] {
+				blk = h.w.Slice(s*h.n, sz)
+			} else {
+				blk = send.Slice(h.sdispls[h.idx[s]], sz)
+			}
+			p.Memcpy(h.stage.Slice(off, sz), blk)
+			off += sz
+		}
+		p.Send(sub.dst, sub.dtag, h.stage.Slice(0, off))
+		p.Recv(sub.src, sub.dtag, h.rstage.Slice(0, h.inTotal[si]))
+		roff := 0
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			sz := int(h.inSizes[si][j])
+			if j < sub.final {
+				p.Memcpy(recv.Slice(h.rdispls[s], sz), h.rstage.Slice(roff, sz))
+			} else {
+				p.Memcpy(h.w.Slice(s*h.n, sz), h.rstage.Slice(roff, sz))
+			}
+			roff += sz
+		}
+	}
+}

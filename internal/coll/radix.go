@@ -1,6 +1,7 @@
 package coll
 
 import (
+	"errors"
 	"fmt"
 
 	"bruckv/internal/buffer"
@@ -19,6 +20,17 @@ import (
 // conclusion calls for exactly this exploration; these implementations
 // extend zero-rotation Bruck and two-phase Bruck to arbitrary radix, and
 // reduce to the binary versions at r=2 (a property the tests assert).
+// The sub-step sequence, partners, and block lists are precomputed as a
+// radixSchedule (schedule.go), which the persistent handles reuse.
+
+// ErrInvalidRadix marks a Bruck radix below 2 passed to
+// ZeroRotationBruckRadix, TwoPhaseBruckRadix, or AlltoallvInit.
+var ErrInvalidRadix = errors.New("invalid radix")
+
+// errRadix builds the canonical invalid-radix error.
+func errRadix(r int) error {
+	return fmt.Errorf("coll: radix %d < 2: %w", r, ErrInvalidRadix)
+}
 
 // digitSlots appends the relative indices i in [1, P) whose k-th base-r
 // digit equals d (1 <= d < r), in increasing order.
@@ -79,7 +91,7 @@ func maxDigitBlocks(P, r int) int {
 func ZeroRotationBruckRadix(r int) Alltoall {
 	return func(p *mpi.Proc, send buffer.Buf, n int, recv buffer.Buf) error {
 		if r < 2 {
-			return fmt.Errorf("coll: radix %d < 2", r)
+			return errRadix(r)
 		}
 		if err := checkUniform(p, send, n, recv); err != nil {
 			return err
@@ -101,43 +113,31 @@ func ZeroRotationBruckRadix(r int) Alltoall {
 		defer done()
 		defer p.ClearStep()
 		status := make([]bool, P)
-		maxBlocks := maxDigitBlocks(P, r)
-		stage := p.AllocBuf(maxBlocks * n)
-		rstage := p.AllocBuf(maxBlocks * n)
+		maxB := maxDigitBlocks(P, r)
+		stage := p.AllocBuf(maxB * n)
+		rstage := p.AllocBuf(maxB * n)
 		defer p.FreeBuf(stage, rstage)
-		rel := make([]int, 0, maxBlocks)
-		substep := 0 // running (position, digit) sub-step index
-		for k, step := range radixSteps(P, r) {
-			for d := 1; d < r && d*step < P; d++ {
-				rel = digitSlots(rel, P, r, k, d)
-				if len(rel) == 0 {
-					continue
+		return forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+			p.SetStep(si)
+			for j, i := range sub.rel {
+				s := (i + rank) % P
+				var blk buffer.Buf
+				if status[s] {
+					blk = recv.Slice(s*n, n)
+				} else {
+					blk = send.Slice(idx[s]*n, n)
 				}
-				p.SetStep(substep)
-				substep++
-				for j, i := range rel {
-					s := (i + rank) % P
-					var blk buffer.Buf
-					if status[s] {
-						blk = recv.Slice(s*n, n)
-					} else {
-						blk = send.Slice(idx[s]*n, n)
-					}
-					p.Memcpy(stage.Slice(j*n, n), blk)
-				}
-				dst := (rank - d*step%P + P) % P
-				src := (rank + d*step) % P
-				total := len(rel) * n
-				tag := tagBruck + k*16 + d
-				p.SendRecv(dst, tag, stage.Slice(0, total), src, tag, rstage.Slice(0, total))
-				for j, i := range rel {
-					s := (i + rank) % P
-					p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
-					status[s] = true
-				}
+				p.Memcpy(stage.Slice(j*n, n), blk)
 			}
-		}
-		return nil
+			total := len(sub.rel) * n
+			p.SendRecv(sub.dst, sub.utag, stage.Slice(0, total), sub.src, sub.utag, rstage.Slice(0, total))
+			for j, i := range sub.rel {
+				s := (i + rank) % P
+				p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
+				status[s] = true
+			}
+			return nil
+		})
 	}
 }
 
@@ -149,7 +149,7 @@ func TwoPhaseBruckRadix(r int) Alltoallv {
 	return func(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 		recv buffer.Buf, rcounts, rdispls []int) error {
 		if r < 2 {
-			return fmt.Errorf("coll: radix %d < 2", r)
+			return errRadix(r)
 		}
 		if err := checkV(p, send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
 			return err
@@ -187,74 +187,61 @@ func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdisp
 	}
 	status := make([]bool, P)
 
-	maxBlocks := maxDigitBlocks(P, r)
-	stage := p.AllocBuf(maxBlocks * N)
-	rstage := p.AllocBuf(maxBlocks * N)
-	meta := p.AllocReal(4 * maxBlocks)
-	rmeta := p.AllocReal(4 * maxBlocks)
+	maxB := maxDigitBlocks(P, r)
+	stage := p.AllocBuf(maxB * N)
+	rstage := p.AllocBuf(maxB * N)
+	meta := p.AllocReal(4 * maxB)
+	rmeta := p.AllocReal(4 * maxB)
 	defer p.FreeBuf(stage, rstage, meta, rmeta)
 
 	done := p.Phase(PhaseComm)
 	defer done()
 	defer p.ClearStep()
-	rel := make([]int, 0, maxBlocks)
-	substep := 0 // running (position, digit) sub-step index
-	for k, step := range radixSteps(P, r) {
-		for d := 1; d < r && d*step < P; d++ {
-			rel = digitSlots(rel, P, r, k, d)
-			if len(rel) == 0 {
-				continue
-			}
-			p.SetStep(substep)
-			substep++
-			dst := (rank - d*step%P + P) % P
-			src := (rank + d*step) % P
-			mtag := tagMeta + k*16 + d
-			dtag := tagData + k*16 + d
+	return forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+		p.SetStep(si)
 
-			for j, i := range rel {
-				s := (i + rank) % P
-				meta.PutUint32(4*j, uint32(size[s]))
-			}
-			p.SendRecv(dst, mtag, meta.Slice(0, 4*len(rel)), src, mtag, rmeta.Slice(0, 4*len(rel)))
-
-			off := 0
-			for _, i := range rel {
-				s := (i + rank) % P
-				var blk buffer.Buf
-				if status[s] {
-					blk = w.Slice(s*N, size[s])
-				} else {
-					blk = send.Slice(sdispls[idx[s]], size[s])
-				}
-				p.Memcpy(stage.Slice(off, size[s]), blk)
-				off += size[s]
-			}
-			p.Send(dst, dtag, stage.Slice(0, off))
-
-			total := 0
-			for j := range rel {
-				total += int(rmeta.Uint32(4 * j))
-			}
-			p.Recv(src, dtag, rstage.Slice(0, total))
-
-			roff := 0
-			for j, i := range rel {
-				s := (i + rank) % P
-				sz := int(rmeta.Uint32(4 * j))
-				if i < step*r { // final hop: highest nonzero digit is position k
-					if sz != rcounts[s] {
-						return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d", r, s, sz, rcounts[s])
-					}
-					p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
-				} else {
-					p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
-				}
-				roff += sz
-				size[s] = sz
-				status[s] = true
-			}
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			meta.PutUint32(4*j, uint32(size[s]))
 		}
-	}
-	return nil
+		p.SendRecv(sub.dst, sub.mtag, meta.Slice(0, 4*len(sub.rel)), sub.src, sub.mtag, rmeta.Slice(0, 4*len(sub.rel)))
+
+		off := 0
+		for _, i := range sub.rel {
+			s := (i + rank) % P
+			var blk buffer.Buf
+			if status[s] {
+				blk = w.Slice(s*N, size[s])
+			} else {
+				blk = send.Slice(sdispls[idx[s]], size[s])
+			}
+			p.Memcpy(stage.Slice(off, size[s]), blk)
+			off += size[s]
+		}
+		p.Send(sub.dst, sub.dtag, stage.Slice(0, off))
+
+		total := 0
+		for j := range sub.rel {
+			total += int(rmeta.Uint32(4 * j))
+		}
+		p.Recv(sub.src, sub.dtag, rstage.Slice(0, total))
+
+		roff := 0
+		for j, i := range sub.rel {
+			s := (i + rank) % P
+			sz := int(rmeta.Uint32(4 * j))
+			if j < sub.final { // final hop: highest nonzero digit is this position
+				if sz != rcounts[s] {
+					return fmt.Errorf("coll: two-phase-r%d: block for slot %d arrived with %d bytes, rcounts says %d", r, s, sz, rcounts[s])
+				}
+				p.Memcpy(recv.Slice(rdispls[s], sz), rstage.Slice(roff, sz))
+			} else {
+				p.Memcpy(w.Slice(s*N, sz), rstage.Slice(roff, sz))
+			}
+			roff += sz
+			size[s] = sz
+			status[s] = true
+		}
+		return nil
+	})
 }

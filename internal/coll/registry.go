@@ -41,6 +41,19 @@ func NonUniformAlgorithms() map[string]Alltoallv {
 	}
 }
 
+// ResolveNonUniform resolves an Alltoallv by name, accepting both the
+// fixed registry names and parameterized radix names ("two-phase-r<r>"
+// for any r >= 2) that have no registry entry.
+func ResolveNonUniform(name string) (Alltoallv, bool) {
+	if impl, ok := NonUniformAlgorithms()[name]; ok {
+		return impl, true
+	}
+	if r, ok := RadixOfName(name); ok {
+		return TwoPhaseBruckRadix(r), true
+	}
+	return nil, false
+}
+
 // Names returns the sorted keys of a registry-shaped map.
 func Names[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))

@@ -1,0 +1,86 @@
+package coll
+
+// Frozen radix-r Bruck schedules. A schedule is the complete per-rank
+// communication plan of one radix-r exchange at P ranks: the sub-step
+// sequence (one per non-empty (position, digit) pair), each with its
+// partners, its relative block list, and its tags. Both the immediate
+// algorithms in radix.go and the persistent handles in persistent.go
+// execute schedules; persistent handles additionally cache one so
+// repeated exchanges pay its construction once.
+
+// radixSub is one (position, digit) sub-step of a radix-r Bruck
+// schedule: the blocks whose k-th base-r digit equals d travel to the
+// rank at distance d·r^k.
+type radixSub struct {
+	// step is r^k, the position's stride; d is the digit value.
+	step, d int
+	// dst and src are the partner ranks: data flows to rank - d·r^k and
+	// arrives from rank + d·r^k (mod P).
+	dst, src int
+	// utag, mtag, and dtag are the sub-step's tags in the uniform,
+	// metadata, and payload bands (tagRadix* + sub-step index).
+	utag, mtag, dtag int
+	// rel lists the relative block indices i in [1, P) moved this
+	// sub-step, increasing. The first final entries (i < step·r, i.e. the
+	// k-th digit is the highest nonzero one) are on their last hop.
+	rel   []int
+	final int
+}
+
+// radixSchedule is one rank's frozen radix-r Bruck plan.
+type radixSchedule struct {
+	P, r, rank int
+	// maxBlocks is the largest sub-step block count, the staging bound.
+	maxBlocks int
+	subs      []radixSub
+}
+
+// forEachRadixSub walks the sub-step sequence of the radix-r plan for
+// one rank — the same sequence buildRadixSchedule freezes — reusing a
+// single radixSub and one block list across sub-steps, so the immediate
+// algorithms' hot path performs no per-sub-step allocation. The sub
+// passed to fn (including its rel slice) is valid only during the call.
+func forEachRadixSub(P, rank, r int, fn func(si int, sub *radixSub) error) error {
+	sub := radixSub{rel: make([]int, 0, maxDigitBlocks(P, r))}
+	si := 0
+	for k, step := 0, 1; step < P; k, step = k+1, step*r {
+		for d := 1; d < r && d*step < P; d++ {
+			sub.rel = digitSlots(sub.rel, P, r, k, d)
+			if len(sub.rel) == 0 {
+				continue
+			}
+			sub.step, sub.d = step, d
+			sub.dst = (rank - d*step%P + P) % P
+			sub.src = (rank + d*step) % P
+			sub.utag = tagRadixUniform + si
+			sub.mtag = tagRadixMeta + si
+			sub.dtag = tagRadixData + si
+			sub.final = 0
+			for sub.final < len(sub.rel) && sub.rel[sub.final] < step*r {
+				sub.final++
+			}
+			if err := fn(si, &sub); err != nil {
+				return err
+			}
+			si++
+		}
+	}
+	return nil
+}
+
+// buildRadixSchedule freezes the schedule for one rank. It is pure
+// local computation; the caller prices it (the algorithms charge the
+// same O(P) setup cost as the binary paths).
+func buildRadixSchedule(P, rank, r int) *radixSchedule {
+	sc := &radixSchedule{P: P, r: r, rank: rank}
+	forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+		s := *sub
+		s.rel = append([]int(nil), sub.rel...)
+		if len(s.rel) > sc.maxBlocks {
+			sc.maxBlocks = len(s.rel)
+		}
+		sc.subs = append(sc.subs, s)
+		return nil
+	})
+	return sc
+}

@@ -1,0 +1,190 @@
+package coll
+
+import (
+	"fmt"
+	"testing"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// runDifferential runs alg and oracle on the same workload and asserts
+// byte-identical receive buffers.
+func runDifferential(t *testing.T, alg, oracle Alltoallv, P, maxN int, seed uint64, label string) {
+	t.Helper()
+	w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *mpi.Proc) error {
+		send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+		got := buffer.New(rTotal)
+		want := buffer.New(rTotal)
+		if err := alg(p, send, sc, sd, got, rc, rd); err != nil {
+			return err
+		}
+		if err := oracle(p, send, sc, sd, want, rc, rd); err != nil {
+			return err
+		}
+		if !buffer.Equal(got, want) {
+			t.Errorf("%s: rank %d: results differ", label, p.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s P=%d maxN=%d seed=%d: %v", label, P, maxN, seed, err)
+	}
+}
+
+// oldRadixTags reproduces the pre-fix tag packing of the radix
+// variants — base + k*16 + d for position k and digit d — over the
+// sub-steps a (P, r) exchange actually runs, returning every tag in
+// the order issued. The packing is kept here, in the test, as the
+// regression oracle: it must be provably aliasing for the radices the
+// fix targets.
+func oldRadixTags(P, r int) (meta, data []int) {
+	const tagMetaOld, tagDataOld = 200, 220
+	for k, step := range radixSteps(P, r) {
+		for d := 1; d < r && d*step < P; d++ {
+			if len(digitSlots(nil, P, r, k, d)) == 0 {
+				continue
+			}
+			meta = append(meta, tagMetaOld+k*16+d)
+			data = append(data, tagDataOld+k*16+d)
+		}
+	}
+	return meta, data
+}
+
+func hasDuplicate(tags []int) bool {
+	seen := map[int]bool{}
+	for _, tg := range tags {
+		if seen[tg] {
+			return true
+		}
+		seen[tg] = true
+	}
+	return false
+}
+
+// TestOldRadixTagPackingAliased proves the bug the sub-step tags fix:
+// under base + k*16 + d,
+//
+//   - the metadata band (base 200) is only 20 below the data band
+//     (base 220), so meta(k+1, d) = data(k, d-4) — metadata tags walk
+//     into the data band from r = 6 up (d = 5 meets d' = 1);
+//   - within one band, (k, d) = (k+1, d-16), which needs d >= 17 and
+//     so aliases from r = 18 up.
+func TestOldRadixTagPackingAliased(t *testing.T) {
+	// Cross-band: r=6 at P=40 runs positions k=0,1 with digits to 5;
+	// meta(1,5)=221 collides with data(0,1)=221.
+	meta, data := oldRadixTags(40, 6)
+	if !hasDuplicate(append(append([]int(nil), meta...), data...)) {
+		t.Error("r=6: expected the old packing's metadata tags to walk into the data band")
+	}
+	// Within-band: r=18 at P=40 runs (k=0, d=17) and (k=1, d=1), which
+	// pack to the same tag: 16*0+17 = 16*1+1.
+	meta, data = oldRadixTags(40, 18)
+	if !hasDuplicate(meta) || !hasDuplicate(data) {
+		t.Error("r=18: expected the old packing to alias (k,d) with (k+1,d-16) within a band")
+	}
+	// The named registry radices (2, 4, 8) never aliased — the bug was
+	// latent until the radix became configurable.
+	for _, r := range []int{2, 4, 8} {
+		meta, data = oldRadixTags(257, r)
+		if hasDuplicate(meta) || hasDuplicate(data) {
+			t.Errorf("r=%d: old packing unexpectedly aliased", r)
+		}
+	}
+}
+
+// TestRadixSubTagsInjective asserts the fix: over every sub-step of an
+// exchange, the uniform, metadata, and data tags are pairwise distinct
+// within and across their bands, for radices well past both aliasing
+// thresholds.
+func TestRadixSubTagsInjective(t *testing.T) {
+	for _, P := range []int{2, 7, 40, 100, 257} {
+		for _, r := range []int{2, 3, 6, 16, 17, 18, 31} {
+			seen := map[int]string{}
+			err := forEachRadixSub(P, 0, r, func(si int, sub *radixSub) error {
+				for _, tg := range []int{sub.utag, sub.mtag, sub.dtag} {
+					at := fmt.Sprintf("sub %d (step %d, d %d)", si, sub.step, sub.d)
+					if prev, ok := seen[tg]; ok {
+						t.Errorf("P=%d r=%d: tag %d of %s already used by %s", P, r, tg, at, prev)
+					}
+					seen[tg] = at
+				}
+				if sub.mtag-sub.utag != tagRadixMeta-tagRadixUniform ||
+					sub.dtag-sub.utag != tagRadixData-tagRadixUniform {
+					t.Errorf("P=%d r=%d sub %d: tags not in their bands: %d/%d/%d",
+						P, r, si, sub.utag, sub.mtag, sub.dtag)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestBuildRadixScheduleMatchesIterator pins the frozen schedule to the
+// allocation-free iterator the immediate algorithms run: same sub-step
+// count, partners, tags, block lists, and final-hop prefixes.
+func TestBuildRadixScheduleMatchesIterator(t *testing.T) {
+	for _, P := range []int{1, 2, 9, 33, 64} {
+		for _, r := range []int{2, 3, 7, 17} {
+			for _, rank := range []int{0, P / 2, P - 1} {
+				if rank < 0 {
+					continue
+				}
+				sc := buildRadixSchedule(P, rank, r)
+				n := 0
+				err := forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+					if si >= len(sc.subs) {
+						return fmt.Errorf("iterator sub %d beyond schedule (%d subs)", si, len(sc.subs))
+					}
+					got := sc.subs[si]
+					if got.step != sub.step || got.d != sub.d || got.dst != sub.dst || got.src != sub.src ||
+						got.utag != sub.utag || got.mtag != sub.mtag || got.dtag != sub.dtag ||
+						got.final != sub.final || fmt.Sprint(got.rel) != fmt.Sprint(sub.rel) {
+						return fmt.Errorf("P=%d r=%d rank=%d sub %d: schedule %+v != iterator %+v", P, r, rank, si, got, *sub)
+					}
+					if len(sub.rel) > sc.maxBlocks {
+						return fmt.Errorf("P=%d r=%d: maxBlocks %d below sub %d's %d blocks", P, r, sc.maxBlocks, si, len(sub.rel))
+					}
+					n++
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(sc.subs) {
+					t.Errorf("P=%d r=%d rank=%d: iterator ran %d subs, schedule froze %d", P, r, rank, n, len(sc.subs))
+				}
+			}
+		}
+	}
+}
+
+// TestRadixConformanceGrid is the tag-aliasing regression at the
+// behavioral level: odd, large, and past-the-threshold radices must be
+// byte-exact against both the absolute pattern oracle and the
+// spread-out implementation. r=17 and r=31 sat beyond the old
+// packing's aliasing thresholds; P=40 gives them multiple digit
+// positions.
+func TestRadixConformanceGrid(t *testing.T) {
+	for _, r := range []int{3, 5, 7, 16, 17, 31} {
+		alg := TwoPhaseBruckRadix(r)
+		for _, c := range []struct {
+			P, maxN int
+			seed    uint64
+		}{{5, 9, 1}, {18, 13, 2}, {40, 11, 3}} {
+			t.Run(fmt.Sprintf("r%d/P%d", r, c.P), func(t *testing.T) {
+				runNonUniform(t, alg, c.P, c.maxN, c.seed, fmt.Sprintf("two-phase-r%d", r))
+				runDifferential(t, alg, SpreadOut, c.P, c.maxN, c.seed, fmt.Sprintf("two-phase-r%d-vs-spreadout", r))
+			})
+		}
+	}
+}

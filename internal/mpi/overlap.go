@@ -1,0 +1,53 @@
+package mpi
+
+// Communication/computation overlap pricing for nonblocking
+// collectives. A nonblocking collective defers its exchange to
+// completion time (Wait), but must be priced as if the communication
+// had progressed in the background since initiation. The overlap
+// window API realizes that on the virtual clocks: mark at initiation,
+// rewind at completion (remembering how far local compute got), run
+// the deferred exchange against the rewound clocks, then finish at the
+// later of the communication end and the compute frontier — perfect
+// overlap of the window's compute with the collective's communication.
+//
+// Limits of the model: compute charged inside the window overlaps the
+// deferred communication fully (no injection-overhead contention), and
+// two windows open at once overlap each other too — neither window's
+// traffic delays the other's. Blocking communication issued inside a
+// window is legal and matches correctly, but is priced at its call
+// site, not overlapped.
+
+// OverlapMark snapshots one rank's virtual clocks at the initiation of
+// an overlap window.
+type OverlapMark struct {
+	now, txFree, rxFree float64
+}
+
+// MarkOverlap records the clock state at the start of an overlap
+// window.
+func (p *Proc) MarkOverlap() OverlapMark {
+	return OverlapMark{now: p.now, txFree: p.txFree, rxFree: p.rxFree}
+}
+
+// RewindOverlap rolls this rank's clocks back to m so deferred
+// communication is priced as if it had started when the window opened,
+// and returns the compute frontier: the clock value at the moment of
+// the call, i.e. how far local work had progressed when completion was
+// demanded.
+func (p *Proc) RewindOverlap(m OverlapMark) float64 {
+	frontier := p.now
+	p.now, p.txFree, p.rxFree = m.now, m.txFree, m.rxFree
+	return frontier
+}
+
+// CompleteOverlap closes the window: the clock becomes the later of
+// the communication end (the current clock, after the deferred
+// operation ran against the rewound state) and the compute frontier
+// returned by RewindOverlap. The clock never moves backwards across a
+// whole window: completion is at least the frontier, which is at least
+// the pre-rewind clock.
+func (p *Proc) CompleteOverlap(frontier float64) {
+	if frontier > p.now {
+		p.now = frontier
+	}
+}

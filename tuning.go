@@ -131,8 +131,9 @@ type TuningCell struct {
 	// P is the rank count and N the global maximum block size in bytes.
 	P, N int
 	// Algorithm is the measured-fastest algorithm at this cell. It must
-	// be one Auto can dispatch: TwoPhaseBruck, TwoPhaseRadix4,
-	// TwoPhaseRadix8, PaddedBruck, or SpreadOut.
+	// be one Auto can dispatch: any TwoPhaseRadix(r) (including
+	// TwoPhaseBruck, TwoPhaseRadix4, and TwoPhaseRadix8), PaddedBruck,
+	// or SpreadOut.
 	Algorithm Algorithm
 }
 
@@ -169,11 +170,23 @@ func (t *Tuning) Write(w io.Writer) error {
 	return t.table.Encode(w)
 }
 
-// Machine returns the machine name recorded in the table.
-func (t *Tuning) Machine() string { return t.table.Machine }
+// Machine returns the machine name recorded in the table. A nil or
+// zero-value Tuning reports "".
+func (t *Tuning) Machine() string {
+	if t == nil || t.table == nil {
+		return ""
+	}
+	return t.table.Machine
+}
 
-// Len returns the number of calibrated cells.
-func (t *Tuning) Len() int { return len(t.table.Cells) }
+// Len returns the number of calibrated cells. A nil or zero-value
+// Tuning reports 0.
+func (t *Tuning) Len() int {
+	if t == nil || t.table == nil {
+		return 0
+	}
+	return len(t.table.Cells)
+}
 
 // WithTuning installs an empirical calibration table consulted by the
 // Auto algorithm (see Tuning). Worlds without tuning use the pure
