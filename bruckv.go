@@ -266,25 +266,76 @@ type FaultPlan struct {
 	// each message's per-byte time and latency are scaled by
 	// 1 + U(0, Jitter).
 	Jitter float64
+	// Loss is the per-attempt probability in [0, 1) that a message copy
+	// is dropped in flight. Any non-zero Loss, Dup, Corrupt, or Crashes
+	// entry routes every message through the reliable transport:
+	// checksummed envelopes with ack/retransmit recovery priced into the
+	// virtual timeline (see RTONs, Backoff, MaxRetries).
+	Loss float64
+	// Dup is the per-attempt probability in [0, 1) that the
+	// acknowledgment of a delivered copy is lost, costing the sender a
+	// retransmission and the receiver a duplicate it must discard.
+	Dup float64
+	// Corrupt is the per-attempt probability in [0, 1) that a copy
+	// arrives with a payload the envelope checksum rejects — priced
+	// exactly like a loss.
+	Corrupt float64
+	// Crashes schedules hard rank failures: each listed rank stops
+	// acknowledging messages at its virtual-time crash point and stays
+	// dead for the lifetime of the world. Runs involving crashed ranks
+	// fail with a *RankFailedError; survivors recover on Comm.Shrink.
+	Crashes []RankCrash
+	// RTONs is the reliable transport's initial retransmission timeout
+	// in virtual nanoseconds; 0 derives it from the machine model's
+	// overhead and latency parameters.
+	RTONs float64
+	// Backoff multiplies the timeout after each retransmission
+	// (default 2; values below 1 are invalid).
+	Backoff float64
+	// MaxRetries bounds the retransmissions per message (default 8);
+	// a sender exhausting the budget declares the destination failed.
+	MaxRetries int
+}
+
+// RankCrash schedules one rank's permanent failure at a virtual time.
+type RankCrash struct {
+	// Rank is the global rank id that crashes.
+	Rank int
+	// AtNs is the virtual time of death in nanoseconds; 0 means the
+	// rank is dead from the start of the run.
+	AtNs float64
 }
 
 func (fp FaultPlan) plan() fault.Plan {
-	return fault.Plan{
+	pl := fault.Plan{
 		Seed:          fp.Seed,
 		Stragglers:    fp.StragglerRanks,
 		NumStragglers: fp.Stragglers,
 		Slowdown:      fp.Slowdown,
 		Jitter:        fp.Jitter,
+		Loss:          fp.Loss,
+		Dup:           fp.Dup,
+		Corrupt:       fp.Corrupt,
+		RTONs:         fp.RTONs,
+		Backoff:       fp.Backoff,
+		MaxRetries:    fp.MaxRetries,
 	}
+	for _, cr := range fp.Crashes {
+		pl.Crashes = append(pl.Crashes, fault.Crash{Rank: cr.Rank, AtNs: cr.AtNs})
+	}
+	return pl
 }
 
 // WithFaults installs a deterministic fault plan: straggler ranks whose
-// communication and compute are slowed by a factor, and per-message
-// wire jitter. Perturbations are priced into the virtual clocks like
-// any model cost, so faulted runs remain bit-reproducible for a given
-// plan, and a zero plan leaves timings identical to a world without a
-// fault layer. With WithTrace, injected delay appears in the event log
-// as its own "fault" event kind.
+// communication and compute are slowed by a factor, per-message wire
+// jitter, message loss/duplication/corruption recovered by a reliable
+// transport, and scheduled rank crashes. Perturbations are priced into
+// the virtual clocks like any model cost, so faulted runs remain
+// bit-reproducible for a given plan, and a zero plan leaves timings
+// identical to a world without a fault layer. With WithTrace, injected
+// delay and every drop/retransmit/ack appear in the event log as their
+// own event kinds. A malformed plan makes NewWorld fail with an error
+// wrapping ErrInvalidFaultPlan.
 func WithFaults(fp FaultPlan) Option {
 	return func(c *config) { c.faults, c.faultsSet = fp, true }
 }
@@ -314,6 +365,11 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 			return nil, fmt.Errorf("bruckv: two-phase radix %d < 2: %w", r, ErrInvalidRadix)
 		}
 		return nil, fmt.Errorf("bruckv: algorithm %d: %w", int(cfg.alg), ErrInvalidAlgorithm)
+	}
+	if cfg.faultsSet {
+		if err := cfg.faults.plan().Validate(); err != nil {
+			return nil, fmt.Errorf("bruckv: %w: %w", ErrInvalidFaultPlan, err)
+		}
 	}
 	mopts := []mpi.Option{mpi.WithModel(cfg.params.model())}
 	if cfg.phantom {
@@ -381,6 +437,11 @@ func (w *World) TotalBytes() int64 { return w.w.TotalBytes() }
 // TotalMessages returns the point-to-point message count of the last
 // Run.
 func (w *World) TotalMessages() int64 { return w.w.TotalMessages() }
+
+// FailedRanks returns the global ranks recorded as permanently failed
+// by completed Runs — the set Comm.Shrink excludes — sorted ascending.
+// It must not be called concurrently with Run.
+func (w *World) FailedRanks() []int { return w.w.FailedRanks() }
 
 // Comm is one rank's communicator handle, valid only inside Run.
 type Comm struct {
@@ -454,6 +515,33 @@ func (c *Comm) Group(ranks []int) (*Comm, error) {
 // GlobalRank returns this rank's id in the world communicator,
 // regardless of which communicator this handle is scoped to.
 func (c *Comm) GlobalRank() int { return c.p.GlobalRank() }
+
+// Shrink returns the communicator of this communicator's surviving
+// members — the ranks not recorded as failed by an earlier Run — in
+// their current order, renumbered contiguously (the ULFM
+// MPIX_Comm_shrink analogue). It exchanges no messages and every
+// surviving member derives the identical communicator; if no member has
+// failed it returns the receiver unchanged. The recovery pattern after
+// a Run fails with a *RankFailedError is to Run again and have each
+// rank re-issue the collective on the communicator Shrink returns:
+//
+//	var rfe *bruckv.RankFailedError
+//	if errors.As(err, &rfe) {
+//	    err = w.Run(func(c *bruckv.Comm) error {
+//	        sub := c.Shrink()
+//	        return sub.Alltoallv(...)
+//	    })
+//	}
+func (c *Comm) Shrink() *Comm {
+	p := c.p.Shrink()
+	if p == nil {
+		return nil
+	}
+	if p == c.p {
+		return c
+	}
+	return &Comm{p: p, alg: c.alg, tuning: c.tuning}
+}
 
 // CommID returns this communicator's context id: 0 for the world,
 // unique per derived membership otherwise. Trace events and deadlock

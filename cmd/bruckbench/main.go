@@ -34,10 +34,18 @@
 // the per-step roll-up.
 //
 // -faults installs a deterministic perturbation plan (seeded straggler
-// ranks and per-message jitter, see internal/fault) on the traced
-// exchange; -fault-seed overrides the plan's seed. -fig chaos sweeps
-// every registered Alltoallv algorithm across a fault grid and prints a
+// ranks, per-message jitter, message loss/duplication/corruption, and
+// rank crashes, see internal/fault) on the traced exchange;
+// -fault-seed overrides the plan's seed, and the -loss, -dup,
+// -corrupt, and -crash flags merge individual reliability faults into
+// the plan without spelling out a full spec. -fig chaos sweeps every
+// registered Alltoallv algorithm across a fault grid and prints a
 // straggler-sensitivity table of faulted/clean completion-time ratios.
+// -fig loss does the same across message loss rates: every fault is
+// recovered by the reliable transport's priced retransmissions, so the
+// table compares each algorithm's recovery overhead at matched volume
+// (e.g. `bruckbench -fig loss -ps 128` or `-fig loss -loss 0.1 -dup
+// 0.05`).
 //
 // -fig hostperf measures what each Alltoallv algorithm costs the
 // simulating host per collective call — wall time, heap allocations,
@@ -64,7 +72,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,auto,hostperf,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,loss,auto,hostperf,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -76,8 +84,12 @@ func main() {
 		traceOut = flag.String("trace", "", "run one traced exchange and write Chrome trace_event JSON to this file")
 		alg      = flag.String("alg", "two-phase", "algorithm for -trace / -fig steps")
 		rpn      = flag.Int("rpn", 1, "ranks per node for -trace / -fig steps (hierarchical needs >1)")
-		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25")
+		faults   = flag.String("faults", "", "fault plan for -trace / -fig steps / -fig chaos, e.g. stragglers=2,slowdown=4,jitter=0.25,loss=0.05")
 		fseed    = flag.Uint64("fault-seed", 0, "override the fault plan's seed (0: keep the plan's own)")
+		loss     = flag.Float64("loss", 0, "per-attempt message loss probability in [0,1), merged into the fault plan")
+		dup      = flag.Float64("dup", 0, "per-attempt ack-loss (duplicate delivery) probability in [0,1), merged into the fault plan")
+		corrupt  = flag.Float64("corrupt", 0, "per-attempt message corruption probability in [0,1), merged into the fault plan")
+		crash    = flag.String("crash", "", "rank@ns crash events separated by ':' (e.g. 3@0:7@5000), merged into the fault plan")
 		calOut   = flag.String("calibrate", "", "sweep the auto candidates and write the winner table as JSON to this file")
 		radices  = flag.String("radices", "", "comma-separated two-phase radices for -calibrate / -fig auto (default: 2,4,8)")
 		hpOut    = flag.String("hostperf-out", "", "also write the -fig hostperf report as JSON to this file")
@@ -106,7 +118,28 @@ func main() {
 	if *fseed != 0 {
 		plan.Seed = *fseed
 	}
-	if *faults != "" {
+	// The dedicated reliability flags merge into (and override) the
+	// -faults plan, so `-loss 0.05` works alone or alongside a spec.
+	if *loss != 0 {
+		plan.Loss = *loss
+	}
+	if *dup != 0 {
+		plan.Dup = *dup
+	}
+	if *corrupt != 0 {
+		plan.Corrupt = *corrupt
+	}
+	if *crash != "" {
+		crashPlan, err := fault.Parse("crash=" + *crash)
+		if err != nil {
+			fatalf("-crash: %v", err)
+		}
+		plan.Crashes = crashPlan.Crashes
+	}
+	if err := plan.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	if plan.Enabled() {
 		o.Faults = &plan
 	}
 	ps := parseInts(*psFlag)
@@ -240,6 +273,21 @@ func main() {
 			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
 		}
 		r, err := bench.Chaos(o, cfg)
+		check(err)
+		r.Fprint(out)
+	}
+	if want["loss"] {
+		cfg := bench.LossConfig{Dup: plan.Dup, Corrupt: plan.Corrupt}
+		if plan.Loss > 0 {
+			cfg.Rates = []float64{plan.Loss}
+		}
+		if len(ps) > 0 {
+			cfg.P = ps[0]
+		}
+		if len(ns) > 0 {
+			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
+		}
+		r, err := bench.Loss(o, cfg)
 		check(err)
 		r.Fprint(out)
 	}

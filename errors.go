@@ -45,6 +45,12 @@ var (
 
 	// ErrHandleFreed marks a Start on a persistent handle after Free.
 	ErrHandleFreed = coll.ErrHandleFreed
+
+	// ErrInvalidFaultPlan marks a malformed FaultPlan passed to NewWorld
+	// via WithFaults: a loss, duplication, or corruption probability
+	// outside [0, 1), a retransmission backoff below 1, or duplicate or
+	// negative crash ranks.
+	ErrInvalidFaultPlan = errors.New("invalid fault plan")
 )
 
 // DeadlockError is the per-rank blocked-state report attached to the
@@ -60,3 +66,13 @@ type BlockedRank = mpi.BlockedRank
 
 // PendingRecv is one unmatched receive in a BlockedRank report.
 type PendingRecv = mpi.PendingRecv
+
+// RankFailedError is the diagnostic attached to the error of a Run in
+// which ranks failed: the reliable transport exhausted its retry budget
+// against a crashed rank, a rank reached its fault-plan crash time, or
+// the deadlock detector found the survivors blocked on dead ranks. Its
+// FailedRanks method names exactly the dead ranks; Blocked carries the
+// same per-rank blocked-state snapshot a DeadlockError does. Retrieve
+// it with errors.As and recover by re-running the collective on the
+// communicator Comm.Shrink derives.
+type RankFailedError = mpi.RankFailedError

@@ -1,6 +1,9 @@
 package bruckv
 
 import (
+	"bytes"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -60,11 +63,152 @@ func TestWithFaultsDeterministicAndSlower(t *testing.T) {
 }
 
 func TestWithFaultsInvalidPlanRejected(t *testing.T) {
-	if _, err := NewWorld(4, WithFaults(FaultPlan{Slowdown: 0.25})); err == nil {
-		t.Error("NewWorld accepted a slowdown < 1")
+	bad := []FaultPlan{
+		{Slowdown: 0.25},
+		{Jitter: -1},
+		{Loss: 1.5},
+		{Dup: -0.1},
+		{Corrupt: 1},
+		{Loss: 0.1, Backoff: 0.5},
+		{Crashes: []RankCrash{{Rank: -1}}},
+		{Crashes: []RankCrash{{Rank: 2}, {Rank: 2}}},
 	}
-	if _, err := NewWorld(4, WithFaults(FaultPlan{Jitter: -1})); err == nil {
-		t.Error("NewWorld accepted negative jitter")
+	for _, pl := range bad {
+		_, err := NewWorld(4, WithFaults(pl))
+		if err == nil {
+			t.Errorf("NewWorld accepted invalid plan %+v", pl)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidFaultPlan) {
+			t.Errorf("error for %+v does not wrap ErrInvalidFaultPlan: %v", pl, err)
+		}
+	}
+	// A valid message-fault plan passes.
+	if _, err := NewWorld(4, WithFaults(FaultPlan{Loss: 0.2, Dup: 0.1, Corrupt: 0.1,
+		Crashes: []RankCrash{{Rank: 1, AtNs: 500}}})); err != nil {
+		t.Errorf("valid message-fault plan rejected: %v", err)
+	}
+}
+
+// TestPublicReliableLossByteExact: a lossy plan through the public API
+// still delivers every byte, reproducibly slower than the clean run.
+func TestPublicReliableLossByteExact(t *testing.T) {
+	mk := func(opts ...Option) *World {
+		w, err := NewWorld(8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	verify := func(w *World) float64 {
+		t.Helper()
+		err := w.Run(func(c *Comm) error {
+			P := c.Size()
+			scounts := make([]int, P)
+			for i := range scounts {
+				scounts[i] = (c.Rank()+i)%16 + 1
+			}
+			sdispls, sTotal := Displacements(scounts)
+			rcounts := make([]int, P)
+			if err := c.ExchangeCounts(scounts, rcounts); err != nil {
+				return err
+			}
+			rdispls, rTotal := Displacements(rcounts)
+			send := make([]byte, sTotal)
+			for i := range send {
+				send[i] = byte(c.Rank()*31 + i)
+			}
+			got := make([]byte, rTotal)
+			want := make([]byte, rTotal)
+			if err := c.AlltoallvWith(TwoPhaseBruck, send, scounts, sdispls, got, rcounts, rdispls); err != nil {
+				return err
+			}
+			if err := c.AlltoallvWith(SpreadOut, send, scounts, sdispls, want, rcounts, rdispls); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("rank %d: lossy exchange corrupted payload", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTimeNs()
+	}
+	clean := verify(mk())
+	pl := FaultPlan{Seed: 11, Loss: 0.2, Dup: 0.1, Corrupt: 0.1}
+	a := verify(mk(WithFaults(pl)))
+	if b := verify(mk(WithFaults(pl))); a != b {
+		t.Errorf("lossy timings not reproducible: %v vs %v", a, b)
+	}
+	if a <= clean {
+		t.Errorf("lossy run (%v ns) not slower than clean (%v ns)", a, clean)
+	}
+}
+
+// TestPublicCrashShrinkRecovery: the README recovery pattern — a Run
+// fails with a RankFailedError naming the crashed ranks, the next Run
+// re-issues the collective on Comm.Shrink.
+func TestPublicCrashShrinkRecovery(t *testing.T) {
+	const P = 8
+	w, err := NewWorld(P, WithFaults(FaultPlan{
+		Crashes: []RankCrash{{Rank: 2}, {Rank: 5}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		scounts := make([]int, P)
+		for i := range scounts {
+			scounts[i] = 8
+		}
+		sdispls, sTotal := Displacements(scounts)
+		send := make([]byte, sTotal)
+		recv := make([]byte, sTotal)
+		return c.AlltoallvWith(SpreadOut, send, scounts, sdispls, recv, scounts, sdispls)
+	})
+	var rfe *RankFailedError
+	if !errors.As(err, &rfe) {
+		t.Fatalf("no RankFailedError in %v", err)
+	}
+	if want := []int{2, 5}; !reflect.DeepEqual(rfe.FailedRanks(), want) {
+		t.Fatalf("FailedRanks = %v, want %v", rfe.FailedRanks(), want)
+	}
+	if want := []int{2, 5}; !reflect.DeepEqual(w.FailedRanks(), want) {
+		t.Fatalf("World.FailedRanks = %v, want %v", w.FailedRanks(), want)
+	}
+	err = w.Run(func(c *Comm) error {
+		sub := c.Shrink()
+		if sub == nil || sub.Size() != P-2 {
+			t.Errorf("rank %d: Shrink gave %v", c.GlobalRank(), sub)
+			return nil
+		}
+		n := sub.Size()
+		scounts := make([]int, n)
+		for i := range scounts {
+			scounts[i] = 4
+		}
+		sdispls, sTotal := Displacements(scounts)
+		send := make([]byte, sTotal)
+		for i := range send {
+			send[i] = byte(sub.Rank()*17 + i)
+		}
+		got := make([]byte, sTotal)
+		want := make([]byte, sTotal)
+		if err := sub.AlltoallvWith(TwoPhaseBruck, send, scounts, sdispls, got, scounts, sdispls); err != nil {
+			return err
+		}
+		if err := sub.AlltoallvWith(SpreadOut, send, scounts, sdispls, want, scounts, sdispls); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: shrunk exchange corrupted payload", sub.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("post-shrink run failed: %v", err)
 	}
 }
 

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bruckv/internal/dist"
+	"bruckv/internal/fault"
+)
+
+// LossConfig describes one loss-sensitivity sweep: each algorithm is
+// measured clean and then under a grid of reliable-transport fault
+// plans (seeds × message loss rates), with optional duplication and
+// corruption rates shared by every lossy cell. All algorithms exchange
+// the same workload, so the ratios compare recovery overhead at
+// matched volume: spread-out pays retransmissions on P-1 large
+// messages, the log-time algorithms on ~P log P small ones.
+type LossConfig struct {
+	// P is the number of simulated ranks (default 128).
+	P int
+	// Spec generates the workload (default uniform, N=64, seed 1).
+	Spec dist.Spec
+	// Algorithms are keys of coll.NonUniformAlgorithms (default: the
+	// paper's contenders — spread-out, padded Bruck, and the two-phase
+	// radix family).
+	Algorithms []string
+	// Seeds drives the fault plans; each grid cell averages over all of
+	// them (default 1, 2, 3).
+	Seeds []uint64
+	// Rates are the per-attempt message loss probabilities of the grid
+	// (default 0.01, 0.05, 0.1, 0.2).
+	Rates []float64
+	// Dup and Corrupt are per-attempt ack-loss and corruption
+	// probabilities applied in every lossy cell (default 0).
+	Dup     float64
+	Corrupt float64
+	// Deadline bounds each measurement's wall-clock time (default 2
+	// minutes).
+	Deadline time.Duration
+}
+
+func (c *LossConfig) defaults() {
+	if c.P <= 0 {
+		c.P = 128
+	}
+	if c.Spec.Kind == 0 && c.Spec.N == 0 {
+		c.Spec = dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []string{"spreadout", "padded-bruck", "two-phase", "two-phase-r4", "two-phase-r8"}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1, 2, 3}
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0.01, 0.05, 0.1, 0.2}
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Minute
+	}
+}
+
+// LossCell is one grid point for one algorithm: the mean slowdown of
+// the lossy completion time relative to the clean run over the seeds.
+type LossCell struct {
+	Rate float64
+	// Slowdown is mean(lossy time / clean time) over the seeds.
+	Slowdown float64
+	// WorstSeed is the fault seed that produced the largest slowdown.
+	WorstSeed uint64
+	// Worst is that largest per-seed slowdown.
+	Worst float64
+}
+
+// LossRow is one algorithm's sensitivity profile.
+type LossRow struct {
+	Algorithm string
+	CleanNs   float64
+	Cells     []LossCell
+}
+
+// LossReport is the full loss-sensitivity table.
+type LossReport struct {
+	Config LossConfig
+	Rows   []LossRow
+}
+
+// Loss runs the loss-sensitivity sweep: each algorithm once clean,
+// then once per (seed, loss rate) grid cell with the reliable
+// transport recovering every fault, and reports completion-time
+// slowdowns relative to clean. Recovery is priced deterministically,
+// so each cell's ratio isolates the retransmission cost of that
+// algorithm's message pattern.
+func Loss(o Options, cfg LossConfig) (LossReport, error) {
+	o = o.withDefaults()
+	cfg.defaults()
+	rep := LossReport{Config: cfg}
+	measure := func(alg string, pl *fault.Plan) (float64, error) {
+		res, err := RunMicro(MicroConfig{
+			P:         cfg.P,
+			Algorithm: alg,
+			Spec:      cfg.Spec,
+			Model:     o.Model,
+			Iters:     1,
+			Faults:    pl,
+			Deadline:  cfg.Deadline,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Times[0], nil
+	}
+	for _, alg := range cfg.Algorithms {
+		clean, err := measure(alg, nil)
+		if err != nil {
+			return rep, fmt.Errorf("bench: loss clean run of %q: %w", alg, err)
+		}
+		row := LossRow{Algorithm: alg, CleanNs: clean}
+		for _, rate := range cfg.Rates {
+			cell := LossCell{Rate: rate}
+			for _, seed := range cfg.Seeds {
+				pl := fault.Plan{Seed: seed, Loss: rate, Dup: cfg.Dup, Corrupt: cfg.Corrupt}
+				t, err := measure(alg, &pl)
+				if err != nil {
+					return rep, fmt.Errorf("bench: loss run of %q under %v: %w", alg, pl, err)
+				}
+				ratio := t / clean
+				cell.Slowdown += ratio
+				if ratio > cell.Worst {
+					cell.Worst, cell.WorstSeed = ratio, seed
+				}
+			}
+			cell.Slowdown /= float64(len(cfg.Seeds))
+			row.Cells = append(row.Cells, cell)
+			o.progress("loss %-15s P=%-5d rate=%g mean x%.3f worst x%.3f",
+				alg, cfg.P, rate, cell.Slowdown, cell.Worst)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Fprint renders the sensitivity table: one row per algorithm, the
+// clean completion time, and the mean slowdown factor at each loss
+// rate.
+func (r LossReport) Fprint(w io.Writer) {
+	c := r.Config
+	fmt.Fprintf(w, "# loss — reliable-transport sensitivity: P=%d, %s, dup=%g, corrupt=%g, seeds=%v\n",
+		c.P, c.Spec, c.Dup, c.Corrupt, c.Seeds)
+	header := []string{"algorithm", "clean (ms)"}
+	for _, rate := range c.Rates {
+		header = append(header, fmt.Sprintf("loss=%g", rate))
+	}
+	rows := [][]string{header}
+	for _, row := range r.Rows {
+		line := []string{row.Algorithm, fmt.Sprintf("%.3f", row.CleanNs/1e6)}
+		for _, cell := range row.Cells {
+			line = append(line, fmt.Sprintf("x%.3f", cell.Slowdown))
+		}
+		rows = append(rows, line)
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  (cells are mean lossy/clean completion-time ratios over %d fault seeds;\n"+
+		"   every fault is recovered by retransmission, so the ratio is pure recovery overhead)\n\n",
+		len(c.Seeds))
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bruckv/internal/dist"
+)
+
+// TestChaosLossSweep runs a small loss grid and checks the report's
+// structural invariants: one row per algorithm, one cell per rate,
+// slowdowns >= 1 (recovery only ever adds virtual time), worst >= mean,
+// and a rendered table naming every algorithm and rate. The sweep is
+// also asserted reproducible end to end — retransmission pricing is
+// deterministic, so the rendered table must be bit-identical across
+// runs.
+func TestChaosLossSweep(t *testing.T) {
+	cfg := LossConfig{
+		P:          16,
+		Spec:       dist.Spec{Kind: dist.Uniform, N: 32, Seed: 1},
+		Algorithms: []string{"spreadout", "two-phase"},
+		Seeds:      []uint64{1, 2},
+		Rates:      []float64{0.05, 0.2},
+		Dup:        0.05,
+	}
+	render := func() (LossReport, string) {
+		r, err := Loss(fastOpts(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Fprint(&buf)
+		return r, buf.String()
+	}
+	r, out := render()
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CleanNs <= 0 {
+			t.Errorf("%s: non-positive clean time %v", row.Algorithm, row.CleanNs)
+		}
+		if len(row.Cells) != 2 {
+			t.Fatalf("%s: got %d cells, want 2", row.Algorithm, len(row.Cells))
+		}
+		for _, c := range row.Cells {
+			if c.Slowdown < 1 {
+				t.Errorf("%s loss=%g: mean slowdown %v < 1", row.Algorithm, c.Rate, c.Slowdown)
+			}
+			if c.Worst < c.Slowdown {
+				t.Errorf("%s loss=%g: worst %v < mean %v", row.Algorithm, c.Rate, c.Worst, c.Slowdown)
+			}
+		}
+	}
+	for _, want := range []string{"spreadout", "two-phase", "loss=0.05", "loss=0.2", "dup=0.05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if _, again := render(); again != out {
+		t.Fatalf("loss sweep not deterministic:\n%s\nvs\n%s", out, again)
+	}
+}

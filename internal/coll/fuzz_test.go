@@ -1,9 +1,12 @@
 package coll
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
 	"bruckv/internal/machine"
 	"bruckv/internal/mpi"
 )
@@ -82,6 +85,67 @@ func FuzzRadix(f *testing.F) {
 			r = -r
 		}
 		fuzzAgainstReference(t, TwoPhaseBruckRadix(r%31+2), P, 1, maxN, seed)
+	})
+}
+
+// FuzzReliability throws fuzzer-chosen loss/dup/corrupt rates and an
+// optional rank crash at the reliable transport. The invariant is the
+// reliability layer's contract: a Run either completes with every rank
+// byte-exact against the reference, or returns a typed RankFailedError
+// — it never hangs past the watchdog and never delivers wrong bytes.
+// Rates are capped below 0.5 so the retry budget is reachable with
+// overwhelming probability; an exhaustion despite that still satisfies
+// the invariant (it surfaces as a RankFailedError, not a mismatch).
+func FuzzReliability(f *testing.F) {
+	f.Add(8, 16, uint64(1), uint8(50), uint8(0), uint8(0), uint8(255))
+	f.Add(8, 16, uint64(2), uint8(0), uint8(80), uint8(40), uint8(255))
+	f.Add(12, 9, uint64(7), uint8(30), uint8(30), uint8(30), uint8(3)) // crash rank 3
+	f.Add(1, 0, uint64(0), uint8(120), uint8(0), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, P, maxN int, seed uint64, loss, dup, corrupt, crash uint8) {
+		if P < 1 {
+			P = 1
+		}
+		P = P%24 + 1
+		maxN = maxN % 40
+		if maxN < 0 {
+			maxN = -maxN
+		}
+		pl := fault.Plan{
+			Seed:    seed,
+			Loss:    float64(loss%128) / 256,
+			Dup:     float64(dup%128) / 256,
+			Corrupt: float64(corrupt%128) / 256,
+		}
+		if int(crash) < P {
+			pl.Crashes = []fault.Crash{{Rank: int(crash), AtNs: 0}}
+		}
+		w, err := mpi.NewWorld(P, mpi.WithModel(machine.Zero()),
+			mpi.WithFaults(pl), mpi.WithTransportChecks(),
+			mpi.WithDeadline(time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			got := buffer.New(rTotal)
+			want := buffer.New(rTotal)
+			if err := TwoPhaseBruck(p, send, sc, sd, got, rc, rd); err != nil {
+				return err
+			}
+			if err := NaiveAlltoallv(p, send, sc, sd, want, rc, rd); err != nil {
+				return err
+			}
+			if !buffer.Equal(got, want) {
+				t.Errorf("rank %d: wrong bytes under faults %v (P=%d maxN=%d)", p.Rank(), pl, P, maxN)
+			}
+			return nil
+		})
+		if err != nil {
+			var rfe *mpi.RankFailedError
+			if !errors.As(err, &rfe) {
+				t.Fatalf("untyped failure under faults %v (P=%d maxN=%d): %v", pl, P, maxN, err)
+			}
+		}
 	})
 }
 

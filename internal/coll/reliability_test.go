@@ -1,0 +1,248 @@
+package coll
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// Chaos-with-loss harness for the reliability sublayer: every
+// registered algorithm must stay byte-exact when messages are lost,
+// duplicated, or corrupted (the transport recovers each fault with
+// deterministic retransmissions), and must degrade into a typed
+// RankFailedError — never a hang, never wrong bytes — when ranks
+// crash, with Shrink producing a working survivor communicator.
+// The TestChaos* names put this file in CI's `-race -run Chaos` job.
+
+// chaosLossGrid is the message-fault sweep: each mix exercises one
+// fault channel alone plus their combination.
+var chaosLossGrid = struct {
+	seeds []uint64
+	mixes []fault.Plan // Loss/Dup/Corrupt filled per mix
+}{
+	seeds: []uint64{1, 2},
+	mixes: []fault.Plan{
+		{Loss: 0.2},
+		{Corrupt: 0.15},
+		{Dup: 0.15},
+		{Loss: 0.1, Dup: 0.1, Corrupt: 0.1},
+	},
+}
+
+// TestChaosLossGridByteExact runs every registered algorithm in every
+// (seed × fault mix) cell and demands byte-exact agreement with the
+// naive reference, through the blocking, non-blocking, and persistent
+// entry points.
+func TestChaosLossGridByteExact(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	algs := NonUniformAlgorithms()
+	names := Names(algs)
+	for _, fs := range chaosLossGrid.seeds {
+		for _, mix := range chaosLossGrid.mixes {
+			pl := mix
+			pl.Seed = fs
+			t.Run(fmt.Sprintf("seed=%d,loss=%g,dup=%g,corrupt=%g", fs, pl.Loss, pl.Dup, pl.Corrupt), func(t *testing.T) {
+				w := chaosWorld(t, P, pl)
+				err := w.Run(func(p *mpi.Proc) error {
+					send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, fs+177)
+					ref := buffer.New(rTotal)
+					if err := NaiveAlltoallv(p, send, sc, sd, ref, rc, rd); err != nil {
+						return err
+					}
+					for _, name := range names {
+						got := buffer.New(rTotal)
+						if err := algs[name](p, send, sc, sd, got, rc, rd); err != nil {
+							return fmt.Errorf("%s: %w", name, err)
+						}
+						if !buffer.Equal(got, ref) {
+							t.Errorf("%s: rank %d corrupted under %v", name, p.Rank(), pl)
+						}
+					}
+					// Non-blocking path: matching and clock accounting
+					// defer to Wait, so retransmit pricing must survive
+					// the overlap window.
+					got := buffer.New(rTotal)
+					req, err := IAlltoallv(p, TwoPhaseBruck, send, sc, sd, got, rc, rd)
+					if err != nil {
+						return err
+					}
+					if err := req.Wait(); err != nil {
+						return err
+					}
+					if !buffer.Equal(got, ref) {
+						t.Errorf("IAlltoallv: rank %d corrupted under %v", p.Rank(), pl)
+					}
+					// Persistent path: the frozen substep schedule sends
+					// 1 message per substep after the first Start.
+					h, err := AlltoallvInit(p, 2, sc, sd, rc, rd)
+					if err != nil {
+						return err
+					}
+					defer h.Free()
+					for it := 0; it < 2; it++ {
+						got2 := buffer.New(rTotal)
+						if err := h.Start(send, got2); err != nil {
+							return err
+						}
+						if !buffer.Equal(got2, ref) {
+							t.Errorf("persistent start %d: rank %d corrupted under %v", it, p.Rank(), pl)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosLossTimingDeterministic: identical lossy plans give
+// bit-identical completion times, strictly above the clean run (the
+// retransmits are priced, not free), and the zero plan stays
+// bit-identical to no fault layer.
+func TestChaosLossTimingDeterministic(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	run := func(name string, alg Alltoallv, opts ...mpi.Option) float64 {
+		t.Helper()
+		w, err := mpi.NewWorld(P, append([]mpi.Option{
+			mpi.WithModel(machine.Theta()), mpi.WithRanksPerNode(4),
+			mpi.WithDeadline(2 * time.Minute),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 7)
+			got := buffer.New(rTotal)
+			return alg(p, send, sc, sd, got, rc, rd)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return w.MaxTime()
+	}
+	pl := fault.Plan{Seed: 6, Loss: 0.2, Dup: 0.1, Corrupt: 0.1}
+	for name, alg := range NonUniformAlgorithms() {
+		clean := run(name, alg)
+		a := run(name, alg, mpi.WithFaults(pl))
+		if b := run(name, alg, mpi.WithFaults(pl)); a != b {
+			t.Errorf("%s: lossy completion time not bit-reproducible: %v vs %v", name, a, b)
+		}
+		if a <= clean {
+			t.Errorf("%s: lossy run (%v) not slower than clean (%v): retransmits unpriced?", name, a, clean)
+		}
+		if zero := run(name, alg, mpi.WithFaults(fault.Plan{Seed: 6, RTONs: 777})); zero != clean {
+			t.Errorf("%s: inert reliability plan changed timing: %v != clean %v", name, zero, clean)
+		}
+	}
+}
+
+// TestChaosCrashShrinkRecovery: for every registered algorithm and two
+// crash sets, the first run fails with a RankFailedError naming exactly
+// the crashed ranks, and a second run on the Shrink'd communicator
+// completes byte-exact on the survivors.
+func TestChaosCrashShrinkRecovery(t *testing.T) {
+	const P = 8
+	const maxN = 16
+	crashSets := [][]int{{2}, {1, 6}}
+	algs := NonUniformAlgorithms()
+	for _, name := range Names(algs) {
+		alg := algs[name]
+		for _, crashed := range crashSets {
+			t.Run(fmt.Sprintf("%s/crash=%v", name, crashed), func(t *testing.T) {
+				pl := fault.Plan{Seed: 9}
+				for _, r := range crashed {
+					pl.Crashes = append(pl.Crashes, fault.Crash{Rank: r, AtNs: 0})
+				}
+				w := chaosWorld(t, P, pl)
+				err := w.Run(func(p *mpi.Proc) error {
+					send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 31)
+					got := buffer.New(rTotal)
+					return alg(p, send, sc, sd, got, rc, rd)
+				})
+				var rfe *mpi.RankFailedError
+				if !errors.As(err, &rfe) {
+					t.Fatalf("%s: no RankFailedError in %v", name, err)
+				}
+				if !reflect.DeepEqual(rfe.FailedRanks(), crashed) {
+					t.Fatalf("%s: FailedRanks = %v, want exactly %v", name, rfe.FailedRanks(), crashed)
+				}
+				// Recovery: survivors re-run the same collective on the
+				// shrunk communicator.
+				err = w.Run(func(p *mpi.Proc) error {
+					sub := p.Shrink()
+					if sub == nil || sub.Size() != P-len(crashed) {
+						return fmt.Errorf("rank %d: bad shrink %v", p.Rank(), sub)
+					}
+					send, sc, sd, rc, rd, rTotal := vSetup(sub.Rank(), sub.Size(), maxN, 32)
+					got := buffer.New(rTotal)
+					ref := buffer.New(rTotal)
+					if err := alg(sub, send, sc, sd, got, rc, rd); err != nil {
+						return err
+					}
+					if err := NaiveAlltoallv(sub, send, sc, sd, ref, rc, rd); err != nil {
+						return err
+					}
+					if !buffer.Equal(got, ref) {
+						t.Errorf("%s: rank %d corrupted on shrunk comm", name, p.Rank())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s: post-shrink run failed: %v", name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCrashAbortsNonblockingAndPersistent: abort propagation must
+// reach ranks parked in the non-blocking Wait and persistent Start
+// paths too, within the watchdog bound.
+func TestChaosCrashAbortsNonblockingAndPersistent(t *testing.T) {
+	const P = 8
+	const maxN = 16
+	for _, mode := range []string{"nonblocking", "persistent"} {
+		t.Run(mode, func(t *testing.T) {
+			pl := fault.Plan{Crashes: []fault.Crash{{Rank: 3, AtNs: 0}}}
+			w := chaosWorld(t, P, pl)
+			err := w.Run(func(p *mpi.Proc) error {
+				send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 5)
+				got := buffer.New(rTotal)
+				switch mode {
+				case "nonblocking":
+					req, err := IAlltoallv(p, SpreadOut, send, sc, sd, got, rc, rd)
+					if err != nil {
+						return err
+					}
+					return req.Wait()
+				default:
+					h, err := AlltoallvInit(p, 2, sc, sd, rc, rd)
+					if err != nil {
+						return err
+					}
+					defer h.Free()
+					return h.Start(send, got)
+				}
+			})
+			var rfe *mpi.RankFailedError
+			if !errors.As(err, &rfe) {
+				t.Fatalf("no RankFailedError in %v", err)
+			}
+			if want := []int{3}; !reflect.DeepEqual(rfe.FailedRanks(), want) {
+				t.Errorf("FailedRanks = %v, want %v", rfe.FailedRanks(), want)
+			}
+		})
+	}
+}

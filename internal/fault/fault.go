@@ -14,12 +14,24 @@
 //   - Jitter: every message's wire cost (per-byte injection time and
 //     latency) is inflated by an independent factor drawn uniformly
 //     from [0, Jitter], modeling congestion variance.
+//   - Message faults: each transmission attempt of a message may be
+//     dropped (Loss) or delivered corrupted and rejected by the
+//     receiver's checksum (Corrupt), and the acknowledgment of a
+//     delivered message may be lost (Dup), forcing a retransmission the
+//     receiver must discard as a duplicate. The runtime's reliability
+//     sublayer recovers from all three with timeout+backoff
+//     retransmits priced into the virtual clocks.
+//   - Crashes: a chosen rank dies at a virtual time. Messages arriving
+//     at a crashed rank are never acknowledged, so senders exhaust
+//     their retry budget and the run fails fast with a typed error
+//     naming the dead ranks.
 //
 // Every draw is a pure function of (Seed, sender, destination,
-// per-sender message sequence number), so a run's virtual timings are
-// bit-reproducible for a given plan: no wall clock, no global counters,
-// no map-iteration order. A zero plan (Slowdown <= 1, Jitter == 0, no
-// stragglers) is inert — worlds configured with it produce timings
+// per-sender message sequence number, transmission attempt), so a
+// run's virtual timings are bit-reproducible for a given plan: no wall
+// clock, no global counters, no map-iteration order. A zero plan
+// (Slowdown <= 1, Jitter == 0, no stragglers, no message faults, no
+// crashes) is inert — worlds configured with it produce timings
 // bit-identical to worlds with no fault layer at all.
 package fault
 
@@ -54,7 +66,64 @@ type Plan struct {
 	// cost: each message's per-byte time and latency are scaled by
 	// 1 + U(0, Jitter). 0 disables jitter.
 	Jitter float64
+
+	// Loss is the probability, per transmission attempt, that a data
+	// packet is dropped on the wire and never reaches the receiver.
+	// Must be in [0, 1); the reliability layer recovers each drop with
+	// a timeout+backoff retransmission.
+	Loss float64
+
+	// Dup is the probability that the acknowledgment of a delivered
+	// message is lost: the sender times out and retransmits, and the
+	// receiver drains (and discards) a duplicate copy. Must be in
+	// [0, 1).
+	Dup float64
+
+	// Corrupt is the probability, per transmission attempt, that the
+	// payload arrives corrupted. The receiver's envelope checksum
+	// rejects it, which costs the sender the same timeout+retransmit as
+	// a drop (there is no NACK channel). Must be in [0, 1).
+	Corrupt float64
+
+	// Crashes are the plan's rank-death events: each names a rank that
+	// dies at a virtual time, after which it performs no sends,
+	// receives, or compute, and messages arriving at it are never
+	// acknowledged. Ranks outside [0, P) are ignored at resolution time
+	// so one plan can be reused across world sizes; listing the same
+	// rank twice is invalid.
+	Crashes []Crash
+
+	// RTONs is the base retransmission timeout in virtual nanoseconds:
+	// after an unacknowledged attempt, the sender waits this long
+	// (scaled by Backoff^k on the k-th retry) before retransmitting. 0
+	// lets the runtime derive a default from its machine model.
+	RTONs float64
+
+	// Backoff is the exponential backoff multiplier applied to the
+	// timeout of successive retries. 0 means the default of 2; values
+	// below 1 are invalid.
+	Backoff float64
+
+	// MaxRetries bounds the retransmissions per message: a message
+	// still unacknowledged after 1+MaxRetries attempts makes the
+	// transport declare the destination failed. 0 means the default of
+	// 8; negative is invalid.
+	MaxRetries int
 }
+
+// Crash is one rank-death event of a Plan: rank Rank dies at virtual
+// time AtNs (it stops at the first communication or compute checkpoint
+// at or after AtNs on its own clock).
+type Crash struct {
+	Rank int
+	AtNs float64
+}
+
+// Default reliability parameters (see Plan.RetryBudget / BackoffFactor).
+const (
+	defaultBackoff    = 2
+	defaultMaxRetries = 8
+)
 
 // Validate reports whether the plan is usable.
 func (p Plan) Validate() error {
@@ -73,6 +142,35 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("fault: negative straggler rank %d", r)
 		}
 	}
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"loss", p.Loss}, {"dup", p.Dup}, {"corrupt", p.Corrupt}} {
+		if pr.v < 0 || pr.v >= 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0, 1)", pr.name, pr.v)
+		}
+	}
+	seen := make(map[int]bool, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: negative crash rank %d", c.Rank)
+		}
+		if c.AtNs < 0 {
+			return fmt.Errorf("fault: crash of rank %d at negative time %g", c.Rank, c.AtNs)
+		}
+		if seen[c.Rank] {
+			return fmt.Errorf("fault: rank %d crashes twice", c.Rank)
+		}
+		seen[c.Rank] = true
+	}
+	switch {
+	case p.RTONs < 0:
+		return fmt.Errorf("fault: negative retransmit timeout %g", p.RTONs)
+	case p.Backoff != 0 && p.Backoff < 1:
+		return fmt.Errorf("fault: backoff %g < 1 would shrink retry timeouts", p.Backoff)
+	case p.MaxRetries < 0:
+		return fmt.Errorf("fault: negative retry budget %d", p.MaxRetries)
+	}
 	return nil
 }
 
@@ -89,7 +187,106 @@ func (p Plan) SlowdownFactor() float64 {
 // plan is equivalent to having no fault layer.
 func (p Plan) Enabled() bool {
 	hasStragglers := (len(p.Stragglers) > 0 || p.NumStragglers > 0) && p.SlowdownFactor() > 1
-	return hasStragglers || p.Jitter > 0
+	return hasStragglers || p.Jitter > 0 || p.MessageFaults()
+}
+
+// MessageFaults reports whether the plan needs the reliability
+// sublayer: any message-level fault probability or crash event is set.
+// Without it, the runtime takes the exact clean transport paths.
+func (p Plan) MessageFaults() bool {
+	return p.Loss > 0 || p.Dup > 0 || p.Corrupt > 0 || len(p.Crashes) > 0
+}
+
+// RetryBudget returns the effective per-message retransmission bound
+// (the default of 8 when unset).
+func (p Plan) RetryBudget() int {
+	if p.MaxRetries <= 0 {
+		return defaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// BackoffFactor returns the effective exponential backoff multiplier
+// (the default of 2 when unset).
+func (p Plan) BackoffFactor() float64 {
+	if p.Backoff < 1 {
+		return defaultBackoff
+	}
+	return p.Backoff
+}
+
+// CrashTimes resolves the plan's crash events for a P-rank world into a
+// per-rank death time slice: entry r is the virtual time rank r dies,
+// or -1 for ranks that never crash. Events naming ranks outside [0, P)
+// are ignored, like out-of-range stragglers.
+func (p Plan) CrashTimes(P int) []float64 {
+	if len(p.Crashes) == 0 {
+		return nil
+	}
+	at := make([]float64, P)
+	for i := range at {
+		at[i] = -1
+	}
+	any := false
+	for _, c := range p.Crashes {
+		if c.Rank >= 0 && c.Rank < P {
+			at[c.Rank] = c.AtNs
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return at
+}
+
+// CrashRanks returns the sorted ranks the plan crashes in a P-rank
+// world.
+func (p Plan) CrashRanks(P int) []int {
+	var out []int
+	for _, c := range p.Crashes {
+		if c.Rank >= 0 && c.Rank < P {
+			out = append(out, c.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Draw salts for the independent per-message fault channels.
+const (
+	saltLoss    = 0x10c55e11
+	saltCorrupt = 0xc0421b7d
+	saltDup     = 0xd0b1e2e9
+)
+
+// drop is the shared per-attempt Bernoulli draw: a pure function of
+// (Seed, salt, src, dst, seq, attempt).
+func (p Plan) drop(prob float64, salt uint64, src, dst int, seq int64, attempt int) bool {
+	if prob <= 0 {
+		return false
+	}
+	h := mix(p.Seed, salt+uint64(seq)*0x9e3779b9+uint64(attempt)*0x85ebca6b, src*1_000_003+dst)
+	return u01(h) < prob
+}
+
+// Lost reports whether the attempt-th transmission of the seq-th
+// message from src to dst is dropped on the wire.
+func (p Plan) Lost(src, dst int, seq int64, attempt int) bool {
+	return p.drop(p.Loss, saltLoss, src, dst, seq, attempt)
+}
+
+// Corrupted reports whether that transmission arrives corrupted (and is
+// rejected by the receiver's envelope checksum).
+func (p Plan) Corrupted(src, dst int, seq int64, attempt int) bool {
+	return p.drop(p.Corrupt, saltCorrupt, src, dst, seq, attempt)
+}
+
+// AckLost reports whether the acknowledgment of the attempt-th
+// (delivered) transmission is lost, forcing a retransmission the
+// receiver discards as a duplicate.
+func (p Plan) AckLost(src, dst int, seq int64, attempt int) bool {
+	return p.drop(p.Dup, saltDup, src, dst, seq, attempt)
 }
 
 // StragglerRanks resolves the plan's straggler set for a P-rank world:
@@ -171,6 +368,31 @@ func (p Plan) String() string {
 	if p.Jitter > 0 {
 		parts = append(parts, fmt.Sprintf("jitter=%g", p.Jitter))
 	}
+	if p.Loss > 0 {
+		parts = append(parts, fmt.Sprintf("loss=%g", p.Loss))
+	}
+	if p.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", p.Dup))
+	}
+	if p.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.Corrupt))
+	}
+	if len(p.Crashes) > 0 {
+		cs := make([]string, len(p.Crashes))
+		for i, c := range p.Crashes {
+			cs[i] = fmt.Sprintf("%d@%g", c.Rank, c.AtNs)
+		}
+		parts = append(parts, "crash="+strings.Join(cs, ":"))
+	}
+	if p.RTONs > 0 {
+		parts = append(parts, fmt.Sprintf("rto=%g", p.RTONs))
+	}
+	if p.Backoff >= 1 && p.Backoff != defaultBackoff {
+		parts = append(parts, fmt.Sprintf("backoff=%g", p.Backoff))
+	}
+	if p.MaxRetries > 0 && p.MaxRetries != defaultMaxRetries {
+		parts = append(parts, fmt.Sprintf("retries=%d", p.MaxRetries))
+	}
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	}
@@ -184,10 +406,15 @@ func (p Plan) String() string {
 //
 //	stragglers=2,slowdown=4,jitter=0.25
 //	ranks=0:5:9,slowdown=8,seed=3
+//	loss=0.05,corrupt=0.01,crash=3@5000:7@12000,retries=6
 //
 // Keys: stragglers (count, picked from seed), ranks (explicit ids
 // separated by ':'), slowdown (multiplier >= 1), jitter (max fractional
-// inflation), seed. "" and "none" parse to the zero plan.
+// inflation), loss / dup / corrupt (per-message fault probabilities in
+// [0, 1)), crash (rank@virtual-ns events separated by ':'), rto (base
+// retransmit timeout in ns), backoff (timeout multiplier >= 1), retries
+// (per-message retransmission budget), seed. "" and "none" parse to the
+// zero plan.
 func Parse(s string) (Plan, error) {
 	var p Plan
 	s = strings.TrimSpace(s)
@@ -215,6 +442,34 @@ func Parse(s string) (Plan, error) {
 			p.Slowdown, err = strconv.ParseFloat(v, 64)
 		case "jitter":
 			p.Jitter, err = strconv.ParseFloat(v, 64)
+		case "loss":
+			p.Loss, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			p.Dup, err = strconv.ParseFloat(v, 64)
+		case "corrupt":
+			p.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "crash":
+			for _, ev := range strings.Split(v, ":") {
+				rs, ts, ok := strings.Cut(ev, "@")
+				if !ok {
+					err = fmt.Errorf("crash event %q (want rank@ns)", ev)
+					break
+				}
+				var c Crash
+				if c.Rank, err = strconv.Atoi(rs); err != nil {
+					break
+				}
+				if c.AtNs, err = strconv.ParseFloat(ts, 64); err != nil {
+					break
+				}
+				p.Crashes = append(p.Crashes, c)
+			}
+		case "rto":
+			p.RTONs, err = strconv.ParseFloat(v, 64)
+		case "backoff":
+			p.Backoff, err = strconv.ParseFloat(v, 64)
+		case "retries":
+			p.MaxRetries, err = strconv.Atoi(v)
 		case "seed":
 			p.Seed, err = strconv.ParseUint(v, 10, 64)
 		default:

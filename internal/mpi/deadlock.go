@@ -7,10 +7,26 @@ import (
 )
 
 // Deadlock and watchdog diagnostics. When a run is aborted — the
-// blocked-rank detector fired, or a WithDeadline watchdog expired — the
-// error returned by World.Run includes a DeadlockError: a per-rank
-// report of which ranks were blocked, in which operation, on which
-// (src, tag) pairs, and since when on the virtual timeline.
+// blocked-rank detector fired, a WithDeadline watchdog expired, or the
+// reliability layer declared a rank failed — the error returned by
+// World.Run includes a per-rank report of which ranks were blocked, in
+// which operation, on which (src, tag) pairs, and since when on the
+// virtual timeline. At large world sizes the rendered report truncates
+// deterministically (lowest ranks and lowest (comm, src, tag) triples
+// first) so a 10k-rank wedge stays a readable diagnostic; the
+// structured Blocked slice is always complete.
+
+// Deterministic rendering caps for the blocked-state reports.
+const (
+	// maxBlockedInReport bounds the per-rank lines in an Error string.
+	maxBlockedInReport = 12
+	// maxPendingInReport bounds the pending (src, tag) triples rendered
+	// per blocked rank.
+	maxPendingInReport = 6
+	// maxFailedListed bounds the failed-rank ids rendered by a
+	// RankFailedError.
+	maxFailedListed = 16
+)
 
 // PendingRecv is one unmatched receive a blocked rank is waiting on.
 type PendingRecv struct {
@@ -22,11 +38,20 @@ type PendingRecv struct {
 	Src int
 	// Tag is the message tag the receive is matching.
 	Tag int
+	// GlobalSrc is Src translated to its world rank, filled in when the
+	// abort report is assembled (sub-communicator receives are recorded
+	// with local ranks on the hot path). It equals Src for
+	// world-communicator entries and is -1 when the translation was
+	// unavailable.
+	GlobalSrc int
 }
 
 func (pr PendingRecv) String() string {
 	if pr.Comm == 0 {
 		return fmt.Sprintf("(src=%d, tag=%d)", pr.Src, pr.Tag)
+	}
+	if pr.GlobalSrc >= 0 {
+		return fmt.Sprintf("(comm=%d, src=%d/g%d, tag=%d)", pr.Comm, pr.Src, pr.GlobalSrc, pr.Tag)
 	}
 	return fmt.Sprintf("(comm=%d, src=%d, tag=%d)", pr.Comm, pr.Src, pr.Tag)
 }
@@ -58,25 +83,56 @@ type DeadlockError struct {
 	Blocked []BlockedRank
 }
 
-// Error renders the per-rank blocked-state report.
+// Error renders the per-rank blocked-state report, deterministically
+// truncated at large world sizes.
 func (e *DeadlockError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mpi: run aborted: %s\n", e.Reason)
-	blocked := append([]BlockedRank(nil), e.Blocked...)
-	sort.Slice(blocked, func(i, j int) bool { return blocked[i].Rank < blocked[j].Rank })
-	fmt.Fprintf(&b, "  %d of %d ranks blocked:\n", len(blocked), e.WorldSize)
-	for _, br := range blocked {
-		pend := make([]string, len(br.Pending))
-		for i, p := range br.Pending {
-			pend[i] = p.String()
-		}
-		fmt.Fprintf(&b, "    rank %d: blocked in %s since t=%.0fns waiting for %s\n",
-			br.Rank, br.Op, br.SinceNs, strings.Join(pend, ", "))
-	}
-	if done := e.WorldSize - len(blocked); done > 0 {
+	renderBlocked(&b, e.Blocked, e.WorldSize, "ranks blocked")
+	if done := e.WorldSize - len(e.Blocked); done > 0 {
 		fmt.Fprintf(&b, "  %d ranks already returned\n", done)
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// renderBlocked writes the shared per-rank blocked-state section used
+// by DeadlockError and RankFailedError: one line per blocked rank
+// (sorted by rank, at most maxBlockedInReport lines) naming its
+// blocking call, block time, and pending (src, tag) triples (at most
+// maxPendingInReport each). Truncation is purely positional, so the
+// same report always renders the same string.
+func renderBlocked(b *strings.Builder, blocked []BlockedRank, total int, label string) {
+	if len(blocked) == 0 {
+		return
+	}
+	sorted := append([]BlockedRank(nil), blocked...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	fmt.Fprintf(b, "  %d of %d %s:\n", len(sorted), total, label)
+	shown := sorted
+	if len(shown) > maxBlockedInReport {
+		shown = shown[:maxBlockedInReport]
+	}
+	for _, br := range shown {
+		pend := br.Pending
+		hiddenPend := 0
+		if len(pend) > maxPendingInReport {
+			hiddenPend = len(pend) - maxPendingInReport
+			pend = pend[:maxPendingInReport]
+		}
+		strs := make([]string, len(pend))
+		for i, p := range pend {
+			strs[i] = p.String()
+		}
+		fmt.Fprintf(b, "    rank %d: blocked in %s since t=%.0fns waiting for %s",
+			br.Rank, br.Op, br.SinceNs, strings.Join(strs, ", "))
+		if hiddenPend > 0 {
+			fmt.Fprintf(b, " … and %d more", hiddenPend)
+		}
+		b.WriteByte('\n')
+	}
+	if hidden := len(sorted) - len(shown); hidden > 0 {
+		fmt.Fprintf(b, "    … and %d more blocked ranks\n", hidden)
+	}
 }
 
 // BlockedRanks returns the ids of the blocked ranks, sorted.

@@ -75,6 +75,14 @@ type procState struct {
 	// Charge'd compute.
 	slow float64
 
+	// crashAt is this rank's death time on its own virtual clock for
+	// the current run (-1 = never): the fault plan's crash time, or 0
+	// for a rank recorded as failed by an earlier Run. Checkpoints in
+	// sendf, completeRecvf, and Charge compare now against it and
+	// unwind the rank with a rankCrash panic once reached. Set by
+	// RunContext before dispatch each run.
+	crashAt float64
+
 	// Blocked-state record for deadlock/watchdog diagnostics, guarded
 	// by box.mu: while this rank is blocked in Recv or Waitall, waitOp
 	// names the call and waitPending the unmatched (comm, src, tag)
@@ -124,6 +132,13 @@ type message struct {
 	size    int
 	arrival float64
 	seq     int64
+	// Reliability envelope (active only when the world's fault plan has
+	// message faults): sum is the payload's checksum at capture time,
+	// verified before copy-out; dups counts the duplicate copies the
+	// receiver must drain and discard because the sender's acks were
+	// lost.
+	sum  uint32
+	dups int
 }
 
 // msgQueue is one (comm, source, tag) bucket of the inbox: a FIFO of
@@ -183,7 +198,7 @@ func mkKey(ctx uint32, src, tag int) matchKey {
 }
 
 func newProc(w *World, grank int) *Proc {
-	st := &procState{w: w, grank: grank, phases: map[string]float64{}, step: trace.NoStep, slow: 1}
+	st := &procState{w: w, grank: grank, phases: map[string]float64{}, step: trace.NoStep, slow: 1, crashAt: -1}
 	if w.faultsOn && w.straggler[grank] {
 		st.slow = w.faults.SlowdownFactor()
 	}
@@ -270,6 +285,9 @@ func (p *Proc) Now() float64 { return p.now }
 // scaled by the plan's slowdown factor, with the injected portion
 // attributed to a fault trace event.
 func (p *Proc) Charge(ns float64) {
+	if p.w.rel && p.crashed() {
+		p.crashNow()
+	}
 	if ns <= 0 {
 		return
 	}

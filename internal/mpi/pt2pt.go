@@ -36,6 +36,9 @@ func (p *Proc) Send(dst, tag int, b buffer.Buf) { p.sendf(dst, tag, b, 1) }
 // for hardware-offloaded small collectives.
 func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	p.checkPeer(dst, "send to")
+	if p.w.rel && p.crashed() {
+		p.crashNow()
+	}
 	gdst := p.grp.ranks[dst]
 	n := b.Len()
 	os, g, l := p.w.model.SendOverhead, p.w.geff, p.w.model.Latency
@@ -59,8 +62,20 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		}
 		ovh, inj, l = sOvh, sInj, sLat
 	}
-	txDone := start + ovh + inj
-	p.txFree = txDone
+	// Reliable delivery: price the whole loss/corruption/crash recovery
+	// sequence — failed copies, timeout gaps with backoff, duplicate
+	// retransmissions after lost acks — into the sender's injection
+	// path, as a pure function of (seed, sender, destination, sequence
+	// number). relPre lands before the winning copy's injection, relPost
+	// after it; dups rides the envelope so the receiver prices the
+	// drains of the discarded duplicates.
+	var relPre, relPost float64
+	var dups int
+	if p.w.rel {
+		relPre, relPost, dups = p.relPrice(gdst, tag, n, start, ovh, inj, l)
+	}
+	txDone := start + ovh + relPre + inj
+	p.txFree = txDone + relPost
 	p.now = start + ovh
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindSend, Start: start, Dur: txDone - start,
@@ -78,6 +93,10 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	} else {
 		payload = buffer.Phantom(n)
 	}
+	var sum uint32
+	if p.w.rel {
+		sum = envelopeSum(payload)
+	}
 	p.bytesSent += int64(n)
 	p.msgsSent++
 
@@ -94,6 +113,7 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		src: p.rank, gsrc: p.grank, ctx: p.grp.ctx, tag: tag,
 		payload: payload, size: n,
 		arrival: txDone + l, seq: dp.box.seq,
+		sum: sum, dups: dups,
 	})
 	dp.box.arr = append(dp.box.arr, key)
 	dp.box.qn++
@@ -115,6 +135,13 @@ func (p *Proc) Recv(src, tag int, b buffer.Buf) int {
 func (p *Proc) completeRecv(msg message, b buffer.Buf) int { return p.completeRecvf(msg, b, 1) }
 
 func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
+	if p.w.rel && p.crashed() {
+		// The rank's clock passed its death time before it could land
+		// this message; return the payload so the pool's outstanding
+		// count stays an invariant, then unwind as a crash.
+		p.w.pool.Put(msg.payload)
+		p.crashNow()
+	}
 	if msg.size > b.Len() {
 		panic(fmt.Sprintf("mpi: rank %d: message from %d tag %d truncated: %d bytes into %d-byte buffer",
 			p.rank, msg.src, msg.tag, msg.size, b.Len()))
@@ -137,10 +164,36 @@ func (p *Proc) completeRecvf(msg message, b buffer.Buf, f float64) int {
 	}
 	done := start + ovh + drain
 	p.rxFree = done
+	if msg.dups > 0 {
+		// Duplicate copies from ack-loss retransmissions occupy the
+		// drain path after the accepted copy; the CPU discards them
+		// without advancing now.
+		dupCost := float64(msg.dups) * drain
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindDrop, Name: "dup",
+				Start: done, Dur: dupCost, Bytes: msg.size * msg.dups,
+				Peer: msg.gsrc, Tag: msg.tag, Step: p.step, Comm: int(msg.ctx)})
+		}
+		p.rxFree = done + dupCost
+	}
 	p.now = done
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: start, Dur: done - start,
 			Bytes: msg.size, Peer: msg.gsrc, Tag: msg.tag, Step: p.step, Comm: int(msg.ctx)})
+	}
+	if p.w.rel {
+		// Envelope verification: modeled corruption never reaches this
+		// point (relPrice priced those copies as retransmitted), so a
+		// mismatch means the transport itself corrupted a payload — a
+		// pool use-after-free — and must be loud.
+		if got := envelopeSum(msg.payload); got != msg.sum {
+			panic(fmt.Sprintf("mpi: rank %d: envelope checksum mismatch on message from %d tag %d (%#x != %#x): transport corrupted a payload",
+				p.rank, msg.src, msg.tag, got, msg.sum))
+		}
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindAck, Start: done, Dur: 0,
+				Bytes: msg.size, Peer: msg.gsrc, Tag: msg.tag, Step: p.step, Comm: int(msg.ctx)})
+		}
 	}
 	buffer.Copy(b, msg.payload)
 	p.w.pool.Put(msg.payload)

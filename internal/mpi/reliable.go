@@ -1,0 +1,341 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/trace"
+)
+
+// Reliability sublayer. When the world's fault plan carries
+// message-level faults (loss, duplication, corruption) or rank-crash
+// events, every point-to-point message travels in a checksummed
+// envelope over a stop-and-wait reliable channel: the sender's
+// transport retransmits unacknowledged copies after a virtual-clock
+// timeout with exponential backoff, up to a bounded retry budget.
+//
+// Like the PR 2 jitter model, the whole recovery sequence is priced at
+// send time as a pure function of (plan seed, global sender, global
+// destination, per-sender message sequence number, attempt index):
+// whether attempt k is lost, corrupted, or arrives after the
+// destination's crash time is a deterministic draw, so the number of
+// retransmissions — and every nanosecond of timeout they insert into
+// the sender's injection path — is bit-reproducible per seed, with no
+// wall clock and no extra goroutines. Acknowledgments are modeled as
+// piggy-backed and free; a lost ack (the Dup channel) costs the sender
+// one more timeout+retransmission and the receiver the drain of a
+// duplicate copy it discards.
+//
+// A destination acknowledges an attempt iff the copy arrives
+// (uncorrupted) strictly before the destination's crash time: crashed
+// ranks never ack, so a sender exhausts its budget against them and
+// the run is aborted with a RankFailedError naming the dead ranks —
+// built on the same per-rank blocked-state snapshot machinery the
+// deadlock reporter uses. Ranks that crashed in a completed Run stay
+// dead for the lifetime of the World: later Runs skip their rank
+// function entirely and the transport treats them as crashed at
+// virtual time zero, which is what lets survivors re-run a collective
+// on the communicator Shrink derives.
+
+// crashed reports whether this rank's virtual clock has reached its
+// crash time; checkpoints call it before doing work on behalf of the
+// rank.
+func (p *procState) crashed() bool {
+	return p.crashAt >= 0 && p.now >= p.crashAt
+}
+
+// crashNow unwinds this rank's goroutine as a crash at its configured
+// death time. Must be called with no locks held.
+func (p *procState) crashNow() {
+	panic(rankCrash{rank: p.grank, at: p.crashAt})
+}
+
+// rankCrash is the panic payload unwinding a rank goroutine that
+// reached its fault-plan crash time; Run recognizes it, records the
+// dead rank, and reports the run's failures as a RankFailedError.
+type rankCrash struct {
+	rank int
+	at   float64
+}
+
+// envelopeSum is the transport's payload checksum (the "envelope" of
+// the reliability layer). Corrupted deliveries are modeled as rejected
+// by this checksum at the receiver; verifying it on every completed
+// receive also turns any real transport corruption (a pool
+// use-after-free overwriting an in-flight payload) into an immediate
+// panic instead of silently wrong bytes.
+func envelopeSum(b buffer.Buf) uint32 {
+	if !b.Real() || b.Len() == 0 {
+		return 0
+	}
+	return crc32.Checksum(b.Bytes(), crcTable)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// deadAt returns the virtual time at which global rank g (stops being
+// able to ack messages: its fault-plan crash time this run, 0 for a
+// rank that died in an earlier Run, or -1 for a live rank.
+func (w *World) deadAt(g int) float64 {
+	if w.failed != nil && w.failed[g] {
+		return 0
+	}
+	if w.crashPlan != nil {
+		return w.crashPlan[g]
+	}
+	return -1
+}
+
+// relPrice prices one reliable message delivery on the sender's
+// virtual timeline. start is when the send begins, ovh/inj/l the
+// (already jitter- and straggler-scaled) per-attempt overhead,
+// injection, and latency costs. It returns the extra injection-path
+// time inserted before the winning attempt (failed copies plus
+// timeout gaps), the extra time appended after it by ack-loss
+// retransmissions, and the number of duplicate copies the receiver
+// must drain and discard.
+//
+// If the destination never acknowledges within the retry budget — it
+// is crashed, or every attempt was dropped or corrupted — the run is
+// aborted with a RankFailedError and the sending rank unwinds.
+func (p *Proc) relPrice(gdst, tag, n int, start, ovh, inj, l float64) (pre, post float64, dups int) {
+	w := p.w
+	pl := &w.faults
+	seq := p.msgsSent
+	dead := w.deadAt(gdst)
+	timeout := w.relRTO
+	attempt := 0
+	for {
+		cause := ""
+		switch {
+		case pl.Lost(p.grank, gdst, seq, attempt):
+			cause = "loss"
+		case pl.Corrupted(p.grank, gdst, seq, attempt):
+			cause = "corrupt"
+		case dead >= 0 && start+pre+ovh+inj+l >= dead:
+			cause = "crashed"
+		}
+		if cause == "" {
+			break
+		}
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindDrop, Name: cause,
+				Start: start + pre + ovh, Dur: inj, Bytes: n, Peer: gdst, Tag: tag,
+				Step: p.step, Comm: int(p.grp.ctx)})
+		}
+		attempt++
+		if attempt > w.relRetries {
+			reason := fmt.Sprintf(
+				"rank %d unreachable: no ack from rank %d after %d attempts (message seq %d, tag %d)",
+				gdst, gdst, attempt, seq, tag)
+			w.deadMu.Lock()
+			gen := w.gen
+			w.deadMu.Unlock()
+			w.declareRankFailed(gen, reason, gdst)
+			panic(runAbort{p.rank})
+		}
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindRetransmit, Name: cause,
+				Start: start + pre + ovh + inj, Dur: timeout, Bytes: n, Peer: gdst, Tag: tag,
+				Step: p.step, Comm: int(p.grp.ctx)})
+		}
+		pre += inj + timeout
+		timeout *= w.relBackoff
+	}
+	// The data is delivered; lost acks cost the sender further
+	// timeout+retransmit rounds (bounded by the remaining budget) and
+	// the receiver one discarded duplicate each. The budget cap means a
+	// persistently lost ack degrades to "assume delivered" rather than
+	// declaring a rank that demonstrably received the data failed.
+	for attempt+dups < w.relRetries && pl.AckLost(p.grank, gdst, seq, attempt+dups) {
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindRetransmit, Name: "ack-loss",
+				Start: start + pre + ovh + inj + post, Dur: timeout + inj, Bytes: n, Peer: gdst, Tag: tag,
+				Step: p.step, Comm: int(p.grp.ctx)})
+		}
+		post += timeout + inj
+		timeout *= w.relBackoff
+		dups++
+	}
+	return pre, post, dups
+}
+
+// declareRankFailed aborts the current run with a RankFailedError: the
+// failed set is every rank the transport considers dead — ranks that
+// died in earlier Runs, ranks the fault plan crashes, and the peer the
+// retry budget was just exhausted against. The set is a pure function
+// of the plan and the world's pre-run state, so every surviving rank
+// observes the same list no matter which sender declared first.
+func (w *World) declareRankFailed(gen int64, reason string, suspect int) {
+	failed := make([]int, 0, 4)
+	for g := 0; g < w.size; g++ {
+		if g == suspect || w.deadAt(g) >= 0 {
+			failed = append(failed, g)
+		}
+	}
+	w.declareAbort(gen, reason, nil, failed)
+}
+
+// RankFailedError is the diagnostic attached to the error of a Run
+// aborted (or completed) with dead ranks: the transport exhausted its
+// retry budget against a crashed rank, a rank reached its fault-plan
+// crash time, or the deadlock detector found the survivors blocked on
+// ranks that died. Failed names the dead ranks by global id; Blocked
+// carries the same per-rank blocked-state snapshot a DeadlockError
+// does, so the report shows both who died and who was left waiting on
+// them. Recover by re-running the collective on the communicator
+// Proc.Shrink derives.
+type RankFailedError struct {
+	// Reason says what surfaced the failure: retry-budget exhaustion,
+	// a rank crash, or the deadlock detector.
+	Reason string
+	// WorldSize is the number of ranks in the world.
+	WorldSize int
+	// Failed lists the global ranks the transport considers dead,
+	// sorted ascending.
+	Failed []int
+	// Blocked holds one entry per surviving rank that was blocked in a
+	// receive at abort time (empty when the run ran to completion).
+	Blocked []BlockedRank
+}
+
+// Error renders the failed-rank report with the same deterministic
+// truncation the deadlock report uses.
+func (e *RankFailedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: %d of %d ranks failed: %s\n", len(e.Failed), e.WorldSize, e.Reason)
+	fmt.Fprintf(&b, "  failed ranks: %s\n", formatRankList(e.Failed, maxFailedListed))
+	renderBlocked(&b, e.Blocked, e.WorldSize-len(e.Failed), "surviving ranks blocked")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// FailedRanks returns the dead ranks, sorted.
+func (e *RankFailedError) FailedRanks() []int {
+	out := append([]int(nil), e.Failed...)
+	sort.Ints(out)
+	return out
+}
+
+// formatRankList renders a sorted rank list, deterministically
+// truncated to at most max ids.
+func formatRankList(ranks []int, max int) string {
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	shown := sorted
+	if len(shown) > max {
+		shown = shown[:max]
+	}
+	parts := make([]string, len(shown))
+	for i, r := range shown {
+		parts[i] = fmt.Sprintf("%d", r)
+	}
+	s := strings.Join(parts, ", ")
+	if extra := len(sorted) - len(shown); extra > 0 {
+		s += fmt.Sprintf(", … and %d more", extra)
+	}
+	return s
+}
+
+// Shrink returns a handle on this communicator's surviving ranks: the
+// members not recorded as failed by an earlier Run, in their current
+// order, renumbered contiguously — the ULFM MPIX_Comm_shrink analogue.
+// It exchanges no messages: the failed set is part of the world's
+// state and every surviving member derives the identical communicator
+// (its context id comes from the membership registry, like Group). If
+// no member has failed it returns the receiver unchanged; if the
+// calling rank itself is recorded as failed it returns nil (which
+// cannot happen from a rank function, since failed ranks are not
+// dispatched).
+//
+// The failure record is updated when a Run ends, so Shrink reflects
+// Runs that already returned a RankFailedError — the recovery pattern
+// is: Run fails, errors.As yields the RankFailedError, and the next
+// Run's rank functions call Shrink and re-issue the collective on the
+// smaller communicator.
+func (p *Proc) Shrink() *Proc {
+	w := p.w
+	if w.failed == nil {
+		return p
+	}
+	survivors := make([]int, 0, len(p.grp.ranks))
+	newRank := -1
+	for l, g := range p.grp.ranks {
+		if w.failed[g] {
+			continue
+		}
+		if l == p.rank {
+			newRank = len(survivors)
+		}
+		survivors = append(survivors, l)
+	}
+	if newRank < 0 {
+		return nil
+	}
+	if len(survivors) == len(p.grp.ranks) {
+		return p
+	}
+	return p.derive(survivors, newRank)
+}
+
+// FailedRanks returns the global ranks recorded as permanently failed
+// by completed Runs, sorted ascending — the set Shrink excludes. It
+// must not be called concurrently with Run.
+func (w *World) FailedRanks() []int {
+	var out []int
+	for g, dead := range w.failed {
+		if dead {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// globalOf translates a communicator-local rank to its world rank using
+// the membership registry's signature ("g0,g1,…,"); -1 when the context
+// id or index is unknown. Only diagnostics call it — hot paths carry
+// the translation table on the Proc handle.
+func (w *World) globalOf(ctx uint32, src int) int {
+	if ctx == 0 {
+		return src
+	}
+	w.ctxMu.Lock()
+	sig := w.ctxSigs[ctx]
+	w.ctxMu.Unlock()
+	if sig == "" || src < 0 {
+		return -1
+	}
+	idx, start := 0, 0
+	for i := 0; i < len(sig); i++ {
+		if sig[i] != ',' {
+			continue
+		}
+		if idx == src {
+			v, err := strconv.Atoi(sig[start:i])
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+		idx++
+		start = i + 1
+	}
+	return -1
+}
+
+// dedupSortInts returns the sorted distinct values of s.
+func dedupSortInts(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	k := 0
+	for i, v := range out {
+		if i == 0 || v != out[k-1] {
+			out[k] = v
+			k++
+		}
+	}
+	return out[:k]
+}

@@ -1,0 +1,446 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
+	"bruckv/internal/machine"
+	"bruckv/internal/trace"
+)
+
+// allExchange is a naive alltoall: every rank sends a distinct pattern
+// to every rank (itself included) and verifies everything it receives.
+// Sends go out first so crashed destinations are discovered by the
+// reliability layer rather than by a receive that never matches.
+func allExchange(p *Proc) error {
+	P := p.Size()
+	sb := buffer.New(16)
+	for d := 0; d < P; d++ {
+		sb.PutUint64(0, uint64(p.Rank())<<32|uint64(d))
+		sb.PutUint64(8, ^uint64(p.Rank()*1000+d))
+		p.Send(d, 3, sb)
+	}
+	rb := buffer.New(16)
+	for s := 0; s < P; s++ {
+		p.Recv(s, 3, rb)
+		if rb.Uint64(0) != uint64(s)<<32|uint64(p.Rank()) || rb.Uint64(8) != ^uint64(s*1000+p.Rank()) {
+			return fmt.Errorf("rank %d: wrong bytes from %d", p.Rank(), s)
+		}
+	}
+	return nil
+}
+
+func runExchangeMaxTime(t *testing.T, pl *fault.Plan) float64 {
+	t.Helper()
+	opts := []Option{WithModel(machine.Theta()), WithDeadline(time.Minute)}
+	if pl != nil {
+		opts = append(opts, WithFaults(*pl))
+	}
+	w, err := NewWorld(8, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(allExchange); err != nil {
+		t.Fatal(err)
+	}
+	return w.MaxTime()
+}
+
+// TestReliableLossExactAccounting prices one lossy message by hand and
+// checks the runtime's clocks to the nanosecond: virtual time must
+// strictly account every retransmission (failed copy + timeout with
+// backoff) ahead of the winning copy.
+func TestReliableLossExactAccounting(t *testing.T) {
+	m := machine.Theta()
+	const n = 64
+	// Find a seed whose first draw on (src=0, dst=1, seq=0) is a loss,
+	// so the message demonstrably retransmits.
+	seed := uint64(0)
+	for ; seed < 10000; seed++ {
+		if (fault.Plan{Seed: seed, Loss: 0.5}).Lost(0, 1, 0, 0) {
+			break
+		}
+	}
+	pl := fault.Plan{Seed: seed, Loss: 0.5}
+	w, err := NewWorld(2, WithModel(m), WithFaults(pl), WithDeadline(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(n)
+		if p.Rank() == 0 {
+			p.Send(1, 9, b)
+		} else {
+			p.Recv(0, 9, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the pricing model: pre-injection recovery time is one
+	// failed injection plus one timeout per lost attempt, timeouts
+	// doubling per retry.
+	geff := m.EffectiveByteTime(2)
+	inj := float64(n) * geff
+	rto := 4 * (m.SendOverhead + m.RecvOverhead + m.Latency)
+	pre, timeout, attempts := 0.0, rto, 0
+	for pl.Lost(0, 1, 0, attempts) {
+		pre += inj + timeout
+		timeout *= 2
+		attempts++
+	}
+	if attempts == 0 {
+		t.Fatal("seed scan failed: first attempt was not lost")
+	}
+	txDone := m.SendOverhead + pre + inj
+	want := txDone + m.Latency + m.RecvOverhead + inj // receiver's done time
+	if got := w.MaxTime(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("lossy MaxTime = %v, want %v (%d retransmits)", got, want, attempts)
+	}
+}
+
+// TestReliableRecoverableFaultsByteExact checks the tentpole invariant:
+// loss, duplication, and corruption without crashes deliver byte-exact
+// data, cost strictly more virtual time than a clean run, and are
+// bit-reproducible per seed.
+func TestReliableRecoverableFaultsByteExact(t *testing.T) {
+	clean := runExchangeMaxTime(t, nil)
+	pl := fault.Plan{Seed: 11, Loss: 0.2, Dup: 0.15, Corrupt: 0.1}
+	a := runExchangeMaxTime(t, &pl)
+	if a <= clean {
+		t.Errorf("faulted run (%v) not slower than clean (%v)", a, clean)
+	}
+	for i := 0; i < 3; i++ {
+		if b := runExchangeMaxTime(t, &pl); b != a {
+			t.Fatalf("lossy virtual time not bit-reproducible: %v vs %v", a, b)
+		}
+	}
+	if b := runExchangeMaxTime(t, &fault.Plan{Seed: 12, Loss: 0.2, Dup: 0.15, Corrupt: 0.1}); b == a {
+		t.Errorf("different seeds produced identical lossy timings %v", a)
+	}
+}
+
+// TestReliableZeroPlanBitIdentical extends the PR 2 invariant to the
+// new knobs: reliability parameters without any fault probability or
+// crash leave the plan inert and the clean paths untouched.
+func TestReliableZeroPlanBitIdentical(t *testing.T) {
+	clean := runExchangeMaxTime(t, nil)
+	for _, pl := range []fault.Plan{
+		{Seed: 3},
+		{Seed: 3, RTONs: 5000, Backoff: 3, MaxRetries: 2},
+		{Seed: 3, Crashes: []fault.Crash{{Rank: 99, AtNs: 1}}}, // out of range for P=8
+	} {
+		if got := runExchangeMaxTime(t, &pl); got != clean {
+			t.Errorf("plan %+v: MaxTime %v != clean %v (must be bit-identical)", pl, got, clean)
+		}
+	}
+}
+
+// TestReliableTraceObservational: drop/retransmit/ack events appear in
+// the trace of a lossy run, and tracing never shifts virtual time.
+func TestReliableTraceObservational(t *testing.T) {
+	pl := fault.Plan{Seed: 7, Loss: 0.3, Dup: 0.2}
+	mk := func(traced bool) *World {
+		opts := []Option{WithModel(machine.Theta()), WithFaults(pl), WithDeadline(time.Minute)}
+		if traced {
+			opts = append(opts, WithTrace())
+		}
+		w, err := NewWorld(8, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(allExchange); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wt, wu := mk(true), mk(false)
+	if a, b := wt.MaxTime(), wu.MaxTime(); a != b {
+		t.Errorf("traced lossy run %v != untraced %v", a, b)
+	}
+	counts := map[trace.Kind]int{}
+	for r := 0; r < wt.Trace().Ranks(); r++ {
+		for _, ev := range wt.Trace().Events(r) {
+			counts[ev.Kind]++
+			if ev.Kind == trace.KindRetransmit && ev.Dur <= 0 {
+				t.Errorf("retransmit event with non-positive duration %v", ev.Dur)
+			}
+		}
+	}
+	for _, k := range []trace.Kind{trace.KindDrop, trace.KindRetransmit, trace.KindAck} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events in lossy traced run (%v)", k, counts)
+		}
+	}
+	if counts[trace.KindAck] != counts[trace.KindRecv] {
+		t.Errorf("acks (%d) != receives (%d): every delivered message must be acknowledged",
+			counts[trace.KindAck], counts[trace.KindRecv])
+	}
+}
+
+// TestCrashRankFailedError kills two ranks at t=0 and expects every
+// retry budget to exhaust into one RankFailedError naming exactly those
+// ranks, with the permanent failure record updated.
+func TestCrashRankFailedError(t *testing.T) {
+	pl := fault.Plan{Crashes: []fault.Crash{{Rank: 2, AtNs: 0}, {Rank: 5, AtNs: 0}}}
+	w, err := NewWorld(8, WithModel(machine.Theta()), WithFaults(pl), WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(allExchange)
+	if err == nil {
+		t.Fatal("run with crashed ranks returned nil")
+	}
+	var rfe *RankFailedError
+	if !errors.As(err, &rfe) {
+		t.Fatalf("no RankFailedError in %v", err)
+	}
+	if want := []int{2, 5}; !reflect.DeepEqual(rfe.FailedRanks(), want) {
+		t.Errorf("FailedRanks = %v, want %v", rfe.FailedRanks(), want)
+	}
+	if rfe.WorldSize != 8 {
+		t.Errorf("WorldSize = %d, want 8", rfe.WorldSize)
+	}
+	if want := []int{2, 5}; !reflect.DeepEqual(w.FailedRanks(), want) {
+		t.Errorf("World.FailedRanks = %v, want %v", w.FailedRanks(), want)
+	}
+
+	// ULFM-style recovery: the next Run skips the dead ranks; survivors
+	// shrink the world communicator and complete the same exchange on
+	// the 6 survivors.
+	var ranSub [8]bool
+	err = w.Run(func(p *Proc) error {
+		sub := p.Shrink()
+		if sub == nil {
+			return fmt.Errorf("rank %d: Shrink returned nil", p.Rank())
+		}
+		if sub.Size() != 6 {
+			return fmt.Errorf("rank %d: shrunk size %d, want 6", p.Rank(), sub.Size())
+		}
+		ranSub[p.Rank()] = true
+		return allExchange(sub)
+	})
+	if err != nil {
+		t.Fatalf("post-shrink run failed: %v", err)
+	}
+	for r := 0; r < 8; r++ {
+		if ran, dead := ranSub[r], r == 2 || r == 5; ran == dead {
+			t.Errorf("rank %d: ran=%v dead=%v — failed ranks must be skipped, survivors dispatched", r, ran, dead)
+		}
+	}
+}
+
+// TestCrashDeterministicError: the abort diagnostic for a crashy plan
+// is identical across fresh worlds (same failed set, same reason).
+func TestCrashDeterministicError(t *testing.T) {
+	pl := fault.Plan{Seed: 4, Loss: 0.1, Crashes: []fault.Crash{{Rank: 3, AtNs: 0}}}
+	get := func() []int {
+		w, err := NewWorld(8, WithModel(machine.Theta()), WithFaults(pl), WithDeadline(30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(allExchange)
+		var rfe *RankFailedError
+		if !errors.As(err, &rfe) {
+			t.Fatalf("no RankFailedError in %v", err)
+		}
+		return rfe.FailedRanks()
+	}
+	a := get()
+	for i := 0; i < 3; i++ {
+		if b := get(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("failed set not deterministic: %v vs %v", a, b)
+		}
+	}
+	if want := []int{3}; !reflect.DeepEqual(a, want) {
+		t.Errorf("failed set = %v, want %v", a, want)
+	}
+}
+
+// TestLossyLinkExhaustion: with a tight retry budget and heavy loss, a
+// live destination can still exhaust the budget; the typed error names
+// it and the run fails fast rather than hanging.
+func TestLossyLinkExhaustion(t *testing.T) {
+	// Find a seed where (0->1, seq 0) loses 3 straight attempts, which
+	// exhausts MaxRetries=2.
+	seed := uint64(0)
+	for ; seed < 1_000_000; seed++ {
+		pl := fault.Plan{Seed: seed, Loss: 0.9}
+		if pl.Lost(0, 1, 0, 0) && pl.Lost(0, 1, 0, 1) && pl.Lost(0, 1, 0, 2) {
+			break
+		}
+	}
+	pl := fault.Plan{Seed: seed, Loss: 0.9, MaxRetries: 2}
+	w, err := NewWorld(2, WithModel(machine.Zero()), WithFaults(pl), WithDeadline(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		b := buffer.New(8)
+		if p.Rank() == 0 {
+			p.Send(1, 1, b)
+		} else {
+			p.Recv(0, 1, b)
+		}
+		return nil
+	})
+	var rfe *RankFailedError
+	if !errors.As(err, &rfe) {
+		t.Fatalf("no RankFailedError in %v", err)
+	}
+	if want := []int{1}; !reflect.DeepEqual(rfe.FailedRanks(), want) {
+		t.Errorf("FailedRanks = %v, want %v", rfe.FailedRanks(), want)
+	}
+	if !strings.Contains(rfe.Error(), "after 3 attempts") {
+		t.Errorf("reason does not count the attempts: %q", rfe.Error())
+	}
+}
+
+// TestRankFailedErrorTruncation renders a large synthetic report and
+// checks the deterministic caps: at most 16 failed ids, 12 blocked
+// ranks, 6 pending triples per rank — with explicit "and N more"
+// markers so nothing is silently dropped.
+func TestRankFailedErrorTruncation(t *testing.T) {
+	e := &RankFailedError{Reason: "synthetic", WorldSize: 4096}
+	for i := 0; i < 30; i++ {
+		e.Failed = append(e.Failed, i*7)
+	}
+	for i := 0; i < 20; i++ {
+		br := BlockedRank{Rank: 100 + i, Op: "Recv", SinceNs: float64(i)}
+		for j := 0; j < 10; j++ {
+			br.Pending = append(br.Pending, PendingRecv{Comm: 9, Src: j, Tag: 5, GlobalSrc: 2000 + j})
+		}
+		e.Blocked = append(e.Blocked, br)
+	}
+	s := e.Error()
+	for _, want := range []string{
+		"30 of 4096 ranks failed: synthetic",
+		"… and 14 more",                // 30 failed ids, 16 shown
+		"… and 8 more blocked ranks",   // 20 blocked, 12 shown
+		"… and 4 more",                 // 10 pending, 6 shown
+		"(comm=9, src=0/g2000, tag=5)", // global-rank attribution
+		"20 of 4066 surviving ranks blocked",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if got := strings.Count(s, "rank 1"); got > 13 {
+		t.Errorf("report renders too many per-rank lines (%d)", got)
+	}
+	// Rendering must be deterministic.
+	if s != e.Error() {
+		t.Error("report rendering not deterministic")
+	}
+}
+
+// TestDeadlockReportTruncationLargeP wedges 64 ranks and checks the
+// deadlock report truncates to the cap with global-rank attribution on
+// a sub-communicator.
+func TestDeadlockReportTruncationLargeP(t *testing.T) {
+	const P = 64
+	w, err := NewWorld(P, WithModel(machine.Zero()), WithDeadline(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(p *Proc) error {
+		// Odd global ranks wedge on a derived communicator, waiting for
+		// a message their sub-comm peer never sends.
+		sub := p.Split(p.Rank()%2, 0)
+		if p.Rank()%2 == 1 {
+			b := buffer.New(8)
+			sub.Recv((sub.Rank()+1)%sub.Size(), 77, b)
+		}
+		return nil
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+	if len(de.Blocked) != P/2 {
+		t.Fatalf("Blocked has %d entries, want %d (structured report must be complete)", len(de.Blocked), P/2)
+	}
+	s := de.Error()
+	if !strings.Contains(s, fmt.Sprintf("… and %d more blocked ranks", P/2-12)) {
+		t.Errorf("report does not truncate blocked ranks:\n%s", s)
+	}
+	// Blocked ranks are reported by global id, and their pending source
+	// translates local sub-comm rank to global.
+	for _, br := range de.Blocked {
+		if br.Rank%2 != 1 {
+			t.Errorf("blocked rank %d is not one of the wedged odd ranks", br.Rank)
+		}
+		for _, pr := range br.Pending {
+			if pr.Comm == 0 {
+				t.Errorf("rank %d: pending lost its communicator id", br.Rank)
+			}
+			wantGlobal := ((br.Rank-1)/2+1)%(P/2)*2 + 1
+			if pr.GlobalSrc != wantGlobal {
+				t.Errorf("rank %d: pending GlobalSrc = %d, want %d", br.Rank, pr.GlobalSrc, wantGlobal)
+			}
+			if !strings.Contains(pr.String(), fmt.Sprintf("/g%d", wantGlobal)) {
+				t.Errorf("pending %q does not render the global source", pr.String())
+			}
+		}
+	}
+}
+
+// TestDupReceiverPaysDrain: a lost ack makes the receiver drain a
+// duplicate copy, pushing its rxFree (and so a later receive) without
+// moving its CPU clock.
+func TestDupReceiverPaysDrain(t *testing.T) {
+	// Seed where the first ack on (0->1, seq 0) is lost.
+	seed := uint64(0)
+	for ; seed < 10000; seed++ {
+		if (fault.Plan{Seed: seed, Dup: 0.5}).AckLost(0, 1, 0, 0) {
+			break
+		}
+	}
+	m := machine.Theta()
+	run := func(pl *fault.Plan) (float64, float64) {
+		opts := []Option{WithModel(m), WithDeadline(time.Minute)}
+		if pl != nil {
+			opts = append(opts, WithFaults(*pl))
+		}
+		w, err := NewWorld(3, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, second float64
+		if err := w.Run(func(p *Proc) error {
+			b := buffer.New(256)
+			switch p.Rank() {
+			case 0:
+				p.Send(1, 1, b)
+			case 2:
+				p.Send(1, 2, b)
+			case 1:
+				p.Recv(0, 1, b)
+				first = p.Now()
+				p.Recv(2, 2, b)
+				second = p.Now()
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return first, second
+	}
+	cf, cs := run(nil)
+	df, ds := run(&fault.Plan{Seed: seed, Dup: 0.5})
+	if df != cf {
+		t.Errorf("dup moved the receiver's CPU clock on delivery: %v != %v", df, cf)
+	}
+	if ds <= cs {
+		t.Errorf("duplicate drain did not delay the next receive: %v <= %v", ds, cs)
+	}
+}

@@ -72,6 +72,25 @@ type World struct {
 	faultsOn  bool
 	straggler []bool
 
+	// Reliability sublayer (see internal/mpi/reliable.go), active when
+	// the fault plan carries message-level faults or crash events. rel
+	// gates the envelope/retransmit paths; relRTO, relBackoff, and
+	// relRetries are the resolved timeout parameters; crashPlan is the
+	// per-global-rank death time this plan prescribes (-1 = never, nil
+	// when no crash events are in range); failed is the permanent
+	// record of ranks that died in completed Runs (nil until a rank
+	// dies), which Shrink excludes and later Runs skip. crashMu guards
+	// crashedRun, the global ranks whose goroutines reached their crash
+	// time during the current Run.
+	rel        bool
+	relRTO     float64
+	relBackoff float64
+	relRetries int
+	crashPlan  []float64
+	failed     []bool
+	crashMu    sync.Mutex
+	crashedRun []int
+
 	// deadline is the wall-clock watchdog bound for one Run (see
 	// WithDeadline); 0 disables it.
 	deadline time.Duration
@@ -123,9 +142,10 @@ type World struct {
 
 	// deadMu guards the abort diagnostic, its external cause, and the
 	// run generation; gen keeps a stale watchdog from a previous Run
-	// from aborting the next one.
+	// from aborting the next one. deadErr is a *DeadlockError or a
+	// *RankFailedError depending on what aborted the run.
 	deadMu   sync.Mutex
-	deadErr  *DeadlockError
+	deadErr  error
 	ctxCause error // context error behind the abort, for errors.Is
 	gen      int64
 }
@@ -230,6 +250,22 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 			w.faultsOn = false // inert plan: take the exact clean paths
 		} else {
 			w.straggler = w.faults.StragglerMask(size)
+			if w.faults.MessageFaults() {
+				w.rel = true
+				w.crashPlan = w.faults.CrashTimes(size)
+				w.relRTO = w.faults.RTONs
+				if w.relRTO <= 0 {
+					// Default retransmission timeout: a few clean
+					// round trips of the machine model, so retries are
+					// expensive relative to a send but not absurd.
+					w.relRTO = 4 * (w.model.SendOverhead + w.model.RecvOverhead + w.model.Latency)
+					if w.relRTO < 1 {
+						w.relRTO = 1
+					}
+				}
+				w.relBackoff = w.faults.BackoffFactor()
+				w.relRetries = w.faults.RetryBudget()
+			}
 		}
 	}
 	w.geff = w.model.EffectiveByteTime(size)
@@ -425,6 +461,11 @@ func (w *World) RunContext(ctx context.Context, fn func(p *Proc) error) error {
 			tb = w.tr.Buffer(r)
 		}
 		w.procs[r].procState.reset(tb)
+		// This run's death time for the rank: 0 for ranks that died in
+		// an earlier Run, the fault plan's crash time otherwise (-1 =
+		// never). Senders price retransmissions against the same value
+		// through deadAt.
+		w.procs[r].procState.crashAt = w.deadAt(r)
 	}
 	var scratch0 buffer.PoolStats
 	for _, a := range w.arenas {
@@ -466,22 +507,38 @@ func (w *World) RunContext(ctx context.Context, fn func(p *Proc) error) error {
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
 		p := w.procs[r]
+		if w.failed != nil && w.failed[p.grank] {
+			// A rank that died in an earlier Run never executes again:
+			// it counts as finished from the start, and the transport
+			// treats it as crashed at virtual time zero (see deadAt).
+			w.finished.Add(1)
+			wg.Done()
+			continue
+		}
 		w.workers[r] <- func() {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
-					if _, ok := v.(runAbort); ok {
+					switch rc := v.(type) {
+					case runAbort:
 						// Deliberate unwind after an abort was declared;
-						// the DeadlockError carries the diagnostic, so
+						// the abort error carries the diagnostic, so
 						// per-rank noise (and its stack) is dropped.
 						errs[p.rank] = nil
-					} else {
+					case rankCrash:
+						// The rank reached its fault-plan crash time; the
+						// run-level RankFailedError reports it.
+						w.crashMu.Lock()
+						w.crashedRun = append(w.crashedRun, rc.rank)
+						w.crashMu.Unlock()
+						errs[p.rank] = nil
+					default:
 						errs[p.rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, v, debug.Stack())
 					}
 				}
-				// A rank exiting early (error or panic) can strand the
-				// others mid-collective; its exit may complete the
-				// deadlock condition.
+				// A rank exiting early (error, panic, or crash) can
+				// strand the others mid-collective; its exit may
+				// complete the deadlock condition.
 				if w.finished.Add(1)+w.blocked.Load() == int32(w.size) {
 					w.suspectDeadlock()
 				}
@@ -508,16 +565,61 @@ func (w *World) RunContext(ctx context.Context, fn func(p *Proc) error) error {
 		Scratch:    scratch1.Sub(scratch0),
 	}
 	err := errors.Join(errs...)
+
+	// Reliability epilogue: fold this run's rank deaths into the
+	// permanent failure record and classify the abort error. Runs after
+	// wg.Wait, so no rank goroutine is active.
+	crashedNow := w.crashedRun
+	w.crashedRun = nil
+	var abortErr, cause error
 	if w.dead.Load() {
 		w.deadMu.Lock()
-		de, cause := w.deadErr, w.ctxCause
+		abortErr, cause = w.deadErr, w.ctxCause
 		w.deadMu.Unlock()
-		if de != nil {
-			if cause != nil {
-				return errors.Join(de, cause, err)
+	}
+	failedNow := append([]int(nil), crashedNow...)
+	if rfe, ok := abortErr.(*RankFailedError); ok {
+		failedNow = append(failedNow, rfe.Failed...)
+	} else if len(crashedNow) > 0 {
+		// Ranks died but nothing declared a failure directly: either
+		// the survivors deadlocked waiting on the dead ranks' sends
+		// (abortErr is a DeadlockError), or the run completed because
+		// the deaths came after all communication. Both become a
+		// RankFailedError naming every rank the plan kills, so the
+		// failed set matches what the exhaustion path would report.
+		for g := 0; g < w.size; g++ {
+			if w.deadAt(g) >= 0 {
+				failedNow = append(failedNow, g)
 			}
-			return errors.Join(de, err)
 		}
+		failedNow = dedupSortInts(failedNow)
+		if de, ok := abortErr.(*DeadlockError); ok {
+			abortErr = &RankFailedError{
+				Reason:    fmt.Sprintf("%d rank(s) crashed and the survivors blocked on their sends (%s)", len(crashedNow), de.Reason),
+				WorldSize: w.size, Failed: failedNow, Blocked: de.Blocked,
+			}
+		} else if abortErr == nil {
+			abortErr = &RankFailedError{
+				Reason:    fmt.Sprintf("%d rank(s) reached their fault-plan crash time mid-run", len(crashedNow)),
+				WorldSize: w.size, Failed: failedNow,
+			}
+		}
+	}
+	if len(failedNow) > 0 {
+		if w.failed == nil {
+			w.failed = make([]bool, w.size)
+		}
+		for _, g := range failedNow {
+			if g >= 0 && g < w.size {
+				w.failed[g] = true
+			}
+		}
+	}
+	if abortErr != nil {
+		if cause != nil {
+			return errors.Join(abortErr, cause, err)
+		}
+		return errors.Join(abortErr, err)
 	}
 	return err
 }
@@ -643,16 +745,26 @@ func (w *World) declareDead(gen int64, reason string) {
 // cancellation or deadline) behind the abort, joined into Run's returned
 // error so callers can errors.Is against it.
 func (w *World) declareDeadCause(gen int64, reason string, cause error) {
+	w.declareAbort(gen, reason, cause, nil)
+}
+
+// declareAbort is the single abort path: it marks the world dead (if
+// gen still names the current run), snapshots every blocked rank's
+// pending receives, wakes all waiters so they unwind, and records the
+// diagnostic — a DeadlockError, or a RankFailedError when the caller
+// names failed ranks (the reliability layer's retry-budget exhaustion).
+// Idempotent: the first declaration wins.
+func (w *World) declareAbort(gen int64, reason string, cause error, failed []int) {
 	w.deadMu.Lock()
 	if gen != w.gen || !w.dead.CompareAndSwap(false, true) {
 		w.deadMu.Unlock()
 		return
 	}
-	de := &DeadlockError{Reason: reason, WorldSize: w.size}
+	var blocked []BlockedRank
 	for _, p := range w.procs {
 		p.box.mu.Lock()
 		if p.waitOp != "" {
-			de.Blocked = append(de.Blocked, BlockedRank{
+			blocked = append(blocked, BlockedRank{
 				Rank:    p.grank,
 				Op:      p.waitOp,
 				Pending: append([]PendingRecv(nil), p.waitPending...),
@@ -662,7 +774,26 @@ func (w *World) declareDeadCause(gen int64, reason string, cause error) {
 		p.box.cond.Broadcast()
 		p.box.mu.Unlock()
 	}
-	w.deadErr = de
+	// Attribute sub-communicator pending receives to global ranks: hot
+	// paths record the communicator-local source, and only here — off
+	// the hot path, with the run wedged — is the translation worth its
+	// cost.
+	for i := range blocked {
+		for j := range blocked[i].Pending {
+			pr := &blocked[i].Pending[j]
+			if pr.Comm != 0 {
+				pr.GlobalSrc = w.globalOf(uint32(pr.Comm), pr.Src)
+			} else {
+				pr.GlobalSrc = pr.Src
+			}
+		}
+	}
+	if len(failed) > 0 {
+		w.deadErr = &RankFailedError{Reason: reason, WorldSize: w.size,
+			Failed: dedupSortInts(failed), Blocked: blocked}
+	} else {
+		w.deadErr = &DeadlockError{Reason: reason, WorldSize: w.size, Blocked: blocked}
+	}
 	w.ctxCause = cause
 	w.deadMu.Unlock()
 }

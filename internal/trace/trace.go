@@ -38,6 +38,20 @@ const (
 	// perturbation source, and the interval sits where the delay landed,
 	// so Chrome traces show exactly which operations were perturbed.
 	KindFault
+	// KindDrop is a transmission attempt that did not take: the packet
+	// was lost on the wire, rejected by the receiver's checksum, or
+	// arrived at a crashed rank. Name carries the cause ("loss",
+	// "corrupt", "crashed", or "dup" for a duplicate copy the receiver
+	// discarded).
+	KindDrop
+	// KindRetransmit is the reliability sublayer's recovery interval on
+	// the sender: the timeout (with exponential backoff) plus the
+	// re-injection of one retransmitted copy.
+	KindRetransmit
+	// KindAck marks a delivered message's acknowledgment on the
+	// receiver's timeline (observational; acks are piggy-backed and
+	// cost no virtual time).
+	KindAck
 )
 
 // String returns the kind's short name (also the Chrome trace
@@ -54,6 +68,12 @@ func (k Kind) String() string {
 		return "phase"
 	case KindFault:
 		return "fault"
+	case KindDrop:
+		return "drop"
+	case KindRetransmit:
+		return "retransmit"
+	case KindAck:
+		return "ack"
 	}
 	return "unknown"
 }
