@@ -223,6 +223,7 @@ type config struct {
 	faults       FaultPlan
 	faultsSet    bool
 	deadline     time.Duration
+	executor     Executor
 }
 
 // WithMachine sets the communication cost model (default Theta()).
@@ -386,6 +387,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	}
 	if cfg.deadline != 0 {
 		mopts = append(mopts, mpi.WithDeadline(cfg.deadline))
+	}
+	if cfg.executor != Goroutines {
+		mopts = append(mopts, mpi.WithExecutor(mpi.Executor(cfg.executor)))
 	}
 	w, err := mpi.NewWorld(size, mopts...)
 	if err != nil {

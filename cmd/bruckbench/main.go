@@ -68,11 +68,12 @@ import (
 	"bruckv/internal/dist"
 	"bruckv/internal/fault"
 	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,loss,auto,hostperf,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,loss,auto,hostperf,scale,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -93,6 +94,8 @@ func main() {
 		calOut   = flag.String("calibrate", "", "sweep the auto candidates and write the winner table as JSON to this file")
 		radices  = flag.String("radices", "", "comma-separated two-phase radices for -calibrate / -fig auto (default: 2,4,8)")
 		hpOut    = flag.String("hostperf-out", "", "also write the -fig hostperf report as JSON to this file")
+		execName = flag.String("executor", "goroutines", "runtime execution backend: goroutines or events")
+		scaleMax = flag.Int("scale-max", 262144, "largest process count of the -fig scale log-collective sweep")
 	)
 	flag.Parse()
 
@@ -104,7 +107,11 @@ func main() {
 	if *progress {
 		progW = os.Stderr
 	}
-	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW}
+	executor, err := mpi.ParseExecutor(*execName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	o := bench.Options{Model: model, Iters: *iters, Seed: *seed, MaxSimP: *maxSimP, Progress: progW, Executor: executor}
 	o.Radices = parseInts(*radices)
 	for _, r := range o.Radices {
 		if r < 2 {
@@ -291,6 +298,23 @@ func main() {
 		check(err)
 		r.Fprint(out)
 	}
+	if want["scale"] {
+		cfg := bench.ScaleConfig{Executor: executor, MaxP: *scaleMax}
+		if *execName == "goroutines" && !flagSet("executor") {
+			// The sweep exists to exercise the event backend; default
+			// there unless the user explicitly asked for goroutines.
+			cfg.Executor = mpi.ExecutorEvents
+		}
+		if len(ps) > 0 {
+			cfg.Ps = ps
+		}
+		if len(ns) > 0 {
+			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
+		}
+		r, err := bench.Scale(o, cfg)
+		check(err)
+		r.Fprint(out)
+	}
 	if want["hostperf"] {
 		cfg := bench.HostPerfConfig{}
 		if len(ps) > 0 {
@@ -348,6 +372,16 @@ func check(err error) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatalf(format string, args ...any) {

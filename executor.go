@@ -1,0 +1,40 @@
+package bruckv
+
+import "bruckv/internal/mpi"
+
+// Executor selects a World's execution backend. Both backends implement
+// the identical contract — byte-identical payloads, bit-identical
+// virtual timings and trace events, the same typed errors — so the
+// choice is purely a host-performance knob.
+type Executor int
+
+const (
+	// Goroutines is the default backend: one resident goroutine per
+	// rank, parked on condition variables while waiting. It has the
+	// lowest per-message overhead at small world sizes but costs a
+	// goroutine stack per rank.
+	Goroutines Executor = iota
+	// Events is the discrete-event backend: ranks advance in virtual-
+	// clock order on a small worker pool with O(P) memory and no
+	// resident goroutines, enabling mega-scale phantom worlds
+	// (hundreds of thousands of ranks) and exact deadlock detection.
+	Events
+)
+
+// String returns the backend's flag name, "goroutines" or "events".
+func (e Executor) String() string { return mpi.Executor(e).String() }
+
+// ParseExecutor parses a backend name as produced by String.
+func ParseExecutor(s string) (Executor, error) {
+	e, err := mpi.ParseExecutor(s)
+	return Executor(e), err
+}
+
+// WithExecutor selects the world's execution backend (default
+// Goroutines).
+func WithExecutor(e Executor) Option {
+	return func(c *config) { c.executor = e }
+}
+
+// Executor returns the backend the world was created with.
+func (w *World) Executor() Executor { return Executor(w.w.Executor()) }

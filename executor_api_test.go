@@ -1,0 +1,73 @@
+package bruckv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bruckv"
+)
+
+// TestPublicExecutorSelection exercises the public executor surface:
+// parse/String round-trips, the default, and a byte-and-timing
+// differential of the same collective across both backends.
+func TestPublicExecutorSelection(t *testing.T) {
+	for _, e := range []bruckv.Executor{bruckv.Goroutines, bruckv.Events} {
+		got, err := bruckv.ParseExecutor(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseExecutor(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := bruckv.ParseExecutor("fibers"); err == nil {
+		t.Fatal("ParseExecutor accepted an unknown backend")
+	}
+
+	const P = 8
+	run := func(e bruckv.Executor) ([][]byte, float64) {
+		w, err := bruckv.NewWorld(P, bruckv.WithExecutor(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Executor() != e {
+			t.Fatalf("Executor() = %v, want %v", w.Executor(), e)
+		}
+		out := make([][]byte, P)
+		err = w.Run(func(c *bruckv.Comm) error {
+			scounts := make([]int, P)
+			for d := range scounts {
+				scounts[d] = (c.Rank()+d)%5 + 1
+			}
+			sdispls, sTotal := bruckv.Displacements(scounts)
+			send := make([]byte, sTotal)
+			for d := 0; d < P; d++ {
+				for j := 0; j < scounts[d]; j++ {
+					send[sdispls[d]+j] = byte(31*c.Rank() + 7*d + j)
+				}
+			}
+			rcounts := make([]int, P)
+			if err := c.ExchangeCounts(scounts, rcounts); err != nil {
+				return err
+			}
+			rdispls, rTotal := bruckv.Displacements(rcounts)
+			recv := make([]byte, rTotal)
+			if err := c.Alltoallv(send, scounts, sdispls, recv, rcounts, rdispls); err != nil {
+				return err
+			}
+			out[c.Rank()] = recv
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, w.MaxTimeNs()
+	}
+	og, tg := run(bruckv.Goroutines)
+	oe, te := run(bruckv.Events)
+	if tg != te {
+		t.Errorf("MaxTime diverged across executors: %v vs %v", tg, te)
+	}
+	for r := 0; r < P; r++ {
+		if !bytes.Equal(og[r], oe[r]) {
+			t.Errorf("rank %d payload diverged across executors", r)
+		}
+	}
+}

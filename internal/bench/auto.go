@@ -90,7 +90,7 @@ func uniqStrings(sorted []string) []string {
 // time plus (for "auto") the dispatched algorithm.
 func (o Options) measureAuto(alg string, P, N int, tuning *coll.Table) (float64, string, error) {
 	res, err := RunMicro(MicroConfig{
-		P: P, Algorithm: alg, Model: o.Model, Iters: o.Iters, Tuning: tuning,
+		P: P, Algorithm: alg, Model: o.Model, Iters: o.Iters, Tuning: tuning, Executor: o.Executor,
 		Spec: dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed},
 	})
 	if err != nil {

@@ -50,6 +50,10 @@ type MicroConfig struct {
 	// a hung configuration aborts with a blocked-rank report instead of
 	// wedging the harness.
 	Deadline time.Duration
+	// Executor selects the runtime's execution backend (default
+	// goroutines); both backends give bit-identical virtual timings,
+	// so this only changes host cost.
+	Executor mpi.Executor
 	// Tuning, if non-nil, is an empirical calibration table consulted by
 	// the "auto" algorithm (ignored for every other Algorithm).
 	Tuning *coll.Table
@@ -114,6 +118,9 @@ func RunMicro(cfg MicroConfig) (Result, error) {
 	}
 	if cfg.Deadline > 0 {
 		opts = append(opts, mpi.WithDeadline(cfg.Deadline))
+	}
+	if cfg.Executor != mpi.ExecutorGoroutines {
+		opts = append(opts, mpi.WithExecutor(cfg.Executor))
 	}
 	w, err := mpi.NewWorld(cfg.P, opts...)
 	if err != nil {

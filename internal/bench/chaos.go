@@ -110,6 +110,7 @@ func Chaos(o Options, cfg ChaosConfig) (ChaosReport, error) {
 			Iters:     1,
 			Faults:    pl,
 			Deadline:  cfg.Deadline,
+			Executor:  o.Executor,
 		})
 		if err != nil {
 			return 0, err

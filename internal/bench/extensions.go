@@ -76,7 +76,7 @@ func ExtNodeAware(o Options, P, N int, rpns []int) (Figure, error) {
 			res, err := RunMicro(MicroConfig{
 				P: P, Algorithm: alg,
 				Spec:  dist.Spec{Kind: dist.Uniform, N: N, Seed: o.Seed},
-				Model: o.Model, Iters: o.Iters, RanksPerNode: rpn,
+				Model: o.Model, Iters: o.Iters, RanksPerNode: rpn, Executor: o.Executor,
 			})
 			if err != nil {
 				return f, err

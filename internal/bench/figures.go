@@ -7,6 +7,7 @@ import (
 	"bruckv/internal/dist"
 	"bruckv/internal/fault"
 	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
 )
 
 // Options configures the figure drivers.
@@ -32,6 +33,11 @@ type Options struct {
 	// Radices overrides the two-phase radix axis of the calibration
 	// sweep (Calibrate, FigAuto); nil uses coll.AutoRadixes.
 	Radices []int
+	// Executor selects the runtime backend for fully simulated
+	// configurations (default goroutines). Virtual results are
+	// identical either way; the event backend trades per-message
+	// overhead for O(P) memory at large P.
+	Executor mpi.Executor
 }
 
 func (o Options) withDefaults() Options {
@@ -70,7 +76,7 @@ var DefaultNs = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
 // P fits under MaxSimP and analytic otherwise.
 func (o Options) measureV(alg string, P int, spec dist.Spec) (Point, error) {
 	if P <= o.MaxSimP {
-		res, err := RunMicro(MicroConfig{P: P, Algorithm: alg, Spec: spec, Model: o.Model, Iters: o.Iters})
+		res, err := RunMicro(MicroConfig{P: P, Algorithm: alg, Spec: spec, Model: o.Model, Iters: o.Iters, Executor: o.Executor})
 		if err != nil {
 			return Point{}, err
 		}

@@ -34,6 +34,9 @@ type HostPerfConfig struct {
 	// Runs is the Run count of the session-amortization measurement
 	// (default 32; 0 keeps the default, negative disables the block).
 	Runs int
+	// Executor selects the runtime backend being profiled (default
+	// goroutines).
+	Executor mpi.Executor
 }
 
 func (c *HostPerfConfig) defaults() {
@@ -90,6 +93,9 @@ type HostPerfReport struct {
 	// Persistent measures what AlltoallvInit+Start saves per iteration
 	// over fresh Alltoallv calls; nil when disabled (Config.Runs < 0).
 	Persistent *PersistentAmortization
+	// Executors compares the goroutine and event backends on the same
+	// phantom workload; nil when disabled (Config.Runs < 0).
+	Executors *ExecutorComparison
 }
 
 // PersistentAmortization is the persistent-collective amortization
@@ -299,6 +305,60 @@ func measurePersistent(o Options, cfg HostPerfConfig) (*PersistentAmortization, 
 	return am, nil
 }
 
+// ExecutorComparison is the backend face-off: the same phantom
+// workload measured once per execution backend. The virtual completion
+// time is asserted bit-identical (it is a pure function of message
+// flow), so the rows differ only in what the simulation costs the
+// host: the goroutine backend pays a resident stack per rank, the
+// event backend a bounded worker pool plus scheduler bookkeeping.
+type ExecutorComparison struct {
+	P, Iters int
+	// VirtualNs is the shared simulated completion time (median over
+	// iterations), identical on both backends by construction.
+	VirtualNs float64
+	// GoroutinesNsPerCall / EventsNsPerCall are host wall time per
+	// collective call; the Allocs figures are allocator traffic per
+	// call.
+	GoroutinesNsPerCall     float64
+	EventsNsPerCall         float64
+	GoroutinesAllocsPerCall float64
+	EventsAllocsPerCall     float64
+}
+
+// measureExecutors runs one phantom two-phase workload per backend.
+func measureExecutors(o Options, cfg HostPerfConfig) (*ExecutorComparison, error) {
+	ec := &ExecutorComparison{P: cfg.P, Iters: cfg.Iters}
+	run := func(e mpi.Executor) (Result, error) {
+		return RunMicro(MicroConfig{
+			P:         cfg.P,
+			Algorithm: "two-phase",
+			Spec:      cfg.Spec,
+			Model:     o.Model,
+			Iters:     cfg.Iters,
+			Executor:  e,
+		})
+	}
+	rg, err := run(mpi.ExecutorGoroutines)
+	if err != nil {
+		return nil, err
+	}
+	re, err := run(mpi.ExecutorEvents)
+	if err != nil {
+		return nil, err
+	}
+	if rg.Summary.Median != re.Summary.Median {
+		return nil, fmt.Errorf("bench: executor backends disagree on virtual time: goroutines %v, events %v",
+			rg.Summary.Median, re.Summary.Median)
+	}
+	ec.VirtualNs = rg.Summary.Median
+	span := float64(cfg.Iters)
+	ec.GoroutinesNsPerCall = float64(rg.Host.WallNs) / span
+	ec.EventsNsPerCall = float64(re.Host.WallNs) / span
+	ec.GoroutinesAllocsPerCall = float64(rg.Host.Mallocs) / span
+	ec.EventsAllocsPerCall = float64(re.Host.Mallocs) / span
+	return ec, nil
+}
+
 // HostPerf measures the host-side cost of every configured Alltoallv
 // algorithm: wall time, allocator traffic, GC work, and transport-pool
 // recycling. Virtual timings are unaffected by any of this — the report
@@ -315,6 +375,7 @@ func HostPerf(o Options, cfg HostPerfConfig) (HostPerfReport, error) {
 			Model:     o.Model,
 			Iters:     iters,
 			Real:      !cfg.Phantom,
+			Executor:  cfg.Executor,
 		})
 		if err != nil {
 			return mpi.RunStats{}, err
@@ -362,6 +423,13 @@ func HostPerf(o Options, cfg HostPerfConfig) (HostPerfReport, error) {
 		o.progress("hostperf persistent   P=%-5d r=%d persistent %.1fus/call (%.0fns virt) fresh %.1fus/call (%.0fns virt)",
 			cfg.P, pam.Radix, pam.PersistentNsPerCall/1e3, pam.PersistentVirtualNsPerCall,
 			pam.FreshNsPerCall/1e3, pam.FreshVirtualNsPerCall)
+		ec, err := measureExecutors(o, cfg)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hostperf executor comparison: %w", err)
+		}
+		rep.Executors = ec
+		o.progress("hostperf executors    P=%-5d goroutines %.1fus/call events %.1fus/call (virtual %.0fns both)",
+			cfg.P, ec.GoroutinesNsPerCall/1e3, ec.EventsNsPerCall/1e3, ec.VirtualNs)
 	}
 	return rep, nil
 }
@@ -402,6 +470,11 @@ func (r HostPerfReport) Fprint(w io.Writer) {
 			a.PersistentNsPerCall/1e3, a.PersistentAllocsPerCall, a.PersistentVirtualNsPerCall,
 			a.FreshNsPerCall/1e3, a.FreshAllocsPerCall, a.FreshVirtualNsPerCall,
 			a.VirtualNsSaved(), a.FreshMsgs-a.PersistentMsgs)
+	}
+	if e := r.Executors; e != nil {
+		fmt.Fprintf(w, "  executor backends (phantom two-phase, %d iters): goroutines %.1f us/call (%.0f allocs), events %.1f us/call (%.0f allocs), virtual time identical at %.0f ns\n",
+			e.Iters, e.GoroutinesNsPerCall/1e3, e.GoroutinesAllocsPerCall,
+			e.EventsNsPerCall/1e3, e.EventsAllocsPerCall, e.VirtualNs)
 	}
 	fmt.Fprintln(w)
 }

@@ -105,6 +105,7 @@ func Loss(o Options, cfg LossConfig) (LossReport, error) {
 			Iters:     1,
 			Faults:    pl,
 			Deadline:  cfg.Deadline,
+			Executor:  o.Executor,
 		})
 		if err != nil {
 			return 0, err

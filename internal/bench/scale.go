@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/coll"
+	"bruckv/internal/dist"
+	"bruckv/internal/mpi"
+)
+
+// ScaleConfig describes the mega-scale sweep: phantom worlds on the
+// event executor pushed to process counts the goroutine backend's
+// per-rank stacks (and, for Alltoallv, the O(P) per-rank count arrays
+// of the collective itself) make impractical on one host. Log-depth
+// collectives (barrier + allreduce) scale to MaxP with O(P) total
+// state; the Alltoallv rows stop at MaxVP because an Alltoallv call
+// inherently carries four O(P) count/displacement arrays per rank —
+// O(P²) across the world — regardless of executor (see EXPERIMENTS.md).
+type ScaleConfig struct {
+	// Ps is the log-collective process-count axis (default 1024 ×4 up
+	// to MaxP).
+	Ps []int
+	// MaxP bounds the log-collective sweep (default 262144).
+	MaxP int
+	// VPs is the Alltoallv process-count axis (default 1024, 2048,
+	// 4096, 8192).
+	VPs []int
+	// Spec generates the Alltoallv workload (default uniform, N=64).
+	Spec dist.Spec
+	// Executor selects the backend (default events — the point of the
+	// sweep; goroutines is accepted for comparison at small P).
+	Executor mpi.Executor
+	// Deadline bounds each configuration's wall clock (default 10
+	// minutes).
+	Deadline time.Duration
+}
+
+func (c *ScaleConfig) defaults() {
+	if c.MaxP <= 0 {
+		c.MaxP = 262144
+	}
+	if len(c.Ps) == 0 {
+		for p := 1024; p <= c.MaxP; p *= 4 {
+			c.Ps = append(c.Ps, p)
+		}
+		if last := c.Ps[len(c.Ps)-1]; last != c.MaxP {
+			c.Ps = append(c.Ps, c.MaxP)
+		}
+	}
+	if len(c.VPs) == 0 {
+		c.VPs = []int{1024, 2048, 4096, 8192}
+	}
+	if c.Spec.Kind == 0 && c.Spec.N == 0 {
+		c.Spec = dist.Spec{Kind: dist.Uniform, N: 64, Seed: 1}
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 10 * time.Minute
+	}
+}
+
+// ScaleRow is one (collective, P) measurement of the sweep.
+type ScaleRow struct {
+	Collective string
+	P          int
+	// VirtualNs is the simulated completion time (max over ranks).
+	VirtualNs float64
+	// Messages is the total point-to-point message count of the run.
+	Messages int64
+	// WallNs is the host wall-clock cost of the whole run.
+	WallNs int64
+	// HeapBytesPerRank is the steady heap+stack growth divided by P —
+	// the executor's per-rank memory footprint, which must stay O(1)
+	// per rank (O(P) total) for the sweep to reach MaxP.
+	HeapBytesPerRank float64
+}
+
+// ScaleReport is the full sweep.
+type ScaleReport struct {
+	Config ScaleConfig
+	Rows   []ScaleRow
+}
+
+// Scale runs the mega-scale sweep. Every configuration is phantom
+// (size-only payloads) — at these process counts real payload memory,
+// not the executor, would be the wall.
+func Scale(o Options, cfg ScaleConfig) (ScaleReport, error) {
+	o = o.withDefaults()
+	cfg.defaults()
+	rep := ScaleReport{Config: cfg}
+
+	measure := func(name string, P int, body func(p *mpi.Proc) error) error {
+		w, err := mpi.NewWorld(P,
+			mpi.WithModel(o.Model),
+			mpi.WithPhantom(),
+			mpi.WithExecutor(cfg.Executor),
+			mpi.WithDeadline(cfg.Deadline))
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if err := w.Run(body); err != nil {
+			return fmt.Errorf("%s P=%d: %w", name, P, err)
+		}
+		runtime.ReadMemStats(&after)
+		heap := float64(int64(after.HeapInuse+after.StackInuse) - int64(before.HeapInuse+before.StackInuse))
+		if heap < 0 {
+			heap = 0
+		}
+		rep.Rows = append(rep.Rows, ScaleRow{
+			Collective:       name,
+			P:                P,
+			VirtualNs:        w.MaxTime(),
+			Messages:         w.TotalMessages(),
+			WallNs:           w.RunStats().WallNs,
+			HeapBytesPerRank: heap / float64(P),
+		})
+		o.progress("scale %-10s P=%-7d virt %.0fns msgs %-9d wall %.2fs %.0f B/rank",
+			name, P, w.MaxTime(), w.TotalMessages(),
+			float64(w.RunStats().WallNs)/1e9, heap/float64(P))
+		return nil
+	}
+
+	for _, P := range cfg.Ps {
+		err := measure("barrier", P, func(p *mpi.Proc) error {
+			p.Barrier()
+			return nil
+		})
+		if err != nil {
+			return rep, err
+		}
+		err = measure("allreduce", P, func(p *mpi.Proc) error {
+			if got, want := p.AllreduceSumInt64(1), int64(P); got != want {
+				return fmt.Errorf("rank %d: allreduce sum %d, want %d", p.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			return rep, err
+		}
+	}
+	for _, P := range cfg.VPs {
+		spec := cfg.Spec
+		err := measure("alltoallv", P, func(p *mpi.Proc) error {
+			sc := make([]int, P)
+			rc := make([]int, P)
+			sd := make([]int, P)
+			rd := make([]int, P)
+			spec.Counts(p.Rank(), P, sc, rc)
+			sTotal := displsInto(sd, sc)
+			rTotal := displsInto(rd, rc)
+			send := buffer.Phantom(sTotal)
+			recv := buffer.Phantom(rTotal)
+			return coll.TwoPhaseBruck(p, send, sc, sd, recv, rc, rd)
+		})
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// Fprint renders the sweep as the results/scale.txt table.
+func (r ScaleReport) Fprint(w io.Writer) {
+	c := r.Config
+	fmt.Fprintf(w, "# scale — event-executor mega-scale sweep: %s backend, phantom payloads, %s workload for alltoallv\n",
+		c.Executor, c.Spec)
+	rows := [][]string{{"collective", "P", "virtual (us)", "messages", "wall (s)", "B/rank"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Collective,
+			fmt.Sprintf("%d", row.P),
+			fmt.Sprintf("%.2f", row.VirtualNs/1e3),
+			fmt.Sprintf("%d", row.Messages),
+			fmt.Sprintf("%.2f", float64(row.WallNs)/1e9),
+			fmt.Sprintf("%.0f", row.HeapBytesPerRank),
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  (log-depth collectives sweep to P=%d; alltoallv stops at P=%d because each rank's\n", c.MaxP, c.VPs[len(c.VPs)-1])
+	fmt.Fprintln(w, "   count/displacement arrays are O(P) — O(P^2) across the world — independent of executor)")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/mpi"
+)
+
+// TestScaleSmall runs the sweep at toy sizes: every row must carry a
+// positive virtual time and message count, and the alltoallv rows must
+// verify byte flow on the event backend.
+func TestScaleSmall(t *testing.T) {
+	cfg := ScaleConfig{
+		Ps:       []int{16, 64},
+		MaxP:     64,
+		VPs:      []int{16},
+		Executor: mpi.ExecutorEvents,
+	}
+	rep, err := Scale(Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*len(cfg.Ps) + len(cfg.VPs); len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), want)
+	}
+	for _, row := range rep.Rows {
+		if row.VirtualNs <= 0 || row.Messages <= 0 {
+			t.Errorf("%s P=%d: degenerate row %+v", row.Collective, row.P, row)
+		}
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "alltoallv") || !strings.Contains(sb.String(), "events") {
+		t.Errorf("rendered report missing expected rows:\n%s", sb.String())
+	}
+}
+
+// TestScaleBackendsAgree: the sweep's virtual observables are
+// executor-independent.
+func TestScaleBackendsAgree(t *testing.T) {
+	run := func(e mpi.Executor) ScaleReport {
+		rep, err := Scale(Options{}, ScaleConfig{Ps: []int{32}, MaxP: 32, VPs: []int{32}, Executor: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rg, re := run(mpi.ExecutorGoroutines), run(mpi.ExecutorEvents)
+	for i := range rg.Rows {
+		a, b := rg.Rows[i], re.Rows[i]
+		if a.VirtualNs != b.VirtualNs || a.Messages != b.Messages {
+			t.Errorf("%s P=%d diverged: goroutines {%v %d}, events {%v %d}",
+				a.Collective, a.P, a.VirtualNs, a.Messages, b.VirtualNs, b.Messages)
+		}
+	}
+}

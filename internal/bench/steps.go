@@ -48,6 +48,7 @@ func Steps(o Options, alg string, P int, spec dist.Spec, rpn int) (StepsReport, 
 		RanksPerNode: rpn,
 		Trace:        true,
 		Faults:       o.Faults,
+		Executor:     o.Executor,
 	})
 	if err != nil {
 		return StepsReport{}, err

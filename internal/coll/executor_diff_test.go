@@ -1,0 +1,349 @@
+package coll
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/fault"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// Cross-backend differential conformance: every registered algorithm,
+// through the blocking, non-blocking, and persistent entry points, must
+// produce byte-identical payloads AND bit-identical virtual timings on
+// the goroutine and event executors. The pricing model is a pure
+// function of message flow, so any divergence here is an executor bug
+// (lost message, reordered match, or mispriced wake), not a tolerance
+// issue.
+
+// diffWorld builds one world per executor backend with an otherwise
+// identical configuration.
+func diffWorlds(t *testing.T, P int, opts ...mpi.Option) (wg, we *mpi.World) {
+	t.Helper()
+	mk := func(e mpi.Executor) *mpi.World {
+		w, err := mpi.NewWorld(P, append([]mpi.Option{
+			mpi.WithModel(machine.Theta()),
+			mpi.WithRanksPerNode(4),
+			mpi.WithExecutor(e),
+			mpi.WithDeadline(2 * time.Minute),
+		}, opts...)...)
+		if err != nil {
+			t.Fatalf("executor %v: %v", e, err)
+		}
+		return w
+	}
+	return mk(mpi.ExecutorGoroutines), mk(mpi.ExecutorEvents)
+}
+
+// diffStats asserts the virtual-clock observables of the two worlds'
+// last Runs are bit-identical. Host-side stats (wall time, allocations,
+// GC) are deliberately excluded: they depend on interleaving.
+func diffStats(t *testing.T, label string, wg, we *mpi.World) {
+	t.Helper()
+	if a, b := wg.MaxTime(), we.MaxTime(); a != b {
+		t.Errorf("%s: MaxTime diverged: goroutines %v, events %v", label, a, b)
+	}
+	if a, b := wg.TotalBytes(), we.TotalBytes(); a != b {
+		t.Errorf("%s: TotalBytes diverged: goroutines %v, events %v", label, a, b)
+	}
+	if a, b := wg.TotalMessages(), we.TotalMessages(); a != b {
+		t.Errorf("%s: TotalMessages diverged: goroutines %v, events %v", label, a, b)
+	}
+	if a, b := wg.MaxPhase(), we.MaxPhase(); !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: MaxPhase diverged: goroutines %v, events %v", label, a, b)
+	}
+}
+
+// diffRun runs the same rank function on both backends, demands both
+// Runs agree on success/failure, and checks the timing observables.
+// The per-rank byte payload produced by fn is returned for equality
+// via the out callback keyed (rank → bytes).
+func diffRun(t *testing.T, label string, wg, we *mpi.World, fn func(p *mpi.Proc) (buffer.Buf, error)) {
+	t.Helper()
+	collect := func(w *mpi.World) ([][]byte, error) {
+		out := make([][]byte, w.Size())
+		err := w.Run(func(p *mpi.Proc) error {
+			buf, err := fn(p)
+			if err != nil {
+				return err
+			}
+			out[p.Rank()] = buf.Bytes()
+			return nil
+		})
+		return out, err
+	}
+	og, eg := collect(wg)
+	oe, ee := collect(we)
+	if (eg == nil) != (ee == nil) {
+		t.Fatalf("%s: backends disagree on outcome: goroutines err=%v, events err=%v", label, eg, ee)
+	}
+	if eg != nil {
+		return
+	}
+	for r := range og {
+		if !bytes.Equal(og[r], oe[r]) {
+			t.Errorf("%s: rank %d payload differs between executors", label, r)
+		}
+	}
+	diffStats(t, label, wg, we)
+}
+
+// TestExecutorDiffConformanceGrid is the main cross-backend grid:
+// every registered algorithm (plus the auto-tuned variants) under two
+// seeds, byte-exact and timing-exact between executors.
+func TestExecutorDiffConformanceGrid(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	impls := conformanceImpls(P, maxN)
+	seeds := []uint64{3, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, name := range Names(impls) {
+		alg := impls[name]
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				wg, we := diffWorlds(t, P)
+				diffRun(t, name, wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+					send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+					got := buffer.New(rTotal)
+					if err := alg(p, send, sc, sd, got, rc, rd); err != nil {
+						return buffer.Buf{}, err
+					}
+					return got, nil
+				})
+			})
+		}
+	}
+}
+
+// TestExecutorDiffEntryPoints covers the non-blocking and persistent
+// entry points: deferred pricing (overlap rewind) and frozen-schedule
+// replay must stay bit-identical across executors.
+func TestExecutorDiffEntryPoints(t *testing.T) {
+	const P = 8
+	const maxN = 20
+	const seed = 7
+	t.Run("nonblocking", func(t *testing.T) {
+		wg, we := diffWorlds(t, P)
+		diffRun(t, "IAlltoallv", wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			got := buffer.New(rTotal)
+			req, err := IAlltoallv(p, TwoPhaseBruck, send, sc, sd, got, rc, rd)
+			if err != nil {
+				return buffer.Buf{}, err
+			}
+			p.Charge(500 * float64(p.Rank()%3))
+			if err := req.Wait(); err != nil {
+				return buffer.Buf{}, err
+			}
+			return got, nil
+		})
+	})
+	t.Run("persistent", func(t *testing.T) {
+		wg, we := diffWorlds(t, P)
+		diffRun(t, "PersistentV", wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+			h, err := AlltoallvInit(p, 2, sc, sd, rc, rd)
+			if err != nil {
+				return buffer.Buf{}, err
+			}
+			defer h.Free()
+			acc := buffer.New(3 * rTotal)
+			for it := 0; it < 3; it++ {
+				got := buffer.New(rTotal)
+				if err := h.Start(send, got); err != nil {
+					return buffer.Buf{}, err
+				}
+				copy(acc.Bytes()[it*rTotal:], got.Bytes())
+			}
+			return acc, nil
+		})
+	})
+}
+
+// TestExecutorDiffChaosGrid reruns the straggler/jitter chaos cells on
+// the event backend, differentially against the goroutine backend.
+// Fault draws are pure functions of (seed, flow), so the perturbed
+// clocks must also be bit-identical.
+func TestExecutorDiffChaosGrid(t *testing.T) {
+	const P = 8
+	const maxN = 24
+	cells := []fault.Plan{
+		{Seed: 5, NumStragglers: 1, Slowdown: 4},
+		{Seed: 6, Jitter: 0.5},
+		{Seed: 7, NumStragglers: 3, Slowdown: 4, Jitter: 0.1},
+	}
+	if testing.Short() {
+		cells = cells[:1]
+	}
+	for _, pl := range cells {
+		t.Run(fmt.Sprintf("seed=%d,stragglers=%d,jitter=%g", pl.Seed, pl.NumStragglers, pl.Jitter), func(t *testing.T) {
+			wg, we := diffWorlds(t, P, mpi.WithFaults(pl))
+			diffRun(t, "chaos", wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+				send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, pl.Seed+91)
+				got := buffer.New(rTotal)
+				ref := buffer.New(rTotal)
+				if err := TwoPhaseBruck(p, send, sc, sd, got, rc, rd); err != nil {
+					return buffer.Buf{}, err
+				}
+				if err := NaiveAlltoallv(p, send, sc, sd, ref, rc, rd); err != nil {
+					return buffer.Buf{}, err
+				}
+				if !buffer.Equal(got, ref) {
+					t.Errorf("rank %d: wrong bytes under %v", p.Rank(), pl)
+				}
+				return got, nil
+			})
+		})
+	}
+}
+
+// TestExecutorDiffReliabilityGrid reruns the loss/dup/corrupt mixes on
+// the event backend: retransmission pricing and dedup must match the
+// goroutine backend bit for bit.
+func TestExecutorDiffReliabilityGrid(t *testing.T) {
+	const P = 8
+	const maxN = 16
+	mixes := []fault.Plan{
+		{Seed: 2, Loss: 0.2},
+		{Seed: 3, Dup: 0.15},
+		{Seed: 4, Corrupt: 0.15},
+		{Seed: 5, Loss: 0.1, Dup: 0.1, Corrupt: 0.1},
+	}
+	if testing.Short() {
+		mixes = mixes[len(mixes)-1:]
+	}
+	for _, pl := range mixes {
+		t.Run(fmt.Sprintf("seed=%d,loss=%g,dup=%g,corrupt=%g", pl.Seed, pl.Loss, pl.Dup, pl.Corrupt), func(t *testing.T) {
+			wg, we := diffWorlds(t, P, mpi.WithFaults(pl), mpi.WithTransportChecks())
+			diffRun(t, "reliability", wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+				send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, pl.Seed+55)
+				got := buffer.New(rTotal)
+				if err := TwoPhaseBruck(p, send, sc, sd, got, rc, rd); err != nil {
+					return buffer.Buf{}, err
+				}
+				return got, nil
+			})
+		})
+	}
+}
+
+// TestExecutorDiffCrashShrink: a crashed rank must surface as the same
+// RankFailedError (same failed set) on both backends, and the Shrink'd
+// survivor run must be byte-exact and timing-identical.
+func TestExecutorDiffCrashShrink(t *testing.T) {
+	const P = 8
+	const maxN = 16
+	pl := fault.Plan{Seed: 9, Loss: 0.1, Crashes: []fault.Crash{{Rank: 2, AtNs: 0}}}
+	wg, we := diffWorlds(t, P, mpi.WithFaults(pl))
+	runCrash := func(w *mpi.World) error {
+		return w.Run(func(p *mpi.Proc) error {
+			send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, 31)
+			got := buffer.New(rTotal)
+			return TwoPhaseBruck(p, send, sc, sd, got, rc, rd)
+		})
+	}
+	eg, ee := runCrash(wg), runCrash(we)
+	var rg, re *mpi.RankFailedError
+	if !errors.As(eg, &rg) || !errors.As(ee, &re) {
+		t.Fatalf("expected RankFailedError on both backends, got goroutines=%v events=%v", eg, ee)
+	}
+	if !reflect.DeepEqual(rg.FailedRanks(), re.FailedRanks()) {
+		t.Fatalf("failed sets diverged: goroutines %v, events %v", rg.FailedRanks(), re.FailedRanks())
+	}
+	diffRun(t, "post-shrink", wg, we, func(p *mpi.Proc) (buffer.Buf, error) {
+		sub := p.Shrink()
+		if sub == nil || sub.Size() != P-1 {
+			return buffer.Buf{}, fmt.Errorf("rank %d: bad shrink", p.Rank())
+		}
+		send, sc, sd, rc, rd, rTotal := vSetup(sub.Rank(), sub.Size(), maxN, 32)
+		got := buffer.New(rTotal)
+		if err := TwoPhaseBruck(sub, send, sc, sd, got, rc, rd); err != nil {
+			return buffer.Buf{}, err
+		}
+		return got, nil
+	})
+}
+
+// FuzzExecutor is the differential fuzz target: fuzzer-chosen world
+// size, fault mix, and workload seed, run on BOTH executors. The
+// invariant is total equivalence — byte-identical payloads and
+// bit-identical virtual clocks on success, or the same typed failure
+// (RankFailedError with the same failed set) on crash. Divergence in
+// either direction is an executor bug.
+func FuzzExecutor(f *testing.F) {
+	f.Add(4, 12, uint64(1), uint8(0), uint8(0), uint8(255))
+	f.Add(9, 8, uint64(7), uint8(60), uint8(30), uint8(255))
+	f.Add(12, 9, uint64(3), uint8(30), uint8(0), uint8(3)) // crash rank 3
+	f.Add(1, 0, uint64(0), uint8(0), uint8(0), uint8(255))
+	f.Fuzz(func(t *testing.T, P, maxN int, seed uint64, loss, jitter, crash uint8) {
+		if P < 1 {
+			P = 1
+		}
+		P = P%16 + 1
+		maxN = maxN % 32
+		if maxN < 0 {
+			maxN = -maxN
+		}
+		pl := fault.Plan{
+			Seed:   seed,
+			Loss:   float64(loss%100) / 256,
+			Jitter: float64(jitter%100) / 256,
+		}
+		if int(crash) < P && P > 1 {
+			pl.Crashes = []fault.Crash{{Rank: int(crash), AtNs: 0}}
+		}
+		run := func(e mpi.Executor) ([][]byte, float64, error) {
+			w, err := mpi.NewWorld(P,
+				mpi.WithModel(machine.Theta()),
+				mpi.WithFaults(pl),
+				mpi.WithExecutor(e),
+				mpi.WithDeadline(time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([][]byte, P)
+			err = w.Run(func(p *mpi.Proc) error {
+				send, sc, sd, rc, rd, rTotal := vSetup(p.Rank(), P, maxN, seed)
+				got := buffer.New(rTotal)
+				if err := TwoPhaseBruck(p, send, sc, sd, got, rc, rd); err != nil {
+					return err
+				}
+				out[p.Rank()] = got.Bytes()
+				return nil
+			})
+			return out, w.MaxTime(), err
+		}
+		og, tg, eg := run(mpi.ExecutorGoroutines)
+		oe, te, ee := run(mpi.ExecutorEvents)
+		if (eg == nil) != (ee == nil) {
+			t.Fatalf("outcome diverged (P=%d %v): goroutines err=%v, events err=%v", P, pl, eg, ee)
+		}
+		if eg != nil {
+			var rg, re *mpi.RankFailedError
+			gIs, eIs := errors.As(eg, &rg), errors.As(ee, &re)
+			if gIs != eIs {
+				t.Fatalf("error type diverged (P=%d %v): goroutines %v, events %v", P, pl, eg, ee)
+			}
+			if gIs && !reflect.DeepEqual(rg.FailedRanks(), re.FailedRanks()) {
+				t.Fatalf("failed set diverged (P=%d %v): %v vs %v", P, pl, rg.FailedRanks(), re.FailedRanks())
+			}
+			return
+		}
+		if tg != te {
+			t.Fatalf("MaxTime diverged (P=%d %v): goroutines %v, events %v", P, pl, tg, te)
+		}
+		for r := 0; r < P; r++ {
+			if !bytes.Equal(og[r], oe[r]) {
+				t.Fatalf("rank %d payload diverged (P=%d %v)", r, P, pl)
+			}
+		}
+	})
+}

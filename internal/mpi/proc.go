@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/trace"
@@ -114,6 +115,19 @@ type procState struct {
 	// applied to recorded events (trace.NoStep outside any step).
 	tr   *trace.Buffer
 	step int
+
+	// Event-backend state (see internal/mpi/events.go), unused under
+	// the goroutine backend. evResume carries this rank's resume token
+	// (buffered 1, at most one in flight); evState is the scheduler's
+	// view of the rank, guarded by evSched.mu; evSpawned records whether
+	// this run's carrier goroutine exists; evForce, set by the
+	// scheduler's stall escalation, lets one send bypass the inbox
+	// credit check (atomic so the sender reads it without taking
+	// evSched.mu inside box.mu).
+	evResume  chan struct{}
+	evState   int32
+	evSpawned bool
+	evForce   atomic.Bool
 }
 
 type phaseMark struct {
@@ -171,6 +185,11 @@ type inbox struct {
 	arr    []matchKey
 	arrPos int
 	qn     int
+	// parked lists senders waiting for credit on this inbox (event
+	// backend only; see evSched.creditWait). Entries may be stale —
+	// unpark's state check skips them — and the list is cleared by
+	// reset between runs.
+	parked []*procState
 }
 
 // noteConsumed records that n queued messages were taken out of the
@@ -181,6 +200,17 @@ func (b *inbox) noteConsumed(n int) {
 	if b.qn == 0 {
 		b.arr = b.arr[:0]
 		b.arrPos = 0
+	}
+}
+
+// drained is the consume-side bookkeeping for this rank's own inbox:
+// noteConsumed plus, on the event backend, waking senders parked on
+// the freed credit. Must run under box.mu (the rank draining an inbox
+// is always its owner).
+func (p *procState) drained(n int) {
+	p.box.noteConsumed(n)
+	if s := p.w.ev; s != nil && len(p.box.parked) > 0 {
+		s.unpark(&p.box)
 	}
 }
 
@@ -205,6 +235,9 @@ func newProc(w *World, grank int) *Proc {
 	st.box.cond = sync.NewCond(&st.box.mu)
 	st.box.q = make(map[matchKey]*msgQueue)
 	st.wanted = make(map[matchKey]*reqQueue)
+	if w.executor == ExecutorEvents {
+		st.evResume = make(chan struct{}, 1)
+	}
 	if w.arenas[grank] == nil {
 		w.arenas[grank] = new(buffer.Arena)
 	}
@@ -241,6 +274,10 @@ func (st *procState) reset(tr *trace.Buffer) {
 	st.box.arr = st.box.arr[:0]
 	st.box.arrPos = 0
 	st.box.qn = 0
+	for i := range st.box.parked {
+		st.box.parked[i] = nil
+	}
+	st.box.parked = st.box.parked[:0]
 }
 
 // Rank returns this rank's id in [0, Size) within this handle's

@@ -40,6 +40,13 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 		p.crashNow()
 	}
 	gdst := p.grp.ranks[dst]
+	if s := p.w.ev; s != nil && gdst != p.grank {
+		// Event backend flow control: park while the destination inbox
+		// is at capacity. Parking happens before any pricing and charges
+		// nothing, so virtual timings are unaffected; self-sends skip it
+		// (a rank cannot drain its own inbox while parked on it).
+		s.creditWait(p, gdst)
+	}
 	n := b.Len()
 	os, g, l := p.w.model.SendOverhead, p.w.geff, p.w.model.Latency
 	if p.w.SameNode(p.grank, gdst) {
@@ -118,7 +125,11 @@ func (p *Proc) sendf(dst, tag int, b buffer.Buf, f float64) {
 	dp.box.arr = append(dp.box.arr, key)
 	dp.box.qn++
 	p.w.activity.Add(1)
-	dp.box.cond.Broadcast()
+	if s := p.w.ev; s != nil {
+		s.wake(dp.procState)
+	} else {
+		dp.box.cond.Broadcast()
+	}
 	dp.box.mu.Unlock()
 }
 
@@ -232,7 +243,7 @@ func (p *Proc) matchBlocking(ctx uint32, src, tag int) message {
 				q.msgs = q.msgs[:0]
 				q.head = 0
 			}
-			p.box.noteConsumed(1)
+			p.drained(1)
 			p.w.activity.Add(1)
 			return m
 		}
@@ -244,6 +255,14 @@ func (p *Proc) matchBlocking(ctx uint32, src, tag int) message {
 			pend = p.pendScratch[:]
 		}
 		p.setWait("Recv", pend)
+		if s := p.w.ev; s != nil {
+			// Event backend: relinquish the carrier slot until a message
+			// is enqueued for this rank (or the run aborts); the loop
+			// re-checks the bucket and the dead flag on resume.
+			s.blockWait(p.procState)
+			p.clearWait()
+			continue
+		}
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
 			p.box.mu.Unlock()
 			p.w.suspectDeadlock()
@@ -426,7 +445,7 @@ func (p *Proc) waitallTake(key matchKey) bool {
 		mq.head = 0
 	}
 	p.wOutstanding -= n
-	p.box.noteConsumed(n)
+	p.drained(n)
 	p.w.activity.Add(int64(n))
 	return true
 }
@@ -513,6 +532,11 @@ func (p *Proc) Waitall(rs []*Request) error {
 			panic(runAbort{p.rank})
 		}
 		p.setWait("Waitall", p.pendingFromWanted())
+		if s := p.w.ev; s != nil {
+			s.blockWait(p.procState)
+			p.clearWait()
+			continue
+		}
 		if p.w.blocked.Add(1)+p.w.finished.Load() == int32(p.w.size) {
 			p.box.mu.Unlock()
 			p.w.suspectDeadlock()

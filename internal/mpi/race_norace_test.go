@@ -1,0 +1,9 @@
+//go:build !race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in; the
+// mega-scale tests shrink their world sizes under -race, where the
+// per-access instrumentation would turn a seconds-long audit into tens
+// of minutes.
+const raceEnabled = false

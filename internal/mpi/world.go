@@ -44,7 +44,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -65,6 +64,13 @@ type World struct {
 	geff         float64 // effective inter-node per-byte time for this world size
 	ranksPerNode int
 	rpnSet       bool // WithRanksPerNode was passed (even with a bad value)
+
+	// executor selects the execution backend (see WithExecutor); ev is
+	// the discrete-event scheduler, non-nil only under ExecutorEvents.
+	// Hot paths branch on ev == nil, so the default backend pays one
+	// nil check per site.
+	executor Executor
+	ev       *evSched
 
 	// Fault layer (see WithFaults). faultsOn gates every perturbation
 	// site; straggler is the per-rank mask resolved from the plan.
@@ -139,6 +145,11 @@ type World struct {
 	finished atomic.Int32 // ranks whose functions have returned
 	activity atomic.Int64 // bumps on every enqueue and every match
 	dead     atomic.Bool  // run aborted (deadlock declared or deadline hit)
+
+	// ddSlowProbes counts entries into suspectDeadlock's yield-and-settle
+	// probe (after the clean-termination fast path), observable by tests
+	// pinning that normal termination never pays for the heuristic.
+	ddSlowProbes atomic.Int64
 
 	// deadMu guards the abort diagnostic, its external cause, and the
 	// run generation; gen keeps a stale watchdog from a previous Run
@@ -322,6 +333,17 @@ func (w *World) initSession() {
 		w.arenas = make([]*buffer.Arena, w.size)
 	}
 	w.procs = make([]*Proc, w.size)
+	if w.executor == ExecutorEvents {
+		// The event backend spawns carrier goroutines lazily per Run
+		// (they exit when the rank function returns), so the session
+		// keeps no resident goroutines at all — the part of the
+		// per-rank footprint the backend exists to shed at mega-scale.
+		w.ev = newEvSched(w)
+		for r := 0; r < w.size; r++ {
+			w.procs[r] = newProc(w, r)
+		}
+		return
+	}
 	w.workers = make([]chan func(), w.size)
 	for r := 0; r < w.size; r++ {
 		w.procs[r] = newProc(w, r)
@@ -505,45 +527,36 @@ func (w *World) RunContext(ctx context.Context, fn func(p *Proc) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
-	for r := 0; r < w.size; r++ {
-		p := w.procs[r]
-		if w.failed != nil && w.failed[p.grank] {
-			// A rank that died in an earlier Run never executes again:
-			// it counts as finished from the start, and the transport
-			// treats it as crashed at virtual time zero (see deadAt).
-			w.finished.Add(1)
-			wg.Done()
-			continue
-		}
-		w.workers[r] <- func() {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					switch rc := v.(type) {
-					case runAbort:
-						// Deliberate unwind after an abort was declared;
-						// the abort error carries the diagnostic, so
-						// per-rank noise (and its stack) is dropped.
-						errs[p.rank] = nil
-					case rankCrash:
-						// The rank reached its fault-plan crash time; the
-						// run-level RankFailedError reports it.
-						w.crashMu.Lock()
-						w.crashedRun = append(w.crashedRun, rc.rank)
-						w.crashMu.Unlock()
-						errs[p.rank] = nil
-					default:
-						errs[p.rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", p.rank, v, debug.Stack())
+	if w.ev != nil {
+		// Event backend: the scheduler dispatches every live rank in
+		// virtual-clock order on a bounded carrier set; deadlock
+		// detection is exact (see evSched.escalate), so the heuristic
+		// suspectDeadlock path is never involved.
+		w.ev.launch(fn, errs, &wg)
+	} else {
+		for r := 0; r < w.size; r++ {
+			p := w.procs[r]
+			if w.failed != nil && w.failed[p.grank] {
+				// A rank that died in an earlier Run never executes again:
+				// it counts as finished from the start, and the transport
+				// treats it as crashed at virtual time zero (see deadAt).
+				w.finished.Add(1)
+				wg.Done()
+				continue
+			}
+			w.workers[r] <- func() {
+				defer wg.Done()
+				defer func() {
+					w.classifyRankPanic(recover(), p, errs)
+					// A rank exiting early (error, panic, or crash) can
+					// strand the others mid-collective; its exit may
+					// complete the deadlock condition.
+					if w.finished.Add(1)+w.blocked.Load() == int32(w.size) {
+						w.suspectDeadlock()
 					}
-				}
-				// A rank exiting early (error, panic, or crash) can
-				// strand the others mid-collective; its exit may
-				// complete the deadlock condition.
-				if w.finished.Add(1)+w.blocked.Load() == int32(w.size) {
-					w.suspectDeadlock()
-				}
-			}()
-			errs[p.rank] = fn(p)
+				}()
+				errs[p.rank] = fn(p)
+			}
 		}
 	}
 	wg.Wait()
@@ -698,6 +711,10 @@ func (w *World) sweepInboxes() {
 			q.msgs = q.msgs[:0]
 			q.head = 0
 		}
+		for i := range p.box.parked {
+			p.box.parked[i] = nil
+		}
+		p.box.parked = p.box.parked[:0]
 	}
 }
 
@@ -708,6 +725,16 @@ func (w *World) sweepInboxes() {
 // so "every live rank is waiting for a message" cannot resolve itself.
 // The check is best-effort and errs toward not firing.
 func (w *World) suspectDeadlock() {
+	if w.blocked.Load() == 0 && w.finished.Load() == int32(w.size) {
+		// Clean termination: the last returning rank trivially satisfies
+		// blocked+finished == size, and with zero blocked ranks nothing
+		// can be deadlocked (sends never block). Returning here keeps
+		// normal Runs from paying the probe below — previously every
+		// clean Run burned ~200 yields plus a millisecond sleep re-
+		// verifying a non-condition.
+		return
+	}
+	w.ddSlowProbes.Add(1)
 	act := w.activity.Load()
 	// Cheap pass first: with many ranks on few cores, "everyone is
 	// blocked" is routinely true for an instant while wake-ups are
@@ -796,4 +823,10 @@ func (w *World) declareAbort(gen int64, reason string, cause error, failed []int
 	}
 	w.ctxCause = cause
 	w.deadMu.Unlock()
+	if w.ev != nil {
+		// Event backend: blocked and credit-parked ranks are not waiting
+		// on the conds broadcast above; ready them so they observe the
+		// dead flag and unwind.
+		w.ev.wakeAllBlocked()
+	}
 }
