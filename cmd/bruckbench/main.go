@@ -73,7 +73,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,loss,auto,hostperf,scale,all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 2a,2b,6,7,8,9,10,13,steps,chaos,loss,auto,hostperf,scale,families,all")
 		psFlag   = flag.String("ps", "", "comma-separated process counts (default: per-figure)")
 		nsFlag   = flag.String("ns", "", "comma-separated max block sizes in bytes")
 		iters    = flag.Int("iters", 5, "iterations per configuration (paper: 20)")
@@ -312,6 +312,20 @@ func main() {
 			cfg.Spec = dist.Spec{Kind: dist.Uniform, N: ns[0], Seed: *seed}
 		}
 		r, err := bench.Scale(o, cfg)
+		check(err)
+		r.Fprint(out)
+	}
+	if want["families"] {
+		// For this figure -ns is the total volume per call (the full
+		// gathered result / reduced vector), not a per-block size.
+		cfg := bench.FamiliesConfig{Executor: executor}
+		if len(ps) > 0 {
+			cfg.Ps = ps
+		}
+		if len(ns) > 0 {
+			cfg.Ns = ns
+		}
+		r, err := bench.Families(o, cfg)
 		check(err)
 		r.Fprint(out)
 	}

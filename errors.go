@@ -46,6 +46,11 @@ var (
 	// ErrHandleFreed marks a Start on a persistent handle after Free.
 	ErrHandleFreed = coll.ErrHandleFreed
 
+	// ErrInvalidOp marks an unknown ReduceOp passed to a reducing
+	// collective (ReduceScatter, Allreduce, or their nonblocking and
+	// persistent forms).
+	ErrInvalidOp = coll.ErrInvalidOp
+
 	// ErrInvalidFaultPlan marks a malformed FaultPlan passed to NewWorld
 	// via WithFaults: a loss, duplication, or corruption probability
 	// outside [0, 1), a retransmission backoff below 1, or duplicate or

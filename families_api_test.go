@@ -1,0 +1,494 @@
+package bruckv
+
+import (
+	"errors"
+	"testing"
+)
+
+// Public-API tests for the collective families: enum vocabulary and
+// parse round trips, correctness of every Comm entry point (blocking,
+// With, nonblocking, persistent) against locally computed oracles,
+// typed validation errors, and phantom-world nil buffers.
+
+var agNamesGolden = []string{"auto", "bruck", "doubling", "linear"}
+var rsNamesGolden = []string{"auto", "halving", "direct"}
+var arNamesGolden = []string{"auto", "doubling", "rsag"}
+
+func TestFamilyAlgorithmsGoldenAndParseRoundTrip(t *testing.T) {
+	ag := AllgathervAlgorithmList()
+	if len(ag) != len(agNamesGolden) {
+		t.Fatalf("AllgathervAlgorithmList() has %d entries, golden %d", len(ag), len(agNamesGolden))
+	}
+	for i, a := range ag {
+		if int(a) != i || a.String() != agNamesGolden[i] {
+			t.Errorf("allgatherv enum %d = %v %q, want %q in enum order", i, a, a.String(), agNamesGolden[i])
+		}
+		if back, err := ParseAllgathervAlgorithm(a.String()); err != nil || back != a {
+			t.Errorf("ParseAllgathervAlgorithm(%q) = %v, %v", a.String(), back, err)
+		}
+	}
+	rs := ReduceScatterAlgorithmList()
+	if len(rs) != len(rsNamesGolden) {
+		t.Fatalf("ReduceScatterAlgorithmList() has %d entries, golden %d", len(rs), len(rsNamesGolden))
+	}
+	for i, a := range rs {
+		if int(a) != i || a.String() != rsNamesGolden[i] {
+			t.Errorf("reduce-scatter enum %d = %v %q, want %q in enum order", i, a, a.String(), rsNamesGolden[i])
+		}
+		if back, err := ParseReduceScatterAlgorithm(a.String()); err != nil || back != a {
+			t.Errorf("ParseReduceScatterAlgorithm(%q) = %v, %v", a.String(), back, err)
+		}
+	}
+	ar := AllreduceAlgorithmList()
+	if len(ar) != len(arNamesGolden) {
+		t.Fatalf("AllreduceAlgorithmList() has %d entries, golden %d", len(ar), len(arNamesGolden))
+	}
+	for i, a := range ar {
+		if int(a) != i || a.String() != arNamesGolden[i] {
+			t.Errorf("allreduce enum %d = %v %q, want %q in enum order", i, a, a.String(), arNamesGolden[i])
+		}
+		if back, err := ParseAllreduceAlgorithm(a.String()); err != nil || back != a {
+			t.Errorf("ParseAllreduceAlgorithm(%q) = %v, %v", a.String(), back, err)
+		}
+	}
+	for _, err := range []error{
+		func() error { _, e := ParseAllgathervAlgorithm("nope"); return e }(),
+		func() error { _, e := ParseReduceScatterAlgorithm("nope"); return e }(),
+		func() error { _, e := ParseAllreduceAlgorithm("nope"); return e }(),
+	} {
+		if !errors.Is(err, ErrInvalidAlgorithm) {
+			t.Errorf("unknown name error = %v, want ErrInvalidAlgorithm", err)
+		}
+	}
+}
+
+// pubByte is the deterministic per-rank test pattern.
+func pubByte(rank, j int) byte { return byte(rank*37 + j*11 + 5) }
+
+// pubLayout is the varied per-rank contribution layout of the
+// correctness tests.
+func pubLayout(P int) (rcounts, rdispls []int, total int) {
+	rcounts = make([]int, P)
+	for i := range rcounts {
+		rcounts[i] = 1 + (i*5)%7
+	}
+	rdispls, total = Displacements(rcounts)
+	return rcounts, rdispls, total
+}
+
+func TestPublicAllgatherv(t *testing.T) {
+	const P = 6
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		rcounts, rdispls, total := pubLayout(P)
+		mine := rcounts[c.Rank()]
+		send := make([]byte, mine)
+		for j := range send {
+			send[j] = pubByte(c.Rank(), j)
+		}
+		want := make([]byte, total)
+		for r := 0; r < P; r++ {
+			for j := 0; j < rcounts[r]; j++ {
+				want[rdispls[r]+j] = pubByte(r, j)
+			}
+		}
+		check := func(label string, got []byte) error {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: rank %d byte %d = %d, want %d", label, c.Rank(), i, got[i], want[i])
+					return nil
+				}
+			}
+			return nil
+		}
+		for _, alg := range AllgathervAlgorithmList() {
+			recv := make([]byte, total)
+			if err := c.AllgathervWith(alg, send, mine, recv, rcounts, rdispls); err != nil {
+				return err
+			}
+			if err := check("with:"+alg.String(), recv); err != nil {
+				return err
+			}
+		}
+		recv := make([]byte, total)
+		if err := c.Allgatherv(send, mine, recv, rcounts, rdispls); err != nil {
+			return err
+		}
+		if err := check("auto", recv); err != nil {
+			return err
+		}
+		// Nonblocking with overlapped compute.
+		recv = make([]byte, total)
+		op, err := c.IAllgatherv(send, mine, recv, rcounts, rdispls)
+		if err != nil {
+			return err
+		}
+		c.ChargeComputeNs(500)
+		if err := c.Waitall(op); err != nil {
+			return err
+		}
+		if err := check("iallgatherv", recv); err != nil {
+			return err
+		}
+		// Persistent: two starts, then Free poisons the handle.
+		h, err := c.AllgathervInit(rcounts, rdispls)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			recv = make([]byte, total)
+			if err := h.Start(send, recv); err != nil {
+				return err
+			}
+			if err := check("persistent", recv); err != nil {
+				return err
+			}
+		}
+		if h.Executions() != 2 {
+			t.Errorf("rank %d: Executions() = %d, want 2", c.Rank(), h.Executions())
+		}
+		h.Free()
+		if err := h.Start(send, recv); !errors.Is(err, ErrHandleFreed) {
+			t.Errorf("rank %d: Start after Free = %v, want ErrHandleFreed", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReduceScatter(t *testing.T) {
+	const P = 6
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		counts, displs, total := pubLayout(P)
+		send := make([]byte, total)
+		for j := range send {
+			send[j] = pubByte(c.Rank(), j)
+		}
+		mine := counts[c.Rank()]
+		want := make([]byte, mine)
+		for j := range want {
+			var sum byte
+			for r := 0; r < P; r++ {
+				sum += pubByte(r, displs[c.Rank()]+j)
+			}
+			want[j] = sum
+		}
+		check := func(label string, got []byte) error {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: rank %d byte %d = %d, want %d", label, c.Rank(), i, got[i], want[i])
+					return nil
+				}
+			}
+			return nil
+		}
+		for _, alg := range ReduceScatterAlgorithmList() {
+			recv := make([]byte, mine)
+			if err := c.ReduceScatterWith(alg, OpSum, send, counts, recv); err != nil {
+				return err
+			}
+			if err := check("with:"+alg.String(), recv); err != nil {
+				return err
+			}
+		}
+		recv := make([]byte, mine)
+		if err := c.ReduceScatter(OpSum, send, counts, recv); err != nil {
+			return err
+		}
+		if err := check("auto", recv); err != nil {
+			return err
+		}
+		recv = make([]byte, mine)
+		op, err := c.IReduceScatter(OpSum, send, counts, recv)
+		if err != nil {
+			return err
+		}
+		c.ChargeComputeNs(500)
+		if err := c.Waitall(op); err != nil {
+			return err
+		}
+		if err := check("ireducescatter", recv); err != nil {
+			return err
+		}
+		h, err := c.ReduceScatterInit(OpSum, counts)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			recv = make([]byte, mine)
+			if err := h.Start(send, recv); err != nil {
+				return err
+			}
+			if err := check("persistent", recv); err != nil {
+				return err
+			}
+		}
+		if h.Executions() != 2 {
+			t.Errorf("rank %d: Executions() = %d, want 2", c.Rank(), h.Executions())
+		}
+		h.Free()
+		if err := h.Start(send, recv); !errors.Is(err, ErrHandleFreed) {
+			t.Errorf("rank %d: Start after Free = %v, want ErrHandleFreed", c.Rank(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAllreduce(t *testing.T) {
+	const P = 5
+	const n = 33
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		send := make([]byte, n)
+		for j := range send {
+			send[j] = pubByte(c.Rank(), j)
+		}
+		for _, op := range []ReduceOp{OpSum, OpMax, OpXor} {
+			want := make([]byte, n)
+			for j := range want {
+				acc := pubByte(0, j)
+				for r := 1; r < P; r++ {
+					v := pubByte(r, j)
+					switch op {
+					case OpSum:
+						acc += v
+					case OpMax:
+						if v > acc {
+							acc = v
+						}
+					case OpXor:
+						acc ^= v
+					}
+				}
+				want[j] = acc
+			}
+			check := func(label string, got []byte) error {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s/%v: rank %d byte %d = %d, want %d", label, op, c.Rank(), i, got[i], want[i])
+						return nil
+					}
+				}
+				return nil
+			}
+			for _, alg := range AllreduceAlgorithmList() {
+				recv := make([]byte, n)
+				if err := c.AllreduceWith(alg, op, send, recv, n); err != nil {
+					return err
+				}
+				if err := check("with:"+alg.String(), recv); err != nil {
+					return err
+				}
+			}
+			recv := make([]byte, n)
+			if err := c.Allreduce(op, send, recv, n); err != nil {
+				return err
+			}
+			if err := check("auto", recv); err != nil {
+				return err
+			}
+			recv = make([]byte, n)
+			aop, err := c.IAllreduce(op, send, recv, n)
+			if err != nil {
+				return err
+			}
+			c.ChargeComputeNs(500)
+			if err := aop.Wait(); err != nil {
+				return err
+			}
+			if err := check("iallreduce", recv); err != nil {
+				return err
+			}
+			h, err := c.AllreduceInit(op, n)
+			if err != nil {
+				return err
+			}
+			if a := h.Algorithm(); a != ARDoubling && a != ARRSAG {
+				t.Errorf("rank %d: frozen algorithm = %v, want doubling or rsag", c.Rank(), a)
+			}
+			for i := 0; i < 2; i++ {
+				recv = make([]byte, n)
+				if err := h.Start(send, recv); err != nil {
+					return err
+				}
+				if err := check("persistent", recv); err != nil {
+					return err
+				}
+			}
+			if h.Executions() != 2 {
+				t.Errorf("rank %d: Executions() = %d, want 2", c.Rank(), h.Executions())
+			}
+			h.Free()
+			if err := h.Start(send, recv); !errors.Is(err, ErrHandleFreed) {
+				t.Errorf("rank %d: Start after Free = %v, want ErrHandleFreed", c.Rank(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicFamilyOpsMix completes Ops from different families through
+// one Waitall, in initiation order.
+func TestPublicFamilyOpsMix(t *testing.T) {
+	const P = 4
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		rcounts, rdispls, total := pubLayout(P)
+		mine := rcounts[c.Rank()]
+		agSend := make([]byte, mine)
+		agRecv := make([]byte, total)
+		arSend := make([]byte, 8)
+		arRecv := make([]byte, 8)
+		for j := range agSend {
+			agSend[j] = pubByte(c.Rank(), j)
+		}
+		for j := range arSend {
+			arSend[j] = pubByte(c.Rank(), j)
+		}
+		op1, err := c.IAllgatherv(agSend, mine, agRecv, rcounts, rdispls)
+		if err != nil {
+			return err
+		}
+		op2, err := c.IAllreduce(OpXor, arSend, arRecv, 8)
+		if err != nil {
+			return err
+		}
+		c.ChargeComputeNs(1000)
+		if err := c.Waitall(op1, op2); err != nil {
+			return err
+		}
+		for r := 0; r < P; r++ {
+			for j := 0; j < rcounts[r]; j++ {
+				if agRecv[rdispls[r]+j] != pubByte(r, j) {
+					t.Errorf("rank %d: allgatherv block %d byte %d wrong", c.Rank(), r, j)
+					return nil
+				}
+			}
+		}
+		for j := range arRecv {
+			var x byte
+			for r := 0; r < P; r++ {
+				x ^= pubByte(r, j)
+			}
+			if arRecv[j] != x {
+				t.Errorf("rank %d: allreduce byte %d = %d, want %d", c.Rank(), j, arRecv[j], x)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFamilyValidationTyped(t *testing.T) {
+	const P = 3
+	w, err := NewWorld(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		rcounts, rdispls, total := pubLayout(P)
+		mine := rcounts[c.Rank()]
+		send := make([]byte, total)
+		recv := make([]byte, total)
+		cases := []struct {
+			name     string
+			err      error
+			sentinel error
+		}{
+			{"ag-bad-alg", c.AllgathervWith(AllgathervAlgorithm(99), send[:mine], mine, recv, rcounts, rdispls), ErrInvalidAlgorithm},
+			{"ag-neg-scount", c.Allgatherv(send, -1, recv, rcounts, rdispls), ErrInvalidLayout},
+			{"ag-short-layout", c.Allgatherv(send[:mine], mine, recv, rcounts[:P-1], rdispls), ErrInvalidLayout},
+			{"ag-nil-send", c.Allgatherv(nil, mine, recv, rcounts, rdispls), ErrNilBuffer},
+			{"rs-bad-alg", c.ReduceScatterWith(ReduceScatterAlgorithm(-1), OpSum, send, rcounts, recv), ErrInvalidAlgorithm},
+			{"rs-bad-op", c.ReduceScatter(ReduceOp(42), send, rcounts, recv), ErrInvalidOp},
+			{"rs-neg-count", c.ReduceScatter(OpSum, send, []int{1, -2, 1}, recv), ErrInvalidLayout},
+			{"rs-nil-recv", c.ReduceScatter(OpSum, send, rcounts, nil), ErrNilBuffer},
+			{"ar-bad-alg", c.AllreduceWith(AllreduceAlgorithm(7), OpSum, send, recv, 4), ErrInvalidAlgorithm},
+			{"ar-bad-op", c.Allreduce(ReduceOp(-3), send, recv, 4), ErrInvalidOp},
+			{"ar-neg-n", c.Allreduce(OpSum, send, recv, -4), ErrInvalidLayout},
+			{"ar-init-bad-op", func() error { _, e := c.AllreduceInit(ReduceOp(9), 4); return e }(), ErrInvalidOp},
+			{"ag-init-bad-layout", func() error { _, e := c.AllgathervInit(rcounts, rdispls[:1]); return e }(), ErrInvalidLayout},
+			{"rs-init-neg", func() error { _, e := c.ReduceScatterInit(OpSum, []int{-1, 1, 1}); return e }(), ErrInvalidLayout},
+			{"iag-bad-alg", func() error {
+				_, e := c.IAllgathervWith(AllgathervAlgorithm(50), send[:mine], mine, recv, rcounts, rdispls)
+				return e
+			}(), ErrInvalidAlgorithm},
+			{"irs-bad-op", func() error { _, e := c.IReduceScatter(ReduceOp(13), send, rcounts, recv); return e }(), ErrInvalidOp},
+			{"iar-neg-n", func() error { _, e := c.IAllreduce(OpSum, send, recv, -1); return e }(), ErrInvalidLayout},
+		}
+		for _, tc := range cases {
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Errorf("rank %d %s: err = %v, want %v", c.Rank(), tc.name, tc.err, tc.sentinel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicFamiliesPhantom: every family runs with nil buffers in a
+// phantom world and still prices the exchange.
+func TestPublicFamiliesPhantom(t *testing.T) {
+	const P = 8
+	w, err := NewWorld(P, WithPhantom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *Comm) error {
+		rcounts, rdispls, _ := pubLayout(P)
+		mine := rcounts[c.Rank()]
+		if err := c.Allgatherv(nil, mine, nil, rcounts, rdispls); err != nil {
+			return err
+		}
+		if err := c.ReduceScatter(OpSum, nil, rcounts, nil); err != nil {
+			return err
+		}
+		if err := c.Allreduce(OpMax, nil, nil, 1024); err != nil {
+			return err
+		}
+		h, err := c.AllreduceInit(OpXor, 4096)
+		if err != nil {
+			return err
+		}
+		defer h.Free()
+		return h.Start(nil, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalBytes() == 0 || w.MaxTimeNs() <= 0 {
+		t.Errorf("phantom family runs moved %d bytes in %v ns, want positive", w.TotalBytes(), w.MaxTimeNs())
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/coll"
+	"bruckv/internal/machine"
+	"bruckv/internal/mpi"
+)
+
+// The collective-families study: allgatherv, reduce-scatter, and
+// allreduce at matched total volume. Every family member runs on the
+// same schedule engine, so the figure directly exposes each family's
+// latency/bandwidth trade — log-P members win small vectors, the
+// linear members lose everywhere except tiny P, and the allreduce
+// doubling/rsag crossover moves with N exactly as the machine model's
+// estimators predict. The auto column marks the analytic selector's
+// pick at each cell, making a wrong pick visible as a '*' on a row
+// that is not the cell's fastest.
+
+// FamiliesConfig describes the families sweep.
+type FamiliesConfig struct {
+	// Ps is the process-count axis (default 64, 256).
+	Ps []int
+	// Ns is the total-volume axis in bytes: the full gathered result
+	// (allgatherv) or the full vector (reduce-scatter, allreduce), so
+	// every row of a cell moves a comparable payload (default 1KiB,
+	// 64KiB, 1MiB).
+	Ns []int
+	// Executor selects the runtime backend (default goroutines).
+	Executor mpi.Executor
+	// Deadline bounds each configuration's wall clock (default 2
+	// minutes).
+	Deadline time.Duration
+}
+
+func (c *FamiliesConfig) defaults() {
+	if len(c.Ps) == 0 {
+		c.Ps = []int{64, 256}
+	}
+	if len(c.Ns) == 0 {
+		c.Ns = []int{1 << 10, 1 << 16, 1 << 20}
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 2 * time.Minute
+	}
+}
+
+// FamiliesRow is one (family, algorithm, P, N) measurement.
+type FamiliesRow struct {
+	Family    string
+	Algorithm string
+	P         int
+	// N is the total volume in bytes (see FamiliesConfig.Ns).
+	N int
+	// VirtualNs is the simulated completion time (max over ranks).
+	VirtualNs float64
+	// Messages is the total point-to-point message count of the run.
+	Messages int64
+	// AutoPick reports whether the family's analytic selector picks
+	// this algorithm at (P, N).
+	AutoPick bool
+}
+
+// FamiliesReport is the full sweep.
+type FamiliesReport struct {
+	Config FamiliesConfig
+	Model  machine.Model
+	Rows   []FamiliesRow
+}
+
+// evenChunks splits n bytes contiguously across P ranks, first n mod P
+// ranks one byte larger — the matched-volume layout of the sweep.
+func evenChunks(P, n int) []int {
+	counts := make([]int, P)
+	base, rem := n/P, n%P
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// Families runs the families sweep. Every configuration is phantom:
+// the figure studies timing, and correctness is the conformance
+// grid's job (internal/coll).
+func Families(o Options, cfg FamiliesConfig) (FamiliesReport, error) {
+	o = o.withDefaults()
+	cfg.defaults()
+	rep := FamiliesReport{Config: cfg, Model: o.Model}
+
+	measure := func(family, alg string, P, N int, pick string, body func(p *mpi.Proc) error) error {
+		w, err := mpi.NewWorld(P,
+			mpi.WithModel(o.Model),
+			mpi.WithPhantom(),
+			mpi.WithExecutor(cfg.Executor),
+			mpi.WithDeadline(cfg.Deadline))
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if err := w.Run(body); err != nil {
+			return fmt.Errorf("%s/%s P=%d N=%d: %w", family, alg, P, N, err)
+		}
+		rep.Rows = append(rep.Rows, FamiliesRow{
+			Family:    family,
+			Algorithm: alg,
+			P:         P,
+			N:         N,
+			VirtualNs: w.MaxTime(),
+			Messages:  w.TotalMessages(),
+			AutoPick:  alg == pick,
+		})
+		o.progress("families %-14s %-9s P=%-5d N=%-8d virt %.0fns msgs %d",
+			family, alg, P, N, w.MaxTime(), w.TotalMessages())
+		return nil
+	}
+
+	agAlgs := coll.AllgathervAlgorithms()
+	rsAlgs := coll.ReduceScatterAlgorithms()
+	arAlgs := coll.AllreduceAlgorithms()
+	for _, P := range cfg.Ps {
+		for _, N := range cfg.Ns {
+			counts := evenChunks(P, N)
+			displs, total := coll.ContigDispls(counts)
+			agPick := coll.SelectAllgatherv(o.Model, P, int64(N)).Algorithm
+			for _, name := range coll.Names(agAlgs) {
+				if name == "auto" {
+					continue
+				}
+				alg := agAlgs[name]
+				err := measure("allgatherv", name, P, N, agPick, func(p *mpi.Proc) error {
+					mine := counts[p.Rank()]
+					return alg(p, buffer.Phantom(mine), mine, buffer.Phantom(total), counts, displs)
+				})
+				if err != nil {
+					return rep, err
+				}
+			}
+			rsPick := coll.SelectReduceScatter(o.Model, P, int64(N)).Algorithm
+			for _, name := range coll.Names(rsAlgs) {
+				if name == "auto" {
+					continue
+				}
+				alg := rsAlgs[name]
+				err := measure("reduce-scatter", name, P, N, rsPick, func(p *mpi.Proc) error {
+					return alg(p, coll.OpSum, buffer.Phantom(N), counts, buffer.Phantom(counts[p.Rank()]))
+				})
+				if err != nil {
+					return rep, err
+				}
+			}
+			arPick := coll.SelectAllreduce(o.Model, P, N).Algorithm
+			for _, name := range coll.Names(arAlgs) {
+				if name == "auto" {
+					continue
+				}
+				alg := arAlgs[name]
+				err := measure("allreduce", name, P, N, arPick, func(p *mpi.Proc) error {
+					return alg(p, coll.OpSum, buffer.Phantom(N), buffer.Phantom(N), N)
+				})
+				if err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Fprint renders the sweep as the results/families.txt table.
+func (r FamiliesReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "# families — allgatherv / reduce-scatter / allreduce at matched total volume, %s model, phantom payloads\n", r.Model.Name)
+	fmt.Fprintln(w, "# N is the full gathered result or reduced vector; '*' marks the analytic selector's pick per cell")
+	rows := [][]string{{"family", "algorithm", "P", "N", "virtual (us)", "messages", "auto"}}
+	for _, row := range r.Rows {
+		pick := ""
+		if row.AutoPick {
+			pick = "*"
+		}
+		rows = append(rows, []string{
+			row.Family,
+			row.Algorithm,
+			fmt.Sprintf("%d", row.P),
+			fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%.2f", row.VirtualNs/1e3),
+			fmt.Sprintf("%d", row.Messages),
+			pick,
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bruckv/internal/machine"
+)
+
+func TestFamiliesSweep(t *testing.T) {
+	cfg := FamiliesConfig{Ps: []int{9}, Ns: []int{256, 1 << 14}}
+	r, err := Families(Options{Model: machine.Theta()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 allgatherv + 2 reduce-scatter + 2 allreduce algorithms per cell.
+	want := len(cfg.Ps) * len(cfg.Ns) * 7
+	if len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), want)
+	}
+	picks := map[string]int{}
+	for _, row := range r.Rows {
+		if !(row.VirtualNs > 0) || row.Messages <= 0 {
+			t.Errorf("%s/%s P=%d N=%d: virt %v msgs %d, want positive",
+				row.Family, row.Algorithm, row.P, row.N, row.VirtualNs, row.Messages)
+		}
+		if row.AutoPick {
+			picks[row.Family]++
+		}
+	}
+	// Each family's selector picks exactly one algorithm per cell.
+	cells := len(cfg.Ps) * len(cfg.Ns)
+	for _, fam := range []string{"allgatherv", "reduce-scatter", "allreduce"} {
+		if picks[fam] != cells {
+			t.Errorf("%s: %d auto picks, want %d (one per cell)", fam, picks[fam], cells)
+		}
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	out := sb.String()
+	for _, frag := range []string{"# families", "allgatherv", "reduce-scatter", "allreduce", "*"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fprint output missing %q:\n%s", frag, out)
+		}
+	}
+}

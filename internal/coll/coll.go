@@ -18,6 +18,7 @@ package coll
 
 import (
 	"fmt"
+	"math"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/mpi"
@@ -71,6 +72,18 @@ func checkV(p *mpi.Proc, send buffer.Buf, scounts, sdispls []int,
 	for i := 0; i < P; i++ {
 		if scounts[i] < 0 || rcounts[i] < 0 {
 			return fmt.Errorf("coll: negative count for rank %d", i)
+		}
+		if sdispls[i] < 0 {
+			return fmt.Errorf("coll: negative send displacement for rank %d", i)
+		}
+		if rdispls[i] < 0 {
+			return fmt.Errorf("coll: negative recv displacement for rank %d", i)
+		}
+		// displ+count can wrap past MaxInt; a wrapped end would compare
+		// small and smuggle the bogus block past the bounds check (the
+		// same guard the public validateLayout has).
+		if scounts[i] > math.MaxInt-sdispls[i] || rcounts[i] > math.MaxInt-rdispls[i] {
+			return fmt.Errorf("coll: block for rank %d overflows the address space", i)
 		}
 		if sdispls[i] < 0 || sdispls[i]+scounts[i] > send.Len() {
 			return fmt.Errorf("coll: send block %d [%d,%d) outside %d-byte buffer",
@@ -157,8 +170,17 @@ const (
 // (r-1)*ceil(log_r P) + r sub-steps, so the bands stay disjoint for any
 // realistic world, and the largest value (4<<24) is far below the int32
 // ceiling of the match key.
+// The collective families beyond Alltoallv (allgatherv, reduce-scatter,
+// allreduce) index their own bands by the same running step-index
+// discipline; a family needs at most ceil(log2 P) + 2 tags (log-P
+// schedule steps plus the remainder fold-in/fold-out transfers), so
+// each band is again far wider than any schedule, and the largest base
+// (6<<24) stays far below the int32 ceiling of the match key.
 const (
 	tagRadixUniform = 1 << 24 // zero-rotation radix comm sub-steps
 	tagRadixMeta    = 2 << 24 // radix two-phase metadata
 	tagRadixData    = 3 << 24 // radix two-phase payload
+	tagAllgatherv   = 4 << 24 // allgatherv family schedule steps
+	tagRedScat      = 5 << 24 // reduce-scatter family schedule steps + folds
+	tagAllreduce    = 6 << 24 // allreduce family schedule steps + folds
 )

@@ -2,6 +2,7 @@ package coll
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -208,6 +209,18 @@ var malformedCases = []struct {
 	}},
 	{"send-block-past-end", func(P int, sc, sd, rc, rd []int) ([]int, []int, []int, []int) {
 		sd[P-1] += 8
+		return sc, sd, rc, rd
+	}},
+	// Overflow regressions: displ+count wrapping past MaxInt compares
+	// small, so without the explicit guard the bogus block passes the
+	// bounds check and indexes the buffer with a wrapped offset.
+	{"overflow-send-block", func(P int, sc, sd, rc, rd []int) ([]int, []int, []int, []int) {
+		sd[P-1] = math.MaxInt - 3
+		return sc, sd, rc, rd
+	}},
+	{"overflow-recv-block", func(P int, sc, sd, rc, rd []int) ([]int, []int, []int, []int) {
+		rc[P-1] = math.MaxInt
+		rd[P-1] = math.MaxInt
 		return sc, sd, rc, rd
 	}},
 	{"recv-block-past-end", func(P int, sc, sd, rc, rd []int) ([]int, []int, []int, []int) {

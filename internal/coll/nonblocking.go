@@ -68,6 +68,57 @@ func (r *VRequest) Wait() error {
 	return r.err
 }
 
+// IAllgatherv begins a nonblocking allgatherv running alg's exchange,
+// under the same overlap model and buffer-ownership rules as
+// IAlltoallv. The count/displacement slices are copied eagerly.
+func IAllgatherv(p *mpi.Proc, alg Allgatherv, send buffer.Buf, scount int,
+	recv buffer.Buf, rcounts, rdispls []int) (*VRequest, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("coll: IAllgatherv: nil algorithm")
+	}
+	if err := checkAG(p, send, scount, recv, rcounts, rdispls); err != nil {
+		return nil, err
+	}
+	rc := append([]int(nil), rcounts...)
+	rd := append([]int(nil), rdispls...)
+	r := &VRequest{p: p, mark: p.MarkOverlap()}
+	r.run = func() error { return alg(p, send, scount, recv, rc, rd) }
+	return r, nil
+}
+
+// IReduceScatter begins a nonblocking reduce-scatter running alg's
+// exchange (same overlap model and buffer-ownership rules as
+// IAlltoallv). The counts slice is copied eagerly.
+func IReduceScatter(p *mpi.Proc, alg ReduceScatter, op ReduceOp,
+	send buffer.Buf, counts []int, recv buffer.Buf) (*VRequest, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("coll: IReduceScatter: nil algorithm")
+	}
+	if _, _, err := checkRS(p, op, send, counts, recv); err != nil {
+		return nil, err
+	}
+	cs := append([]int(nil), counts...)
+	r := &VRequest{p: p, mark: p.MarkOverlap()}
+	r.run = func() error { return alg(p, op, send, cs, recv) }
+	return r, nil
+}
+
+// IAllreduce begins a nonblocking vector allreduce running alg's
+// exchange (same overlap model and buffer-ownership rules as
+// IAlltoallv).
+func IAllreduce(p *mpi.Proc, alg AllreduceV, op ReduceOp,
+	send, recv buffer.Buf, n int) (*VRequest, error) {
+	if alg == nil {
+		return nil, fmt.Errorf("coll: IAllreduce: nil algorithm")
+	}
+	if err := checkAR(p, op, send, recv, n); err != nil {
+		return nil, err
+	}
+	r := &VRequest{p: p, mark: p.MarkOverlap()}
+	r.run = func() error { return alg(p, op, send, recv, n) }
+	return r, nil
+}
+
 // WaitallV completes every request in order and returns the first
 // error. All ranks must pass their requests in the same order.
 func WaitallV(rs ...*VRequest) error {

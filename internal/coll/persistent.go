@@ -32,7 +32,7 @@ const maxAutoRadix = 16
 // Start is a collective over the communicator the handle was built on.
 type PersistentV struct {
 	p     *mpi.Proc
-	sched *radixSchedule
+	sched *schedule
 	n     int // global maximum block size
 
 	idx     []int
@@ -148,7 +148,7 @@ func alltoallvInitWithMax(p *mpi.Proc, r, n int, scounts, sdispls, rcounts, rdis
 		rcounts: append([]int(nil), rcounts...),
 		rdispls: append([]int(nil), rdispls...),
 	}
-	h.sched = buildRadixSchedule(P, rank, r)
+	h.sched = buildSchedule(P, rank, r, radixGen(P, rank, r))
 	h.idx = make([]int, P)
 	h.size0 = make([]int, P)
 	for s := 0; s < P; s++ {
@@ -166,7 +166,7 @@ func alltoallvInitWithMax(p *mpi.Proc, r, n int, scounts, sdispls, rcounts, rdis
 	h.rmeta = p.AllocReal(4 * h.sched.maxBlocks)
 	h.size = make([]int, P)
 	h.status = make([]bool, P)
-	subs := len(h.sched.subs)
+	subs := len(h.sched.steps)
 	h.outSizes = make([][]int32, subs)
 	h.inSizes = make([][]int32, subs)
 	h.inTotal = make([]int, subs)
@@ -243,15 +243,16 @@ func (h *PersistentV) startFirst(send, recv buffer.Buf) error {
 	for s := range h.status {
 		h.status[s] = false
 	}
-	for si := range h.sched.subs {
-		sub := &h.sched.subs[si]
+	for si := range h.sched.steps {
+		sub := &h.sched.steps[si]
 		p.SetStep(si)
 
 		for j, i := range sub.rel {
 			s := (i + rank) % P
 			h.meta.PutUint32(4*j, uint32(h.size[s]))
 		}
-		p.SendRecv(sub.dst, sub.mtag, h.meta.Slice(0, 4*len(sub.rel)), sub.src, sub.mtag, h.rmeta.Slice(0, 4*len(sub.rel)))
+		mtag := tagRadixMeta + si
+		p.SendRecv(sub.dst, mtag, h.meta.Slice(0, 4*len(sub.rel)), sub.src, mtag, h.rmeta.Slice(0, 4*len(sub.rel)))
 
 		out := make([]int32, len(sub.rel))
 		fromW := make([]bool, len(sub.rel))
@@ -269,7 +270,8 @@ func (h *PersistentV) startFirst(send, recv buffer.Buf) error {
 			p.Memcpy(h.stage.Slice(off, h.size[s]), blk)
 			off += h.size[s]
 		}
-		p.Send(sub.dst, sub.dtag, h.stage.Slice(0, off))
+		dtag := tagRadixData + si
+		p.Send(sub.dst, dtag, h.stage.Slice(0, off))
 
 		in := make([]int32, len(sub.rel))
 		total := 0
@@ -277,7 +279,7 @@ func (h *PersistentV) startFirst(send, recv buffer.Buf) error {
 			in[j] = int32(h.rmeta.Uint32(4 * j))
 			total += int(in[j])
 		}
-		p.Recv(sub.src, sub.dtag, h.rstage.Slice(0, total))
+		p.Recv(sub.src, dtag, h.rstage.Slice(0, total))
 
 		roff := 0
 		for j, i := range sub.rel {
@@ -309,8 +311,8 @@ func (h *PersistentV) startFrozen(send, recv buffer.Buf) {
 	p := h.p
 	P := p.Size()
 	rank := h.sched.rank
-	for si := range h.sched.subs {
-		sub := &h.sched.subs[si]
+	for si := range h.sched.steps {
+		sub := &h.sched.steps[si]
 		p.SetStep(si)
 		off := 0
 		for j, i := range sub.rel {
@@ -325,8 +327,9 @@ func (h *PersistentV) startFrozen(send, recv buffer.Buf) {
 			p.Memcpy(h.stage.Slice(off, sz), blk)
 			off += sz
 		}
-		p.Send(sub.dst, sub.dtag, h.stage.Slice(0, off))
-		p.Recv(sub.src, sub.dtag, h.rstage.Slice(0, h.inTotal[si]))
+		dtag := tagRadixData + si
+		p.Send(sub.dst, dtag, h.stage.Slice(0, off))
+		p.Recv(sub.src, dtag, h.rstage.Slice(0, h.inTotal[si]))
 		roff := 0
 		for j, i := range sub.rel {
 			s := (i + rank) % P

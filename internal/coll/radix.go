@@ -20,8 +20,9 @@ import (
 // conclusion calls for exactly this exploration; these implementations
 // extend zero-rotation Bruck and two-phase Bruck to arbitrary radix, and
 // reduce to the binary versions at r=2 (a property the tests assert).
-// The sub-step sequence, partners, and block lists are precomputed as a
-// radixSchedule (schedule.go), which the persistent handles reuse.
+// The sub-step sequence, partners, and block lists come from the
+// schedule engine's radix generator (schedule.go), which the persistent
+// handles additionally freeze and reuse.
 
 // ErrInvalidRadix marks a Bruck radix below 2 passed to
 // ZeroRotationBruckRadix, TwoPhaseBruckRadix, or AlltoallvInit.
@@ -117,7 +118,7 @@ func ZeroRotationBruckRadix(r int) Alltoall {
 		stage := p.AllocBuf(maxB * n)
 		rstage := p.AllocBuf(maxB * n)
 		defer p.FreeBuf(stage, rstage)
-		return forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+		return radixGen(P, rank, r)(func(si int, sub *schedStep) error {
 			p.SetStep(si)
 			for j, i := range sub.rel {
 				s := (i + rank) % P
@@ -130,7 +131,8 @@ func ZeroRotationBruckRadix(r int) Alltoall {
 				p.Memcpy(stage.Slice(j*n, n), blk)
 			}
 			total := len(sub.rel) * n
-			p.SendRecv(sub.dst, sub.utag, stage.Slice(0, total), sub.src, sub.utag, rstage.Slice(0, total))
+			utag := tagRadixUniform + si
+			p.SendRecv(sub.dst, utag, stage.Slice(0, total), sub.src, utag, rstage.Slice(0, total))
 			for j, i := range sub.rel {
 				s := (i + rank) % P
 				p.Memcpy(recv.Slice(s*n, n), rstage.Slice(j*n, n))
@@ -197,14 +199,15 @@ func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdisp
 	done := p.Phase(PhaseComm)
 	defer done()
 	defer p.ClearStep()
-	return forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
+	return radixGen(P, rank, r)(func(si int, sub *schedStep) error {
 		p.SetStep(si)
 
 		for j, i := range sub.rel {
 			s := (i + rank) % P
 			meta.PutUint32(4*j, uint32(size[s]))
 		}
-		p.SendRecv(sub.dst, sub.mtag, meta.Slice(0, 4*len(sub.rel)), sub.src, sub.mtag, rmeta.Slice(0, 4*len(sub.rel)))
+		mtag := tagRadixMeta + si
+		p.SendRecv(sub.dst, mtag, meta.Slice(0, 4*len(sub.rel)), sub.src, mtag, rmeta.Slice(0, 4*len(sub.rel)))
 
 		off := 0
 		for _, i := range sub.rel {
@@ -218,13 +221,14 @@ func twoPhaseRadixWithMax(p *mpi.Proc, r, N int, send buffer.Buf, scounts, sdisp
 			p.Memcpy(stage.Slice(off, size[s]), blk)
 			off += size[s]
 		}
-		p.Send(sub.dst, sub.dtag, stage.Slice(0, off))
+		dtag := tagRadixData + si
+		p.Send(sub.dst, dtag, stage.Slice(0, off))
 
 		total := 0
 		for j := range sub.rel {
 			total += int(rmeta.Uint32(4 * j))
 		}
-		p.Recv(sub.src, sub.dtag, rstage.Slice(0, total))
+		p.Recv(sub.src, dtag, rstage.Slice(0, total))
 
 		roff := 0
 		for j, i := range sub.rel {

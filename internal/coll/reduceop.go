@@ -1,0 +1,99 @@
+package coll
+
+import (
+	"errors"
+	"fmt"
+
+	"bruckv/internal/buffer"
+	"bruckv/internal/mpi"
+)
+
+// ErrInvalidOp marks an unknown reduction operator passed to a
+// reduce-scatter or allreduce entry point.
+var ErrInvalidOp = errors.New("invalid reduction operator")
+
+// ReduceOp is the element-wise reduction operator of the reducing
+// collective families. All operators work on individual bytes, so they
+// apply to segments of any byte count and are associative and
+// commutative — the properties that make every algorithm of a family
+// (and every bracketing the fault layer's retransmissions induce)
+// produce bit-identical results. Wider element types are the
+// application's concern: a caller reducing int64 lanes picks OpXor for
+// bit transport or models the sum bytewise, exactly as the simulator
+// models payloads generally (see DESIGN.md §4i).
+type ReduceOp int
+
+const (
+	// OpSum adds bytes modulo 256.
+	OpSum ReduceOp = iota
+	// OpMax keeps the larger byte.
+	OpMax
+	// OpMin keeps the smaller byte.
+	OpMin
+	// OpXor is the bitwise exclusive or.
+	OpXor
+)
+
+var opNames = map[ReduceOp]string{
+	OpSum: "sum", OpMax: "max", OpMin: "min", OpXor: "xor",
+}
+
+// String returns the operator's name ("sum", "max", "min", "xor").
+func (op ReduceOp) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+// Valid reports whether op names a defined operator.
+func (op ReduceOp) Valid() bool { _, ok := opNames[op]; return ok }
+
+// errOp builds the canonical invalid-operator error.
+func errOp(op ReduceOp) error {
+	return fmt.Errorf("coll: reduction operator %d: %w", int(op), ErrInvalidOp)
+}
+
+// Combine folds src into dst element-wise: dst[i] = op(dst[i], src[i]).
+// The slices must have equal length.
+func (op ReduceOp) Combine(dst, src []byte) {
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpXor:
+		for i, v := range src {
+			dst[i] ^= v
+		}
+	default:
+		panic(errOp(op))
+	}
+}
+
+// combineBuf folds src into dst under op, priced like the local copy a
+// non-reducing collective would perform on the same bytes (the combine
+// loop is bandwidth-bound exactly like memcpy). Phantom buffers charge
+// the time without touching data, keeping the reducing families usable
+// in size-only performance studies.
+func combineBuf(p *mpi.Proc, op ReduceOp, dst, src buffer.Buf) {
+	if src.Len() != dst.Len() {
+		panic(fmt.Sprintf("coll: combine length mismatch: %d vs %d", dst.Len(), src.Len()))
+	}
+	p.ChargeMemcpy(src.Len())
+	if dst.Real() && src.Real() && src.Len() > 0 {
+		op.Combine(dst.Bytes(), src.Bytes())
+	}
+}

@@ -54,6 +54,36 @@ func ResolveNonUniform(name string) (Alltoallv, bool) {
 	return nil, false
 }
 
+// AllgathervAlgorithms returns the allgatherv implementations by name.
+func AllgathervAlgorithms() map[string]Allgatherv {
+	return map[string]Allgatherv{
+		"auto":     AutoAllgatherv(),
+		"bruck":    AllgathervBruck,
+		"doubling": AllgathervDoubling,
+		"linear":   AllgathervLinear,
+	}
+}
+
+// ReduceScatterAlgorithms returns the reduce-scatter implementations
+// by name.
+func ReduceScatterAlgorithms() map[string]ReduceScatter {
+	return map[string]ReduceScatter{
+		"auto":    AutoReduceScatter(),
+		"halving": ReduceScatterHalving,
+		"direct":  ReduceScatterDirect,
+	}
+}
+
+// AllreduceAlgorithms returns the vector allreduce implementations by
+// name.
+func AllreduceAlgorithms() map[string]AllreduceV {
+	return map[string]AllreduceV{
+		"auto":     AutoAllreduce(),
+		"doubling": AllreduceDoubling,
+		"rsag":     AllreduceRSAG,
+	}
+}
+
 // Names returns the sorted keys of a registry-shaped map.
 func Names[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))

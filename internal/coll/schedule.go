@@ -1,86 +1,239 @@
 package coll
 
-// Frozen radix-r Bruck schedules. A schedule is the complete per-rank
-// communication plan of one radix-r exchange at P ranks: the sub-step
-// sequence (one per non-empty (position, digit) pair), each with its
-// partners, its relative block list, and its tags. Both the immediate
-// algorithms in radix.go and the persistent handles in persistent.go
-// execute schedules; persistent handles additionally cache one so
+// The schedule engine: frozen log-P communication plans.
+//
+// A schedule is one rank's complete communication plan for a log-P
+// collective: an ordered step sequence, each step carrying its partner
+// ranks and the block set it moves. PR 6 froze exactly this shape for
+// the radix-r Alltoallv; the engine generalizes it so any log-P
+// collective executes the same machinery. A stepGen enumerates one
+// rank's steps (partner derivation plus block lists) and the family
+// interprets the blocks — relative slots for the Bruck alltoallv
+// variants, accumulated block prefixes for the allgatherv family,
+// absolute reduction segments for recursive halving — and derives its
+// tags from the running step index into its reserved tag band (see the
+// band constants in coll.go). Both the immediate algorithms (radix.go,
+// allgatherv.go, reducescatter.go, allreduce.go) and the persistent
+// handles (persistent.go, families_persistent.go) execute schedules;
+// persistent handles additionally freeze one with buildSchedule so
 // repeated exchanges pay its construction once.
 
-// radixSub is one (position, digit) sub-step of a radix-r Bruck
-// schedule: the blocks whose k-th base-r digit equals d travel to the
-// rank at distance d·r^k.
-type radixSub struct {
-	// step is r^k, the position's stride; d is the digit value.
+// schedStep is one step of a log-P schedule.
+type schedStep struct {
+	// step and d parameterize the generator's distance. For the radix
+	// generator, step is the digit position's stride r^k and d the digit
+	// value, so data travels d·r^k ranks; for the dissemination and
+	// doubling generators, step is the round's distance (or XOR mask)
+	// and d is unused.
 	step, d int
-	// dst and src are the partner ranks: data flows to rank - d·r^k and
-	// arrives from rank + d·r^k (mod P).
+	// dst and src are the partner ranks: data flows to dst and arrives
+	// from src. Exchange-type steps (doubling, halving) have dst == src.
 	dst, src int
-	// utag, mtag, and dtag are the sub-step's tags in the uniform,
-	// metadata, and payload bands (tagRadix* + sub-step index).
-	utag, mtag, dtag int
-	// rel lists the relative block indices i in [1, P) moved this
-	// sub-step, increasing. The first final entries (i < step·r, i.e. the
-	// k-th digit is the highest nonzero one) are on their last hop.
-	rel   []int
+	// rel lists the block ids moved this step, increasing. The family
+	// defines the id space: relative slot indices in [1, P) for the
+	// radix alltoallv, received relative block ids for dissemination
+	// allgather, absolute rank ids for doubling allgather, segment ids
+	// sent to the partner for recursive halving.
+	rel []int
+	// final counts the leading rel entries that are on their last hop
+	// (multi-hop store-and-forward families only; 0 elsewhere).
 	final int
 }
 
-// radixSchedule is one rank's frozen radix-r Bruck plan.
-type radixSchedule struct {
-	P, r, rank int
-	// maxBlocks is the largest sub-step block count, the staging bound.
+// stepGen enumerates the steps of one rank's schedule, in order. The
+// step passed to fn (including its rel slice) is reused between calls
+// and valid only during the call, so the immediate algorithms' hot path
+// performs no per-step allocation; buildSchedule deep-copies each step
+// to freeze the plan.
+type stepGen func(fn func(si int, st *schedStep) error) error
+
+// schedule is one rank's frozen log-P plan.
+type schedule struct {
+	P, rank int
+	// r is the radix for radix schedules (0 for other families).
+	r int
+	// maxBlocks is the largest per-step block count, the staging bound.
 	maxBlocks int
-	subs      []radixSub
+	steps     []schedStep
 }
 
-// forEachRadixSub walks the sub-step sequence of the radix-r plan for
-// one rank — the same sequence buildRadixSchedule freezes — reusing a
-// single radixSub and one block list across sub-steps, so the immediate
-// algorithms' hot path performs no per-sub-step allocation. The sub
-// passed to fn (including its rel slice) is valid only during the call.
-func forEachRadixSub(P, rank, r int, fn func(si int, sub *radixSub) error) error {
-	sub := radixSub{rel: make([]int, 0, maxDigitBlocks(P, r))}
-	si := 0
-	for k, step := 0, 1; step < P; k, step = k+1, step*r {
-		for d := 1; d < r && d*step < P; d++ {
-			sub.rel = digitSlots(sub.rel, P, r, k, d)
-			if len(sub.rel) == 0 {
-				continue
+// buildSchedule freezes a generator's step sequence. It is pure local
+// computation; the caller prices it (the algorithms charge the same
+// O(P) setup cost as their immediate paths).
+func buildSchedule(P, rank, r int, gen stepGen) *schedule {
+	sc := &schedule{P: P, rank: rank, r: r}
+	gen(func(si int, st *schedStep) error {
+		s := *st
+		s.rel = append([]int(nil), st.rel...)
+		if len(s.rel) > sc.maxBlocks {
+			sc.maxBlocks = len(s.rel)
+		}
+		sc.steps = append(sc.steps, s)
+		return nil
+	})
+	return sc
+}
+
+// radixGen returns the radix-r Bruck generator for one rank: one step
+// per non-empty (position, digit) pair, where the blocks whose k-th
+// base-r digit equals d travel to the rank at distance d·r^k. rel holds
+// relative slot indices; the first final entries (slots below step·r,
+// whose k-th digit is their highest nonzero one) are on their last hop.
+func radixGen(P, rank, r int) stepGen {
+	return func(fn func(si int, st *schedStep) error) error {
+		st := schedStep{rel: make([]int, 0, maxDigitBlocks(P, r))}
+		si := 0
+		for k, step := 0, 1; step < P; k, step = k+1, step*r {
+			for d := 1; d < r && d*step < P; d++ {
+				st.rel = digitSlots(st.rel, P, r, k, d)
+				if len(st.rel) == 0 {
+					continue
+				}
+				st.step, st.d = step, d
+				st.dst = (rank - d*step%P + P) % P
+				st.src = (rank + d*step) % P
+				st.final = 0
+				for st.final < len(st.rel) && st.rel[st.final] < step*r {
+					st.final++
+				}
+				if err := fn(si, &st); err != nil {
+					return err
+				}
+				si++
 			}
-			sub.step, sub.d = step, d
-			sub.dst = (rank - d*step%P + P) % P
-			sub.src = (rank + d*step) % P
-			sub.utag = tagRadixUniform + si
-			sub.mtag = tagRadixMeta + si
-			sub.dtag = tagRadixData + si
-			sub.final = 0
-			for sub.final < len(sub.rel) && sub.rel[sub.final] < step*r {
-				sub.final++
+		}
+		return nil
+	}
+}
+
+// dissemGen returns the dissemination (Bruck allgather) generator for
+// one rank: ceil(log2 P) steps at doubling distances. At the step with
+// distance m, the rank sends its first min(m, P-m) accumulated blocks
+// (a contiguous work-buffer prefix) to rank-m and receives the same
+// count from rank+m; rel lists the received relative block ids
+// [m, m+cnt), which extend the accumulated prefix contiguously. The
+// relative block j of a rank holds the contribution of global rank
+// (rank+j) mod P, so both sides derive every moved block's size from
+// the globally known counts without a metadata exchange.
+func dissemGen(P, rank int) stepGen {
+	return func(fn func(si int, st *schedStep) error) error {
+		st := schedStep{rel: make([]int, 0, (P+1)/2)}
+		si := 0
+		for m := 1; m < P; m <<= 1 {
+			cnt := m
+			if P-m < cnt {
+				cnt = P - m
 			}
-			if err := fn(si, &sub); err != nil {
+			st.step = m
+			st.dst = (rank - m + P) % P
+			st.src = (rank + m) % P
+			st.rel = st.rel[:0]
+			for j := m; j < m+cnt; j++ {
+				st.rel = append(st.rel, j)
+			}
+			if err := fn(si, &st); err != nil {
 				return err
 			}
 			si++
 		}
+		return nil
 	}
-	return nil
 }
 
-// buildRadixSchedule freezes the schedule for one rank. It is pure
-// local computation; the caller prices it (the algorithms charge the
-// same O(P) setup cost as the binary paths).
-func buildRadixSchedule(P, rank, r int) *radixSchedule {
-	sc := &radixSchedule{P: P, r: r, rank: rank}
-	forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
-		s := *sub
-		s.rel = append([]int(nil), sub.rel...)
-		if len(s.rel) > sc.maxBlocks {
-			sc.maxBlocks = len(s.rel)
+// pow2Below returns the largest power of two <= P (P >= 1).
+func pow2Below(P int) int {
+	p2 := 1
+	for p2<<1 <= P {
+		p2 <<= 1
+	}
+	return p2
+}
+
+// doublingOwned appends the absolute rank ids whose blocks a rank of
+// the doubling core owns before the step with mask m: the 2^k ranks of
+// its current group [base, base+m), plus the folded-in remainder blocks
+// q+p2 for group members q < rem (see doublingGen).
+func doublingOwned(dst []int, rank, m, p2, rem int) []int {
+	dst = dst[:0]
+	base := rank &^ (m - 1)
+	for q := base; q < base+m; q++ {
+		dst = append(dst, q)
+	}
+	for q := base; q < base+m && q < rem; q++ {
+		dst = append(dst, q+p2)
+	}
+	return dst
+}
+
+// doublingGen returns the recursive-doubling allgather generator for a
+// rank of the power-of-two core [0, p2): log2(p2) steps in which the
+// rank exchanges its owned block set with partner rank XOR m. rel lists
+// the absolute rank ids received — the partner's owned set before the
+// step. Ranks beyond the core fold their block in before the doubling
+// and receive the full result after it (handled by the family, not the
+// schedule: those two transfers are not log-P structured).
+func doublingGen(rank, p2, rem int) stepGen {
+	return func(fn func(si int, st *schedStep) error) error {
+		st := schedStep{rel: make([]int, 0, p2)}
+		si := 0
+		for m := 1; m < p2; m <<= 1 {
+			partner := rank ^ m
+			st.step = m
+			st.dst, st.src = partner, partner
+			st.rel = doublingOwned(st.rel, partner, m, p2, rem)
+			if err := fn(si, &st); err != nil {
+				return err
+			}
+			si++
 		}
-		sc.subs = append(sc.subs, s)
 		return nil
-	})
-	return sc
+	}
+}
+
+// halvingSegs appends the segment ids a group [lo, lo+g) of the
+// power-of-two core is responsible for during recursive halving: the
+// group members' own segments plus the folded-in remainder segments
+// q+p2 for members q < rem. Both runs are contiguous and increasing.
+func halvingSegs(dst []int, lo, g, p2, rem int) []int {
+	dst = dst[:0]
+	for q := lo; q < lo+g; q++ {
+		dst = append(dst, q)
+	}
+	for q := lo; q < lo+g && q < rem; q++ {
+		dst = append(dst, q+p2)
+	}
+	return dst
+}
+
+// halvingGen returns the recursive-halving reduce-scatter generator for
+// a rank of the power-of-two core [0, p2): log2(p2) steps with
+// exchange partner rank XOR (g/2) at halving group sizes g. rel lists
+// the segment ids sent — the partner sub-group's responsibility set —
+// and the receiver's kept set is halvingSegs of its own sub-group (a
+// pure function both sides derive). Remainder ranks fold their full
+// vector in before the core and receive their segment back after it
+// (family-handled, like doublingGen's fold).
+func halvingGen(rank, p2, rem int) stepGen {
+	return func(fn func(si int, st *schedStep) error) error {
+		st := schedStep{rel: make([]int, 0, p2)}
+		si := 0
+		for g := p2; g > 1; g >>= 1 {
+			half := g / 2
+			lo := rank &^ (g - 1)
+			partner := rank ^ half
+			// The partner's sub-group keeps the half this rank sends.
+			theirLo := lo
+			if rank&half == 0 {
+				theirLo = lo + half
+			}
+			st.step = half
+			st.dst, st.src = partner, partner
+			st.rel = halvingSegs(st.rel, theirLo, half, p2, rem)
+			if err := fn(si, &st); err != nil {
+				return err
+			}
+			si++
+		}
+		return nil
+	}
 }

@@ -100,25 +100,22 @@ func TestOldRadixTagPackingAliased(t *testing.T) {
 }
 
 // TestRadixSubTagsInjective asserts the fix: over every sub-step of an
-// exchange, the uniform, metadata, and data tags are pairwise distinct
+// exchange, the uniform, metadata, and data tags — derived from the
+// running step index into three disjoint bands — are pairwise distinct
 // within and across their bands, for radices well past both aliasing
 // thresholds.
 func TestRadixSubTagsInjective(t *testing.T) {
 	for _, P := range []int{2, 7, 40, 100, 257} {
 		for _, r := range []int{2, 3, 6, 16, 17, 18, 31} {
 			seen := map[int]string{}
-			err := forEachRadixSub(P, 0, r, func(si int, sub *radixSub) error {
-				for _, tg := range []int{sub.utag, sub.mtag, sub.dtag} {
+			err := radixGen(P, 0, r)(func(si int, sub *schedStep) error {
+				utag, mtag, dtag := tagRadixUniform+si, tagRadixMeta+si, tagRadixData+si
+				for _, tg := range []int{utag, mtag, dtag} {
 					at := fmt.Sprintf("sub %d (step %d, d %d)", si, sub.step, sub.d)
 					if prev, ok := seen[tg]; ok {
 						t.Errorf("P=%d r=%d: tag %d of %s already used by %s", P, r, tg, at, prev)
 					}
 					seen[tg] = at
-				}
-				if sub.mtag-sub.utag != tagRadixMeta-tagRadixUniform ||
-					sub.dtag-sub.utag != tagRadixData-tagRadixUniform {
-					t.Errorf("P=%d r=%d sub %d: tags not in their bands: %d/%d/%d",
-						P, r, si, sub.utag, sub.mtag, sub.dtag)
 				}
 				return nil
 			})
@@ -129,30 +126,44 @@ func TestRadixSubTagsInjective(t *testing.T) {
 	}
 }
 
-// TestBuildRadixScheduleMatchesIterator pins the frozen schedule to the
-// allocation-free iterator the immediate algorithms run: same sub-step
-// count, partners, tags, block lists, and final-hop prefixes.
-func TestBuildRadixScheduleMatchesIterator(t *testing.T) {
-	for _, P := range []int{1, 2, 9, 33, 64} {
+// TestBuildScheduleMatchesIterator pins the frozen schedule to the
+// allocation-free generator the immediate algorithms run: same step
+// count, partners, block lists, and final-hop prefixes, for the radix
+// generator and the allgather-family generators alike.
+func TestBuildScheduleMatchesIterator(t *testing.T) {
+	gens := func(P, rank int) map[string]stepGen {
+		p2 := pow2Below(P)
+		out := map[string]stepGen{
+			"dissem": dissemGen(P, rank),
+		}
+		if rank < p2 {
+			out["doubling"] = doublingGen(rank, p2, P-p2)
+			out["halving"] = halvingGen(rank, p2, P-p2)
+		}
 		for _, r := range []int{2, 3, 7, 17} {
-			for _, rank := range []int{0, P / 2, P - 1} {
-				if rank < 0 {
-					continue
-				}
-				sc := buildRadixSchedule(P, rank, r)
+			out[fmt.Sprintf("radix-%d", r)] = radixGen(P, rank, r)
+		}
+		return out
+	}
+	for _, P := range []int{1, 2, 9, 33, 64} {
+		for _, rank := range []int{0, P / 2, P - 1} {
+			if rank < 0 {
+				continue
+			}
+			for name, gen := range gens(P, rank) {
+				sc := buildSchedule(P, rank, 0, gen)
 				n := 0
-				err := forEachRadixSub(P, rank, r, func(si int, sub *radixSub) error {
-					if si >= len(sc.subs) {
-						return fmt.Errorf("iterator sub %d beyond schedule (%d subs)", si, len(sc.subs))
+				err := gen(func(si int, sub *schedStep) error {
+					if si >= len(sc.steps) {
+						return fmt.Errorf("iterator step %d beyond schedule (%d steps)", si, len(sc.steps))
 					}
-					got := sc.subs[si]
+					got := sc.steps[si]
 					if got.step != sub.step || got.d != sub.d || got.dst != sub.dst || got.src != sub.src ||
-						got.utag != sub.utag || got.mtag != sub.mtag || got.dtag != sub.dtag ||
 						got.final != sub.final || fmt.Sprint(got.rel) != fmt.Sprint(sub.rel) {
-						return fmt.Errorf("P=%d r=%d rank=%d sub %d: schedule %+v != iterator %+v", P, r, rank, si, got, *sub)
+						return fmt.Errorf("P=%d %s rank=%d step %d: schedule %+v != iterator %+v", P, name, rank, si, got, *sub)
 					}
 					if len(sub.rel) > sc.maxBlocks {
-						return fmt.Errorf("P=%d r=%d: maxBlocks %d below sub %d's %d blocks", P, r, sc.maxBlocks, si, len(sub.rel))
+						return fmt.Errorf("P=%d %s: maxBlocks %d below step %d's %d blocks", P, name, sc.maxBlocks, si, len(sub.rel))
 					}
 					n++
 					return nil
@@ -160,8 +171,8 @@ func TestBuildRadixScheduleMatchesIterator(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if n != len(sc.subs) {
-					t.Errorf("P=%d r=%d rank=%d: iterator ran %d subs, schedule froze %d", P, r, rank, n, len(sc.subs))
+				if n != len(sc.steps) {
+					t.Errorf("P=%d %s rank=%d: iterator ran %d steps, schedule froze %d", P, name, rank, n, len(sc.steps))
 				}
 			}
 		}

@@ -1,0 +1,143 @@
+package machine
+
+// Analytic cost estimates for the collective families beyond
+// all-to-all: allgatherv, reduce-scatter, and allreduce. Like the
+// Estimate* functions of analytic.go they return nanoseconds of
+// virtual time for one collective, follow the simulator's pricing
+// (duplexFactor on exchanged bytes, memcpy phases for packing and
+// reduction arithmetic), and exist to drive each family's Auto
+// selection. avg is the mean per-rank block (or segment) size in
+// bytes; the allreduce estimators take the full vector size n.
+
+// foldTerm prices the remainder fold-in plus fold-out transfers a
+// non-power-of-two p pays around a power-of-two core: two messages of
+// the given byte sizes. It is zero at power-of-two p.
+func (m Model) foldTerm(p int, inBytes, outBytes float64) float64 {
+	if p&(p-1) == 0 {
+		return 0
+	}
+	beta := m.Beta(p)
+	return 2*m.Alpha() + (inBytes+outBytes)*beta
+}
+
+// EstimateAllgathervBruck predicts the dissemination (Bruck)
+// allgatherv: ceil(log2 p) exchanges whose step at distance s moves
+// min(s, p-s) accumulated blocks as one contiguous prefix (no packing
+// copies), plus the initial copy-in and the final P-block scatter.
+func (m Model) EstimateAllgathervBruck(p int, avg float64) float64 {
+	beta := m.Beta(p)
+	t := m.MemcpyFixed + avg*m.MemcpyByte // copy own block into the work buffer
+	for s := 1; s < p; s <<= 1 {
+		cnt := s
+		if p-s < cnt {
+			cnt = p - s
+		}
+		t += m.Alpha() + duplexFactor*avg*float64(cnt)*beta
+	}
+	t += float64(p)*m.MemcpyFixed + float64(p)*avg*m.MemcpyByte // final scatter
+	return t
+}
+
+// EstimateAllgathervDoubling predicts the recursive-doubling
+// allgatherv: log2(p2) exchanges of doubling block sets, each packed
+// and unpacked (blocks land at their final displacements), plus the
+// remainder fold (one block in, the packed full result out).
+func (m Model) EstimateAllgathervDoubling(p int, avg float64) float64 {
+	beta := m.Beta(p)
+	p2 := 1
+	for p2<<1 <= p {
+		p2 <<= 1
+	}
+	scale := float64(p) / float64(p2) // remainder blocks ride along pro rata
+	t := m.MemcpyFixed + avg*m.MemcpyByte
+	for s := 1; s < p2; s <<= 1 {
+		blocks := float64(s) * scale
+		data := avg * blocks
+		t += m.Alpha() + duplexFactor*data*beta
+		t += 2 * (blocks*m.MemcpyFixed + data*m.MemcpyByte) // pack + unpack
+	}
+	total := avg * float64(p)
+	t += m.foldTerm(p, avg, total)
+	if p&(p-1) != 0 {
+		t += 2 * (float64(p)*m.MemcpyFixed + total*m.MemcpyByte) // result pack + unpack
+	}
+	return t
+}
+
+// EstimateAllgathervLinear predicts the linear allgatherv baseline:
+// p-1 pipelined nonblocking sends and receives of avg bytes each,
+// priced like spread-out.
+func (m Model) EstimateAllgathervLinear(p int, avg float64) float64 {
+	if p <= 1 {
+		return m.MemcpyFixed + avg*m.MemcpyByte
+	}
+	return m.EstimateSpreadOut(p, avg)
+}
+
+// EstimateReduceScatterHalving predicts the recursive-halving
+// reduce-scatter over a p·avg-byte vector: the initial working copy,
+// log2(p2) exchanges that halve the live data (each packed on the way
+// out and combined on the way in), and the remainder fold (the whole
+// vector in, one segment out).
+func (m Model) EstimateReduceScatterHalving(p int, avg float64) float64 {
+	beta := m.Beta(p)
+	total := avg * float64(p)
+	t := m.MemcpyFixed + total*m.MemcpyByte // working copy
+	live := total
+	for s := 1; s < p; s <<= 1 { // log2(p2) halving rounds
+		half := live / 2
+		t += m.Alpha() + duplexFactor*half*beta
+		t += 2 * (m.MemcpyFixed + half*m.MemcpyByte) // pack + combine
+		live = half
+	}
+	t += m.MemcpyFixed + avg*m.MemcpyByte // copy-out of the reduced segment
+	t += m.foldTerm(p, total, avg)
+	if p&(p-1) != 0 {
+		t += m.MemcpyFixed + total*m.MemcpyByte // fold-in combine
+	}
+	return t
+}
+
+// EstimateReduceScatterDirect predicts the linear reduce-scatter
+// baseline: p-1 pipelined messages of avg bytes each way plus p-1
+// combines of the own segment.
+func (m Model) EstimateReduceScatterDirect(p int, avg float64) float64 {
+	if p <= 1 {
+		return m.MemcpyFixed + avg*m.MemcpyByte
+	}
+	t := m.EstimateSpreadOut(p, avg)
+	t += float64(p-1) * (m.MemcpyFixed + avg*m.MemcpyByte) // combines
+	return t
+}
+
+// EstimateAllreduceDoubling predicts the recursive-doubling allreduce
+// of an n-byte vector: ceil(log2 p) full-vector exchanges, each
+// followed by a full-vector combine, plus the remainder fold. Minimal
+// latency term, full bandwidth every step — the small-n winner.
+func (m Model) EstimateAllreduceDoubling(p, n int) float64 {
+	beta := m.Beta(p)
+	v := float64(n)
+	t := m.MemcpyFixed + v*m.MemcpyByte // copy send into recv
+	for s := 1; s < p; s <<= 1 {
+		t += m.Alpha() + duplexFactor*v*beta
+		t += m.MemcpyFixed + v*m.MemcpyByte // combine
+	}
+	t += m.foldTerm(p, v, v)
+	if p&(p-1) != 0 {
+		t += m.MemcpyFixed + v*m.MemcpyByte
+	}
+	return t
+}
+
+// EstimateAllreduceRSAG predicts the reduce-scatter + allgather
+// (Rabenseifner) allreduce: the composition of the halving
+// reduce-scatter and the Bruck allgatherv over the contiguous n/p
+// chunking. About twice the latency of doubling but ~2n bytes moved
+// in total — the large-n winner.
+func (m Model) EstimateAllreduceRSAG(p, n int) float64 {
+	avg := 0.0
+	if p > 0 {
+		avg = float64(n) / float64(p)
+	}
+	return m.EstimateReduceScatterHalving(p, avg) + m.EstimateAllgathervBruck(p, avg)
+}

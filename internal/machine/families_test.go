@@ -1,0 +1,58 @@
+package machine
+
+import "testing"
+
+// TestFamilyEstimatesPositive: every family estimator returns a
+// positive, finite cost on priced models across the sweep range.
+func TestFamilyEstimatesPositive(t *testing.T) {
+	for _, m := range []Model{Theta(), Cori(), Stampede()} {
+		for _, p := range []int{2, 7, 16, 129, 1024} {
+			for _, avg := range []float64{1, 64, 4096} {
+				ests := map[string]float64{
+					"ag-bruck":    m.EstimateAllgathervBruck(p, avg),
+					"ag-doubling": m.EstimateAllgathervDoubling(p, avg),
+					"ag-linear":   m.EstimateAllgathervLinear(p, avg),
+					"rs-halving":  m.EstimateReduceScatterHalving(p, avg),
+					"rs-direct":   m.EstimateReduceScatterDirect(p, avg),
+					"ar-doubling": m.EstimateAllreduceDoubling(p, int(avg)*p),
+					"ar-rsag":     m.EstimateAllreduceRSAG(p, int(avg)*p),
+				}
+				for name, ns := range ests {
+					if !(ns > 0) {
+						t.Errorf("%s %s(p=%d, avg=%g) = %v, want positive", m.Name, name, p, avg, ns)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceCrossover pins the doubling/rsag decision structure:
+// recursive doubling wins tiny vectors (half the latency term), the
+// reduce-scatter+allgather composition wins huge ones (half the
+// bandwidth term).
+func TestAllreduceCrossover(t *testing.T) {
+	m := Theta()
+	const p = 64
+	if d, r := m.EstimateAllreduceDoubling(p, 8), m.EstimateAllreduceRSAG(p, 8); d >= r {
+		t.Errorf("tiny vector: doubling %v should beat rsag %v", d, r)
+	}
+	if d, r := m.EstimateAllreduceDoubling(p, 1<<22), m.EstimateAllreduceRSAG(p, 1<<22); r >= d {
+		t.Errorf("huge vector: rsag %v should beat doubling %v", r, d)
+	}
+}
+
+// TestFamilyEstimatesScale: estimates grow with both rank count and
+// payload, so the Auto selectors never see a perverse surface.
+func TestFamilyEstimatesScale(t *testing.T) {
+	m := Cori()
+	if a, b := m.EstimateAllgathervBruck(8, 512), m.EstimateAllgathervBruck(64, 512); b <= a {
+		t.Errorf("allgatherv bruck not increasing in P: %v at 8, %v at 64", a, b)
+	}
+	if a, b := m.EstimateReduceScatterHalving(16, 64), m.EstimateReduceScatterHalving(16, 4096); b <= a {
+		t.Errorf("reduce-scatter halving not increasing in avg: %v vs %v", a, b)
+	}
+	if a, b := m.EstimateAllreduceRSAG(16, 1<<10), m.EstimateAllreduceRSAG(16, 1<<20); b <= a {
+		t.Errorf("allreduce rsag not increasing in n: %v vs %v", a, b)
+	}
+}

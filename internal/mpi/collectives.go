@@ -62,8 +62,14 @@ func (p *Proc) AllreduceMaxInt(v int) int {
 	return int(int64(r - 1<<63))
 }
 
-// AllreduceMinInt returns the minimum of v over all ranks.
-func (p *Proc) AllreduceMinInt(v int) int { return -p.AllreduceMaxInt(-v) }
+// AllreduceMinInt returns the minimum of v over all ranks. It runs the
+// dissemination directly with a min-combine on the order-preserving
+// biased encoding — negating into AllreduceMaxInt would overflow at
+// math.MinInt, whose negation does not exist.
+func (p *Proc) AllreduceMinInt(v int) int {
+	r := p.dissemMax(uint64(int64(v))+1<<63, func(a, b uint64) bool { return a <= b })
+	return int(int64(r - 1<<63))
+}
 
 // AllreduceMaxFloat64 returns the maximum of v over all ranks. v must not
 // be NaN.
@@ -210,7 +216,9 @@ func (p *Proc) GatherInt64(v int64, root int) []int64 {
 	defer p.FreeBuf(b)
 	if p.rank != root {
 		b.PutUint64(0, uint64(v))
-		p.Send(root, tagGather, b)
+		// sendColl, not Send: collective traffic is priced with the
+		// model's CollectiveFactor like every other collective here.
+		p.sendColl(root, tagGather, b)
 		return nil
 	}
 	out := make([]int64, p.Size())
@@ -219,7 +227,7 @@ func (p *Proc) GatherInt64(v int64, root int) []int64 {
 		if r == root {
 			continue
 		}
-		p.Recv(r, tagGather, b)
+		p.recvColl(r, tagGather, b)
 		out[r] = int64(b.Uint64(0))
 	}
 	return out

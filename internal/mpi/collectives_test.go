@@ -112,6 +112,173 @@ func TestAllreduceMinIntNegatives(t *testing.T) {
 	}
 }
 
+// TestAllreduceMinMaxIntExtremes drives the integer reductions through
+// the values the biased wire encoding exists for. The regression is
+// AllreduceMinInt: it used to be -AllreduceMaxInt(-v), and -math.MinInt
+// does not exist — the negation wraps back to MinInt, so a world
+// containing MinInt computed its minimum from garbage.
+func TestAllreduceMinMaxIntExtremes(t *testing.T) {
+	cases := []struct {
+		name             string
+		vals             []int
+		wantMin, wantMax int
+	}{
+		{"minint-present", []int{math.MinInt, 0, 5, -7, 12, 3, -2}, math.MinInt, 12},
+		{"maxint-present", []int{math.MaxInt, -1, 0, 7, -9, 4, 1}, -9, math.MaxInt},
+		{"both-extremes", []int{math.MinInt, math.MaxInt, 0, 1, -1, 2, -2}, math.MinInt, math.MaxInt},
+		{"all-minint", []int{math.MinInt, math.MinInt, math.MinInt, math.MinInt, math.MinInt, math.MinInt, math.MinInt}, math.MinInt, math.MinInt},
+	}
+	for _, tc := range cases {
+		for _, P := range []int{1, 2, 5, 7} { // non-powers of two included
+			w := zeroWorld(t, P)
+			err := w.Run(func(p *Proc) error {
+				v := tc.vals[p.Rank()]
+				wantMin, wantMax := tc.vals[0], tc.vals[0]
+				for _, x := range tc.vals[:P] {
+					if x < wantMin {
+						wantMin = x
+					}
+					if x > wantMax {
+						wantMax = x
+					}
+				}
+				if got := p.AllreduceMinInt(v); got != wantMin {
+					t.Errorf("%s P=%d: min = %d, want %d", tc.name, P, got, wantMin)
+				}
+				if got := p.AllreduceMaxInt(v); got != wantMax {
+					t.Errorf("%s P=%d: max = %d, want %d", tc.name, P, got, wantMax)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestFusedAllreduceExtremesNonPow2 drives the fused max+sum through
+// MinInt/MaxInt maxima at non-power-of-two P, where the remainder ranks
+// fold in and out around the doubling core — the path a wrong biased
+// encoding or fold would corrupt.
+func TestFusedAllreduceExtremesNonPow2(t *testing.T) {
+	for _, P := range []int{3, 5, 7, 13} {
+		w := zeroWorld(t, P)
+		err := w.Run(func(p *Proc) error {
+			// Rank 0 holds MinInt, the last rank MaxInt, the rest their rank.
+			val := func(r int) int {
+				switch r {
+				case 0:
+					return math.MinInt
+				case P - 1:
+					return math.MaxInt
+				default:
+					return r
+				}
+			}
+			var wantSum int64
+			for r := 0; r < P; r++ {
+				wantSum += int64(r) * 3
+			}
+			gotMax, gotSum := p.AllreduceMaxIntSumInt64(val(p.Rank()), int64(p.Rank())*3)
+			if gotMax != math.MaxInt {
+				t.Errorf("P=%d: fused max = %d, want MaxInt", P, gotMax)
+			}
+			if gotSum != wantSum {
+				t.Errorf("P=%d: fused sum = %d, want %d", P, gotSum, wantSum)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBcastInt64NonzeroRoot broadcasts from every root of a
+// non-power-of-two world: the binomial tree runs on relative ranks, so
+// a wrong rotation shows up at some root.
+func TestBcastInt64NonzeroRoot(t *testing.T) {
+	const P = 7
+	w := zeroWorld(t, P)
+	err := w.Run(func(p *Proc) error {
+		for root := 0; root < P; root++ {
+			v := int64(-1)
+			if p.Rank() == root {
+				v = int64(root)*1000 + 42
+			}
+			if got := p.BcastInt64(v, root); got != int64(root)*1000+42 {
+				t.Errorf("root %d: rank %d got %d", root, p.Rank(), got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllreduceMaxFloat64SignedZeroAndNegatives pins the ordered-bits
+// encoding at its seams: all-negative worlds, and the ±0 pair (the one
+// float equality class with two encodings).
+func TestAllreduceMaxFloat64SignedZeroAndNegatives(t *testing.T) {
+	const P = 5
+	w := zeroWorld(t, P)
+	err := w.Run(func(p *Proc) error {
+		negs := []float64{-1.5, -2.5, -0.25, -math.MaxFloat64, -3}
+		if got := p.AllreduceMaxFloat64(negs[p.Rank()]); got != -0.25 {
+			t.Errorf("all-negative max = %v, want -0.25", got)
+		}
+		// Mixed ±0: the maximum must compare equal to zero.
+		zeros := []float64{math.Copysign(0, -1), 0, math.Copysign(0, -1), 0, math.Copysign(0, -1)}
+		if got := p.AllreduceMaxFloat64(zeros[p.Rank()]); got != 0 {
+			t.Errorf("±0 max = %v, want 0", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherInt64CollectivePricing asserts the gather is priced as
+// collective traffic: under a model with a deep collective discount it
+// must be cheaper than the same message pattern over full-price
+// Send/Recv (the regression: GatherInt64 used Send and Recv directly,
+// ignoring CollectiveFactor while every sibling collective honored it).
+func TestGatherInt64CollectivePricing(t *testing.T) {
+	const P = 5
+	m := machine.Model{SendOverhead: 1000, RecvOverhead: 1000, Latency: 100, CollectiveFactor: 0.25}
+	run := func(coll bool) float64 {
+		w, err := NewWorld(P, WithModel(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(p *Proc) error {
+			if coll {
+				p.GatherInt64(int64(p.Rank()), 0)
+				return nil
+			}
+			b := buffer.New(8)
+			if p.Rank() != 0 {
+				p.Send(0, 5, b)
+				return nil
+			}
+			for r := 1; r < P; r++ {
+				p.Recv(r, 5, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.MaxTime()
+	}
+	if c, pt := run(true), run(false); c >= pt {
+		t.Errorf("collective-priced gather (%v) should be cheaper than full-price send/recv (%v)", c, pt)
+	}
+}
+
 // Collective messages must be cheaper than point-to-point when the
 // model has a collective factor.
 func TestCollectiveFactorDiscount(t *testing.T) {
