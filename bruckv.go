@@ -30,7 +30,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 	"time"
 
@@ -79,12 +78,15 @@ const (
 	Hierarchical
 )
 
-var algNames = map[Algorithm]string{
-	Auto: "auto", SpreadOut: "spreadout", Vendor: "vendor",
-	PaddedBruck: "padded-bruck", PaddedAlltoall: "padded-alltoall",
-	TwoPhaseBruck: "two-phase", SLOAVBaseline: "sloav",
-	TwoPhaseRadix4: "two-phase-r4", TwoPhaseRadix8: "two-phase-r8",
-	Hierarchical: "hierarchical",
+var algEnum = enumNames[Algorithm]{
+	what: "algorithm", goType: "Algorithm",
+	names: map[Algorithm]string{
+		Auto: "auto", SpreadOut: "spreadout", Vendor: "vendor",
+		PaddedBruck: "padded-bruck", PaddedAlltoall: "padded-alltoall",
+		TwoPhaseBruck: "two-phase", SLOAVBaseline: "sloav",
+		TwoPhaseRadix4: "two-phase-r4", TwoPhaseRadix8: "two-phase-r8",
+		Hierarchical: "hierarchical",
+	},
 }
 
 // twoPhaseRadixBase offsets radix-parameterized Algorithm values so
@@ -139,7 +141,7 @@ func algRadix(a Algorithm) (int, bool) {
 // validAlgorithm reports whether a names a runnable Alltoallv: a named
 // enum value or a radix-parameterized value with r >= 2.
 func validAlgorithm(a Algorithm) bool {
-	if _, ok := algNames[a]; ok {
+	if _, ok := algEnum.names[a]; ok {
 		return true
 	}
 	r, ok := algRadix(a)
@@ -148,13 +150,12 @@ func validAlgorithm(a Algorithm) bool {
 
 // String returns the algorithm's registry name.
 func (a Algorithm) String() string {
-	if s, ok := algNames[a]; ok {
-		return s
+	if _, ok := algEnum.names[a]; !ok {
+		if r, rok := algRadix(a); rok && r >= 2 {
+			return coll.RadixName(r)
+		}
 	}
-	if r, ok := algRadix(a); ok && r >= 2 {
-		return coll.RadixName(r)
-	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
+	return algEnum.format(a)
 }
 
 // ParseAlgorithm resolves a name (as printed by String) to an
@@ -163,39 +164,24 @@ func (a Algorithm) String() string {
 // wrapping ErrInvalidAlgorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	lower := strings.ToLower(s)
-	for a, n := range algNames {
-		if n == lower {
-			return a, nil
-		}
+	if a, ok := algEnum.lookup(lower); ok {
+		return a, nil
 	}
 	if r, ok := coll.RadixOfName(lower); ok {
 		return TwoPhaseRadix(r), nil
 	}
-	return Auto, fmt.Errorf("bruckv: unknown algorithm %q: %w", s, ErrInvalidAlgorithm)
+	_, err := algEnum.parse(s)
+	return Auto, err
 }
 
 // Algorithms returns every Alltoallv algorithm, in enum order. The
 // names printed by their String methods are exactly the set
 // ParseAlgorithm accepts.
-func Algorithms() []Algorithm {
-	out := make([]Algorithm, 0, len(algNames))
-	for a := range algNames {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func Algorithms() []Algorithm { return algEnum.list() }
 
 // UniformAlgorithmList returns every uniform Alltoall variant, in enum
 // order.
-func UniformAlgorithmList() []UniformAlgorithm {
-	out := make([]UniformAlgorithm, 0, len(uniformNames))
-	for a := range uniformNames {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func UniformAlgorithmList() []UniformAlgorithm { return uniformEnum.list() }
 
 func (a Algorithm) impl() coll.Alltoallv {
 	impl, _ := coll.ResolveNonUniform(a.String())
@@ -224,6 +210,9 @@ type config struct {
 	faultsSet    bool
 	deadline     time.Duration
 	executor     Executor
+	// err is a deferred configuration error (see errOption): NewWorld
+	// fails with it before validating anything else.
+	err error
 }
 
 // WithMachine sets the communication cost model (default Theta()).
@@ -253,58 +242,58 @@ func WithRanksPerNode(n int) Option {
 type FaultPlan struct {
 	// Seed drives every random draw; identical (seed, plan, algorithm,
 	// workload) runs produce bit-identical virtual timings.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// StragglerRanks is an explicit set of straggler rank ids. When
 	// empty, Stragglers ranks are picked deterministically from Seed.
-	StragglerRanks []int
+	StragglerRanks []int `json:"straggler_ranks,omitempty"`
 	// Stragglers is the number of seed-picked straggler ranks (ignored
 	// when StragglerRanks is non-empty).
-	Stragglers int
+	Stragglers int `json:"stragglers,omitempty"`
 	// Slowdown is the multiplier (>= 1) on straggler ranks' send,
 	// receive, and compute costs.
-	Slowdown float64
+	Slowdown float64 `json:"slowdown,omitempty"`
 	// Jitter is the maximum fractional per-message wire-cost inflation:
 	// each message's per-byte time and latency are scaled by
 	// 1 + U(0, Jitter).
-	Jitter float64
+	Jitter float64 `json:"jitter,omitempty"`
 	// Loss is the per-attempt probability in [0, 1) that a message copy
 	// is dropped in flight. Any non-zero Loss, Dup, Corrupt, or Crashes
 	// entry routes every message through the reliable transport:
 	// checksummed envelopes with ack/retransmit recovery priced into the
 	// virtual timeline (see RTONs, Backoff, MaxRetries).
-	Loss float64
+	Loss float64 `json:"loss,omitempty"`
 	// Dup is the per-attempt probability in [0, 1) that the
 	// acknowledgment of a delivered copy is lost, costing the sender a
 	// retransmission and the receiver a duplicate it must discard.
-	Dup float64
+	Dup float64 `json:"dup,omitempty"`
 	// Corrupt is the per-attempt probability in [0, 1) that a copy
 	// arrives with a payload the envelope checksum rejects — priced
 	// exactly like a loss.
-	Corrupt float64
+	Corrupt float64 `json:"corrupt,omitempty"`
 	// Crashes schedules hard rank failures: each listed rank stops
 	// acknowledging messages at its virtual-time crash point and stays
 	// dead for the lifetime of the world. Runs involving crashed ranks
 	// fail with a *RankFailedError; survivors recover on Comm.Shrink.
-	Crashes []RankCrash
+	Crashes []RankCrash `json:"crashes,omitempty"`
 	// RTONs is the reliable transport's initial retransmission timeout
 	// in virtual nanoseconds; 0 derives it from the machine model's
 	// overhead and latency parameters.
-	RTONs float64
+	RTONs float64 `json:"rto_ns,omitempty"`
 	// Backoff multiplies the timeout after each retransmission
 	// (default 2; values below 1 are invalid).
-	Backoff float64
+	Backoff float64 `json:"backoff,omitempty"`
 	// MaxRetries bounds the retransmissions per message (default 8);
 	// a sender exhausting the budget declares the destination failed.
-	MaxRetries int
+	MaxRetries int `json:"max_retries,omitempty"`
 }
 
 // RankCrash schedules one rank's permanent failure at a virtual time.
 type RankCrash struct {
 	// Rank is the global rank id that crashes.
-	Rank int
+	Rank int `json:"rank"`
 	// AtNs is the virtual time of death in nanoseconds; 0 means the
 	// rank is dead from the start of the run.
-	AtNs float64
+	AtNs float64 `json:"at_ns,omitempty"`
 }
 
 func (fp FaultPlan) plan() fault.Plan {
@@ -360,6 +349,9 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	cfg := config{params: Theta()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
 	}
 	if !validAlgorithm(cfg.alg) {
 		if r, ok := algRadix(cfg.alg); ok {
@@ -432,15 +424,16 @@ func (w *World) RunContext(ctx context.Context, fn func(c *Comm) error) error {
 func (w *World) Close() { w.w.Close() }
 
 // MaxTimeNs returns the maximum virtual time over all ranks of the last
-// Run, in nanoseconds.
-func (w *World) MaxTimeNs() float64 { return w.w.MaxTime() }
+// Run, in nanoseconds. It is Stats().MaxTimeNs.
+func (w *World) MaxTimeNs() float64 { return w.Stats().MaxTimeNs }
 
 // TotalBytes returns the total payload bytes sent during the last Run.
-func (w *World) TotalBytes() int64 { return w.w.TotalBytes() }
+// It is Stats().TotalBytes.
+func (w *World) TotalBytes() int64 { return w.Stats().TotalBytes }
 
 // TotalMessages returns the point-to-point message count of the last
-// Run.
-func (w *World) TotalMessages() int64 { return w.w.TotalMessages() }
+// Run. It is Stats().TotalMessages.
+func (w *World) TotalMessages() int64 { return w.Stats().TotalMessages }
 
 // FailedRanks returns the global ranks recorded as permanently failed
 // by completed Runs — the set Comm.Shrink excludes — sorted ascending.
@@ -462,6 +455,19 @@ func (c *Comm) Size() int { return c.p.Size() }
 
 // NowNs returns this rank's virtual clock in nanoseconds.
 func (c *Comm) NowNs() float64 { return c.p.Now() }
+
+// BytesSent returns the payload bytes this rank has sent so far in the
+// current Run. With Stats(), it lets a long-lived session attribute
+// traffic to phases or jobs: snapshot before and after a collective and
+// difference — per-rank counters only move with the rank's own
+// activity, so concurrent collectives on disjoint sub-communicators
+// account independently.
+func (c *Comm) BytesSent() int64 { return c.p.BytesSent() }
+
+// MessagesSent returns the point-to-point messages this rank has sent
+// so far in the current Run (see BytesSent for the snapshotting
+// pattern).
+func (c *Comm) MessagesSent() int64 { return c.p.MsgsSent() }
 
 // ChargeComputeNs advances this rank's virtual clock by ns nanoseconds
 // of application compute, so end-to-end application timings (like the
@@ -588,19 +594,17 @@ const (
 	VendorUniform
 )
 
-var uniformNames = map[UniformAlgorithm]string{
-	ZeroRotation: "zerorotation", BasicBruckAlg: "basic", ModifiedBruckAlg: "modified",
-	BasicBruckDT: "basic-dt", ModifiedBruckDT: "modified-dt", ZeroCopyBruckDT: "zerocopy-dt",
-	PairwiseExchange: "pairwise", VendorUniform: "vendor-alltoall",
+var uniformEnum = enumNames[UniformAlgorithm]{
+	what: "uniform algorithm", goType: "UniformAlgorithm",
+	names: map[UniformAlgorithm]string{
+		ZeroRotation: "zerorotation", BasicBruckAlg: "basic", ModifiedBruckAlg: "modified",
+		BasicBruckDT: "basic-dt", ModifiedBruckDT: "modified-dt", ZeroCopyBruckDT: "zerocopy-dt",
+		PairwiseExchange: "pairwise", VendorUniform: "vendor-alltoall",
+	},
 }
 
 // String returns the variant's registry name.
-func (a UniformAlgorithm) String() string {
-	if s, ok := uniformNames[a]; ok {
-		return s
-	}
-	return fmt.Sprintf("UniformAlgorithm(%d)", int(a))
-}
+func (a UniformAlgorithm) String() string { return uniformEnum.format(a) }
 
 // Alltoall performs a uniform all-to-all: block i of send (n bytes at
 // offset i*n) is delivered to rank i, and recv block i receives from
@@ -612,7 +616,7 @@ func (c *Comm) Alltoall(send []byte, n int, recv []byte) error {
 // AlltoallWith performs a uniform all-to-all with an explicit variant
 // choice.
 func (c *Comm) AlltoallWith(alg UniformAlgorithm, send []byte, n int, recv []byte) error {
-	name, ok := uniformNames[alg]
+	name, ok := uniformEnum.names[alg]
 	if !ok {
 		return fmt.Errorf("bruckv: uniform algorithm %d: %w", int(alg), ErrInvalidAlgorithm)
 	}
@@ -759,7 +763,7 @@ func Displacements(counts []int) (displs []int, total int) {
 
 // ensure the internal registry stays in sync with the enum.
 var _ = func() struct{} {
-	for _, name := range algNames {
+	for _, name := range algEnum.names {
 		if coll.NonUniformAlgorithms()[name] == nil {
 			panic("bruckv: algorithm " + name + " missing from registry")
 		}

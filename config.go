@@ -1,0 +1,166 @@
+package bruckv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// WorldConfig is the serializable form of a World's construction: every
+// functional option NewWorld accepts, as a JSON-round-trippable value.
+// It exists so a world can be described on the wire or in a config file
+// — bruckd's per-tenant world profiles are WorldConfigs — instead of
+// only in Go code. The zero value of every optional field means "not
+// set", matching NewWorld's defaults, so WorldConfig{Size: 64} and
+// NewWorld(64) build identical worlds.
+//
+// The option <-> field mapping (see README for the full table):
+//
+//	Size              NewWorld's size argument
+//	Preset / Machine  WithMachine (Preset names a built-in model;
+//	                  Machine overrides it with explicit parameters)
+//	Algorithm         WithAlgorithm(ParseAlgorithm(...))
+//	Phantom           WithPhantom
+//	RanksPerNode      WithRanksPerNode
+//	Executor          WithExecutor(ParseExecutor(...))
+//	Tuning            WithTuning(ReadTuning(<file at this path>))
+//	Faults            WithFaults
+//	Deadline          WithDeadline(time.ParseDuration(...))
+//	Trace             WithTrace
+type WorldConfig struct {
+	// Size is the number of ranks (required, >= 1).
+	Size int `json:"size"`
+	// Preset names a built-in machine model: "theta" (the default),
+	// "cori", "stampede", or "zero".
+	Preset string `json:"preset,omitempty"`
+	// Machine, when non-nil, sets explicit machine parameters and
+	// overrides Preset.
+	Machine *MachineParams `json:"machine,omitempty"`
+	// RanksPerNode places consecutive ranks on shared-memory nodes of
+	// this width (0: every rank on its own node).
+	RanksPerNode int `json:"ranks_per_node,omitempty"`
+	// Executor selects the execution backend by name: "goroutines"
+	// (the default) or "events".
+	Executor string `json:"executor,omitempty"`
+	// Algorithm is the default Alltoallv algorithm by registry name
+	// ("" or "auto": model-guided selection).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Phantom switches the world to size-only payloads.
+	Phantom bool `json:"phantom,omitempty"`
+	// Tuning is the path of an empirical calibration table (JSON as
+	// written by Tuning.Write or bruckbench -calibrate), loaded and
+	// installed with WithTuning. Empty: analytic selection only.
+	Tuning string `json:"tuning,omitempty"`
+	// Faults, when non-nil, installs a deterministic fault plan.
+	Faults *FaultPlan `json:"faults,omitempty"`
+	// Deadline arms the wall-clock watchdog, as a time.ParseDuration
+	// string (e.g. "30s"). Empty: no watchdog.
+	Deadline string `json:"deadline,omitempty"`
+	// Trace records a structured event log during each Run.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// errOption defers a configuration error to NewWorld: applying it
+// poisons the config, and NewWorld reports the error before touching
+// anything else. It is how WorldConfig.Options keeps the plain
+// []Option signature while still surfacing bad names and unreadable
+// tuning files through NewWorld's validation path.
+func errOption(err error) Option {
+	return func(c *config) {
+		if c.err == nil {
+			c.err = err
+		}
+	}
+}
+
+// Options translates the config into the functional options NewWorld
+// accepts, in the mapping documented on WorldConfig. A field that fails
+// to resolve (unknown preset, algorithm, or executor name, a malformed
+// deadline, or an unreadable tuning table) yields an option that makes
+// NewWorld fail with an error wrapping ErrInvalidConfig, so
+// NewWorldFromConfig validates exactly as strictly as hand-written
+// options — just later, where the error can be returned.
+func (wc WorldConfig) Options() []Option {
+	var opts []Option
+	switch {
+	case wc.Machine != nil:
+		opts = append(opts, WithMachine(*wc.Machine))
+	case wc.Preset != "":
+		params, ok := map[string]func() MachineParams{
+			"theta": Theta, "cori": Cori, "stampede": Stampede, "zero": ZeroCost,
+		}[wc.Preset]
+		if !ok {
+			return []Option{errOption(fmt.Errorf("bruckv: unknown machine preset %q (theta, cori, stampede, zero): %w", wc.Preset, ErrInvalidConfig))}
+		}
+		opts = append(opts, WithMachine(params()))
+	}
+	if wc.Algorithm != "" {
+		alg, err := ParseAlgorithm(wc.Algorithm)
+		if err != nil {
+			return []Option{errOption(fmt.Errorf("bruckv: config algorithm: %w: %w", err, ErrInvalidConfig))}
+		}
+		opts = append(opts, WithAlgorithm(alg))
+	}
+	if wc.Executor != "" {
+		e, err := ParseExecutor(wc.Executor)
+		if err != nil {
+			return []Option{errOption(fmt.Errorf("bruckv: config executor: %w: %w", err, ErrInvalidConfig))}
+		}
+		opts = append(opts, WithExecutor(e))
+	}
+	if wc.Phantom {
+		opts = append(opts, WithPhantom())
+	}
+	if wc.RanksPerNode != 0 {
+		opts = append(opts, WithRanksPerNode(wc.RanksPerNode))
+	}
+	if wc.Tuning != "" {
+		fh, err := os.Open(wc.Tuning)
+		if err != nil {
+			return []Option{errOption(fmt.Errorf("bruckv: config tuning table: %w: %w", err, ErrInvalidConfig))}
+		}
+		t, err := ReadTuning(fh)
+		fh.Close()
+		if err != nil {
+			return []Option{errOption(fmt.Errorf("bruckv: config tuning table %s: %w: %w", wc.Tuning, err, ErrInvalidConfig))}
+		}
+		opts = append(opts, WithTuning(t))
+	}
+	if wc.Faults != nil {
+		opts = append(opts, WithFaults(*wc.Faults))
+	}
+	if wc.Deadline != "" {
+		d, err := time.ParseDuration(wc.Deadline)
+		if err != nil {
+			return []Option{errOption(fmt.Errorf("bruckv: config deadline: %w: %w", err, ErrInvalidConfig))}
+		}
+		opts = append(opts, WithDeadline(d))
+	}
+	if wc.Trace {
+		opts = append(opts, WithTrace())
+	}
+	return opts
+}
+
+// NewWorldFromConfig builds the world a WorldConfig describes:
+// NewWorld(wc.Size, wc.Options()...), validated identically to a world
+// built from hand-written options (bad config fields additionally wrap
+// ErrInvalidConfig). It is the constructor behind bruckd's wire format.
+func NewWorldFromConfig(wc WorldConfig) (*World, error) {
+	return NewWorld(wc.Size, wc.Options()...)
+}
+
+// ParseWorldConfig decodes a JSON WorldConfig, rejecting unknown
+// fields so a typo in a config file fails loudly instead of silently
+// building a default world.
+func ParseWorldConfig(data []byte) (WorldConfig, error) {
+	var wc WorldConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wc); err != nil {
+		return WorldConfig{}, fmt.Errorf("bruckv: parsing world config: %w: %w", err, ErrInvalidConfig)
+	}
+	return wc, nil
+}

@@ -1,0 +1,149 @@
+package bruckv
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestWorldConfigRoundTrip checks that a fully-populated WorldConfig
+// survives JSON encode/decode unchanged, so a config written by one
+// process builds the same world when read by another.
+func TestWorldConfigRoundTrip(t *testing.T) {
+	m := Cori()
+	in := WorldConfig{
+		Size:         16,
+		Machine:      &m,
+		RanksPerNode: 4,
+		Executor:     "events",
+		Algorithm:    "two-phase-r4",
+		Phantom:      true,
+		Faults:       &FaultPlan{Seed: 7, Loss: 0.01, Crashes: []RankCrash{{Rank: 3, AtNs: 100}}},
+		Deadline:     "30s",
+		Trace:        true,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out, err := ParseWorldConfig(data)
+	if err != nil {
+		t.Fatalf("ParseWorldConfig: %v", err)
+	}
+	got, err := json.Marshal(out)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("round trip changed config:\n in: %s\nout: %s", data, got)
+	}
+}
+
+// TestWorldConfigBuildsEquivalentWorld checks NewWorldFromConfig against
+// hand-written options: identical workloads must produce identical
+// virtual timings.
+func TestWorldConfigBuildsEquivalentWorld(t *testing.T) {
+	wc := WorldConfig{Size: 8, Preset: "cori", Algorithm: "padded-bruck", Phantom: true}
+	wCfg, err := NewWorldFromConfig(wc)
+	if err != nil {
+		t.Fatalf("NewWorldFromConfig: %v", err)
+	}
+	defer wCfg.Close()
+	wOpt, err := NewWorld(8, WithMachine(Cori()), WithAlgorithm(PaddedBruck), WithPhantom())
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	defer wOpt.Close()
+	run := func(w *World) float64 {
+		t.Helper()
+		if err := w.Run(func(c *Comm) error {
+			p := c.Size()
+			scounts := make([]int, p)
+			rcounts := make([]int, p)
+			sdispls := make([]int, p)
+			rdispls := make([]int, p)
+			var soff, roff int
+			for i := 0; i < p; i++ {
+				scounts[i] = 64 * ((c.Rank()+i)%5 + 1)
+				rcounts[i] = 64 * ((i+c.Rank())%5 + 1)
+				sdispls[i], rdispls[i] = soff, roff
+				soff += scounts[i]
+				roff += rcounts[i]
+			}
+			return c.Alltoallv(nil, scounts, sdispls, nil, rcounts, rdispls)
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return w.MaxTimeNs()
+	}
+	if a, b := run(wCfg), run(wOpt); a != b {
+		t.Fatalf("config-built world timed %v ns, option-built %v ns", a, b)
+	}
+}
+
+// TestWorldConfigValidationParity checks that every malformed field
+// surfaces through NewWorldFromConfig as an error wrapping
+// ErrInvalidConfig — the same fail-fast behaviour hand-written options
+// get from NewWorld — and that unknown JSON fields are rejected.
+func TestWorldConfigValidationParity(t *testing.T) {
+	cases := []struct {
+		name string
+		wc   WorldConfig
+	}{
+		{"preset", WorldConfig{Size: 4, Preset: "summit"}},
+		{"algorithm", WorldConfig{Size: 4, Algorithm: "quantum"}},
+		{"executor", WorldConfig{Size: 4, Executor: "threads"}},
+		{"tuning", WorldConfig{Size: 4, Tuning: "testdata/does-not-exist.json"}},
+		{"deadline", WorldConfig{Size: 4, Deadline: "soon"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewWorldFromConfig(tc.wc)
+			if err == nil {
+				w.Close()
+				t.Fatalf("bad %s accepted", tc.name)
+			}
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("error %v does not wrap ErrInvalidConfig", err)
+			}
+		})
+	}
+
+	// Field errors must not mask NewWorld's own validation: a fault plan
+	// NewWorld would reject still fails through the config path.
+	w, err := NewWorldFromConfig(WorldConfig{Size: 4, Faults: &FaultPlan{Loss: 2}})
+	if err == nil {
+		w.Close()
+		t.Fatal("invalid fault plan accepted through config")
+	}
+	if !errors.Is(err, ErrInvalidFaultPlan) {
+		t.Fatalf("error %v does not wrap ErrInvalidFaultPlan", err)
+	}
+
+	if _, err := ParseWorldConfig([]byte(`{"size": 4, "colour": "red"}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	} else if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("unknown-field error %v does not wrap ErrInvalidConfig", err)
+	}
+}
+
+// TestWorldConfigZeroValueDefaults checks that WorldConfig{Size: n}
+// builds the same world as NewWorld(n): every omitted field means "not
+// set", not "explicitly zero".
+func TestWorldConfigZeroValueDefaults(t *testing.T) {
+	wc, err := ParseWorldConfig([]byte(`{"size": 6}`))
+	if err != nil {
+		t.Fatalf("ParseWorldConfig: %v", err)
+	}
+	if len(wc.Options()) != 0 {
+		t.Fatalf("zero config produced %d options, want 0", len(wc.Options()))
+	}
+	w, err := NewWorldFromConfig(wc)
+	if err != nil {
+		t.Fatalf("NewWorldFromConfig: %v", err)
+	}
+	defer w.Close()
+	if got := w.Size(); got != 6 {
+		t.Fatalf("Size() = %d, want 6", got)
+	}
+}

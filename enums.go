@@ -1,0 +1,65 @@
+package bruckv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// enumNames is the one registry behind every algorithm enum's
+// String/Parse/List trio. Each collective family (Alltoallv,
+// Allgatherv, ReduceScatter, Allreduce, and the uniform Alltoall
+// variants) couples its integer enum to the registry names its String
+// method prints and its Parse function accepts, so the four families
+// share one implementation of name lookup, parsing with a typed
+// ErrInvalidAlgorithm error, and enum-order listing instead of four
+// copy-pasted trios.
+type enumNames[T ~int] struct {
+	// what names the family in parse errors ("algorithm", "allgatherv
+	// algorithm", ...), keeping the historical message text per family.
+	what string
+	// goType is the Go type name String falls back to for values
+	// outside the registry, e.g. "Algorithm" -> "Algorithm(37)".
+	goType string
+	names  map[T]string
+}
+
+// format returns the registry name of v, or the "GoType(int)" fallback
+// for values outside the enumerated set.
+func (e enumNames[T]) format(v T) string {
+	if s, ok := e.names[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("%s(%d)", e.goType, int(v))
+}
+
+// lookup resolves a registry name to its enum value.
+func (e enumNames[T]) lookup(s string) (T, bool) {
+	for v, n := range e.names {
+		if n == s {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// parse is lookup returning the family's canonical unknown-name error:
+// every family wraps ErrInvalidAlgorithm, so callers branch identically
+// regardless of which Parse function rejected the name.
+func (e enumNames[T]) parse(s string) (T, error) {
+	if v, ok := e.lookup(s); ok {
+		return v, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("bruckv: unknown %s %q: %w", e.what, s, ErrInvalidAlgorithm)
+}
+
+// list returns every registered value in enum order.
+func (e enumNames[T]) list() []T {
+	out := make([]T, 0, len(e.names))
+	for v := range e.names {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,89 @@
+package bruckv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEnumRoundTripAllFamilies drives every enum family through the
+// shared registry helper: each listed value must format to a name its
+// family's parser maps back to the same value.
+func TestEnumRoundTripAllFamilies(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("Algorithm %q parsed to %q", a.String(), got.String())
+		}
+	}
+	for _, a := range AllgathervAlgorithmList() {
+		got, err := ParseAllgathervAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseAllgathervAlgorithm(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("AllgathervAlgorithm %q parsed to %q", a.String(), got.String())
+		}
+	}
+	for _, a := range ReduceScatterAlgorithmList() {
+		got, err := ParseReduceScatterAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseReduceScatterAlgorithm(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("ReduceScatterAlgorithm %q parsed to %q", a.String(), got.String())
+		}
+	}
+	for _, a := range AllreduceAlgorithmList() {
+		got, err := ParseAllreduceAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseAllreduceAlgorithm(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("AllreduceAlgorithm %q parsed to %q", a.String(), got.String())
+		}
+	}
+}
+
+// TestEnumUnknownNameErrorParity checks that all four families reject an
+// unknown name identically: wrapping ErrInvalidAlgorithm, quoting the
+// offending name, and naming their own family — behaviour the shared
+// registry helper guarantees by construction.
+func TestEnumUnknownNameErrorParity(t *testing.T) {
+	const bogus = "no-such-algorithm"
+	cases := []struct {
+		family string
+		parse  func(string) error
+	}{
+		{"algorithm", func(s string) error { _, err := ParseAlgorithm(s); return err }},
+		{"allgatherv algorithm", func(s string) error { _, err := ParseAllgathervAlgorithm(s); return err }},
+		{"reduce-scatter algorithm", func(s string) error { _, err := ParseReduceScatterAlgorithm(s); return err }},
+		{"allreduce algorithm", func(s string) error { _, err := ParseAllreduceAlgorithm(s); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.parse(bogus)
+		if err == nil {
+			t.Errorf("%s: unknown name accepted", tc.family)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidAlgorithm) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidAlgorithm", tc.family, err)
+		}
+		if !strings.Contains(err.Error(), `"`+bogus+`"`) {
+			t.Errorf("%s: error %q does not quote the unknown name", tc.family, err)
+		}
+		if !strings.Contains(err.Error(), tc.family) {
+			t.Errorf("%s: error %q does not name its family", tc.family, err)
+		}
+	}
+}
+
+// TestEnumOutOfRangeString checks the shared fallback formatting for
+// values outside the registry.
+func TestEnumOutOfRangeString(t *testing.T) {
+	if got := Algorithm(97).String(); got != "Algorithm(97)" {
+		t.Errorf("Algorithm(97).String() = %q", got)
+	}
+	if got := AllreduceAlgorithm(97).String(); got != "AllreduceAlgorithm(97)" {
+		t.Errorf("AllreduceAlgorithm(97).String() = %q", got)
+	}
+}

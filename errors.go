@@ -56,6 +56,13 @@ var (
 	// outside [0, 1), a retransmission backoff below 1, or duplicate or
 	// negative crash ranks.
 	ErrInvalidFaultPlan = errors.New("invalid fault plan")
+
+	// ErrInvalidConfig marks a WorldConfig that does not describe a
+	// buildable world: an unknown preset, algorithm, or executor name, a
+	// malformed deadline string, an unreadable tuning table, or
+	// unparseable JSON. NewWorldFromConfig reports it through NewWorld's
+	// validation path.
+	ErrInvalidConfig = errors.New("invalid world config")
 )
 
 // DeadlockError is the per-rank blocked-state report attached to the

@@ -3,7 +3,6 @@ package bruckv
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"bruckv/internal/buffer"
 	"bruckv/internal/coll"
@@ -59,43 +58,29 @@ const (
 	AGLinear
 )
 
-var agAlgNames = map[AllgathervAlgorithm]string{
-	AGAuto: "auto", AGBruck: "bruck", AGDoubling: "doubling", AGLinear: "linear",
+var agEnum = enumNames[AllgathervAlgorithm]{
+	what: "allgatherv algorithm", goType: "AllgathervAlgorithm",
+	names: map[AllgathervAlgorithm]string{
+		AGAuto: "auto", AGBruck: "bruck", AGDoubling: "doubling", AGLinear: "linear",
+	},
 }
 
 // String returns the algorithm's registry name.
-func (a AllgathervAlgorithm) String() string {
-	if s, ok := agAlgNames[a]; ok {
-		return s
-	}
-	return fmt.Sprintf("AllgathervAlgorithm(%d)", int(a))
-}
+func (a AllgathervAlgorithm) String() string { return agEnum.format(a) }
 
 // ParseAllgathervAlgorithm resolves a name (as printed by String) to an
 // AllgathervAlgorithm. An unknown name returns an error wrapping
 // ErrInvalidAlgorithm.
 func ParseAllgathervAlgorithm(s string) (AllgathervAlgorithm, error) {
-	for a, n := range agAlgNames {
-		if n == s {
-			return a, nil
-		}
-	}
-	return AGAuto, fmt.Errorf("bruckv: unknown allgatherv algorithm %q: %w", s, ErrInvalidAlgorithm)
+	return agEnum.parse(s)
 }
 
 // AllgathervAlgorithmList returns every Allgatherv algorithm, in enum
 // order.
-func AllgathervAlgorithmList() []AllgathervAlgorithm {
-	out := make([]AllgathervAlgorithm, 0, len(agAlgNames))
-	for a := range agAlgNames {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func AllgathervAlgorithmList() []AllgathervAlgorithm { return agEnum.list() }
 
 func (a AllgathervAlgorithm) impl() (coll.Allgatherv, error) {
-	name, ok := agAlgNames[a]
+	name, ok := agEnum.names[a]
 	if !ok {
 		return nil, fmt.Errorf("bruckv: allgatherv algorithm %d: %w", int(a), ErrInvalidAlgorithm)
 	}
@@ -119,43 +104,29 @@ const (
 	RSDirect
 )
 
-var rsAlgNames = map[ReduceScatterAlgorithm]string{
-	RSAuto: "auto", RSHalving: "halving", RSDirect: "direct",
+var rsEnum = enumNames[ReduceScatterAlgorithm]{
+	what: "reduce-scatter algorithm", goType: "ReduceScatterAlgorithm",
+	names: map[ReduceScatterAlgorithm]string{
+		RSAuto: "auto", RSHalving: "halving", RSDirect: "direct",
+	},
 }
 
 // String returns the algorithm's registry name.
-func (a ReduceScatterAlgorithm) String() string {
-	if s, ok := rsAlgNames[a]; ok {
-		return s
-	}
-	return fmt.Sprintf("ReduceScatterAlgorithm(%d)", int(a))
-}
+func (a ReduceScatterAlgorithm) String() string { return rsEnum.format(a) }
 
 // ParseReduceScatterAlgorithm resolves a name (as printed by String) to
 // a ReduceScatterAlgorithm. An unknown name returns an error wrapping
 // ErrInvalidAlgorithm.
 func ParseReduceScatterAlgorithm(s string) (ReduceScatterAlgorithm, error) {
-	for a, n := range rsAlgNames {
-		if n == s {
-			return a, nil
-		}
-	}
-	return RSAuto, fmt.Errorf("bruckv: unknown reduce-scatter algorithm %q: %w", s, ErrInvalidAlgorithm)
+	return rsEnum.parse(s)
 }
 
 // ReduceScatterAlgorithmList returns every ReduceScatter algorithm, in
 // enum order.
-func ReduceScatterAlgorithmList() []ReduceScatterAlgorithm {
-	out := make([]ReduceScatterAlgorithm, 0, len(rsAlgNames))
-	for a := range rsAlgNames {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func ReduceScatterAlgorithmList() []ReduceScatterAlgorithm { return rsEnum.list() }
 
 func (a ReduceScatterAlgorithm) impl() (coll.ReduceScatter, error) {
-	name, ok := rsAlgNames[a]
+	name, ok := rsEnum.names[a]
 	if !ok {
 		return nil, fmt.Errorf("bruckv: reduce-scatter algorithm %d: %w", int(a), ErrInvalidAlgorithm)
 	}
@@ -179,43 +150,29 @@ const (
 	ARRSAG
 )
 
-var arAlgNames = map[AllreduceAlgorithm]string{
-	ARAuto: "auto", ARDoubling: "doubling", ARRSAG: "rsag",
+var arEnum = enumNames[AllreduceAlgorithm]{
+	what: "allreduce algorithm", goType: "AllreduceAlgorithm",
+	names: map[AllreduceAlgorithm]string{
+		ARAuto: "auto", ARDoubling: "doubling", ARRSAG: "rsag",
+	},
 }
 
 // String returns the algorithm's registry name.
-func (a AllreduceAlgorithm) String() string {
-	if s, ok := arAlgNames[a]; ok {
-		return s
-	}
-	return fmt.Sprintf("AllreduceAlgorithm(%d)", int(a))
-}
+func (a AllreduceAlgorithm) String() string { return arEnum.format(a) }
 
 // ParseAllreduceAlgorithm resolves a name (as printed by String) to an
 // AllreduceAlgorithm. An unknown name returns an error wrapping
 // ErrInvalidAlgorithm.
 func ParseAllreduceAlgorithm(s string) (AllreduceAlgorithm, error) {
-	for a, n := range arAlgNames {
-		if n == s {
-			return a, nil
-		}
-	}
-	return ARAuto, fmt.Errorf("bruckv: unknown allreduce algorithm %q: %w", s, ErrInvalidAlgorithm)
+	return arEnum.parse(s)
 }
 
 // AllreduceAlgorithmList returns every Allreduce algorithm, in enum
 // order.
-func AllreduceAlgorithmList() []AllreduceAlgorithm {
-	out := make([]AllreduceAlgorithm, 0, len(arAlgNames))
-	for a := range arAlgNames {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func AllreduceAlgorithmList() []AllreduceAlgorithm { return arEnum.list() }
 
 func (a AllreduceAlgorithm) impl() (coll.AllreduceV, error) {
-	name, ok := arAlgNames[a]
+	name, ok := arEnum.names[a]
 	if !ok {
 		return nil, fmt.Errorf("bruckv: allreduce algorithm %d: %w", int(a), ErrInvalidAlgorithm)
 	}
@@ -577,17 +534,17 @@ func (h *PersistentAllreduce) Free() { h.h.Free() }
 
 // ensure the family registries stay in sync with the enums.
 var _ = func() struct{} {
-	for _, name := range agAlgNames {
+	for _, name := range agEnum.names {
 		if coll.AllgathervAlgorithms()[name] == nil {
 			panic("bruckv: allgatherv algorithm " + name + " missing from registry")
 		}
 	}
-	for _, name := range rsAlgNames {
+	for _, name := range rsEnum.names {
 		if coll.ReduceScatterAlgorithms()[name] == nil {
 			panic("bruckv: reduce-scatter algorithm " + name + " missing from registry")
 		}
 	}
-	for _, name := range arAlgNames {
+	for _, name := range arEnum.names {
 		if coll.AllreduceAlgorithms()[name] == nil {
 			panic("bruckv: allreduce algorithm " + name + " missing from registry")
 		}

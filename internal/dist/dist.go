@@ -36,6 +36,18 @@ const (
 	Fixed
 )
 
+// ParseKind maps a harness name back to its Kind — the inverse of
+// Kind.String, used by wire formats (the bruckd job schema) and CLI
+// flags.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range []Kind{Uniform, Windowed, Normal, PowerLaw, Fixed} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return Uniform, fmt.Errorf("dist: unknown distribution %q (uniform, windowed, normal, powerlaw, fixed)", s)
+}
+
 // String returns the kind's harness name.
 func (k Kind) String() string {
 	switch k {

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// tenantCounters is one tenant's served-work accounting, accumulated
+// from the per-rank counters the leased ranks snapshot around each job
+// — the same quantities bruckv.(*World).Stats aggregates world-wide,
+// attributed per job and per tenant.
+type tenantCounters struct {
+	jobs      int64
+	virtualNs float64
+	bytes     int64
+	messages  int64
+}
+
+// metrics is the server's counter store. Gauges (queue depth, leased
+// ranks) are read live from the hosts at render time.
+type metrics struct {
+	mu      sync.Mutex
+	byTen   map[string]*tenantCounters  // served work by tenant
+	rejects map[string]map[string]int64 // tenant -> reason -> count
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		byTen:   make(map[string]*tenantCounters),
+		rejects: make(map[string]map[string]int64),
+	}
+}
+
+func (m *metrics) served(resp *JobResponse) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tc := m.byTen[resp.Tenant]
+	if tc == nil {
+		tc = &tenantCounters{}
+		m.byTen[resp.Tenant] = tc
+	}
+	tc.jobs++
+	tc.virtualNs += resp.VirtualNs
+	tc.bytes += resp.Bytes
+	tc.messages += resp.Messages
+}
+
+func (m *metrics) reject(tenant, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byReason := m.rejects[tenant]
+	if byReason == nil {
+		byReason = make(map[string]int64)
+		m.rejects[tenant] = byReason
+	}
+	byReason[reason]++
+}
+
+// sample is one labelled value of a metric family.
+type sample struct {
+	labels string
+	value  float64
+}
+
+// family is one metric with its metadata and samples, rendered as a
+// HELP/TYPE header followed by every sample — the grouping the
+// Prometheus text exposition format requires.
+type family struct {
+	name, help, kind string
+	samples          []sample
+}
+
+// WriteMetrics renders the server's counters in the Prometheus text
+// exposition format: per-tenant served-job counters built from the
+// leased ranks' Stats-style accounting, rejection counters by reason,
+// and live queue-depth and leased-rank gauges per world profile.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	jobs := family{"bruckd_jobs_served_total", "Jobs served to completion.", "counter", nil}
+	vns := family{"bruckd_virtual_ns_total", "Simulated nanoseconds of served collective time.", "counter", nil}
+	byt := family{"bruckd_bytes_total", "Payload bytes moved by served jobs.", "counter", nil}
+	msg := family{"bruckd_messages_total", "Messages sent by served jobs.", "counter", nil}
+	rej := family{"bruckd_jobs_rejected_total", "Jobs rejected at admission or failed in flight.", "counter", nil}
+	depth := family{"bruckd_queue_depth", "Jobs admitted but not yet leased.", "gauge", nil}
+	leased := family{"bruckd_leased_ranks", "Ranks currently leased to running jobs.", "gauge", nil}
+	ranks := family{"bruckd_world_ranks", "Resident ranks in the world profile.", "gauge", nil}
+
+	s.metrics.mu.Lock()
+	for _, t := range sortedKeys(s.metrics.byTen) {
+		tc := s.metrics.byTen[t]
+		lbl := fmt.Sprintf("{tenant=%q}", t)
+		jobs.samples = append(jobs.samples, sample{lbl, float64(tc.jobs)})
+		vns.samples = append(vns.samples, sample{lbl, tc.virtualNs})
+		byt.samples = append(byt.samples, sample{lbl, float64(tc.bytes)})
+		msg.samples = append(msg.samples, sample{lbl, float64(tc.messages)})
+	}
+	for _, t := range sortedKeys(s.metrics.rejects) {
+		for _, r := range sortedKeys(s.metrics.rejects[t]) {
+			rej.samples = append(rej.samples, sample{
+				fmt.Sprintf("{tenant=%q,reason=%q}", t, r),
+				float64(s.metrics.rejects[t][r]),
+			})
+		}
+	}
+	s.metrics.mu.Unlock()
+
+	for _, n := range sortedKeys(s.hosts) {
+		h := s.hosts[n]
+		lbl := fmt.Sprintf("{world=%q}", n)
+		depth.samples = append(depth.samples, sample{lbl, float64(h.queueDepth())})
+		leased.samples = append(leased.samples, sample{lbl, float64(h.leasedRanks())})
+		ranks.samples = append(ranks.samples, sample{lbl, float64(h.size)})
+	}
+
+	for _, f := range []family{jobs, vns, byt, msg, rej, depth, leased, ranks} {
+		if len(f.samples) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, smp.labels, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,401 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bruckv"
+)
+
+var (
+	errHostStopping = fmt.Errorf("world is draining or stopped: %w", ErrAdmissionRejected)
+	errBacklogFull  = fmt.Errorf("world backlog full: %w", ErrAdmissionRejected)
+)
+
+// rankResult is one leased rank's report of a finished job.
+type rankResult struct {
+	local  int
+	ns     float64
+	bytes  int64
+	msgs   int64
+	digest [sha256.Size]byte
+	err    error
+}
+
+// job is one admitted request flowing through a host: queued, leased,
+// executed by its leased ranks, aggregated, released.
+type job struct {
+	id   uint64
+	req  JobRequest
+	spec jobSpec
+
+	queuedAt time.Time
+	leasedAt time.Time
+
+	// ranks is the ascending lease, set by the scheduler.
+	ranks []int
+	// results carries one rankResult per leased rank (buffered k).
+	results chan rankResult
+	// aborted is closed if the host's session dies while the job is
+	// leased; sessionErr then explains why.
+	aborted    chan struct{}
+	sessionErr error
+
+	// done is closed once resp/err are final.
+	done chan struct{}
+	resp *JobResponse
+	err  error
+}
+
+// worldHost owns one resident world of the pool: its long-running
+// session (every rank parked in a job loop inside RunContext), the free
+// list of leasable ranks, and the FIFO backlog of admitted jobs waiting
+// for a lease. Jobs leasing disjoint rank sets execute concurrently
+// within the single session — the multi-tenant batching the
+// sub-communicator substrate buys.
+type worldHost struct {
+	name    string
+	w       *bruckv.World
+	size    int
+	phantom bool
+
+	queue chan *job // admitted, waiting for a lease
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on release, abort, and death
+	free   map[int]bool
+	nfree  int
+	leased map[*job][]int // in-flight leases, for abort/release
+	rankCh []chan *job    // per-global-rank dispatch, replaced on session restart
+	// draining: finish queued and leased work, then park.
+	// dead: no session will run again; queued work must be failed.
+	draining bool
+	dead     bool
+
+	schedDone   chan struct{}
+	sessionDone chan struct{}
+}
+
+func newWorldHost(name string, w *bruckv.World, phantom bool, backlog int) *worldHost {
+	h := &worldHost{
+		name:        name,
+		w:           w,
+		size:        w.Size(),
+		phantom:     phantom,
+		queue:       make(chan *job, backlog),
+		free:        make(map[int]bool, w.Size()),
+		leased:      make(map[*job][]int),
+		schedDone:   make(chan struct{}),
+		sessionDone: make(chan struct{}),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	for g := 0; g < h.size; g++ {
+		h.free[g] = true
+	}
+	h.nfree = h.size
+	h.rankCh = h.freshRankChannels()
+	return h
+}
+
+func (h *worldHost) freshRankChannels() []chan *job {
+	chs := make([]chan *job, h.size)
+	for g := range chs {
+		chs[g] = make(chan *job)
+	}
+	return chs
+}
+
+// start launches the session and the lease scheduler. ctx cancellation
+// hard-stops the session (leased jobs fail, capacity returns); drain()
+// stops it cleanly.
+func (h *worldHost) start(ctx context.Context) {
+	go h.runSessions(ctx)
+	go h.schedule()
+}
+
+// runSessions keeps a session alive on the resident world: each rank
+// parks on its dispatch channel and serves jobs until the channel
+// closes (drain). Ranks idle on Go channels are invisible to the
+// deadlock detector, so a fully idle world does not trip it. An aborted
+// session (context cancel, watchdog, rank failure) fails every leased
+// job, returns their ranks to the free list, and restarts on fresh
+// dispatch channels — queued jobs survive and run on the next session,
+// which is how a mid-job cancel releases pool capacity instead of
+// wedging it.
+func (h *worldHost) runSessions(ctx context.Context) {
+	defer func() {
+		h.mu.Lock()
+		h.dead = true
+		h.failLeasedLocked(fmt.Errorf("service: world %s stopped: %w", h.name, ErrAdmissionRejected))
+		h.cond.Broadcast()
+		h.mu.Unlock()
+		close(h.sessionDone)
+	}()
+	for {
+		h.mu.Lock()
+		chs := h.rankCh
+		h.mu.Unlock()
+		// die wakes ranks parked on their dispatch channels when a
+		// sibling rank observes the world abort mid-job: a parked rank
+		// is outside every mpi wait, so the runtime's own abort
+		// machinery cannot reach it.
+		die := make(chan struct{})
+		var dieOnce sync.Once
+		err := h.w.RunContext(ctx, func(c *bruckv.Comm) error {
+			g := c.Rank()
+			for {
+				select {
+				case jb, ok := <-chs[g]:
+					if !ok {
+						return nil // clean drain
+					}
+					res := h.serveJob(c, jb)
+					jb.results <- res
+					if res.err != nil && isWorldAbort(res.err) {
+						dieOnce.Do(func() { close(die) })
+						return res.err
+					}
+				case <-die:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		})
+		if err == nil {
+			return // clean drain: all dispatch channels closed
+		}
+		h.abortSession(fmt.Errorf("service: world %s session aborted: %w", h.name, err))
+		if ctx.Err() != nil || h.isDraining() {
+			return
+		}
+	}
+}
+
+// isWorldAbort distinguishes a session-fatal error (aborted run,
+// watchdog, rank failure, context cancellation) from a per-job error:
+// only the former must tear the session down.
+func isWorldAbort(err error) bool {
+	var de *bruckv.DeadlockError
+	var rfe *bruckv.RankFailedError
+	return errors.As(err, &de) || errors.As(err, &rfe) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// serveJob runs one job on the leased rank's sub-communicator and
+// measures the rank's own contribution with its private counters, so
+// concurrent jobs on disjoint leases account exactly.
+func (h *worldHost) serveJob(c *bruckv.Comm, jb *job) rankResult {
+	sub, err := c.Group(jb.ranks)
+	if err != nil {
+		return rankResult{local: -1, err: err}
+	}
+	sub.Barrier() // align lease clocks so per-rank deltas measure the job
+	t0, b0, m0 := c.NowNs(), c.BytesSent(), c.MessagesSent()
+	digest, err := runOnComm(sub, jb.spec)
+	t1, b1, m1 := c.NowNs(), c.BytesSent(), c.MessagesSent()
+	return rankResult{
+		local: sub.Rank(), ns: t1 - t0, bytes: b1 - b0, msgs: m1 - m0,
+		digest: digest, err: err,
+	}
+}
+
+// failLeasedLocked aborts every leased job with err and reclaims its
+// ranks. Callers hold h.mu.
+func (h *worldHost) failLeasedLocked(err error) {
+	for jb, ranks := range h.leased {
+		jb.sessionErr = err
+		close(jb.aborted)
+		for _, g := range ranks {
+			h.free[g] = true
+		}
+		h.nfree += len(ranks)
+		delete(h.leased, jb)
+	}
+}
+
+// abortSession fails every leased job with the session error, resets
+// the free list, and installs fresh dispatch channels for the next
+// session.
+func (h *worldHost) abortSession(err error) {
+	h.mu.Lock()
+	h.failLeasedLocked(err)
+	h.rankCh = h.freshRankChannels()
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *worldHost) isDraining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.draining
+}
+
+// schedule is the host's lease allocator: FIFO over the backlog, each
+// job waiting until enough ranks are free, then dispatched to exactly
+// those ranks' session loops.
+func (h *worldHost) schedule() {
+	defer close(h.schedDone)
+	for jb := range h.queue {
+		h.mu.Lock()
+		for h.nfree < jb.spec.k && !h.dead {
+			h.cond.Wait()
+		}
+		if h.dead {
+			h.mu.Unlock()
+			jb.err = fmt.Errorf("service: world %s stopped: %w", h.name, ErrAdmissionRejected)
+			close(jb.done)
+			continue
+		}
+		ranks := make([]int, 0, jb.spec.k)
+		for g := 0; g < h.size && len(ranks) < jb.spec.k; g++ {
+			if h.free[g] {
+				ranks = append(ranks, g)
+				h.free[g] = false
+			}
+		}
+		h.nfree -= len(ranks)
+		sort.Ints(ranks)
+		jb.ranks = ranks
+		jb.leasedAt = time.Now()
+		h.leased[jb] = ranks
+		chs := h.rankCh
+		h.mu.Unlock()
+
+		go h.collect(jb)
+		for _, g := range ranks {
+			select {
+			case chs[g] <- jb:
+			case <-jb.aborted:
+				// The session died mid-dispatch; collect observes the
+				// abort and the remaining channels have no readers.
+			}
+		}
+	}
+}
+
+// collect waits for every leased rank's result (or a session abort),
+// aggregates them into the job's response, and releases the lease.
+func (h *worldHost) collect(jb *job) {
+	k := jb.spec.k
+	perRank := make([][sha256.Size]byte, k)
+	var ns float64
+	var bytes, msgs int64
+	var firstErr error
+	for i := 0; i < k; i++ {
+		select {
+		case r := <-jb.results:
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+			if r.local >= 0 && r.local < k {
+				perRank[r.local] = r.digest
+			}
+			if r.ns > ns {
+				ns = r.ns
+			}
+			bytes += r.bytes
+			msgs += r.msgs
+		case <-jb.aborted:
+			jb.err = jb.sessionErr
+			close(jb.done)
+			return
+		}
+	}
+	h.release(jb)
+	if firstErr != nil {
+		jb.err = firstErr
+		close(jb.done)
+		return
+	}
+	now := time.Now()
+	resp := &JobResponse{
+		JobID:       jb.id,
+		Tenant:      jb.req.Tenant,
+		World:       h.name,
+		Ranks:       jb.ranks,
+		VirtualNs:   ns,
+		Bytes:       bytes,
+		Messages:    msgs,
+		QueueWallNs: jb.leasedAt.Sub(jb.queuedAt).Nanoseconds(),
+		RunWallNs:   now.Sub(jb.leasedAt).Nanoseconds(),
+	}
+	if !h.phantom {
+		resp.Digest = jobDigest(perRank)
+	}
+	jb.resp = resp
+	close(jb.done)
+}
+
+// release returns a lease to the free list (idempotent against a
+// concurrent session abort, which releases on the job's behalf).
+func (h *worldHost) release(jb *job) {
+	h.mu.Lock()
+	if ranks, ok := h.leased[jb]; ok {
+		for _, g := range ranks {
+			h.free[g] = true
+		}
+		h.nfree += len(ranks)
+		delete(h.leased, jb)
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// enqueue admits jb to the backlog. It fails once the host is draining
+// or stopped, or when the backlog is full; the h.mu guard orders every
+// enqueue strictly before drain's close of the queue.
+func (h *worldHost) enqueue(jb *job) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.draining || h.dead {
+		return errHostStopping
+	}
+	select {
+	case h.queue <- jb:
+		return nil
+	default:
+		return errBacklogFull
+	}
+}
+
+// queueDepth reports jobs admitted but not yet leased.
+func (h *worldHost) queueDepth() int { return len(h.queue) }
+
+func (h *worldHost) leasedRanks() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size - h.nfree
+}
+
+// drain parks the host cleanly: the server has stopped admitting, so
+// closing the backlog lets the scheduler finish leasing the queued
+// jobs; once every lease is home the dispatch channels close, the
+// session's rank loops return, and RunContext completes with no error.
+// It blocks until the session has exited.
+func (h *worldHost) drain() {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
+	close(h.queue)
+	<-h.schedDone // every queued job leased (or failed against a dead world)
+
+	h.mu.Lock()
+	for len(h.leased) > 0 && !h.dead {
+		h.cond.Wait()
+	}
+	chs := h.rankCh
+	dead := h.dead
+	h.mu.Unlock()
+	if !dead {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+	<-h.sessionDone
+}

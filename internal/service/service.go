@@ -1,0 +1,363 @@
+// Package service is the engine behind bruckd: a long-lived,
+// multi-tenant collective service. It owns a pool of resident bruckv
+// worlds and serves concurrent collective jobs over them, batching jobs
+// from different tenants onto disjoint sub-communicators of a shared
+// world so they execute concurrently within one session. Admission
+// control enforces per-tenant quotas; per-tenant tuning-table and
+// fault-plan overrides are expressed as dedicated world profiles; and
+// a SIGTERM-style drain finishes in-flight work before parking every
+// session cleanly. See DESIGN.md section 4j.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bruckv"
+)
+
+var (
+	// ErrQuotaExceeded marks a job rejected by its tenant's quota:
+	// too many ranks, too large a payload bound, or too many jobs
+	// already in flight.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+	// ErrAdmissionRejected marks a job the server declined independent
+	// of quotas: unknown tenant, full backlog, a draining or stopped
+	// server.
+	ErrAdmissionRejected = errors.New("admission rejected")
+
+	// ErrInvalidJob marks a malformed JobRequest: unknown op,
+	// algorithm, distribution, or reduce name, or a nonsensical shape.
+	ErrInvalidJob = errors.New("invalid job")
+)
+
+// Quota bounds one tenant's use of the service. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxRanks caps a single job's lease width.
+	MaxRanks int `json:"max_ranks,omitempty"`
+	// MaxBytes caps a single job's worst-case payload footprint (every
+	// block at the distribution's maximum; see jobSpec.payloadBound).
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// MaxInFlight caps the tenant's concurrently admitted jobs
+	// (queued + running).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// TenantConfig declares one tenant: which world profile serves it and
+// under which quota. Tenants needing a tuning table or fault plan of
+// their own point World at a dedicated profile whose WorldConfig
+// carries the override; tenants without overrides share "default".
+type TenantConfig struct {
+	// World names the pool profile serving this tenant ("" means
+	// "default").
+	World string `json:"world,omitempty"`
+	// Quota bounds the tenant; the zero value is unlimited.
+	Quota Quota `json:"quota,omitempty"`
+}
+
+// Config describes a server: the world pool and the tenant directory.
+type Config struct {
+	// Worlds is the pool, one resident world per profile name. A
+	// "default" profile is required.
+	Worlds map[string]bruckv.WorldConfig `json:"worlds"`
+	// Tenants is the tenant directory; jobs from unconfigured tenants
+	// are rejected.
+	Tenants map[string]TenantConfig `json:"tenants"`
+	// Backlog is each world's admitted-but-unleased queue capacity
+	// (default 64); a full backlog rejects rather than blocks.
+	Backlog int `json:"backlog,omitempty"`
+}
+
+// ParseConfig decodes a JSON Config, rejecting unknown fields.
+func ParseConfig(data []byte) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("service: parsing config: %w", err)
+	}
+	return cfg, nil
+}
+
+// tenantState is the runtime side of a tenant: its quota gate and its
+// slice of the metrics.
+type tenantState struct {
+	cfg  TenantConfig
+	host *worldHost
+
+	mu       sync.Mutex
+	inFlight int
+}
+
+// Server is the collective service: a world pool, a tenant directory,
+// admission control, and metrics. Create with New, serve jobs with
+// Submit (or the HTTP handler), stop with Drain or Close.
+type Server struct {
+	hosts   map[string]*worldHost
+	tenants map[string]*tenantState
+	metrics *metrics
+
+	cancel context.CancelFunc
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	draining bool
+	drained  bool
+}
+
+// New builds every world in the pool, starts their resident sessions,
+// and returns the server ready to admit jobs. Configuration errors
+// (including bad WorldConfigs, via bruckv.ErrInvalidConfig) are
+// reported before any world starts.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Worlds) == 0 {
+		return nil, fmt.Errorf("service: config declares no worlds")
+	}
+	if _, ok := cfg.Worlds["default"]; !ok {
+		return nil, fmt.Errorf("service: world pool needs a %q profile", "default")
+	}
+	backlog := cfg.Backlog
+	if backlog == 0 {
+		backlog = 64
+	}
+	if backlog < 1 {
+		return nil, fmt.Errorf("service: backlog %d < 1", cfg.Backlog)
+	}
+	for name, tc := range cfg.Tenants {
+		profile := tc.World
+		if profile == "" {
+			profile = "default"
+		}
+		if _, ok := cfg.Worlds[profile]; !ok {
+			return nil, fmt.Errorf("service: tenant %q references unknown world profile %q", name, profile)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		hosts:   make(map[string]*worldHost, len(cfg.Worlds)),
+		tenants: make(map[string]*tenantState, len(cfg.Tenants)),
+		metrics: newMetrics(),
+		cancel:  cancel,
+	}
+	for name, wc := range cfg.Worlds {
+		w, err := bruckv.NewWorldFromConfig(wc)
+		if err != nil {
+			for _, h := range s.hosts {
+				h.w.Close()
+			}
+			cancel()
+			return nil, fmt.Errorf("service: building world %q: %w", name, err)
+		}
+		s.hosts[name] = newWorldHost(name, w, wc.Phantom, backlog)
+	}
+	for name, tc := range cfg.Tenants {
+		profile := tc.World
+		if profile == "" {
+			profile = "default"
+		}
+		s.tenants[name] = &tenantState{cfg: tc, host: s.hosts[profile]}
+	}
+	for _, h := range s.hosts {
+		h.start(ctx)
+	}
+	return s, nil
+}
+
+// admit runs the admission pipeline: tenant lookup, request validation,
+// quota gate, backlog reservation. It returns the admitted job, ready
+// to be awaited.
+func (s *Server) admit(req JobRequest) (*job, *tenantState, error) {
+	ts, ok := s.tenants[req.Tenant]
+	if !ok {
+		s.metrics.reject(req.Tenant, "unknown_tenant")
+		return nil, nil, fmt.Errorf("service: unknown tenant %q: %w", req.Tenant, ErrAdmissionRejected)
+	}
+	js, err := parseJob(req)
+	if err != nil {
+		s.metrics.reject(req.Tenant, "invalid")
+		return nil, nil, err
+	}
+	js.phantom = ts.host.phantom
+	if js.k > ts.host.size {
+		s.metrics.reject(req.Tenant, "invalid")
+		return nil, nil, fmt.Errorf("service: job wants %d ranks but world %q has %d: %w",
+			js.k, ts.host.name, ts.host.size, ErrInvalidJob)
+	}
+	q := ts.cfg.Quota
+	if q.MaxRanks > 0 && js.k > q.MaxRanks {
+		s.metrics.reject(req.Tenant, "quota")
+		return nil, nil, fmt.Errorf("service: job wants %d ranks, tenant %q is capped at %d: %w",
+			js.k, req.Tenant, q.MaxRanks, ErrQuotaExceeded)
+	}
+	if q.MaxBytes > 0 && js.payloadBound() > q.MaxBytes {
+		s.metrics.reject(req.Tenant, "quota")
+		return nil, nil, fmt.Errorf("service: job payload bound %d bytes, tenant %q is capped at %d: %w",
+			js.payloadBound(), req.Tenant, q.MaxBytes, ErrQuotaExceeded)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.reject(req.Tenant, "draining")
+		return nil, nil, fmt.Errorf("service: draining: %w", ErrAdmissionRejected)
+	}
+	s.mu.Unlock()
+
+	ts.mu.Lock()
+	if q.MaxInFlight > 0 && ts.inFlight >= q.MaxInFlight {
+		ts.mu.Unlock()
+		s.metrics.reject(req.Tenant, "quota")
+		return nil, nil, fmt.Errorf("service: tenant %q already has %d jobs in flight (cap %d): %w",
+			req.Tenant, q.MaxInFlight, q.MaxInFlight, ErrQuotaExceeded)
+	}
+	ts.inFlight++
+	ts.mu.Unlock()
+
+	jb := &job{
+		id:       s.nextID.Add(1),
+		req:      req,
+		spec:     js,
+		queuedAt: time.Now(),
+		results:  make(chan rankResult, js.k),
+		aborted:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if err := ts.host.enqueue(jb); err != nil {
+		ts.mu.Lock()
+		ts.inFlight--
+		ts.mu.Unlock()
+		reason := "draining"
+		if errors.Is(err, errBacklogFull) {
+			reason = "backlog"
+		}
+		s.metrics.reject(req.Tenant, reason)
+		return nil, nil, fmt.Errorf("service: world %q: %w", ts.host.name, err)
+	}
+	go s.finalize(jb, ts)
+	return jb, ts, nil
+}
+
+// finalize settles an admitted job's accounting when it completes,
+// whether or not the submitter is still waiting: the tenant's in-flight
+// slot frees and the metrics record the outcome. Lease release happens
+// in the host (collect), before done closes.
+func (s *Server) finalize(jb *job, ts *tenantState) {
+	<-jb.done
+	ts.mu.Lock()
+	ts.inFlight--
+	ts.mu.Unlock()
+	if jb.err != nil {
+		s.metrics.reject(jb.req.Tenant, "failed")
+	} else {
+		s.metrics.served(jb.resp)
+	}
+}
+
+// Submit admits a job and blocks until it has been served (or
+// rejected). ctx bounds only the caller's wait: a submitter giving up
+// mid-job gets ctx.Err back immediately while the job runs to
+// completion in the background, releasing its lease — an abandoned
+// job never wedges pool capacity.
+func (s *Server) Submit(ctx context.Context, req JobRequest) (*JobResponse, error) {
+	jb, _, err := s.admit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-jb.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if jb.err != nil {
+		return nil, jb.err
+	}
+	return jb.resp, nil
+}
+
+// Drain gracefully stops the server: admission closes immediately,
+// queued and in-flight jobs finish, every session parks cleanly, and
+// the worlds close. It returns once everything has drained — the
+// SIGTERM path of bruckd. Drain is idempotent; after it returns,
+// Drained reports true.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.waitDrained()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, h := range s.hosts {
+		wg.Add(1)
+		go func(h *worldHost) {
+			defer wg.Done()
+			h.drain()
+			h.w.Close()
+		}(h)
+	}
+	wg.Wait()
+	s.cancel()
+	s.mu.Lock()
+	s.drained = true
+	s.mu.Unlock()
+}
+
+func (s *Server) waitDrained() {
+	for _, h := range s.hosts {
+		<-h.sessionDone
+	}
+}
+
+// Drained reports whether a Drain has completed.
+func (s *Server) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained
+}
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close hard-stops the server: the session contexts cancel, leased
+// jobs fail with the abort, and the worlds close. Prefer Drain for a
+// clean stop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	for _, h := range s.hosts {
+		h.mu.Lock()
+		h.draining = true
+		h.mu.Unlock()
+	}
+	s.cancel()
+	for _, h := range s.hosts {
+		<-h.sessionDone
+		close(h.queue)
+		<-h.schedDone
+		h.w.Close()
+	}
+	s.mu.Lock()
+	s.drained = true
+	s.mu.Unlock()
+}

@@ -43,6 +43,32 @@ func MAD(xs []float64) float64 {
 	return Median(d)
 }
 
+// Percentile returns the p-th percentile of xs (p in [0, 100]) by
+// linear interpolation between closest ranks — the convention load
+// reports use for p50/p95/p99 latencies. NaN for an empty slice. The
+// input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return c[n-1]
+	}
+	return c[lo] + frac*(c[lo+1]-c[lo])
+}
+
 // Summary is a median +- MAD over a set of iteration measurements.
 type Summary struct {
 	Median float64

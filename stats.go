@@ -1,0 +1,67 @@
+package bruckv
+
+import "bruckv/internal/buffer"
+
+// PoolStats is a snapshot of one buffer pool's accounting — gets, puts,
+// hit/miss counts, and allocated backing bytes. Outstanding() > 0 after
+// a clean run indicates a leaked payload.
+type PoolStats = buffer.PoolStats
+
+// Stats is the complete record of a World's last Run: the virtual-time
+// outcome every figure is built from (maximum virtual time, total
+// payload bytes, total point-to-point messages) plus the
+// host-performance telemetry previously internal to the runtime — wall
+// clock, allocator traffic, GC work, and the transport's buffer-pool
+// balance. The virtual fields are deterministic functions of the
+// workload and machine model; the host fields are observational and
+// never feed back into virtual time.
+type Stats struct {
+	// MaxTimeNs is the maximum virtual time over all ranks, in
+	// nanoseconds — the collective's completion time.
+	MaxTimeNs float64
+	// TotalBytes is the total payload bytes sent across all ranks.
+	TotalBytes int64
+	// TotalMessages is the total point-to-point message count.
+	TotalMessages int64
+	// WallNs is the host wall-clock duration of the Run, in
+	// nanoseconds.
+	WallNs int64
+	// Mallocs is the number of heap objects allocated during the Run
+	// (runtime.MemStats.Mallocs delta across all rank goroutines).
+	Mallocs uint64
+	// AllocBytes is the total heap bytes allocated during the Run.
+	AllocBytes uint64
+	// NumGC is the number of garbage-collection cycles completed
+	// during the Run.
+	NumGC uint32
+	// GCPauseNs is the total stop-the-world pause time during the Run,
+	// in nanoseconds.
+	GCPauseNs uint64
+	// Pool is the world's payload pool activity during the Run: every
+	// real message payload is a Get at send time and a Put at receive
+	// (or end-of-run sweep) time, so a nonzero Outstanding() after a
+	// clean run is a leak. Phantom payloads never touch the pool.
+	Pool PoolStats
+	// Scratch aggregates the per-rank scratch arenas across all ranks.
+	Scratch PoolStats
+}
+
+// Stats returns the complete record of the last Run (the zero value if
+// the world has not run yet). It must not be called concurrently with
+// Run; read it between Runs, as bruckd's metrics exporter and
+// bench.HostPerf do.
+func (w *World) Stats() Stats {
+	rs := w.w.RunStats()
+	return Stats{
+		MaxTimeNs:     w.w.MaxTime(),
+		TotalBytes:    w.w.TotalBytes(),
+		TotalMessages: w.w.TotalMessages(),
+		WallNs:        rs.WallNs,
+		Mallocs:       rs.Mallocs,
+		AllocBytes:    rs.AllocBytes,
+		NumGC:         rs.NumGC,
+		GCPauseNs:     rs.GCPauseNs,
+		Pool:          rs.Pool,
+		Scratch:       rs.Scratch,
+	}
+}

@@ -13,27 +13,27 @@ import (
 // nanoseconds-per-byte. See DESIGN.md for how the presets were
 // calibrated against the paper's crossover points.
 type MachineParams struct {
-	Name string
+	Name string `json:"name,omitempty"`
 	// SendOverheadNs / RecvOverheadNs are per-message CPU overheads.
-	SendOverheadNs float64
-	RecvOverheadNs float64
+	SendOverheadNs float64 `json:"send_overhead_ns,omitempty"`
+	RecvOverheadNs float64 `json:"recv_overhead_ns,omitempty"`
 	// LatencyNs is the wire latency between any two ranks.
-	LatencyNs float64
+	LatencyNs float64 `json:"latency_ns,omitempty"`
 	// BytePerNs is the uncongested per-byte transfer time (ns/byte).
-	BytePerNs float64
+	BytePerNs float64 `json:"byte_per_ns,omitempty"`
 	// CongestionP0/CongestionExp grow the effective per-byte time as
 	// (1 + (P/P0)^Exp) to stand in for network contention at scale.
-	CongestionP0  float64
-	CongestionExp float64
+	CongestionP0  float64 `json:"congestion_p0,omitempty"`
+	CongestionExp float64 `json:"congestion_exp,omitempty"`
 	// MemcpyBytePerNs / MemcpyFixedNs price local copies.
-	MemcpyBytePerNs float64
-	MemcpyFixedNs   float64
+	MemcpyBytePerNs float64 `json:"memcpy_byte_per_ns,omitempty"`
+	MemcpyFixedNs   float64 `json:"memcpy_fixed_ns,omitempty"`
 	// DTypeBlockNs / DTypeBytePerNs price derived-datatype handling.
-	DTypeBlockNs   float64
-	DTypeBytePerNs float64
+	DTypeBlockNs   float64 `json:"dtype_block_ns,omitempty"`
+	DTypeBytePerNs float64 `json:"dtype_byte_per_ns,omitempty"`
 	// CollectiveFactor discounts the per-message overheads of built-in
 	// small collectives (hardware collective offload); 0 means 1.
-	CollectiveFactor float64
+	CollectiveFactor float64 `json:"collective_factor,omitempty"`
 }
 
 func (p MachineParams) model() machine.Model {
